@@ -1,0 +1,78 @@
+// Design ablation (DESIGN.md §5): strided DDIM fast sampling vs the paper's
+// full ancestral reverse process (Algorithm 1). All variants share the
+// cached base model (stage 1 weights AND the stage-2 estimator) — only the
+// sampler changes, so differences are attributable to sampling alone.
+//
+// Expected shape: quality saturates well below the full step count — the
+// justification for the fast default — while latency grows linearly.
+
+#include "common.h"
+
+#include "util/stopwatch.h"
+
+using namespace dot;
+using namespace dot::bench;
+
+int main() {
+  Scale scale = GetScale();
+  BenchDataset ds = MakeChengdu(scale);
+  DotConfig cfg = ScaledDotConfig(scale);
+  Grid grid = ds.data.MakeGrid(cfg.grid_size).ValueOrDie();
+  const auto& split = ds.data.split;
+
+  auto base = TrainDotCached(cfg, grid, split, ds.name, scale);
+
+  int64_t n = std::min<int64_t>(scale.test_queries / 2,
+                                static_cast<int64_t>(split.test.size()));
+  std::vector<OdtInput> odts;
+  std::vector<Pit> truths;
+  for (int64_t i = 0; i < n; ++i) {
+    odts.push_back(split.test[i].odt);
+    truths.push_back(base->GroundTruthPit(split.test[i].trajectory));
+  }
+
+  Table table("Sampler ablation: strided DDIM vs ancestral DDPM (scale=" +
+              scale.name + ")");
+  table.SetHeader({"Sampler", "Route F1", "PiT MAE", "TTE MAE (min)",
+                   "Latency (s/query)"});
+
+  struct Variant {
+    std::string name;
+    int64_t steps;
+    bool ancestral;
+  };
+  std::vector<Variant> variants = {{"DDIM-5", 5, false},
+                                   {"DDIM-12", 12, false},
+                                   {"DDIM-25", 25, false}};
+  if (scale.name == "full") {
+    variants.push_back({"ancestral (Alg. 1)", cfg.diffusion_steps, true});
+  }
+
+  for (const auto& v : variants) {
+    DotConfig vcfg = cfg;
+    vcfg.sample_steps = v.steps;
+    vcfg.ancestral_sampling = v.ancestral;
+    // Share the trained stage 1; the estimator stays the base one (only the
+    // sampler differs), so no stage-2 retraining.
+    DotOracle sampler_oracle(vcfg, grid);
+    DOT_CHECK(sampler_oracle.AdoptStage1(*base).ok());
+    Stopwatch sw;
+    std::vector<Pit> pits = sampler_oracle.InferPits(odts);
+    double latency = sw.ElapsedSeconds() / static_cast<double>(n);
+    std::vector<RouteAccuracy> accs;
+    std::vector<PitError> errs;
+    for (int64_t i = 0; i < n; ++i) {
+      accs.push_back(CompareRoutes(pits[static_cast<size_t>(i)],
+                                   truths[static_cast<size_t>(i)]));
+      errs.push_back(
+          ComparePits(pits[static_cast<size_t>(i)], truths[static_cast<size_t>(i)]));
+    }
+    RegressionMetrics m =
+        EvalPredictions(base->EstimateFromPits(pits, odts), split.test);
+    table.AddRow({v.name, Table::Num(MeanRouteAccuracy(accs).f1, 3),
+                  Table::Num(MeanPitError(errs).overall_mae, 3),
+                  Table::Num(m.mae, 3), Table::Num(latency, 3)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Reproduces Figures 10 and 11 (case studies, rendered as ASCII):
+//   Fig. 10 — for one OD pair and departure window, the ground-truth PiTs of
+//     two historical trips (one containing an outlier detour) next to the
+//     PiT inferred by DOT: the inferred route should match the common route
+//     and drop the detour cells.
+//   Fig. 11 — the same OD pair queried at different times of day can yield
+//     different inferred routes.
+
+#include "common.h"
+
+using namespace dot;
+using namespace dot::bench;
+
+namespace {
+
+/// Side-by-side ASCII rendering of mask channels.
+void PrintSideBySide(const std::vector<std::pair<std::string, const Pit*>>& pits) {
+  if (pits.empty()) return;
+  int64_t l = pits[0].second->grid_size();
+  for (const auto& [title, pit] : pits) {
+    (void)pit;
+    std::printf("%-*s ", static_cast<int>(l), title.substr(0, l).c_str());
+  }
+  std::printf("\n");
+  for (int64_t row = l - 1; row >= 0; --row) {
+    for (const auto& [title, pit] : pits) {
+      (void)title;
+      for (int64_t col = 0; col < l; ++col) {
+        std::printf("%c", pit->Visited(row, col) ? '#' : '.');
+      }
+      std::printf(" ");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = GetScale();
+  BenchDataset ds = MakeChengdu(scale);
+  DotConfig cfg = ScaledDotConfig(scale);
+  Grid grid = ds.data.MakeGrid(cfg.grid_size).ValueOrDie();
+  auto oracle = TrainDotCached(cfg, grid, ds.data.split, ds.name, scale);
+
+  // ---- Figure 10: same OD, same departure window, outlier vs normal. ----
+  // Find a normal/outlier test pair with nearby endpoints.
+  const auto& test = ds.data.split.test;
+  const TripSample* normal = nullptr;
+  const TripSample* outlier = nullptr;
+  for (const auto& a : test) {
+    if (a.is_outlier) continue;
+    for (const auto& b : test) {
+      if (!b.is_outlier) continue;
+      if (DistanceMeters(a.odt.origin, b.odt.origin) < 1500 &&
+          DistanceMeters(a.odt.destination, b.odt.destination) < 1500) {
+        normal = &a;
+        outlier = &b;
+        break;
+      }
+    }
+    if (normal != nullptr && outlier != nullptr) break;
+  }
+  if (normal == nullptr || outlier == nullptr) {
+    // Fall back to any two test trips.
+    normal = &test[0];
+    outlier = &test[1];
+  }
+
+  std::printf("== Figure 10: ground-truth PiTs vs inferred PiT ==\n");
+  Pit truth_normal = oracle->GroundTruthPit(normal->trajectory);
+  Pit truth_outlier = oracle->GroundTruthPit(outlier->trajectory);
+  std::vector<Pit> inferred = oracle->InferPits({normal->odt});
+  PrintSideBySide({{"normal", &truth_normal},
+                   {"outlier", &truth_outlier},
+                   {"inferred", &inferred[0]}});
+  std::printf(
+      "normal trip: %.1f min | outlier trip: %.1f min | DOT estimate: %.1f min\n",
+      normal->travel_time_minutes, outlier->travel_time_minutes,
+      oracle->EstimateFromPits({inferred[0]}, {normal->odt})[0]);
+
+  // ---- Figure 11: same OD pair, different departure times. ----
+  std::printf("\n== Figure 11: inferred PiTs at different departure times ==\n");
+  OdtInput odt = normal->odt;
+  // 3 AM (free flow) vs 6 PM (rush hour), same day.
+  int64_t day_start = odt.departure_time - SecondsOfDay(odt.departure_time);
+  OdtInput night = odt, rush = odt;
+  night.departure_time = day_start + 3 * 3600;
+  rush.departure_time = day_start + 18 * 3600;
+  std::vector<Pit> by_time = oracle->InferPits({night, rush});
+  PrintSideBySide({{"03:00", &by_time[0]}, {"18:00", &by_time[1]}});
+  std::vector<double> est = oracle->EstimateFromPits(by_time, {night, rush});
+  std::printf("DOT estimate at 03:00: %.1f min | at 18:00: %.1f min\n", est[0],
+              est[1]);
+  return 0;
+}

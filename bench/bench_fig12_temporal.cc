@@ -1,0 +1,98 @@
+// Reproduces Figure 12: evolution of the average travel time between the
+// top-3 most frequently traveled cell pairs across the day (two-hour bins),
+// comparing ground-truth trajectories with DOT's inferred PiTs.
+//
+// Paper shape to check: the inferred curves track the ground-truth curves —
+// higher travel times in the rush-hour bins — showing the temporal channels
+// of inferred PiTs carry real traffic dynamics.
+
+#include <map>
+
+#include "common.h"
+
+using namespace dot;
+using namespace dot::bench;
+
+namespace {
+
+/// Seconds between two cells of a PiT implied by its temporal channels and
+/// the trip duration; returns a negative value when either cell is missing.
+double PitSecondsBetween(const Pit& pit, int64_t a, int64_t b,
+                         double trip_minutes) {
+  int64_t l = pit.grid_size();
+  if (!pit.Visited(a / l, a % l) || !pit.Visited(b / l, b % l)) return -1;
+  double offset_a = pit.At(kPitTimeOffset, a / l, a % l);
+  double offset_b = pit.At(kPitTimeOffset, b / l, b % l);
+  // Offsets span [-1, 1] over the trip duration.
+  return (offset_b - offset_a) / 2.0 * trip_minutes * 60.0;
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = GetScale();
+  BenchDataset ds = MakeChengdu(scale);
+  DotConfig cfg = ScaledDotConfig(scale);
+  Grid grid = ds.data.MakeGrid(cfg.grid_size).ValueOrDie();
+  auto oracle = TrainDotCached(cfg, grid, ds.data.split, ds.name, scale);
+
+  // Top-3 most frequent ordered cell pairs (consecutive cells of training
+  // trips, as Definition 2 orders them).
+  std::map<std::pair<int64_t, int64_t>, int64_t> counts;
+  for (const auto& s : ds.data.split.train) {
+    Pit pit = oracle->GroundTruthPit(s.trajectory);
+    std::vector<int64_t> seq = PitToCellSequence(pit);
+    for (size_t i = 1; i < seq.size(); ++i) counts[{seq[i - 1], seq[i]}]++;
+  }
+  std::vector<std::pair<int64_t, std::pair<int64_t, int64_t>>> ranked;
+  for (auto& [pair, count] : counts) ranked.push_back({count, pair});
+  std::sort(ranked.rbegin(), ranked.rend());
+  size_t top = std::min<size_t>(3, ranked.size());
+
+  // Evaluate: for each test trip traversing a top pair, record the truth
+  // and inferred between-cell seconds into 2-hour bins.
+  int64_t n = std::min<int64_t>(scale.test_queries * 2,
+                                static_cast<int64_t>(ds.data.split.test.size()));
+  std::vector<OdtInput> odts;
+  for (int64_t i = 0; i < n; ++i) odts.push_back(ds.data.split.test[i].odt);
+  std::vector<Pit> inferred = oracle->InferPits(odts);
+  std::vector<double> est_minutes = oracle->EstimateFromPits(inferred, odts);
+
+  for (size_t k = 0; k < top; ++k) {
+    auto [a, b] = ranked[k].second;
+    int64_t l = grid.grid_size();
+    Table table("Figure 12 pair " + std::to_string(k + 1) + ": cells (" +
+                std::to_string(a / l) + "," + std::to_string(a % l) + ") -> (" +
+                std::to_string(b / l) + "," + std::to_string(b % l) + ")");
+    table.SetHeader({"2h bin", "truth avg (s)", "inferred avg (s)", "#truth",
+                     "#inferred"});
+    double truth_sum[12] = {0}, truth_n[12] = {0};
+    double inf_sum[12] = {0}, inf_n[12] = {0};
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& s = ds.data.split.test[static_cast<size_t>(i)];
+      int64_t bin = SecondsOfDay(s.odt.departure_time) / 7200;
+      Pit truth = oracle->GroundTruthPit(s.trajectory);
+      double tsec = PitSecondsBetween(truth, a, b, s.travel_time_minutes);
+      if (tsec > 0) {
+        truth_sum[bin] += tsec;
+        truth_n[bin] += 1;
+      }
+      double isec = PitSecondsBetween(inferred[static_cast<size_t>(i)], a, b,
+                                      est_minutes[static_cast<size_t>(i)]);
+      if (isec > 0) {
+        inf_sum[bin] += isec;
+        inf_n[bin] += 1;
+      }
+    }
+    for (int64_t bin = 0; bin < 12; ++bin) {
+      if (truth_n[bin] == 0 && inf_n[bin] == 0) continue;
+      table.AddRow(
+          {std::to_string(2 * bin) + "-" + std::to_string(2 * bin + 2) + "h",
+           truth_n[bin] > 0 ? Table::Num(truth_sum[bin] / truth_n[bin], 1) : "-",
+           inf_n[bin] > 0 ? Table::Num(inf_sum[bin] / inf_n[bin], 1) : "-",
+           Table::Num(truth_n[bin], 0), Table::Num(inf_n[bin], 0)});
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces Figure 8: efficiency impact of the grid length L_G —
+// (a) model size, (b) stage-1 training time, (c) stage-2 training time for
+// MViT vs vanilla ViT, (d) estimation speed for MViT vs ViT.
+//
+// Paper shape to check: size and stage-1 time grow with L_G; the MViT/ViT
+// gap in both training and estimation widens as L_G grows (PiTs occupy a
+// shrinking fraction of the grid); at the smallest L_G they are close.
+
+#include "common.h"
+
+#include "util/stopwatch.h"
+
+using namespace dot;
+using namespace dot::bench;
+
+int main() {
+  Scale scale = GetScale();
+  std::vector<int64_t> grid_lengths =
+      scale.name == "full" ? std::vector<int64_t>{10, 15, 20, 25, 30}
+                           : std::vector<int64_t>{10, 16, 24};
+
+  Table table("Figure 8: efficiency vs grid length L_G (scale=" + scale.name +
+              ")");
+  table.SetHeader({"L_G", "Model size (MB)", "Stage1 (s/epoch)",
+                   "Stage2 MViT (s/epoch)", "Stage2 ViT (s/epoch)",
+                   "Est MViT (s/K)", "Est ViT (s/K)"});
+
+  BenchDataset ds = MakeChengdu(scale);
+  const auto& split = ds.data.split;
+
+  for (int64_t lg : grid_lengths) {
+    DotConfig cfg = ScaledDotConfig(scale);
+    cfg.grid_size = lg;
+    cfg.stage1_epochs = 1;
+    cfg.stage2_epochs = 1;
+    cfg.val_samples = 0;
+    // Isolate the MViT-vs-ViT training cost: no inferred-PiT generation
+    // inside the timed stage-2 call.
+    cfg.stage2_inferred_fraction = 0.0;
+    Grid grid = ds.data.MakeGrid(lg).ValueOrDie();
+
+    // Cap the timed subset so one row costs seconds, not minutes.
+    DatasetSplit sub = split;
+    size_t cap = std::min<size_t>(sub.train.size(),
+                                  scale.name == "full" ? 512 : 256);
+    sub.train.resize(cap);
+
+    DotOracle mvit_oracle(cfg, grid);
+    Stopwatch sw;
+    DOT_CHECK(mvit_oracle.TrainStage1(sub.train).ok());
+    double stage1_s = sw.ElapsedSeconds();
+
+    sw.Restart();
+    DOT_CHECK(mvit_oracle.TrainStage2(sub.train, {}).ok());
+    double stage2_mvit_s = sw.ElapsedSeconds();
+
+    DotConfig vit_cfg = cfg;
+    vit_cfg.estimator_kind = EstimatorKind::kVit;
+    DotOracle vit_oracle(vit_cfg, grid);
+    DOT_CHECK(vit_oracle.AdoptStage1(mvit_oracle).ok());
+    sw.Restart();
+    DOT_CHECK(vit_oracle.TrainStage2(sub.train, {}).ok());
+    double stage2_vit_s = sw.ElapsedSeconds();
+
+    // Estimation speed: stage-2 only, on ground-truth PiTs of test trips
+    // (isolates the MViT-vs-ViT cost as in Fig. 8(d)).
+    int64_t n_eval = std::min<int64_t>(64, static_cast<int64_t>(split.test.size()));
+    std::vector<Pit> pits;
+    std::vector<OdtInput> odts;
+    for (int64_t i = 0; i < n_eval; ++i) {
+      pits.push_back(mvit_oracle.GroundTruthPit(split.test[i].trajectory));
+      odts.push_back(split.test[i].odt);
+    }
+    sw.Restart();
+    mvit_oracle.EstimateFromPits(pits, odts);
+    double est_mvit = sw.ElapsedSeconds() / static_cast<double>(n_eval) * 1000;
+    sw.Restart();
+    vit_oracle.EstimateFromPits(pits, odts);
+    double est_vit = sw.ElapsedSeconds() / static_cast<double>(n_eval) * 1000;
+
+    table.AddRow({std::to_string(lg),
+                  Table::Num(static_cast<double>(mvit_oracle.NumParams()) * 4 /
+                                 (1024.0 * 1024.0), 2),
+                  Table::Num(stage1_s, 2), Table::Num(stage2_mvit_s, 2),
+                  Table::Num(stage2_vit_s, 2), Table::Num(est_mvit, 2),
+                  Table::Num(est_vit, 2)});
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Reproduces Figure 9: effect of the key hyper-parameters on estimation
+// accuracy (MAE on the Chengdu-like test set):
+//   (a) grid length L_G, (b) diffusion steps N, (c) UNet depth L_D,
+//   (d) embedding dimension d_E, (e) number of MViT layers L_E.
+//
+// Paper shape to check: every parameter has an interior optimum; accuracy
+// degrades when the model is too small (underfits) or too large (overfits /
+// oversparse PiTs); more diffusion steps help with diminishing returns.
+
+#include "common.h"
+
+using namespace dot;
+using namespace dot::bench;
+
+namespace {
+
+double DotMae(const DotConfig& cfg, const Grid& grid, const DatasetSplit& split,
+              const std::string& tag, const Scale& scale) {
+  auto oracle = TrainDotCached(cfg, grid, split, tag, scale);
+  std::vector<double> preds =
+      DotPredict(oracle.get(), split.test, scale.test_queries);
+  return EvalPredictions(preds, split.test).mae;
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = GetScale();
+  BenchDataset ds = MakeChengdu(scale);
+  const auto& split = ds.data.split;
+  DotConfig base = ScaledDotConfig(scale);
+  bool full = scale.name == "full";
+
+  Table table("Figure 9: hyper-parameter study, MAE (minutes) on Chengdu "
+              "(scale=" + scale.name + ")");
+  table.SetHeader({"Parameter", "Value", "MAE"});
+
+  // (a) Grid length L_G — retrains both stages per value.
+  {
+    std::vector<int64_t> values =
+        full ? std::vector<int64_t>{10, 16, 20, 24} : std::vector<int64_t>{10, 16};
+    for (int64_t v : values) {
+      DotConfig cfg = base;
+      cfg.grid_size = v;
+      Grid grid = ds.data.MakeGrid(v).ValueOrDie();
+      table.AddRow({"L_G", std::to_string(v),
+                    Table::Num(DotMae(cfg, grid, split, ds.name, scale), 3)});
+    }
+  }
+
+  Grid grid = ds.data.MakeGrid(base.grid_size).ValueOrDie();
+
+  // (b) Diffusion steps N (evaluation keeps the same strided step budget).
+  {
+    std::vector<int64_t> values = full ? std::vector<int64_t>{50, 100, 200, 400}
+                                       : std::vector<int64_t>{50, 200};
+    for (int64_t v : values) {
+      DotConfig cfg = base;
+      cfg.diffusion_steps = v;
+      table.AddRow({"N", std::to_string(v),
+                    Table::Num(DotMae(cfg, grid, split, ds.name, scale), 3)});
+    }
+  }
+
+  // (c) UNet depth L_D.
+  {
+    std::vector<int64_t> values =
+        full ? std::vector<int64_t>{1, 2, 3} : std::vector<int64_t>{1, 2};
+    for (int64_t v : values) {
+      DotConfig cfg = base;
+      cfg.unet.levels = v;
+      table.AddRow({"L_D", std::to_string(v),
+                    Table::Num(DotMae(cfg, grid, split, ds.name, scale), 3)});
+    }
+  }
+
+  // (d)+(e) Stage-2 parameters: share the trained stage 1 of the base
+  // config and retrain stage 2 only.
+  {
+    auto donor = TrainDotCached(base, grid, split, ds.name, scale);
+    int64_t n =
+        std::min<int64_t>(scale.test_queries, static_cast<int64_t>(split.test.size()));
+    std::vector<OdtInput> odts;
+    for (int64_t i = 0; i < n; ++i) odts.push_back(split.test[i].odt);
+    std::vector<Pit> inferred = donor->InferPits(odts);
+
+    auto stage2_mae = [&](DotConfig cfg) {
+      DotOracle oracle(cfg, grid);
+      DOT_CHECK(oracle.AdoptStage1(*donor).ok());
+      DOT_CHECK(oracle.TrainStage2(split.train, split.val).ok());
+      return EvalPredictions(oracle.EstimateFromPits(inferred, odts), split.test)
+          .mae;
+    };
+    for (int64_t v : full ? std::vector<int64_t>{16, 32, 64, 128}
+                          : std::vector<int64_t>{16, 64, 128}) {
+      DotConfig cfg = base;
+      cfg.estimator.embed_dim = v;
+      table.AddRow({"d_E", std::to_string(v), Table::Num(stage2_mae(cfg), 3)});
+    }
+    for (int64_t v : full ? std::vector<int64_t>{1, 2, 3, 4}
+                          : std::vector<int64_t>{1, 2, 4}) {
+      DotConfig cfg = base;
+      cfg.estimator.layers = v;
+      table.AddRow({"L_E", std::to_string(v), Table::Num(stage2_mae(cfg), 3)});
+    }
+  }
+
+  table.Print();
+  return 0;
+}

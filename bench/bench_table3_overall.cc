@@ -1,0 +1,61 @@
+// Reproduces Table 3: overall travel-time estimation performance of all
+// methods on both datasets (RMSE / MAE / MAPE).
+//
+// Paper shape to check: DOT best on both datasets; DeepOD second on most
+// metrics; neural ODT methods beat traditional ones; DeepST beats Dijkstra;
+// LR and TEMP worst among learned/history methods.
+
+#include "common.h"
+
+using namespace dot;
+using namespace dot::bench;
+
+int main() {
+  Scale scale = GetScale();
+  Table table("Table 3: overall performance, RMSE/MAE/MAPE (scale=" + scale.name +
+              ")");
+  table.SetHeader({"Method", "Chengdu", "Harbin"});
+
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> cells;
+
+  bool first = true;
+  for (auto* make : {&MakeChengdu, &MakeHarbin}) {
+    BenchDataset ds = (*make)(scale);
+    DotConfig cfg = ScaledDotConfig(scale);
+    Grid grid = ds.data.MakeGrid(cfg.grid_size).ValueOrDie();
+
+    auto baselines = TrainOdtBaselines(*ds.city, ds.data.split.train,
+                                      ds.data.split.val, grid, scale);
+    size_t row = 0;
+    for (const auto& oracle : baselines) {
+      RegressionMetrics m =
+          EvalOracle(*oracle, ds.data.split.test, scale.test_queries);
+      if (first) {
+        names.push_back(oracle->name());
+        cells.emplace_back();
+      }
+      cells[row++].push_back(MetricCell(m));
+    }
+
+    auto dot_oracle =
+        TrainDotCached(cfg, grid, ds.data.split, ds.name, scale);
+    std::vector<double> preds =
+        DotPredict(dot_oracle.get(), ds.data.split.test, scale.test_queries);
+    RegressionMetrics m = EvalPredictions(preds, ds.data.split.test);
+    if (first) {
+      names.push_back("DOT (Ours)");
+      cells.emplace_back();
+    }
+    cells[row].push_back(MetricCell(m));
+    first = false;
+  }
+
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::vector<std::string> row{names[i]};
+    row.insert(row.end(), cells[i].begin(), cells[i].end());
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

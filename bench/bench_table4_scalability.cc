@@ -1,0 +1,69 @@
+// Reproduces Table 4: scalability — MAPE on Chengdu when training on
+// {20, 40, 60, 80, 100}% of the training set.
+//
+// Paper shape to check: every method improves with more data; DOT is best
+// at every scale; DOT at the smallest scale is competitive with the
+// runner-up at full scale.
+
+#include "common.h"
+
+using namespace dot;
+using namespace dot::bench;
+
+int main() {
+  Scale scale = GetScale();
+  // Quick mode thins the sweep; full mode runs the paper's five scales.
+  std::vector<double> fractions = scale.name == "full"
+                                      ? std::vector<double>{0.2, 0.4, 0.6, 0.8, 1.0}
+                                      : std::vector<double>{0.2, 1.0};
+
+  Table table("Table 4: scalability on Chengdu, MAPE(%) vs training fraction "
+              "(scale=" + scale.name + ")");
+  std::vector<std::string> header{"Method"};
+  for (double f : fractions) header.push_back(Table::Num(100 * f, 0) + "%");
+  table.SetHeader(header);
+
+  BenchDataset ds = MakeChengdu(scale);
+  DotConfig cfg = ScaledDotConfig(scale);
+  Grid grid = ds.data.MakeGrid(cfg.grid_size).ValueOrDie();
+
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> cells;
+  bool first = true;
+  for (double frac : fractions) {
+    DatasetSplit sub = ds.data.split;
+    sub.train.resize(static_cast<size_t>(
+        static_cast<double>(ds.data.split.train.size()) * frac));
+
+    auto baselines =
+        TrainOdtBaselines(*ds.city, sub.train, sub.val, grid, scale);
+    size_t row = 0;
+    for (const auto& oracle : baselines) {
+      RegressionMetrics m = EvalOracle(*oracle, sub.test, scale.test_queries);
+      if (first) {
+        names.push_back(oracle->name());
+        cells.emplace_back();
+      }
+      cells[row++].push_back(Table::Num(m.mape, 3));
+    }
+
+    auto dot_oracle = TrainDotCached(cfg, grid, sub, ds.name, scale);
+    std::vector<double> preds =
+        DotPredict(dot_oracle.get(), sub.test, scale.test_queries);
+    RegressionMetrics m = EvalPredictions(preds, sub.test);
+    if (first) {
+      names.push_back("DOT (Ours)");
+      cells.emplace_back();
+    }
+    cells[row].push_back(Table::Num(m.mape, 3));
+    first = false;
+  }
+
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::vector<std::string> row{names[i]};
+    row.insert(row.end(), cells[i].begin(), cells[i].end());
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

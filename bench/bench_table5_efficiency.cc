@@ -1,0 +1,175 @@
+// Reproduces Table 5: efficiency on Chengdu — model size, training time
+// per epoch, and estimation speed (seconds per 1K queries).
+//
+// Paper shape to check: LR/GBM tiny and fast; TEMP needs no training but
+// carries the whole history and queries slowly; DOT's training is the
+// slowest (two stages) while its estimation speed is on par with the other
+// neural methods.
+
+#include "baselines/deepod.h"
+#include "baselines/embedding.h"
+#include "baselines/path_tte.h"
+#include "baselines/regression.h"
+#include "common.h"
+#include "util/stopwatch.h"
+
+using namespace dot;
+using namespace dot::bench;
+
+namespace {
+
+std::string Bytes(int64_t b) {
+  if (b < 1024) return std::to_string(b) + "B";
+  if (b < 1024 * 1024) return Table::Num(static_cast<double>(b) / 1024.0, 2) + "K";
+  return Table::Num(static_cast<double>(b) / (1024.0 * 1024.0), 2) + "M";
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = GetScale();
+  Table table("Table 5: efficiency on Chengdu (scale=" + scale.name + ")");
+  table.SetHeader({"Method", "Model size", "Train (min/epoch)",
+                   "Estimate (s/K queries)"});
+
+  BenchDataset ds = MakeChengdu(scale);
+  DotConfig cfg = ScaledDotConfig(scale);
+  Grid grid = ds.data.MakeGrid(cfg.grid_size).ValueOrDie();
+  const auto& train = ds.data.split.train;
+  const auto& val = ds.data.split.val;
+
+  // Baselines: time one full Train() call and divide by its epoch count to
+  // get minutes/epoch; time estimation over the test cap and scale to 1K.
+  struct Timing {
+    std::string name;
+    int64_t size_bytes;
+    double train_min_per_epoch;  // negative = no training
+    double est_s_per_k;
+  };
+  std::vector<Timing> rows;
+
+  auto time_estimation = [&](const OdtOracle& oracle) {
+    int64_t n = std::min<int64_t>(scale.test_queries,
+                                  static_cast<int64_t>(ds.data.split.test.size()));
+    Stopwatch sw;
+    for (int64_t i = 0; i < n; ++i) {
+      oracle.EstimateMinutes(ds.data.split.test[static_cast<size_t>(i)].odt);
+    }
+    return sw.ElapsedSeconds() / static_cast<double>(n) * 1000.0;
+  };
+
+  auto baselines = TrainOdtBaselines(*ds.city, train, val, grid, scale);
+  // Epoch counts per baseline (matching TrainOdtBaselines internals); zero
+  // means the method has no iterative training.
+  std::vector<int64_t> epochs = {0,
+                                 0,
+                                 scale.rnn_epochs,
+                                 scale.rnn_epochs,
+                                 0,
+                                 1,
+                                 1,
+                                 scale.baseline_epochs,
+                                 scale.baseline_epochs,
+                                 scale.baseline_epochs,
+                                 scale.rnn_epochs};
+  for (size_t i = 0; i < baselines.size(); ++i) {
+    // Re-time training on a fresh instance is costly; instead time Train of
+    // the cheapest methods and report the per-epoch cost of neural ones
+    // from a dedicated timing run below. Here: measure estimation speed.
+    rows.push_back(Timing{baselines[i]->name(), baselines[i]->SizeBytes(), 0,
+                          time_estimation(*baselines[i])});
+    (void)epochs;
+  }
+
+  // Dedicated training-time runs (single timed Train with 1-epoch configs
+  // where supported).
+  {
+    Stopwatch sw;
+    LinearRegressionOracle lr(grid);
+    DOT_CHECK(lr.Train(train, val).ok());
+    rows[5].train_min_per_epoch = sw.ElapsedSeconds() / 60.0;
+  }
+  {
+    Stopwatch sw;
+    GbmOracle gbm(grid);
+    DOT_CHECK(gbm.Train(train, val).ok());
+    rows[6].train_min_per_epoch = sw.ElapsedSeconds() / 60.0;
+  }
+  {
+    NeuralBaselineConfig one;
+    one.epochs = 1;
+    Stopwatch sw;
+    RneOracle rne(grid, one);
+    DOT_CHECK(rne.Train(train, val).ok());
+    rows[7].train_min_per_epoch = sw.ElapsedSeconds() / 60.0;
+    sw.Restart();
+    StnnOracle stnn(grid, one);
+    DOT_CHECK(stnn.Train(train, val).ok());
+    rows[8].train_min_per_epoch = sw.ElapsedSeconds() / 60.0;
+    sw.Restart();
+    MuratOracle murat(grid, one);
+    DOT_CHECK(murat.Train(train, val).ok());
+    rows[9].train_min_per_epoch = sw.ElapsedSeconds() / 60.0;
+  }
+  {
+    DeepOdConfig one;
+    one.epochs = 1;
+    Stopwatch sw;
+    DeepOdOracle deepod(grid, one);
+    DOT_CHECK(deepod.Train(train, val).ok());
+    rows[10].train_min_per_epoch = sw.ElapsedSeconds() / 60.0;
+  }
+  {
+    PathTteConfig one;
+    one.epochs = 1;
+    Stopwatch sw;
+    RecurrentPathEstimator wddra(grid, false, one);
+    DOT_CHECK(wddra.Train(train, val).ok());
+    rows[2].train_min_per_epoch = sw.ElapsedSeconds() / 60.0;
+    sw.Restart();
+    RecurrentPathEstimator stdgcn(grid, true, one);
+    DOT_CHECK(stdgcn.Train(train, val).ok());
+    rows[3].train_min_per_epoch = sw.ElapsedSeconds() / 60.0;
+  }
+
+  // DOT: time one epoch of each stage on fresh models, then measure the
+  // two-stage estimation speed with the cached full model.
+  double dot_stage1_min, dot_stage2_min;
+  {
+    DotConfig one = cfg;
+    one.stage1_epochs = 1;
+    one.stage2_epochs = 1;
+    one.val_samples = 0;
+    one.stage2_inferred_fraction = 0.0;  // time the training loop itself
+    DotOracle probe(one, grid);
+    Stopwatch sw;
+    DOT_CHECK(probe.TrainStage1(train).ok());
+    dot_stage1_min = sw.ElapsedSeconds() / 60.0;
+    sw.Restart();
+    DOT_CHECK(probe.TrainStage2(train, val).ok());
+    dot_stage2_min = sw.ElapsedSeconds() / 60.0;
+  }
+  auto dot_oracle = TrainDotCached(cfg, grid, ds.data.split, ds.name, scale);
+  double dot_est_s_per_k;
+  {
+    int64_t n = std::min<int64_t>(
+        std::max<int64_t>(20, scale.test_queries / 4),
+        static_cast<int64_t>(ds.data.split.test.size()));
+    Stopwatch sw;
+    std::vector<double> preds = DotPredict(dot_oracle.get(), ds.data.split.test, n);
+    dot_est_s_per_k = sw.ElapsedSeconds() / static_cast<double>(n) * 1000.0;
+  }
+
+  for (const auto& r : rows) {
+    table.AddRow({r.name, Bytes(r.size_bytes),
+                  r.train_min_per_epoch > 0 ? Table::Num(r.train_min_per_epoch, 3)
+                                            : std::string("-"),
+                  Table::Num(r.est_s_per_k, 2)});
+  }
+  table.AddRow({"DOT (Ours)",
+                Bytes(dot_oracle->NumParams() * 4),
+                Table::Num(dot_stage1_min, 3) + "/" + Table::Num(dot_stage2_min, 3),
+                Table::Num(dot_est_s_per_k, 2)});
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Reproduces Table 7: ablation study on both datasets.
+//
+// Variants (Sec. 6.5.4):
+//   Dijkstra+Est. / DeepST+Est. — routing methods feeding DOT's stage 2
+//     (temporal channels filled from historical cell-transition times);
+//   Infer.+WDDRA / Infer.+STDGCN — DOT's stage 1 feeding the path-based
+//     estimators (inferred PiT -> cell sequence by Time-offset);
+//   No-t / No-od / No-odt — conditioning ablations of the denoiser;
+//   No-CE / No-ST — estimator input ablations;
+//   Est-CNN / Est-ViT — estimator architecture swaps.
+//
+// Paper shape to check: No-odt worst (unconditional generation), No-od much
+// worse than No-t; Est-ViT ~= DOT; Est-CNN clearly worse; routing+Est.
+// behind full DOT; Infer.+path-based between baselines and DOT.
+
+#include "baselines/cell_history.h"
+#include "baselines/path_tte.h"
+#include "baselines/routers.h"
+#include "common.h"
+
+using namespace dot;
+using namespace dot::bench;
+
+int main() {
+  Scale scale = GetScale();
+  Table table("Table 7: ablations, RMSE/MAE/MAPE (scale=" + scale.name + ")");
+  table.SetHeader(scale.both_datasets
+                      ? std::vector<std::string>{"Variant", "Chengdu", "Harbin"}
+                      : std::vector<std::string>{"Variant", "Chengdu"});
+
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> cells;
+  auto emit = [&](bool first, size_t* row, const std::string& name,
+                  const RegressionMetrics& m) {
+    if (first) {
+      names.push_back(name);
+      cells.emplace_back();
+    }
+    cells[(*row)++].push_back(MetricCell(m));
+  };
+
+  bool first = true;
+  std::vector<BenchDataset (*)(const Scale&)> makers = {&MakeChengdu};
+  if (scale.both_datasets) makers.push_back(&MakeHarbin);
+  for (auto* make : makers) {
+    BenchDataset ds = (*make)(scale);
+    DotConfig cfg = ScaledDotConfig(scale);
+    Grid grid = ds.data.MakeGrid(cfg.grid_size).ValueOrDie();
+    const auto& split = ds.data.split;
+    int64_t cap = scale.test_queries;
+    int64_t n = std::min<int64_t>(cap, static_cast<int64_t>(split.test.size()));
+    size_t row = 0;
+
+    // Full DOT (cached from Table 3) — also the stage-1/stage-2 donor.
+    auto base = TrainDotCached(cfg, grid, split, ds.name, scale);
+    std::vector<OdtInput> test_odts;
+    for (int64_t i = 0; i < n; ++i) test_odts.push_back(split.test[i].odt);
+    std::vector<Pit> inferred = base->InferPits(test_odts);
+
+    // (1) Routing + Est.: routes -> PiTs with historical temporal channels,
+    // estimated by the full model's stage 2.
+    CellHistory history = CellHistory::Learn(split.train, grid);
+    {
+      DijkstraRouter dijkstra(&ds.city->network(), grid);
+      DOT_CHECK(dijkstra.Train(split.train).ok());
+      DeepStRouter deepst(grid);
+      DOT_CHECK(deepst.Train(split.train).ok());
+      for (auto* router : std::initializer_list<Router*>{&dijkstra, &deepst}) {
+        std::vector<Pit> pits;
+        for (int64_t i = 0; i < n; ++i) {
+          const auto& s = split.test[i];
+          pits.push_back(history.RouteToPit(router->Route(s.odt),
+                                            s.odt.departure_time));
+        }
+        RegressionMetrics m =
+            EvalPredictions(base->EstimateFromPits(pits, test_odts), split.test);
+        emit(first, &row, router->name() + "+Est.", m);
+      }
+    }
+
+    // (2) Infer. + path-based: inferred PiT -> ordered cell sequence ->
+    // recurrent path estimators trained on ground-truth paths.
+    {
+      PathTteConfig ptc;
+      ptc.epochs = scale.rnn_epochs;
+      RecurrentPathEstimator wddra(grid, /*deep=*/false, ptc);
+      DOT_CHECK(wddra.Train(split.train, split.val).ok());
+      PathTteConfig stc = ptc;
+      stc.epochs = std::max<int64_t>(2, scale.rnn_epochs / 2);
+      auto stdgcn = SearchStdgcn(grid, split.train, split.val, stc);
+      for (auto* est : std::initializer_list<PathEstimator*>{&wddra, stdgcn.get()}) {
+        MetricsAccumulator acc;
+        for (int64_t i = 0; i < n; ++i) {
+          const auto& s = split.test[i];
+          acc.Add(est->EstimateMinutes(PitToCellSequence(inferred[i]), s.odt),
+                  s.travel_time_minutes);
+        }
+        emit(first, &row, "Infer.+" + est->name(), acc.Finalize());
+      }
+    }
+
+    // (3) Conditioning ablations: retrain both stages with parts of the
+    // ODT-Input removed.
+    {
+      struct CondVariant {
+        const char* name;
+        bool use_time, use_od;
+      };
+      for (CondVariant v : {CondVariant{"No-t", false, true},
+                            CondVariant{"No-od", true, false},
+                            CondVariant{"No-odt", false, false}}) {
+        DotConfig vcfg = cfg;
+        vcfg.use_time_condition = v.use_time;
+        vcfg.use_od_condition = v.use_od;
+        // Quick mode halves the ablated variants' stage-1 budget; the
+        // expected direction (degradation) is unaffected.
+        if (scale.name != "full") {
+          vcfg.stage1_epochs = std::max<int64_t>(3, cfg.stage1_epochs / 2);
+        }
+        auto oracle = TrainDotCached(vcfg, grid, split, ds.name, scale);
+        RegressionMetrics m = EvalPredictions(
+            DotPredict(oracle.get(), split.test, cap), split.test);
+        emit(first, &row, v.name, m);
+      }
+    }
+
+    // (4)+(5) Estimator ablations: reuse the trained stage 1, retrain
+    // stage 2 only.
+    {
+      struct EstVariant {
+        const char* name;
+        EstimatorKind kind;
+        bool use_ce, use_st;
+      };
+      for (EstVariant v :
+           {EstVariant{"No-CE", EstimatorKind::kMvit, false, true},
+            EstVariant{"No-ST", EstimatorKind::kMvit, true, false},
+            EstVariant{"Est-CNN", EstimatorKind::kCnn, true, true},
+            EstVariant{"Est-ViT", EstimatorKind::kVit, true, true}}) {
+        DotConfig vcfg = cfg;
+        vcfg.estimator_kind = v.kind;
+        vcfg.estimator.use_cell_embedding = v.use_ce;
+        vcfg.estimator.use_latent_cast = v.use_st;
+        DotOracle oracle(vcfg, grid);
+        DOT_CHECK(oracle.AdoptStage1(*base).ok());
+        DOT_CHECK(oracle.TrainStage2(split.train, split.val).ok());
+        RegressionMetrics m = EvalPredictions(
+            oracle.EstimateFromPits(inferred, test_odts), split.test);
+        emit(first, &row, v.name, m);
+      }
+    }
+
+    // Full DOT reference row.
+    {
+      RegressionMetrics m = EvalPredictions(
+          base->EstimateFromPits(inferred, test_odts), split.test);
+      emit(first, &row, "DOT", m);
+    }
+    first = false;
+  }
+
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::vector<std::string> row{names[i]};
+    row.insert(row.end(), cells[i].begin(), cells[i].end());
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

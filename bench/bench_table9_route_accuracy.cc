@@ -1,0 +1,79 @@
+// Reproduces Table 9: accuracy of route inference — precision/recall/F1 of
+// the mask channels produced by Dijkstra, DeepST and DOT against the
+// ground-truth routes.
+//
+// Paper shape to check: DOT's inferred routes clearly beat both routing
+// baselines; DeepST beats Dijkstra.
+
+#include "baselines/routers.h"
+#include "common.h"
+
+using namespace dot;
+using namespace dot::bench;
+
+namespace {
+
+Pit RoutePit(const std::vector<int64_t>& cells, int64_t grid_size) {
+  Pit pit(grid_size);
+  for (int64_t c : cells) {
+    pit.Set(kPitMask, c / grid_size, c % grid_size, 1.0f);
+  }
+  return pit;
+}
+
+}  // namespace
+
+int main() {
+  Scale scale = GetScale();
+  Table table("Table 9: route inference accuracy, Pre/Rec/F1 (%) (scale=" +
+              scale.name + ")");
+  table.SetHeader({"Method", "Chengdu", "Harbin"});
+
+  std::vector<std::string> names = {"Dijkstra", "DeepST", "DOT (Ours)"};
+  std::vector<std::vector<std::string>> cells(names.size());
+
+  for (auto* make : {&MakeChengdu, &MakeHarbin}) {
+    BenchDataset ds = (*make)(scale);
+    DotConfig cfg = ScaledDotConfig(scale);
+    Grid grid = ds.data.MakeGrid(cfg.grid_size).ValueOrDie();
+    const auto& split = ds.data.split;
+    int64_t n = std::min<int64_t>(scale.test_queries,
+                                  static_cast<int64_t>(split.test.size()));
+
+    DijkstraRouter dijkstra(&ds.city->network(), grid);
+    DOT_CHECK(dijkstra.Train(split.train).ok());
+    DeepStRouter deepst(grid);
+    DOT_CHECK(deepst.Train(split.train).ok());
+    auto oracle = TrainDotCached(cfg, grid, split, ds.name, scale);
+
+    std::vector<OdtInput> odts;
+    for (int64_t i = 0; i < n; ++i) odts.push_back(split.test[i].odt);
+    std::vector<Pit> inferred = oracle->InferPits(odts);
+
+    std::vector<RouteAccuracy> acc_dij, acc_dst, acc_dot;
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& s = split.test[static_cast<size_t>(i)];
+      Pit truth = oracle->GroundTruthPit(s.trajectory);
+      acc_dij.push_back(
+          CompareRoutes(RoutePit(dijkstra.Route(s.odt), cfg.grid_size), truth));
+      acc_dst.push_back(
+          CompareRoutes(RoutePit(deepst.Route(s.odt), cfg.grid_size), truth));
+      acc_dot.push_back(CompareRoutes(inferred[static_cast<size_t>(i)], truth));
+    }
+    auto cell = [](const RouteAccuracy& a) {
+      return Table::Num(100 * a.precision, 2) + "/" + Table::Num(100 * a.recall, 2) +
+             "/" + Table::Num(100 * a.f1, 2);
+    };
+    cells[0].push_back(cell(MeanRouteAccuracy(acc_dij)));
+    cells[1].push_back(cell(MeanRouteAccuracy(acc_dst)));
+    cells[2].push_back(cell(MeanRouteAccuracy(acc_dot)));
+  }
+
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::vector<std::string> row{names[i]};
+    row.insert(row.end(), cells[i].begin(), cells[i].end());
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,276 @@
+#include "common.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "baselines/deepod.h"
+#include "baselines/embedding.h"
+#include "baselines/path_tte.h"
+#include "baselines/regression.h"
+#include "baselines/routers.h"
+#include "baselines/temp.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dot::bench {
+
+Scale GetScale() {
+  Scale s;
+  const char* env = std::getenv("DOT_BENCH_SCALE");
+  if (env != nullptr && std::string(env) == "full") {
+    s.name = "full";
+    s.chengdu_trips = 6000;
+    s.harbin_trips = 4000;
+    s.city_nodes = 18;
+    s.test_queries = 400;
+    s.stage1_epochs = 16;
+    s.stage2_epochs = 14;
+    s.baseline_epochs = 60;
+    s.rnn_epochs = 18;
+    s.both_datasets = true;
+  }
+  return s;
+}
+
+DotConfig ScaledDotConfig(const Scale& scale) {
+  DotConfig cfg;
+  // Architecture follows the paper's optimal hyper-parameters (Table 2)
+  // scaled to CPU budgets: L_G 20 -> 16, N 1000 -> 200 (with 15-step strided
+  // DDIM sampling), L_D 3 -> 2, d_E 128 -> 64, L_E = 2 as in the paper.
+  cfg.grid_size = 16;
+  cfg.diffusion_steps = 200;
+  cfg.sample_steps = 12;
+  cfg.unet.base_channels = 12;
+  cfg.val_samples = 40;
+  cfg.unet.levels = 2;
+  cfg.unet.cond_dim = 64;
+  cfg.estimator.embed_dim = 64;
+  cfg.estimator.layers = 2;
+  cfg.batch_size = 16;
+  cfg.stage1_epochs = scale.stage1_epochs;
+  cfg.stage2_epochs = scale.stage2_epochs;
+  cfg.val_samples = 48;
+  return cfg;
+}
+
+namespace {
+
+BenchDataset MakeCity(const Scale& scale, bool chengdu) {
+  BenchDataset ds;
+  CityConfig cc = chengdu ? CityConfig::ChengduLike() : CityConfig::HarbinLike();
+  // Keep the paper's city extents but scale the intersection density with
+  // the bench budget.
+  cc.spacing_meters = cc.spacing_meters * static_cast<double>(cc.grid_nodes) /
+                      static_cast<double>(scale.city_nodes);
+  cc.grid_nodes = scale.city_nodes;
+  ds.name = cc.name;
+  ds.city = std::make_unique<City>(cc, chengdu ? 101 : 202);
+  TripConfig tc = chengdu ? TripConfig::ChengduLike() : TripConfig::HarbinLike();
+  tc.num_trips = chengdu ? scale.chengdu_trips : scale.harbin_trips;
+  ds.data = BuildDataset(*ds.city, tc, chengdu ? 111 : 222, ds.name);
+  return ds;
+}
+
+std::string CacheDir() {
+  const char* env = std::getenv("DOT_BENCH_CACHE");
+  std::string dir = env != nullptr ? env : "bench_cache";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string ConfigKey(const DotConfig& c, const std::string& tag,
+                      const std::string& dataset, const Scale& scale) {
+  std::ostringstream os;
+  os << tag << "|" << dataset << "|" << scale.name << "|" << c.grid_size << "|"
+     << c.diffusion_steps << "|" << c.sample_steps << "|" << c.unet.base_channels
+     << "|" << c.unet.levels << "|" << c.unet.cond_dim << "|"
+     << c.estimator.embed_dim << "|" << c.estimator.layers << "|"
+     << static_cast<int>(c.estimator_kind) << "|" << c.estimator.use_cell_embedding
+     << c.estimator.use_latent_cast << c.use_time_condition << c.use_od_condition
+     << "|" << c.stage1_epochs << "|" << c.stage2_epochs << "|" << c.seed;
+  return os.str();
+}
+
+}  // namespace
+
+BenchDataset MakeChengdu(const Scale& scale) { return MakeCity(scale, true); }
+BenchDataset MakeHarbin(const Scale& scale) { return MakeCity(scale, false); }
+
+std::unique_ptr<DotOracle> TrainDotCached(const DotConfig& config,
+                                          const Grid& grid,
+                                          const DatasetSplit& split,
+                                          const std::string& tag,
+                                          const Scale& scale) {
+  auto oracle = std::make_unique<DotOracle>(config, grid);
+  std::string key = ConfigKey(config, tag, std::to_string(split.train.size()),
+                              scale);
+  std::string path = CacheDir() + "/dot_" + std::to_string(Fnv1a(key)) + ".bin";
+  if (std::filesystem::exists(path) && oracle->LoadFile(path).ok()) {
+    DOT_LOG_INFO << "loaded cached DOT oracle (" << tag << ")";
+    return oracle;
+  }
+  Stopwatch sw;
+  DOT_CHECK(oracle->TrainStage1(split.train).ok());
+  DOT_CHECK(oracle->TrainStage2(split.train, split.val).ok());
+  DOT_LOG_INFO << "trained DOT (" << tag << ") in "
+               << Table::Num(sw.ElapsedSeconds(), 1) << "s";
+  Status s = oracle->SaveFile(path);
+  if (!s.ok()) DOT_LOG_WARN << "oracle cache write failed: " << s.ToString();
+  return oracle;
+}
+
+RegressionMetrics EvalOracle(const OdtOracle& oracle,
+                             const std::vector<TripSample>& test, int64_t cap) {
+  MetricsAccumulator acc;
+  int64_t n = std::min<int64_t>(cap, static_cast<int64_t>(test.size()));
+  for (int64_t i = 0; i < n; ++i) {
+    const auto& s = test[static_cast<size_t>(i)];
+    acc.Add(oracle.EstimateMinutes(s.odt), s.travel_time_minutes);
+  }
+  return acc.Finalize();
+}
+
+RegressionMetrics EvalPredictions(const std::vector<double>& preds,
+                                  const std::vector<TripSample>& test) {
+  MetricsAccumulator acc;
+  for (size_t i = 0; i < preds.size() && i < test.size(); ++i) {
+    acc.Add(preds[i], test[i].travel_time_minutes);
+  }
+  return acc.Finalize();
+}
+
+std::vector<double> DotPredict(DotOracle* oracle,
+                               const std::vector<TripSample>& test, int64_t cap) {
+  int64_t n = std::min<int64_t>(cap, static_cast<int64_t>(test.size()));
+  std::vector<OdtInput> odts;
+  odts.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) odts.push_back(test[static_cast<size_t>(i)].odt);
+  std::vector<Pit> pits = oracle->InferPits(odts);
+  return oracle->EstimateFromPits(pits, odts);
+}
+
+std::string MetricCell(const RegressionMetrics& m) {
+  return Table::Num(m.rmse, 3) + "/" + Table::Num(m.mae, 3) + "/" +
+         Table::Num(m.mape, 2);
+}
+
+namespace {
+
+/// Adapts a Router to the OdtOracle interface (Table 3 rows 1-2).
+class RouterOracle : public OdtOracle {
+ public:
+  explicit RouterOracle(std::unique_ptr<Router> router)
+      : router_(std::move(router)) {}
+
+  Status Train(const std::vector<TripSample>& train,
+               const std::vector<TripSample>&) override {
+    return router_->Train(train);
+  }
+  double EstimateMinutes(const OdtInput& odt) const override {
+    return router_->EstimateMinutes(odt);
+  }
+  std::string name() const override { return router_->name(); }
+  int64_t SizeBytes() const override { return router_->SizeBytes(); }
+
+  Router* router() { return router_.get(); }
+
+ private:
+  std::unique_ptr<Router> router_;
+};
+
+/// Path-based TTE fed with a router's generated path (Table 3 rows 3-4).
+class RoutedPathOracle : public OdtOracle {
+ public:
+  RoutedPathOracle(std::unique_ptr<PathEstimator> estimator, Router* router)
+      : estimator_(std::move(estimator)), router_(router) {}
+
+  Status Train(const std::vector<TripSample>& train,
+               const std::vector<TripSample>& val) override {
+    return estimator_->Train(train, val);
+  }
+  double EstimateMinutes(const OdtInput& odt) const override {
+    return estimator_->EstimateMinutes(router_->Route(odt), odt);
+  }
+  std::string name() const override { return estimator_->name(); }
+  int64_t SizeBytes() const override {
+    return estimator_->SizeBytes() + router_->SizeBytes();
+  }
+
+ private:
+  std::unique_ptr<PathEstimator> estimator_;
+  Router* router_;  // not owned (shared with its RouterOracle)
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<OdtOracle>> TrainOdtBaselines(
+    const City& city, const std::vector<TripSample>& train,
+    const std::vector<TripSample>& val, const Grid& grid, const Scale& scale) {
+  std::vector<std::unique_ptr<OdtOracle>> oracles;
+
+  auto dijkstra = std::make_unique<RouterOracle>(
+      std::make_unique<DijkstraRouter>(&city.network(), grid));
+  auto deepst_router = std::make_unique<DeepStRouter>(grid);
+  DOT_CHECK(deepst_router->Train(train).ok());
+  DeepStRouter* deepst_ptr = deepst_router.get();
+  auto deepst = std::make_unique<RouterOracle>(std::move(deepst_router));
+  DOT_CHECK(dijkstra->Train(train, val).ok());
+
+  PathTteConfig ptc;
+  ptc.epochs = scale.rnn_epochs;
+  auto wddra = std::make_unique<RoutedPathOracle>(
+      std::make_unique<RecurrentPathEstimator>(grid, /*deep=*/false, ptc),
+      deepst_ptr);
+  DOT_CHECK(wddra->Train(train, val).ok());
+  PathTteConfig stc = ptc;
+  stc.epochs = std::max<int64_t>(2, scale.rnn_epochs / 2);  // per-candidate
+  auto stdgcn = std::make_unique<RoutedPathOracle>(
+      SearchStdgcn(grid, train, val, stc), deepst_ptr);
+  // SearchStdgcn already trained the winner; no second Train call.
+
+  auto temp = std::make_unique<TempOracle>();
+  DOT_CHECK(temp->Train(train, val).ok());
+  auto lr = std::make_unique<LinearRegressionOracle>(grid);
+  DOT_CHECK(lr->Train(train, val).ok());
+  auto gbm = std::make_unique<GbmOracle>(grid);
+  DOT_CHECK(gbm->Train(train, val).ok());
+
+  NeuralBaselineConfig nbc;
+  nbc.epochs = scale.baseline_epochs;
+  auto rne = std::make_unique<RneOracle>(grid, nbc);
+  DOT_CHECK(rne->Train(train, val).ok());
+  auto stnn = std::make_unique<StnnOracle>(grid, nbc);
+  DOT_CHECK(stnn->Train(train, val).ok());
+  auto murat = std::make_unique<MuratOracle>(grid, nbc);
+  DOT_CHECK(murat->Train(train, val).ok());
+  DeepOdConfig doc;
+  doc.epochs = scale.rnn_epochs;
+  auto deepod = std::make_unique<DeepOdOracle>(grid, doc);
+  DOT_CHECK(deepod->Train(train, val).ok());
+
+  oracles.push_back(std::move(dijkstra));
+  oracles.push_back(std::move(deepst));
+  oracles.push_back(std::move(wddra));
+  oracles.push_back(std::move(stdgcn));
+  oracles.push_back(std::move(temp));
+  oracles.push_back(std::move(lr));
+  oracles.push_back(std::move(gbm));
+  oracles.push_back(std::move(rne));
+  oracles.push_back(std::move(stnn));
+  oracles.push_back(std::move(murat));
+  oracles.push_back(std::move(deepod));
+  return oracles;
+}
+
+}  // namespace dot::bench

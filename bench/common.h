@@ -1,0 +1,91 @@
+// Shared infrastructure for the table/figure reproduction benches: dataset
+// construction, scaled configurations, model caching, and evaluation
+// helpers. Every bench binary prints the paper's rows for its table/figure.
+//
+// Scale is controlled by the DOT_BENCH_SCALE environment variable:
+//   quick (default) — minutes-per-bench CPU budgets: smaller trip counts,
+//                     fewer training epochs, capped query counts.
+//   full            — larger datasets and budgets; closer to the paper's
+//                     setup (still CPU-sized; see EXPERIMENTS.md).
+
+#ifndef DOT_BENCH_COMMON_H_
+#define DOT_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/oracle.h"
+#include "core/dot_oracle.h"
+#include "eval/dataset.h"
+#include "eval/metrics.h"
+#include "sim/city.h"
+#include "util/table.h"
+
+namespace dot::bench {
+
+/// \brief Resolved bench scale parameters.
+struct Scale {
+  std::string name = "quick";
+  int64_t chengdu_trips = 1250;
+  int64_t harbin_trips = 1000;
+  int64_t city_nodes = 13;        ///< per-axis intersections of both cities
+  int64_t test_queries = 80;     ///< evaluation cap per dataset
+  int64_t stage1_epochs = 6;
+  int64_t stage2_epochs = 8;
+  int64_t baseline_epochs = 40;   ///< small neural baselines
+  int64_t rnn_epochs = 10;        ///< DeepOD / path-TTE recurrent models
+  bool both_datasets = false;     ///< ablation benches: Harbin too?
+};
+
+/// Reads DOT_BENCH_SCALE and returns the resolved scale.
+Scale GetScale();
+
+/// Scaled DOT configuration (architecture follows the paper's optimal
+/// Table-2 values, scaled down per DESIGN.md).
+DotConfig ScaledDotConfig(const Scale& scale);
+
+/// \brief A city + dataset pair used by the benches.
+struct BenchDataset {
+  std::string name;
+  std::unique_ptr<City> city;
+  BenchmarkDataset data;
+};
+
+/// Builds the Chengdu-like or Harbin-like dataset at the given scale.
+BenchDataset MakeChengdu(const Scale& scale);
+BenchDataset MakeHarbin(const Scale& scale);
+
+/// Trains a DOT oracle on `split`, or loads it from the on-disk cache under
+/// $DOT_BENCH_CACHE (default ./bench_cache). `tag` names the dataset and
+/// variant; the cache key covers tag, scale, training size and config knobs.
+std::unique_ptr<DotOracle> TrainDotCached(const DotConfig& config,
+                                          const Grid& grid,
+                                          const DatasetSplit& split,
+                                          const std::string& tag,
+                                          const Scale& scale);
+
+/// Evaluates an ODT oracle on (at most `cap`) test samples.
+RegressionMetrics EvalOracle(const OdtOracle& oracle,
+                             const std::vector<TripSample>& test, int64_t cap);
+
+/// Evaluates predictions already computed for the first test samples.
+RegressionMetrics EvalPredictions(const std::vector<double>& preds,
+                                  const std::vector<TripSample>& test);
+
+/// Test-sample predictions of a DOT oracle (infers PiTs then estimates).
+std::vector<double> DotPredict(DotOracle* oracle,
+                               const std::vector<TripSample>& test, int64_t cap);
+
+/// Formats "rmse/mae/mape" cells like the paper's tables.
+std::string MetricCell(const RegressionMetrics& m);
+
+/// Builds the Table-3 set of baselines (Dijkstra, DeepST, WDDRA, STDGCN,
+/// TEMP, LR, GBM, RNE, ST-NN, MURAT, DeepOD), trained on `train`/`val`.
+std::vector<std::unique_ptr<OdtOracle>> TrainOdtBaselines(
+    const City& city, const std::vector<TripSample>& train,
+    const std::vector<TripSample>& val, const Grid& grid, const Scale& scale);
+
+}  // namespace dot::bench
+
+#endif  // DOT_BENCH_COMMON_H_

@@ -1,0 +1,75 @@
+// Explainability: the ODT-Oracle does not just return a number — it infers
+// the most plausible route as a Pixelated Trajectory (paper Sec. 6.6).
+// This example trains a small oracle and shows:
+//   1. the inferred route for one query, next to historically driven routes;
+//   2. how the inferred route and travel time change across the day
+//      (off-peak vs rush hour), driven by the ToD condition.
+
+#include <cstdio>
+
+#include "core/dot_oracle.h"
+
+using namespace dot;
+
+namespace {
+
+void ShowPit(const char* title, const Pit& pit) {
+  std::printf("%s\n%s", title, pit.RenderMask().c_str());
+}
+
+}  // namespace
+
+int main() {
+  CityConfig city_cfg = CityConfig::ChengduLike();
+  city_cfg.grid_nodes = 10;
+  city_cfg.spacing_meters = 1100;
+  City city(city_cfg, 31);
+  TripConfig trip_cfg = TripConfig::ChengduLike();
+  trip_cfg.num_trips = 1000;
+  BenchmarkDataset dataset = BuildDataset(city, trip_cfg, 37, "explain");
+  Grid grid = dataset.MakeGrid(12).ValueOrDie();
+
+  DotConfig cfg;
+  cfg.grid_size = 12;
+  cfg.diffusion_steps = 100;
+  cfg.sample_steps = 12;
+  cfg.unet.base_channels = 12;
+  cfg.unet.levels = 2;
+  cfg.stage1_epochs = 5;
+  cfg.stage2_epochs = 6;
+  DotOracle oracle(cfg, grid);
+  if (!oracle.TrainStage1(dataset.split.train).ok()) return 1;
+  if (!oracle.TrainStage2(dataset.split.train, dataset.split.val).ok()) return 1;
+
+  // 1) Route explanation for one test query.
+  const TripSample& sample = dataset.split.test.front();
+  Result<DotEstimate> est = oracle.Estimate(sample.odt);
+  if (!est.ok()) return 1;
+  ShowPit("actually driven route (ground truth):",
+          oracle.GroundTruthPit(sample.trajectory));
+  ShowPit("route the oracle expects (inferred PiT):", est->pit);
+  std::printf("estimate %.1f min, actual %.1f min\n\n", est->minutes,
+              sample.travel_time_minutes);
+
+  // 2) Departure-time sensitivity: query the same OD across the day.
+  std::printf("same OD pair queried across the day:\n");
+  int64_t day_start =
+      sample.odt.departure_time - SecondsOfDay(sample.odt.departure_time);
+  std::vector<OdtInput> odts;
+  std::vector<int64_t> hours = {3, 8, 13, 18, 22};
+  for (int64_t h : hours) {
+    OdtInput odt = sample.odt;
+    odt.departure_time = day_start + h * 3600;
+    odts.push_back(odt);
+  }
+  std::vector<Pit> pits = oracle.InferPits(odts);
+  std::vector<double> minutes = oracle.EstimateFromPits(pits, odts);
+  for (size_t i = 0; i < hours.size(); ++i) {
+    std::printf("  depart %02lld:00 -> %.1f min (route covers %lld cells)\n",
+                static_cast<long long>(hours[i]), minutes[i],
+                static_cast<long long>(pits[i].NumVisited()));
+  }
+  std::printf("\nrush-hour queries should show longer times; the inferred\n"
+              "PiT exposes *why*: the expected route and its pace changed.\n");
+  return 0;
+}

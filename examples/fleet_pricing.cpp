@@ -1,0 +1,89 @@
+// Fleet pricing: the paper's motivating flex-transport scenario (Sec. 1).
+//
+// A public entity pays a taxi company per trip based on *estimated* travel
+// time — the driver is free to choose any path, so the price must come from
+// an ODT-Oracle, and outlier detours in the history must not inflate it.
+// This example prices a day of trips with three oracles and compares the
+// total payout error:
+//   * TEMP        — history averaging (outlier-sensitive),
+//   * GBM         — regression on query features,
+//   * DOT         — the diffusion-based oracle.
+
+#include <cstdio>
+
+#include "baselines/regression.h"
+#include "baselines/temp.h"
+#include "core/dot_oracle.h"
+#include "eval/metrics.h"
+
+using namespace dot;
+
+int main() {
+  // A compact city with a high outlier rate to stress outlier robustness.
+  CityConfig city_cfg = CityConfig::ChengduLike();
+  city_cfg.grid_nodes = 10;
+  city_cfg.spacing_meters = 1100;
+  City city(city_cfg, 21);
+  TripConfig trip_cfg = TripConfig::ChengduLike();
+  trip_cfg.num_trips = 1200;
+  trip_cfg.outlier_prob = 0.15;  // noisy history
+  BenchmarkDataset dataset = BuildDataset(city, trip_cfg, 23, "pricing");
+  Grid grid = dataset.MakeGrid(12).ValueOrDie();
+
+  const double kEurPerMinute = 0.9;  // flex-transport tariff
+
+  // --- TEMP and GBM ---
+  TempOracle temp;
+  if (!temp.Train(dataset.split.train, dataset.split.val).ok()) return 1;
+  GbmOracle gbm(grid);
+  if (!gbm.Train(dataset.split.train, dataset.split.val).ok()) return 1;
+
+  // --- DOT ---
+  DotConfig cfg;
+  cfg.grid_size = 12;
+  cfg.diffusion_steps = 100;
+  cfg.sample_steps = 10;
+  cfg.unet.base_channels = 12;
+  cfg.unet.levels = 2;
+  cfg.stage1_epochs = 5;
+  cfg.stage2_epochs = 6;
+  DotOracle oracle(cfg, grid);
+  if (!oracle.TrainStage1(dataset.split.train).ok()) return 1;
+  if (!oracle.TrainStage2(dataset.split.train, dataset.split.val).ok()) return 1;
+
+  // Price the test day. The fair payout uses the realized travel times.
+  size_t n = std::min<size_t>(dataset.split.test.size(), 60);
+  double fair = 0, paid_temp = 0, paid_gbm = 0, paid_dot = 0;
+  MetricsAccumulator acc_temp, acc_gbm, acc_dot;
+  std::vector<OdtInput> odts;
+  for (size_t i = 0; i < n; ++i) odts.push_back(dataset.split.test[i].odt);
+  std::vector<Pit> pits = oracle.InferPits(odts);
+  std::vector<double> dot_minutes = oracle.EstimateFromPits(pits, odts);
+  for (size_t i = 0; i < n; ++i) {
+    const TripSample& t = dataset.split.test[i];
+    double actual = t.travel_time_minutes;
+    double m_temp = temp.EstimateMinutes(t.odt);
+    double m_gbm = gbm.EstimateMinutes(t.odt);
+    fair += actual * kEurPerMinute;
+    paid_temp += m_temp * kEurPerMinute;
+    paid_gbm += m_gbm * kEurPerMinute;
+    paid_dot += dot_minutes[i] * kEurPerMinute;
+    acc_temp.Add(m_temp, actual);
+    acc_gbm.Add(m_gbm, actual);
+    acc_dot.Add(dot_minutes[i], actual);
+  }
+
+  std::printf("priced %zu trips; fair payout %.2f EUR\n\n", n, fair);
+  auto report = [&](const char* name, double paid, const MetricsAccumulator& acc) {
+    RegressionMetrics m = acc.Finalize();
+    std::printf("%-6s payout %8.2f EUR (%+6.2f) | per-trip MAE %.2f min, "
+                "MAPE %.1f%%\n",
+                name, paid, paid - fair, m.mae, m.mape);
+  };
+  report("TEMP", paid_temp, acc_temp);
+  report("GBM", paid_gbm, acc_gbm);
+  report("DOT", paid_dot, acc_dot);
+  std::printf("\nA lower per-trip error means fairer per-trip prices; the\n"
+              "aggregate payout gap shows who absorbs the estimation bias.\n");
+  return 0;
+}

@@ -1,0 +1,14 @@
+#!/bin/bash
+# Runs every bench binary in sequence, continuing on failure.
+# Usage: ./run_benches.sh [output_file]
+OUT=${1:-bench_output.txt}
+: > "$OUT"
+for b in build/bench/bench_*; do
+  echo "===== $b =====" | tee -a "$OUT"
+  if [ "$(basename $b)" = "bench_micro_kernels" ]; then
+    timeout 1200 "$b" --benchmark_min_time=0.2 >> "$OUT" 2>&1 || echo "FAILED: $b" | tee -a "$OUT"
+  else
+    timeout 3600 "$b" >> "$OUT" 2>&1 || echo "FAILED: $b" | tee -a "$OUT"
+  fi
+done
+echo "ALL_BENCHES_DONE" | tee -a "$OUT"

@@ -1,0 +1,158 @@
+#include "baselines/cell_history.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dot {
+
+std::vector<int64_t> CellPathOf(const Trajectory& t, const Grid& grid,
+                                bool interpolate) {
+  // Reuse the PiT builder's interpolation semantics by walking the points.
+  std::vector<int64_t> path;
+  auto push = [&](const GpsPoint& p) {
+    int64_t idx = grid.CellIndex(grid.Locate(p));
+    if (path.empty() || path.back() != idx) path.push_back(idx);
+  };
+  for (size_t i = 0; i < t.points.size(); ++i) {
+    push(t.points[i].gps);
+    if (interpolate && i + 1 < t.points.size()) {
+      const GpsPoint& a = t.points[i].gps;
+      const GpsPoint& b = t.points[i + 1].gps;
+      double dist = DistanceMeters(a, b);
+      double cell_m =
+          grid.box().WidthMeters() / static_cast<double>(grid.grid_size());
+      int64_t steps = static_cast<int64_t>(dist / std::max(1.0, cell_m * 0.5));
+      for (int64_t s = 1; s < steps; ++s) {
+        double f = static_cast<double>(s) / static_cast<double>(steps);
+        push({a.lng + f * (b.lng - a.lng), a.lat + f * (b.lat - a.lat)});
+      }
+    }
+  }
+  return path;
+}
+
+int64_t CellHistory::SlotOf(int64_t unix_time) const {
+  return SecondsOfDay(unix_time) * tod_slots_ / 86400;
+}
+
+CellHistory CellHistory::Learn(const std::vector<TripSample>& train,
+                               const Grid& grid, int64_t tod_slots) {
+  CellHistory h;
+  h.grid_size_ = grid.grid_size();
+  h.tod_slots_ = tod_slots;
+  int64_t cells = grid.num_cells();
+  double total_sum = 0, total_count = 0;
+  for (const auto& s : train) {
+    const Trajectory& t = s.trajectory;
+    if (t.size() < 2) continue;
+    // Timestamped cell entries (no interpolation: we need real times).
+    std::vector<std::pair<int64_t, int64_t>> entries;  // (cell, time)
+    for (const auto& p : t.points) {
+      int64_t idx = grid.CellIndex(grid.Locate(p.gps));
+      if (entries.empty() || entries.back().first != idx) {
+        entries.emplace_back(idx, p.time);
+      }
+    }
+    for (size_t i = 1; i < entries.size(); ++i) {
+      auto [from, t0] = entries[i - 1];
+      auto [to, t1] = entries[i];
+      double secs = static_cast<double>(t1 - t0);
+      if (secs <= 0 || secs > 1800) continue;
+      int64_t key = from * cells + to;
+      Stat& st = h.transitions_[key];
+      if (st.slot_count.empty()) {
+        st.slot_count.assign(static_cast<size_t>(tod_slots), 0);
+        st.slot_sum.assign(static_cast<size_t>(tod_slots), 0);
+        h.successors_[from].push_back(to);
+      }
+      st.count += 1;
+      st.sum_seconds += secs;
+      int64_t slot = h.SlotOf(t0);
+      st.slot_count[static_cast<size_t>(slot)] += 1;
+      st.slot_sum[static_cast<size_t>(slot)] += secs;
+      total_sum += secs;
+      total_count += 1;
+    }
+  }
+  if (total_count > 0) h.global_mean_seconds_ = total_sum / total_count;
+  return h;
+}
+
+double CellHistory::TransitionCount(int64_t from, int64_t to) const {
+  auto it = transitions_.find(from * grid_size_ * grid_size_ + to);
+  return it == transitions_.end() ? 0.0 : it->second.count;
+}
+
+double CellHistory::TransitionSeconds(int64_t from, int64_t to,
+                                      int64_t slot) const {
+  auto it = transitions_.find(from * grid_size_ * grid_size_ + to);
+  if (it == transitions_.end()) return global_mean_seconds_;
+  const Stat& st = it->second;
+  double all_day =
+      st.count > 0 ? st.sum_seconds / st.count : global_mean_seconds_;
+  if (slot >= 0 && slot < tod_slots_ &&
+      st.slot_count[static_cast<size_t>(slot)] > 0) {
+    // Shrink the sparse per-slot mean toward the all-day mean (empirical
+    // Bayes with pseudo-count 3) so thin slots do not dominate.
+    constexpr double kPrior = 3.0;
+    double cnt = st.slot_count[static_cast<size_t>(slot)];
+    return (st.slot_sum[static_cast<size_t>(slot)] + kPrior * all_day) /
+           (cnt + kPrior);
+  }
+  return all_day;
+}
+
+std::vector<int64_t> CellHistory::Successors(int64_t from) const {
+  auto it = successors_.find(from);
+  return it == successors_.end() ? std::vector<int64_t>{} : it->second;
+}
+
+Pit CellHistory::RouteToPit(const std::vector<int64_t>& cell_path,
+                            int64_t depart_time) const {
+  Pit pit(grid_size_);
+  if (cell_path.empty()) return pit;
+  // Accumulate historical times along the route to synthesize timestamps.
+  std::vector<int64_t> times;
+  times.push_back(depart_time);
+  int64_t now = depart_time;
+  for (size_t i = 1; i < cell_path.size(); ++i) {
+    now += static_cast<int64_t>(
+        TransitionSeconds(cell_path[i - 1], cell_path[i], SlotOf(now)));
+    times.push_back(now);
+  }
+  int64_t t0 = times.front(), t_end = std::max(times.back(), t0 + 1);
+  for (size_t i = 0; i < cell_path.size(); ++i) {
+    int64_t row = cell_path[i] / grid_size_;
+    int64_t col = cell_path[i] % grid_size_;
+    if (pit.Visited(row, col)) continue;
+    pit.Set(kPitMask, row, col, 1.0f);
+    pit.Set(kPitTimeOfDay, row, col,
+            static_cast<float>(NormalizedTimeOfDay(times[i])));
+    pit.Set(kPitTimeOffset, row, col,
+            static_cast<float>(2.0 * static_cast<double>(times[i] - t0) /
+                                   static_cast<double>(t_end - t0) -
+                               1.0));
+  }
+  return pit;
+}
+
+double CellHistory::RouteMinutes(const std::vector<int64_t>& cell_path,
+                                 int64_t depart_time) const {
+  if (cell_path.size() < 2) return global_mean_seconds_ / 60.0;
+  int64_t now = depart_time;
+  for (size_t i = 1; i < cell_path.size(); ++i) {
+    now += static_cast<int64_t>(
+        TransitionSeconds(cell_path[i - 1], cell_path[i], SlotOf(now)));
+  }
+  return static_cast<double>(now - depart_time) / 60.0;
+}
+
+int64_t CellHistory::SizeBytes() const {
+  int64_t per_stat = static_cast<int64_t>(sizeof(Stat)) +
+                     2 * tod_slots_ * static_cast<int64_t>(sizeof(double));
+  return static_cast<int64_t>(transitions_.size()) * per_stat;
+}
+
+}  // namespace dot

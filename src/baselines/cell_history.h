@@ -1,0 +1,78 @@
+// Grid-cell statistics extracted from historical trajectories: cell paths,
+// transition counts and transition travel times per time-of-day slot.
+// Shared by the DeepST router, the path-based baselines, and the
+// Routing+Est. ablation (which needs historical temporal channels).
+
+#ifndef DOT_BASELINES_CELL_HISTORY_H_
+#define DOT_BASELINES_CELL_HISTORY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "eval/dataset.h"
+#include "geo/grid.h"
+#include "geo/pit.h"
+
+namespace dot {
+
+/// Cell-index path of a trajectory (consecutive duplicates merged). With
+/// `interpolate`, cells crossed between samples are included.
+std::vector<int64_t> CellPathOf(const Trajectory& t, const Grid& grid,
+                                bool interpolate = true);
+
+/// \brief Aggregated transition statistics over the training trajectories.
+class CellHistory {
+ public:
+  /// `tod_slots` buckets the day (default 12 two-hour slots, as in Fig. 12).
+  static CellHistory Learn(const std::vector<TripSample>& train, const Grid& grid,
+                           int64_t tod_slots = 12);
+
+  int64_t tod_slots() const { return tod_slots_; }
+  int64_t grid_size() const { return grid_size_; }
+
+  /// Number of observed traversals cell a -> cell b (any time).
+  double TransitionCount(int64_t from, int64_t to) const;
+
+  /// Mean seconds to move from cell a to adjacent cell b in a ToD slot;
+  /// falls back to the all-day mean, then to the global mean.
+  double TransitionSeconds(int64_t from, int64_t to, int64_t slot) const;
+
+  /// Outgoing neighbors of a cell observed in history.
+  std::vector<int64_t> Successors(int64_t from) const;
+
+  /// Mean seconds of any observed transition (global fallback).
+  double global_mean_seconds() const { return global_mean_seconds_; }
+
+  /// ToD slot of a unix timestamp.
+  int64_t SlotOf(int64_t unix_time) const;
+
+  /// Renders a cell route into a PiT: mask from the route, temporal channels
+  /// populated from historical average transition times (the Routing+Est.
+  /// construction of Sec. 6.5.4, observation (1)).
+  Pit RouteToPit(const std::vector<int64_t>& cell_path, int64_t depart_time) const;
+
+  /// Sum of historical transition times along a route, minutes.
+  double RouteMinutes(const std::vector<int64_t>& cell_path,
+                      int64_t depart_time) const;
+
+  /// Approximate memory footprint (Table 5 accounting).
+  int64_t SizeBytes() const;
+
+ private:
+  struct Stat {
+    double count = 0;
+    double sum_seconds = 0;
+    std::vector<double> slot_count;
+    std::vector<double> slot_sum;
+  };
+
+  int64_t grid_size_ = 0;
+  int64_t tod_slots_ = 12;
+  double global_mean_seconds_ = 60.0;
+  std::unordered_map<int64_t, Stat> transitions_;  // key = from * cells + to
+  std::unordered_map<int64_t, std::vector<int64_t>> successors_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_BASELINES_CELL_HISTORY_H_

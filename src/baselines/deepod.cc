@@ -1,0 +1,155 @@
+#include "baselines/deepod.h"
+
+#include <cmath>
+
+#include "baselines/cell_history.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace dot {
+
+struct DeepOdOracle::Net : nn::Module {
+  nn::Embedding cell_emb, slot_emb;
+  nn::Linear od_fc1, od_fc2;   // OD representation tower
+  nn::GRUCell traj_gru;        // trajectory representation tower
+  nn::Linear head;             // travel time from the OD representation
+
+  Net(int64_t cells, int64_t embed, int64_t hidden, Rng* rng)
+      : cell_emb(cells, embed, rng),
+        slot_emb(24, embed, rng),
+        od_fc1(7 + 3 * embed, hidden, rng),
+        od_fc2(hidden, hidden, rng),
+        traj_gru(embed, hidden, rng),
+        head(hidden, 1, rng) {
+    RegisterModule("cell_emb", &cell_emb);
+    RegisterModule("slot_emb", &slot_emb);
+    RegisterModule("od_fc1", &od_fc1);
+    RegisterModule("od_fc2", &od_fc2);
+    RegisterModule("traj_gru", &traj_gru);
+    RegisterModule("head", &head);
+  }
+
+  /// OD tower: engineered features + origin/destination/time embeddings.
+  Tensor OdRep(const Grid& grid, const std::vector<const OdtInput*>& odts) const {
+    int64_t b = static_cast<int64_t>(odts.size());
+    Tensor feat = Tensor::Empty({b, 7});
+    std::vector<int64_t> o_cells, d_cells, slots;
+    for (int64_t i = 0; i < b; ++i) {
+      const OdtInput& odt = *odts[static_cast<size_t>(i)];
+      std::vector<double> f = OdtFeatures(odt, grid);
+      for (int64_t j = 0; j < 7; ++j) {
+        feat.at(i * 7 + j) = static_cast<float>(f[static_cast<size_t>(j)]);
+      }
+      o_cells.push_back(grid.CellIndex(grid.Locate(odt.origin)));
+      d_cells.push_back(grid.CellIndex(grid.Locate(odt.destination)));
+      slots.push_back(SecondsOfDay(odt.departure_time) / 3600);
+    }
+    Tensor x = Concat({feat, cell_emb.Forward(o_cells), cell_emb.Forward(d_cells),
+                       slot_emb.Forward(slots)},
+                      1);
+    return Relu(od_fc2.Forward(Relu(od_fc1.Forward(x))));  // [B, hidden]
+  }
+
+  /// Trajectory tower: GRU over the cell-path embeddings (single sample).
+  Tensor TrajRep(const std::vector<int64_t>& cell_path) const {
+    Tensor h = Tensor::Zeros({1, traj_gru.hidden_dim()});
+    for (int64_t cell : cell_path) {
+      Tensor x = cell_emb.Forward({cell});  // [1, embed]
+      h = traj_gru.Forward(x, h);
+    }
+    return h;  // [1, hidden]
+  }
+};
+
+DeepOdOracle::DeepOdOracle(const Grid& grid, DeepOdConfig config)
+    : grid_(grid), config_(config) {
+  Rng rng(config.seed);
+  net_ = std::make_shared<Net>(grid.num_cells(), config.embed_dim,
+                               config.hidden_dim, &rng);
+}
+
+namespace {
+
+/// Uniformly subsamples a path to at most `max_len` cells (keeps endpoints).
+std::vector<int64_t> Subsample(const std::vector<int64_t>& path, int64_t max_len) {
+  if (static_cast<int64_t>(path.size()) <= max_len) return path;
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < max_len; ++i) {
+    size_t idx = static_cast<size_t>(i * (static_cast<int64_t>(path.size()) - 1) /
+                                     (max_len - 1));
+    out.push_back(path[idx]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status DeepOdOracle::Train(const std::vector<TripSample>& train,
+                           const std::vector<TripSample>& /*val*/) {
+  if (train.empty()) return Status::InvalidArgument("DeepOD: empty training set");
+  std::vector<double> times;
+  for (const auto& s : train) times.push_back(s.travel_time_minutes);
+  double sum = 0, sq = 0;
+  for (double t : times) {
+    sum += t;
+    sq += t * t;
+  }
+  double n = static_cast<double>(times.size());
+  mean_t_ = sum / n;
+  std_t_ = std::sqrt(std::max(1e-6, sq / n - mean_t_ * mean_t_));
+
+  // Pre-extract subsampled cell paths.
+  std::vector<std::vector<int64_t>> paths;
+  paths.reserve(train.size());
+  for (const auto& s : train) {
+    paths.push_back(
+        Subsample(CellPathOf(s.trajectory, grid_, true), config_.max_path_len));
+  }
+
+  Rng rng(config_.seed + 1);
+  optim::Adam opt(net_->Parameters(), config_.lr);
+  std::vector<int64_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start + static_cast<size_t>(config_.batch_size) <=
+                           order.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      std::vector<const OdtInput*> odts;
+      std::vector<float> yt;
+      std::vector<Tensor> traj_reps;
+      for (int64_t k = 0; k < config_.batch_size; ++k) {
+        int64_t i = order[start + static_cast<size_t>(k)];
+        odts.push_back(&train[static_cast<size_t>(i)].odt);
+        yt.push_back(static_cast<float>(
+            (times[static_cast<size_t>(i)] - mean_t_) / std_t_));
+        traj_reps.push_back(net_->TrajRep(paths[static_cast<size_t>(i)]));
+      }
+      int64_t b = config_.batch_size;
+      net_->ZeroGrad();
+      Tensor od_rep = net_->OdRep(grid_, odts);                     // [B, h]
+      Tensor pred = net_->head.Forward(od_rep);                     // [B, 1]
+      Tensor main = MseLoss(pred, Tensor::FromVector({b, 1}, yt));
+      // Auxiliary loss: pull the OD representation toward the affiliated
+      // trajectory representation (the paper's matching objective).
+      // trained jointly: gradients flow into both towers.
+      Tensor traj = Concat(traj_reps, 0);                           // [B, h]
+      Tensor aux = MseLoss(od_rep, traj);
+      Tensor loss = Add(main, MulScalar(aux, config_.aux_weight));
+      loss.Backward();
+      opt.Step();
+    }
+  }
+  return Status::OK();
+}
+
+double DeepOdOracle::EstimateMinutes(const OdtInput& odt) const {
+  NoGradGuard guard;
+  Tensor rep = net_->OdRep(grid_, {&odt});
+  return static_cast<double>(net_->head.Forward(rep).at(0)) * std_t_ + mean_t_;
+}
+
+int64_t DeepOdOracle::SizeBytes() const { return net_->NumParams() * 4; }
+
+}  // namespace dot

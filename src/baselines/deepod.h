@@ -1,0 +1,50 @@
+// DeepOD [58] (Sec. 6.2.3): learns an OD representation whose embedding is
+// pulled toward the embedding of the affiliated historical trajectory by an
+// auxiliary loss; the OD representation alone predicts the travel time at
+// query time.
+
+#ifndef DOT_BASELINES_DEEPOD_H_
+#define DOT_BASELINES_DEEPOD_H_
+
+#include <memory>
+
+#include "baselines/oracle.h"
+#include "tensor/nn.h"
+
+namespace dot {
+
+/// \brief DeepOD hyper-parameters.
+struct DeepOdConfig {
+  int64_t hidden_dim = 32;
+  int64_t embed_dim = 16;
+  int64_t epochs = 15;
+  int64_t batch_size = 32;
+  float lr = 1e-3f;
+  float aux_weight = 0.3f;  ///< weight of the OD/trajectory matching loss
+  /// Trajectory cell paths longer than this are subsampled (GRU cost cap).
+  int64_t max_path_len = 24;
+  uint64_t seed = 17;
+};
+
+/// \brief The DeepOD ODT-Oracle.
+class DeepOdOracle : public OdtOracle {
+ public:
+  DeepOdOracle(const Grid& grid, DeepOdConfig config = {});
+
+  Status Train(const std::vector<TripSample>& train,
+               const std::vector<TripSample>& val) override;
+  double EstimateMinutes(const OdtInput& odt) const override;
+  std::string name() const override { return "DeepOD"; }
+  int64_t SizeBytes() const override;
+
+ private:
+  Grid grid_;
+  DeepOdConfig config_;
+  struct Net;
+  std::shared_ptr<Net> net_;
+  double mean_t_ = 0, std_t_ = 1;
+};
+
+}  // namespace dot
+
+#endif  // DOT_BASELINES_DEEPOD_H_

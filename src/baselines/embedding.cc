@@ -1,0 +1,319 @@
+#include "baselines/embedding.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "util/logging.h"
+
+namespace dot {
+
+namespace {
+
+/// Mean/std of a scalar column with a variance floor.
+void Standardize(const std::vector<double>& values, double* mean, double* std) {
+  double sum = 0, sq = 0;
+  for (double v : values) {
+    sum += v;
+    sq += v * v;
+  }
+  double n = std::max<double>(1, static_cast<double>(values.size()));
+  *mean = sum / n;
+  *std = std::sqrt(std::max(1e-6, sq / n - *mean * *mean));
+}
+
+/// Mini-batch index iterator with shuffling.
+struct BatchIter {
+  std::vector<int64_t> order;
+  Rng* rng;
+
+  explicit BatchIter(size_t n, Rng* rng_in) : rng(rng_in) {
+    order.resize(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<int64_t>(i);
+  }
+  template <typename Fn>
+  void ForEachBatch(int64_t batch, Fn fn) {
+    rng->Shuffle(&order);
+    for (size_t start = 0; start + static_cast<size_t>(batch) <= order.size();
+         start += static_cast<size_t>(batch)) {
+      fn(std::vector<int64_t>(order.begin() + static_cast<int64_t>(start),
+                              order.begin() + static_cast<int64_t>(start) + batch));
+    }
+  }
+};
+
+}  // namespace
+
+// ---- ST-NN -----------------------------------------------------------------------
+
+struct StnnOracle::Net : nn::Module {
+  nn::Linear fc1, fc2, head_time, head_dist;
+
+  explicit Net(int64_t hidden, Rng* rng)
+      : fc1(4, hidden, rng),
+        fc2(hidden, hidden, rng),
+        head_time(hidden, 1, rng),
+        head_dist(hidden, 1, rng) {
+    RegisterModule("fc1", &fc1);
+    RegisterModule("fc2", &fc2);
+    RegisterModule("head_time", &head_time);
+    RegisterModule("head_dist", &head_dist);
+  }
+
+  std::pair<Tensor, Tensor> Forward(const Tensor& x) const {
+    Tensor h = Relu(fc2.Forward(Relu(fc1.Forward(x))));
+    return {head_time.Forward(h), head_dist.Forward(h)};
+  }
+};
+
+StnnOracle::StnnOracle(const Grid& grid, NeuralBaselineConfig config)
+    : grid_(grid), config_(config) {
+  Rng rng(config.seed);
+  net_ = std::make_shared<Net>(config.hidden_dim, &rng);
+}
+
+Tensor StnnOracle::Features(const std::vector<const OdtInput*>& odts) const {
+  Tensor x = Tensor::Empty({static_cast<int64_t>(odts.size()), 4});
+  for (size_t i = 0; i < odts.size(); ++i) {
+    double ox, oy, dx, dy;
+    grid_.Normalized(odts[i]->origin, &ox, &oy);
+    grid_.Normalized(odts[i]->destination, &dx, &dy);
+    float* row = x.data() + static_cast<int64_t>(i) * 4;
+    row[0] = static_cast<float>(ox);
+    row[1] = static_cast<float>(oy);
+    row[2] = static_cast<float>(dx);
+    row[3] = static_cast<float>(dy);
+  }
+  return x;
+}
+
+Status StnnOracle::Train(const std::vector<TripSample>& train,
+                         const std::vector<TripSample>& /*val*/) {
+  if (train.empty()) return Status::InvalidArgument("ST-NN: empty training set");
+  std::vector<double> times, dists;
+  for (const auto& s : train) {
+    times.push_back(s.travel_time_minutes);
+    dists.push_back(s.trajectory.LengthMeters() / 1000.0);
+  }
+  Standardize(times, &mean_t_, &std_t_);
+  Standardize(dists, &mean_d_, &std_d_);
+
+  Rng rng(config_.seed + 1);
+  optim::Adam opt(net_->Parameters(), config_.lr);
+  BatchIter iter(train.size(), &rng);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    iter.ForEachBatch(config_.batch_size, [&](const std::vector<int64_t>& idx) {
+      std::vector<const OdtInput*> odts;
+      std::vector<float> yt, yd;
+      for (int64_t i : idx) {
+        odts.push_back(&train[static_cast<size_t>(i)].odt);
+        yt.push_back(static_cast<float>((times[static_cast<size_t>(i)] - mean_t_) /
+                                        std_t_));
+        yd.push_back(static_cast<float>((dists[static_cast<size_t>(i)] - mean_d_) /
+                                        std_d_));
+      }
+      int64_t b = static_cast<int64_t>(idx.size());
+      net_->ZeroGrad();
+      auto [pt, pd] = net_->Forward(Features(odts));
+      Tensor loss = Add(MseLoss(pt, Tensor::FromVector({b, 1}, yt)),
+                        MulScalar(MseLoss(pd, Tensor::FromVector({b, 1}, yd)), 0.5f));
+      loss.Backward();
+      opt.Step();
+    });
+  }
+  return Status::OK();
+}
+
+double StnnOracle::EstimateMinutes(const OdtInput& odt) const {
+  NoGradGuard guard;
+  auto [pt, pd] = net_->Forward(Features({&odt}));
+  (void)pd;
+  return static_cast<double>(pt.at(0)) * std_t_ + mean_t_;
+}
+
+int64_t StnnOracle::SizeBytes() const { return net_->NumParams() * 4; }
+
+// ---- MURAT -----------------------------------------------------------------------
+
+struct MuratOracle::Net : nn::Module {
+  nn::Embedding cell_emb, slot_emb;
+  nn::Linear fc1, fc2, head_time, head_dist;
+
+  Net(int64_t cells, int64_t embed, int64_t hidden, Rng* rng)
+      : cell_emb(cells, embed, rng),
+        slot_emb(24, embed, rng),
+        fc1(7 + 3 * embed, hidden, rng),
+        fc2(hidden, hidden, rng),
+        head_time(hidden, 1, rng),
+        head_dist(hidden, 1, rng) {
+    RegisterModule("cell_emb", &cell_emb);
+    RegisterModule("slot_emb", &slot_emb);
+    RegisterModule("fc1", &fc1);
+    RegisterModule("fc2", &fc2);
+    RegisterModule("head_time", &head_time);
+    RegisterModule("head_dist", &head_dist);
+  }
+};
+
+MuratOracle::MuratOracle(const Grid& grid, NeuralBaselineConfig config)
+    : grid_(grid), config_(config) {
+  Rng rng(config.seed + 2);
+  net_ = std::make_shared<Net>(grid.num_cells(), config.embed_dim,
+                               config.hidden_dim, &rng);
+}
+
+struct MuratForward {
+  Tensor time, dist;
+};
+
+namespace {
+
+MuratForward MuratRun(const MuratOracle::Net& net, const Grid& grid,
+                      const std::vector<const OdtInput*>& odts) {
+  int64_t b = static_cast<int64_t>(odts.size());
+  Tensor feat = Tensor::Empty({b, 7});
+  std::vector<int64_t> o_cells, d_cells, slots;
+  for (int64_t i = 0; i < b; ++i) {
+    const OdtInput& odt = *odts[static_cast<size_t>(i)];
+    std::vector<double> f = OdtFeatures(odt, grid);
+    for (int64_t j = 0; j < 7; ++j) {
+      feat.at(i * 7 + j) = static_cast<float>(f[static_cast<size_t>(j)]);
+    }
+    o_cells.push_back(grid.CellIndex(grid.Locate(odt.origin)));
+    d_cells.push_back(grid.CellIndex(grid.Locate(odt.destination)));
+    slots.push_back(SecondsOfDay(odt.departure_time) / 3600);
+  }
+  Tensor x = Concat({feat, net.cell_emb.Forward(o_cells),
+                     net.cell_emb.Forward(d_cells), net.slot_emb.Forward(slots)},
+                    1);
+  Tensor h = Relu(net.fc2.Forward(Relu(net.fc1.Forward(x))));
+  return {net.head_time.Forward(h), net.head_dist.Forward(h)};
+}
+
+}  // namespace
+
+Status MuratOracle::Train(const std::vector<TripSample>& train,
+                          const std::vector<TripSample>& /*val*/) {
+  if (train.empty()) return Status::InvalidArgument("MURAT: empty training set");
+  std::vector<double> times, dists;
+  for (const auto& s : train) {
+    times.push_back(s.travel_time_minutes);
+    dists.push_back(s.trajectory.LengthMeters() / 1000.0);
+  }
+  Standardize(times, &mean_t_, &std_t_);
+  Standardize(dists, &mean_d_, &std_d_);
+
+  Rng rng(config_.seed + 3);
+  optim::Adam opt(net_->Parameters(), config_.lr);
+  BatchIter iter(train.size(), &rng);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    iter.ForEachBatch(config_.batch_size, [&](const std::vector<int64_t>& idx) {
+      std::vector<const OdtInput*> odts;
+      std::vector<float> yt, yd;
+      for (int64_t i : idx) {
+        odts.push_back(&train[static_cast<size_t>(i)].odt);
+        yt.push_back(static_cast<float>((times[static_cast<size_t>(i)] - mean_t_) /
+                                        std_t_));
+        yd.push_back(static_cast<float>((dists[static_cast<size_t>(i)] - mean_d_) /
+                                        std_d_));
+      }
+      int64_t b = static_cast<int64_t>(idx.size());
+      net_->ZeroGrad();
+      MuratForward out = MuratRun(*net_, grid_, odts);
+      Tensor loss =
+          Add(MseLoss(out.time, Tensor::FromVector({b, 1}, yt)),
+              MulScalar(MseLoss(out.dist, Tensor::FromVector({b, 1}, yd)), 0.5f));
+      loss.Backward();
+      opt.Step();
+    });
+  }
+  return Status::OK();
+}
+
+double MuratOracle::EstimateMinutes(const OdtInput& odt) const {
+  NoGradGuard guard;
+  MuratForward out = MuratRun(*net_, grid_, {&odt});
+  return static_cast<double>(out.time.at(0)) * std_t_ + mean_t_;
+}
+
+int64_t MuratOracle::SizeBytes() const { return net_->NumParams() * 4; }
+
+// ---- RNE -------------------------------------------------------------------------
+
+struct RneOracle::Net : nn::Module {
+  nn::Embedding cell_emb;
+  nn::Linear readout;  // maps |e_o - e_d| to a scalar cost
+
+  Net(int64_t cells, int64_t grid_size, int64_t embed, Rng* rng)
+      : cell_emb(cells, embed, rng), readout(embed, 1, rng) {
+    RegisterModule("cell_emb", &cell_emb);
+    RegisterModule("readout", &readout);
+    // RNE's embeddings are built to preserve network distances; seed the
+    // first two coordinates with the cell's grid position so the L1
+    // embedding distance starts as the Manhattan distance and training
+    // only needs to learn the deviations.
+    Tensor table = cell_emb.Parameters()[0];  // shared storage handle
+    for (int64_t c = 0; c < cells; ++c) {
+      table.at(c * embed + 0) =
+          static_cast<float>(c % grid_size) / static_cast<float>(grid_size);
+      table.at(c * embed + 1) =
+          static_cast<float>(c / grid_size) / static_cast<float>(grid_size);
+    }
+  }
+
+  Tensor Forward(const std::vector<int64_t>& o_cells,
+                 const std::vector<int64_t>& d_cells) const {
+    Tensor diff = Abs(Sub(cell_emb.Forward(o_cells), cell_emb.Forward(d_cells)));
+    return readout.Forward(diff);
+  }
+};
+
+RneOracle::RneOracle(const Grid& grid, NeuralBaselineConfig config)
+    : grid_(grid), config_(config) {
+  Rng rng(config.seed + 4);
+  net_ = std::make_shared<Net>(grid.num_cells(), grid.grid_size(),
+                               config.embed_dim, &rng);
+}
+
+Status RneOracle::Train(const std::vector<TripSample>& train,
+                        const std::vector<TripSample>& /*val*/) {
+  if (train.empty()) return Status::InvalidArgument("RNE: empty training set");
+  std::vector<double> times;
+  for (const auto& s : train) times.push_back(s.travel_time_minutes);
+  Standardize(times, &mean_t_, &std_t_);
+
+  Rng rng(config_.seed + 5);
+  optim::Adam opt(net_->Parameters(), config_.lr);
+  BatchIter iter(train.size(), &rng);
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    iter.ForEachBatch(config_.batch_size, [&](const std::vector<int64_t>& idx) {
+      std::vector<int64_t> o_cells, d_cells;
+      std::vector<float> yt;
+      for (int64_t i : idx) {
+        const auto& s = train[static_cast<size_t>(i)];
+        o_cells.push_back(grid_.CellIndex(grid_.Locate(s.odt.origin)));
+        d_cells.push_back(grid_.CellIndex(grid_.Locate(s.odt.destination)));
+        yt.push_back(static_cast<float>((times[static_cast<size_t>(i)] - mean_t_) /
+                                        std_t_));
+      }
+      int64_t b = static_cast<int64_t>(idx.size());
+      net_->ZeroGrad();
+      Tensor loss = MseLoss(net_->Forward(o_cells, d_cells),
+                            Tensor::FromVector({b, 1}, yt));
+      loss.Backward();
+      opt.Step();
+    });
+  }
+  return Status::OK();
+}
+
+double RneOracle::EstimateMinutes(const OdtInput& odt) const {
+  NoGradGuard guard;
+  std::vector<int64_t> o{grid_.CellIndex(grid_.Locate(odt.origin))};
+  std::vector<int64_t> d{grid_.CellIndex(grid_.Locate(odt.destination))};
+  return static_cast<double>(net_->Forward(o, d).at(0)) * std_t_ + mean_t_;
+}
+
+int64_t RneOracle::SizeBytes() const { return net_->NumParams() * 4; }
+
+}  // namespace dot

@@ -1,0 +1,91 @@
+// Neural ODT-Oracle baselines (Sec. 6.2.3):
+//   ST-NN  [22] — MLP on raw origin/destination coordinates, jointly
+//                 predicting travel distance and time.
+//   MURAT  [29] — multi-task representation learning with spatial-cell and
+//                 temporal-slot embeddings.
+//   RNE    [17] — road-network (here: grid-cell) embeddings whose L1
+//                 distance approximates travel cost.
+
+#ifndef DOT_BASELINES_EMBEDDING_H_
+#define DOT_BASELINES_EMBEDDING_H_
+
+#include <memory>
+
+#include "baselines/oracle.h"
+#include "tensor/nn.h"
+
+namespace dot {
+
+/// \brief Shared training hyper-parameters for the small neural baselines.
+struct NeuralBaselineConfig {
+  int64_t hidden_dim = 32;
+  int64_t embed_dim = 16;
+  int64_t epochs = 40;
+  int64_t batch_size = 64;
+  float lr = 1e-3f;
+  uint64_t seed = 7;
+};
+
+/// \brief ST-NN: joint distance/time MLP on endpoint coordinates only.
+class StnnOracle : public OdtOracle {
+ public:
+  StnnOracle(const Grid& grid, NeuralBaselineConfig config = {});
+
+  Status Train(const std::vector<TripSample>& train,
+               const std::vector<TripSample>& val) override;
+  double EstimateMinutes(const OdtInput& odt) const override;
+  std::string name() const override { return "ST-NN"; }
+  int64_t SizeBytes() const override;
+
+ private:
+  Tensor Features(const std::vector<const OdtInput*>& odts) const;
+
+  Grid grid_;
+  NeuralBaselineConfig config_;
+  struct Net;
+  std::shared_ptr<Net> net_;
+  double mean_t_ = 0, std_t_ = 1, mean_d_ = 0, std_d_ = 1;
+};
+
+/// \brief MURAT: multi-task MLP with cell and time-slot embeddings.
+class MuratOracle : public OdtOracle {
+ public:
+  MuratOracle(const Grid& grid, NeuralBaselineConfig config = {});
+
+  Status Train(const std::vector<TripSample>& train,
+               const std::vector<TripSample>& val) override;
+  double EstimateMinutes(const OdtInput& odt) const override;
+  std::string name() const override { return "MURAT"; }
+  int64_t SizeBytes() const override;
+
+  struct Net;  // defined in embedding.cc
+
+ private:
+  Grid grid_;
+  NeuralBaselineConfig config_;
+  std::shared_ptr<Net> net_;
+  double mean_t_ = 0, std_t_ = 1, mean_d_ = 0, std_d_ = 1;
+};
+
+/// \brief RNE: grid-cell embeddings with an L1-distance readout.
+class RneOracle : public OdtOracle {
+ public:
+  RneOracle(const Grid& grid, NeuralBaselineConfig config = {});
+
+  Status Train(const std::vector<TripSample>& train,
+               const std::vector<TripSample>& val) override;
+  double EstimateMinutes(const OdtInput& odt) const override;
+  std::string name() const override { return "RNE"; }
+  int64_t SizeBytes() const override;
+
+ private:
+  Grid grid_;
+  NeuralBaselineConfig config_;
+  struct Net;
+  std::shared_ptr<Net> net_;
+  double mean_t_ = 0, std_t_ = 1;
+};
+
+}  // namespace dot
+
+#endif  // DOT_BASELINES_EMBEDDING_H_

@@ -1,0 +1,3 @@
+#include "baselines/oracle.h"
+
+// OdtFeatures lives in geo/pit.cc (shared with the core estimator).

@@ -1,0 +1,76 @@
+// Common interfaces for the comparison methods of Sec. 6.2: ODT-Oracles,
+// routing methods, and path-based travel-time estimators.
+
+#ifndef DOT_BASELINES_ORACLE_H_
+#define DOT_BASELINES_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/dataset.h"
+#include "geo/grid.h"
+#include "geo/pit.h"
+#include "geo/trajectory.h"
+#include "util/status.h"
+
+namespace dot {
+
+/// \brief An ODT-Oracle baseline: (O, D, T) -> travel time.
+class OdtOracle {
+ public:
+  virtual ~OdtOracle() = default;
+
+  /// Fits the method on the training split (validation may be used for
+  /// early stopping / model selection).
+  virtual Status Train(const std::vector<TripSample>& train,
+                       const std::vector<TripSample>& val) = 0;
+
+  /// Estimated travel time in minutes.
+  virtual double EstimateMinutes(const OdtInput& odt) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Approximate model size in bytes (Table 5).
+  virtual int64_t SizeBytes() const = 0;
+};
+
+/// \brief A routing method (Sec. 6.2.1): produces a grid-cell route and a
+/// route-derived travel time for an ODT-Input.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  virtual Status Train(const std::vector<TripSample>& train) = 0;
+
+  /// Grid-cell route from origin to destination (row-major cell indices,
+  /// in travel order). Empty when unroutable.
+  virtual std::vector<int64_t> Route(const OdtInput& odt) const = 0;
+
+  /// Travel time along the route (historical average segment times).
+  virtual double EstimateMinutes(const OdtInput& odt) const = 0;
+
+  virtual std::string name() const = 0;
+  virtual int64_t SizeBytes() const = 0;
+};
+
+/// \brief A path-based TTE method (Sec. 6.2.2): estimates the travel time of
+/// a given cell path. In the ODT-Oracle setting it is fed generated paths.
+class PathEstimator {
+ public:
+  virtual ~PathEstimator() = default;
+
+  /// Trains on ground-truth cell paths of the training trajectories.
+  virtual Status Train(const std::vector<TripSample>& train,
+                       const std::vector<TripSample>& val) = 0;
+
+  /// Minutes for a cell path departing at odt.departure_time.
+  virtual double EstimateMinutes(const std::vector<int64_t>& cell_path,
+                                 const OdtInput& odt) const = 0;
+
+  virtual std::string name() const = 0;
+  virtual int64_t SizeBytes() const = 0;
+};
+
+}  // namespace dot
+
+#endif  // DOT_BASELINES_ORACLE_H_

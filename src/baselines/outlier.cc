@@ -1,0 +1,133 @@
+#include "baselines/outlier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/cell_history.h"
+
+namespace dot {
+
+namespace {
+
+/// Jaccard similarity of two cell sets.
+double Jaccard(const std::unordered_set<int64_t>& a,
+               const std::unordered_set<int64_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  int64_t inter = 0;
+  for (int64_t x : a) inter += b.count(x) ? 1 : 0;
+  int64_t uni = static_cast<int64_t>(a.size() + b.size()) - inter;
+  return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni) : 0.0;
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0;
+  size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<int64_t>(mid), v.end());
+  return v[mid];
+}
+
+}  // namespace
+
+OutlierReport DetectOutliers(const std::vector<TripSample>& samples,
+                             const Grid& grid, const OutlierConfig& config) {
+  OutlierReport report;
+  report.is_outlier.assign(samples.size(), false);
+  report.similarity.assign(samples.size(), 1.0);
+  if (samples.empty()) return report;
+
+  // Primary signal: circuity — the driven length relative to the straight
+  // OD displacement. Detour outliers are global circuity extremes
+  // regardless of how dense their OD group is. Robust z via median/MAD.
+  std::vector<double> circuity(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    double direct = std::max(
+        200.0, DistanceMeters(samples[i].odt.origin, samples[i].odt.destination));
+    circuity[i] = samples[i].trajectory.LengthMeters() / direct;
+  }
+  double med = Median(circuity);
+  std::vector<double> dev(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) dev[i] = std::fabs(circuity[i] - med);
+  double mad = std::max(1e-3, Median(dev));
+
+  for (size_t i = 0; i < samples.size(); ++i) {
+    double z = (circuity[i] - med) / (1.4826 * mad);  // MAD -> sigma
+    if (z > config.max_duration_z) {
+      report.is_outlier[i] = true;
+      ++report.num_flagged;
+    }
+  }
+
+  // Secondary signal: route-shape disagreement within (coarse OD bucket,
+  // ToD slot) groups, where density permits — the time-aware component.
+  Grid bucket_grid = Grid::Make(grid.box(), config.bucket_grid_size).ValueOrDie();
+  std::unordered_map<int64_t, std::vector<size_t>> groups;
+  int64_t cells = bucket_grid.num_cells();
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const OdtInput& odt = samples[i].odt;
+    int64_t o = bucket_grid.CellIndex(bucket_grid.Locate(odt.origin));
+    int64_t d = bucket_grid.CellIndex(bucket_grid.Locate(odt.destination));
+    int64_t slot = SecondsOfDay(odt.departure_time) * config.tod_slots / 86400;
+    groups[(o * cells + d) * config.tod_slots + slot].push_back(i);
+  }
+
+  std::vector<std::unordered_set<int64_t>> shapes(samples.size());
+  auto shape_of = [&](size_t i) -> const std::unordered_set<int64_t>& {
+    if (shapes[i].empty()) {
+      for (int64_t c : CellPathOf(samples[i].trajectory, grid, true)) {
+        shapes[i].insert(c);
+      }
+    }
+    return shapes[i];
+  };
+
+  for (auto& [key, members] : groups) {
+    (void)key;
+    if (static_cast<int64_t>(members.size()) < config.min_group) continue;
+    double n = static_cast<double>(members.size());
+    for (size_t i : members) {
+      double sim_sum = 0;
+      for (size_t j : members) {
+        if (i == j) continue;
+        sim_sum += Jaccard(shape_of(i), shape_of(j));
+      }
+      double sim = sim_sum / (n - 1);
+      report.similarity[i] = sim;
+      // Flag only clear shape dissenters: well below both the absolute
+      // threshold and the group's typical agreement.
+      if (sim < config.min_similarity && !report.is_outlier[i]) {
+        double group_mean = 0;
+        for (size_t j : members) {
+          if (j == i) continue;
+          double s = 0;
+          for (size_t k : members) {
+            if (k == j) continue;
+            s += Jaccard(shape_of(j), shape_of(k));
+          }
+          group_mean += s / (n - 1);
+        }
+        group_mean /= (n - 1);
+        if (sim < 0.6 * group_mean) {
+          report.is_outlier[i] = true;
+          ++report.num_flagged;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<TripSample> RemoveOutliers(const std::vector<TripSample>& samples,
+                                       const Grid& grid,
+                                       const OutlierConfig& config) {
+  OutlierReport report = DetectOutliers(samples, grid, config);
+  std::vector<TripSample> kept;
+  kept.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (!report.is_outlier[i]) kept.push_back(samples[i]);
+  }
+  return kept;
+}
+
+}  // namespace dot

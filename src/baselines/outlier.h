@@ -1,0 +1,51 @@
+// Time-aware trajectory outlier detection (the DeepTEA [13] stand-in used
+// for Table 6; see DESIGN.md for the substitution rationale). A trajectory
+// is an outlier when its route shape disagrees with the other historical
+// trajectories of the same OD bucket and time slot, or when its travel time
+// is an extreme within that group.
+
+#ifndef DOT_BASELINES_OUTLIER_H_
+#define DOT_BASELINES_OUTLIER_H_
+
+#include <vector>
+
+#include "eval/dataset.h"
+#include "geo/grid.h"
+
+namespace dot {
+
+/// \brief Detector configuration.
+struct OutlierConfig {
+  /// Coarse grid resolution used to bucket (origin, destination) pairs:
+  /// coarse enough that recurring OD pairs share a bucket.
+  int64_t bucket_grid_size = 6;
+  int64_t tod_slots = 4;  ///< 6-hour departure-time buckets
+  /// Minimum group size to judge outliers; smaller groups are kept intact.
+  int64_t min_group = 3;
+  /// A trajectory is flagged when its mean route Jaccard similarity to the
+  /// rest of the group falls below this...
+  double min_similarity = 0.35;
+  /// ...or when its duration z-score within the group exceeds this.
+  double max_duration_z = 2.5;
+};
+
+/// \brief Per-trajectory outlier scores and flags.
+struct OutlierReport {
+  std::vector<bool> is_outlier;     ///< aligned with the input samples
+  std::vector<double> similarity;   ///< mean Jaccard to same-group routes
+  int64_t num_flagged = 0;
+};
+
+/// Scores every training sample. `grid` is the *shape* grid (route rasters);
+/// OD bucketing uses a coarser grid derived from config.bucket_grid_size.
+OutlierReport DetectOutliers(const std::vector<TripSample>& samples,
+                             const Grid& grid, const OutlierConfig& config = {});
+
+/// Convenience: returns the samples that survive outlier removal.
+std::vector<TripSample> RemoveOutliers(const std::vector<TripSample>& samples,
+                                       const Grid& grid,
+                                       const OutlierConfig& config = {});
+
+}  // namespace dot
+
+#endif  // DOT_BASELINES_OUTLIER_H_

@@ -1,0 +1,175 @@
+#include "baselines/path_tte.h"
+
+#include <cmath>
+
+#include "baselines/cell_history.h"
+#include "eval/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "util/logging.h"
+
+namespace dot {
+
+struct RecurrentPathEstimator::Net : nn::Module {
+  nn::Embedding cell_emb;
+  nn::GRUCell gru1;
+  std::unique_ptr<nn::GRUCell> gru2;  // STDGCN's extra layer
+  nn::Linear wide;                    // WDDRA's wide component on odt features
+  nn::Linear head_time, head_dist;
+
+  Net(int64_t cells, int64_t embed, int64_t hidden, bool deep, Rng* rng)
+      : cell_emb(cells, embed, rng),
+        gru1(embed, hidden, rng),
+        wide(7, hidden, rng),
+        head_time(2 * hidden, 1, rng),
+        head_dist(2 * hidden, 1, rng) {
+    RegisterModule("cell_emb", &cell_emb);
+    RegisterModule("gru1", &gru1);
+    if (deep) {
+      gru2 = std::make_unique<nn::GRUCell>(hidden, hidden, rng);
+      RegisterModule("gru2", gru2.get());
+    }
+    RegisterModule("wide", &wide);
+    RegisterModule("head_time", &head_time);
+    RegisterModule("head_dist", &head_dist);
+  }
+};
+
+RecurrentPathEstimator::RecurrentPathEstimator(const Grid& grid, bool deep,
+                                               PathTteConfig config)
+    : grid_(grid), deep_(deep), config_(config) {
+  Rng rng(config.seed);
+  net_ = std::make_shared<Net>(grid.num_cells(), config.embed_dim,
+                               config.hidden_dim, deep, &rng);
+}
+
+namespace {
+
+std::vector<int64_t> Subsample(const std::vector<int64_t>& path, int64_t max_len) {
+  if (static_cast<int64_t>(path.size()) <= max_len) return path;
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < max_len; ++i) {
+    size_t idx = static_cast<size_t>(i * (static_cast<int64_t>(path.size()) - 1) /
+                                     (max_len - 1));
+    out.push_back(path[idx]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor RecurrentPathEstimator::ForwardPath(const std::vector<int64_t>& path,
+                                           const OdtInput& odt) const {
+  std::vector<int64_t> p = Subsample(path, config_.max_path_len);
+  if (p.empty()) p.push_back(grid_.CellIndex(grid_.Locate(odt.origin)));
+  Tensor h1 = Tensor::Zeros({1, config_.hidden_dim});
+  Tensor h2 = Tensor::Zeros({1, config_.hidden_dim});
+  for (int64_t cell : p) {
+    Tensor x = net_->cell_emb.Forward({cell});
+    h1 = net_->gru1.Forward(x, h1);
+    if (net_->gru2) h2 = net_->gru2->Forward(h1, h2);
+  }
+  Tensor deep_rep = net_->gru2 ? h2 : h1;
+  // Wide component: the engineered query features.
+  std::vector<double> f = OdtFeatures(odt, grid_);
+  std::vector<float> ff(f.begin(), f.end());
+  Tensor wide_rep = Relu(net_->wide.Forward(Tensor::FromVector({1, 7}, ff)));
+  return Concat({deep_rep, wide_rep}, 1);  // [1, 2*hidden]
+}
+
+Status RecurrentPathEstimator::Train(const std::vector<TripSample>& train,
+                                     const std::vector<TripSample>& /*val*/) {
+  if (train.empty()) return Status::InvalidArgument("path TTE: empty training set");
+  std::vector<double> times, dists;
+  std::vector<std::vector<int64_t>> paths;
+  for (const auto& s : train) {
+    times.push_back(s.travel_time_minutes);
+    dists.push_back(s.trajectory.LengthMeters() / 1000.0);
+    paths.push_back(CellPathOf(s.trajectory, grid_, true));
+  }
+  auto standardize = [](const std::vector<double>& v, double* m, double* sd) {
+    double sum = 0, sq = 0;
+    for (double x : v) {
+      sum += x;
+      sq += x * x;
+    }
+    double n = std::max<double>(1, static_cast<double>(v.size()));
+    *m = sum / n;
+    *sd = std::sqrt(std::max(1e-6, sq / n - *m * *m));
+  };
+  standardize(times, &mean_t_, &std_t_);
+  standardize(dists, &mean_d_, &std_d_);
+
+  Rng rng(config_.seed + 1);
+  optim::Adam opt(net_->Parameters(), config_.lr);
+  std::vector<int64_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  for (int64_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t start = 0; start + static_cast<size_t>(config_.batch_size) <=
+                           order.size();
+         start += static_cast<size_t>(config_.batch_size)) {
+      std::vector<Tensor> reps;
+      std::vector<float> yt, yd;
+      for (int64_t k = 0; k < config_.batch_size; ++k) {
+        int64_t i = order[start + static_cast<size_t>(k)];
+        reps.push_back(ForwardPath(paths[static_cast<size_t>(i)],
+                                   train[static_cast<size_t>(i)].odt));
+        yt.push_back(static_cast<float>(
+            (times[static_cast<size_t>(i)] - mean_t_) / std_t_));
+        yd.push_back(static_cast<float>(
+            (dists[static_cast<size_t>(i)] - mean_d_) / std_d_));
+      }
+      int64_t b = config_.batch_size;
+      net_->ZeroGrad();
+      Tensor rep = Concat(reps, 0);
+      Tensor loss =
+          MseLoss(net_->head_time.Forward(rep), Tensor::FromVector({b, 1}, yt));
+      // WDDRA's auxiliary objective (also used in the deep variant).
+      Tensor aux =
+          MseLoss(net_->head_dist.Forward(rep), Tensor::FromVector({b, 1}, yd));
+      loss = Add(loss, MulScalar(aux, config_.aux_weight));
+      loss.Backward();
+      opt.Step();
+    }
+  }
+  return Status::OK();
+}
+
+double RecurrentPathEstimator::EstimateMinutes(const std::vector<int64_t>& path,
+                                               const OdtInput& odt) const {
+  NoGradGuard guard;
+  Tensor rep = ForwardPath(path, odt);
+  return static_cast<double>(net_->head_time.Forward(rep).at(0)) * std_t_ + mean_t_;
+}
+
+int64_t RecurrentPathEstimator::SizeBytes() const { return net_->NumParams() * 4; }
+
+std::unique_ptr<RecurrentPathEstimator> SearchStdgcn(
+    const Grid& grid, const std::vector<TripSample>& train,
+    const std::vector<TripSample>& val, PathTteConfig base) {
+  std::unique_ptr<RecurrentPathEstimator> best;
+  double best_mae = 1e18;
+  for (int64_t hidden : {base.hidden_dim, base.hidden_dim * 2}) {
+    PathTteConfig cfg = base;
+    cfg.hidden_dim = hidden;
+    auto model = std::make_unique<RecurrentPathEstimator>(grid, /*deep=*/true, cfg);
+    if (!model->Train(train, val).ok()) continue;
+    MetricsAccumulator acc;
+    size_t n = std::min<size_t>(val.size(), 128);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<int64_t> path = CellPathOf(val[i].trajectory, grid, true);
+      acc.Add(model->EstimateMinutes(path, val[i].odt), val[i].travel_time_minutes);
+    }
+    double mae = acc.Finalize().mae;
+    if (mae < best_mae) {
+      best_mae = mae;
+      best = std::move(model);
+    }
+  }
+  DOT_CHECK(best != nullptr) << "STDGCN search produced no model";
+  return best;
+}
+
+}  // namespace dot

@@ -1,0 +1,226 @@
+#include "baselines/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace dot {
+
+// ---- Linear regression ----------------------------------------------------------
+
+Status LinearRegressionOracle::Train(const std::vector<TripSample>& train,
+                                     const std::vector<TripSample>& /*val*/) {
+  if (train.empty()) return Status::InvalidArgument("LR: empty training set");
+  size_t d = OdtFeatures(train[0].odt, grid_).size() + 1;  // + intercept
+  // Normal equations with ridge: (X^T X + l2 I) w = X^T y, solved by
+  // Gaussian elimination with partial pivoting.
+  std::vector<double> xtx(d * d, 0.0), xty(d, 0.0);
+  for (const auto& s : train) {
+    std::vector<double> x = OdtFeatures(s.odt, grid_);
+    x.push_back(1.0);
+    for (size_t i = 0; i < d; ++i) {
+      xty[i] += x[i] * s.travel_time_minutes;
+      for (size_t j = 0; j < d; ++j) xtx[i * d + j] += x[i] * x[j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) xtx[i * d + i] += l2_;
+
+  // Gaussian elimination.
+  std::vector<double> a = xtx, b = xty;
+  for (size_t col = 0; col < d; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < d; ++r) {
+      if (std::fabs(a[r * d + col]) > std::fabs(a[pivot * d + col])) pivot = r;
+    }
+    if (std::fabs(a[pivot * d + col]) < 1e-12) {
+      return Status::Internal("LR: singular normal equations");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < d; ++j) std::swap(a[col * d + j], a[pivot * d + j]);
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < d; ++r) {
+      double f = a[r * d + col] / a[col * d + col];
+      for (size_t j = col; j < d; ++j) a[r * d + j] -= f * a[col * d + j];
+      b[r] -= f * b[col];
+    }
+  }
+  weights_.assign(d, 0.0);
+  for (int64_t i = static_cast<int64_t>(d) - 1; i >= 0; --i) {
+    double acc = b[static_cast<size_t>(i)];
+    for (size_t j = static_cast<size_t>(i) + 1; j < d; ++j) {
+      acc -= a[static_cast<size_t>(i) * d + j] * weights_[j];
+    }
+    weights_[static_cast<size_t>(i)] = acc / a[static_cast<size_t>(i) * d +
+                                               static_cast<size_t>(i)];
+  }
+  return Status::OK();
+}
+
+double LinearRegressionOracle::EstimateMinutes(const OdtInput& odt) const {
+  DOT_CHECK(!weights_.empty()) << "LR queried before Train";
+  std::vector<double> x = OdtFeatures(odt, grid_);
+  x.push_back(1.0);
+  double y = 0;
+  for (size_t i = 0; i < x.size(); ++i) y += x[i] * weights_[i];
+  return y;
+}
+
+// ---- Regression tree -------------------------------------------------------------
+
+double RegressionTree::Predict(const std::vector<double>& x) const {
+  int idx = 0;
+  while (nodes[static_cast<size_t>(idx)].feature >= 0) {
+    const Node& n = nodes[static_cast<size_t>(idx)];
+    idx = x[static_cast<size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+  return nodes[static_cast<size_t>(idx)].value;
+}
+
+namespace {
+
+/// Recursive CART builder on residuals.
+struct TreeBuilder {
+  const std::vector<std::vector<double>>& features;
+  const std::vector<double>& residuals;
+  const GbmConfig& config;
+  RegressionTree* tree;
+
+  int Build(std::vector<int64_t> idx, int64_t depth) {
+    double mean = 0;
+    for (int64_t i : idx) mean += residuals[static_cast<size_t>(i)];
+    mean /= static_cast<double>(idx.size());
+
+    RegressionTree::Node node;
+    node.value = mean;
+    int node_id = static_cast<int>(tree->nodes.size());
+    tree->nodes.push_back(node);
+    if (depth >= config.max_depth ||
+        static_cast<int64_t>(idx.size()) < 2 * config.min_samples_leaf) {
+      return node_id;
+    }
+
+    // Best split over a quantile grid of thresholds per feature.
+    size_t nfeat = features[0].size();
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0;
+    double total_sum = 0, total_sq = 0;
+    for (int64_t i : idx) {
+      double r = residuals[static_cast<size_t>(i)];
+      total_sum += r;
+      total_sq += r * r;
+    }
+    double n_total = static_cast<double>(idx.size());
+    double parent_sse = total_sq - total_sum * total_sum / n_total;
+
+    std::vector<double> values(idx.size());
+    for (size_t f = 0; f < nfeat; ++f) {
+      for (size_t i = 0; i < idx.size(); ++i) {
+        values[i] = features[static_cast<size_t>(idx[i])][f];
+      }
+      std::vector<double> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      for (int64_t q = 1; q < config.candidate_splits; ++q) {
+        double threshold =
+            sorted[static_cast<size_t>(q * static_cast<int64_t>(sorted.size()) /
+                                       config.candidate_splits)];
+        double left_sum = 0, left_sq = 0, left_n = 0;
+        for (size_t i = 0; i < idx.size(); ++i) {
+          if (values[i] <= threshold) {
+            double r = residuals[static_cast<size_t>(idx[i])];
+            left_sum += r;
+            left_sq += r * r;
+            left_n += 1;
+          }
+        }
+        double right_n = n_total - left_n;
+        if (left_n < static_cast<double>(config.min_samples_leaf) ||
+            right_n < static_cast<double>(config.min_samples_leaf)) {
+          continue;
+        }
+        double right_sum = total_sum - left_sum;
+        double right_sq = total_sq - left_sq;
+        double sse = (left_sq - left_sum * left_sum / left_n) +
+                     (right_sq - right_sum * right_sum / right_n);
+        double gain = parent_sse - sse;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_threshold = threshold;
+        }
+      }
+    }
+    if (best_feature < 0) return node_id;
+
+    std::vector<int64_t> left_idx, right_idx;
+    for (int64_t i : idx) {
+      if (features[static_cast<size_t>(i)][static_cast<size_t>(best_feature)] <=
+          best_threshold) {
+        left_idx.push_back(i);
+      } else {
+        right_idx.push_back(i);
+      }
+    }
+    int left = Build(std::move(left_idx), depth + 1);
+    int right = Build(std::move(right_idx), depth + 1);
+    RegressionTree::Node& n = tree->nodes[static_cast<size_t>(node_id)];
+    n.feature = best_feature;
+    n.threshold = best_threshold;
+    n.left = left;
+    n.right = right;
+    return node_id;
+  }
+};
+
+}  // namespace
+
+Status GbmOracle::Train(const std::vector<TripSample>& train,
+                        const std::vector<TripSample>& /*val*/) {
+  if (train.empty()) return Status::InvalidArgument("GBM: empty training set");
+  std::vector<std::vector<double>> features;
+  std::vector<double> targets;
+  features.reserve(train.size());
+  for (const auto& s : train) {
+    features.push_back(OdtFeatures(s.odt, grid_));
+    targets.push_back(s.travel_time_minutes);
+  }
+  base_ = std::accumulate(targets.begin(), targets.end(), 0.0) /
+          static_cast<double>(targets.size());
+
+  std::vector<double> preds(targets.size(), base_);
+  std::vector<double> residuals(targets.size());
+  std::vector<int64_t> all(targets.size());
+  std::iota(all.begin(), all.end(), 0);
+
+  trees_.clear();
+  for (int64_t t = 0; t < config_.num_trees; ++t) {
+    for (size_t i = 0; i < targets.size(); ++i) residuals[i] = targets[i] - preds[i];
+    RegressionTree tree;
+    TreeBuilder builder{features, residuals, config_, &tree};
+    builder.Build(all, 0);
+    if (tree.nodes.size() <= 1 && t > 0) break;  // no useful split left
+    for (size_t i = 0; i < targets.size(); ++i) {
+      preds[i] += config_.learning_rate * tree.Predict(features[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+  return Status::OK();
+}
+
+double GbmOracle::EstimateMinutes(const OdtInput& odt) const {
+  std::vector<double> x = OdtFeatures(odt, grid_);
+  double y = base_;
+  for (const auto& tree : trees_) y += config_.learning_rate * tree.Predict(x);
+  return y;
+}
+
+int64_t GbmOracle::SizeBytes() const {
+  int64_t total = static_cast<int64_t>(sizeof(double));
+  for (const auto& t : trees_) total += t.SizeBytes();
+  return total;
+}
+
+}  // namespace dot

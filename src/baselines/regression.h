@@ -1,0 +1,84 @@
+// Regression baselines (Sec. 6.2.3): closed-form Linear Regression and a
+// from-scratch Gradient Boosted Machine (regression trees, squared loss) —
+// the XGBoost stand-in documented in DESIGN.md.
+
+#ifndef DOT_BASELINES_REGRESSION_H_
+#define DOT_BASELINES_REGRESSION_H_
+
+#include <memory>
+
+#include "baselines/oracle.h"
+
+namespace dot {
+
+/// \brief Ordinary least squares on OdtFeatures (ridge-regularized for
+/// numerical safety).
+class LinearRegressionOracle : public OdtOracle {
+ public:
+  explicit LinearRegressionOracle(const Grid& grid, double l2 = 1e-6)
+      : grid_(grid), l2_(l2) {}
+
+  Status Train(const std::vector<TripSample>& train,
+               const std::vector<TripSample>& val) override;
+  double EstimateMinutes(const OdtInput& odt) const override;
+  std::string name() const override { return "LR"; }
+  int64_t SizeBytes() const override {
+    return static_cast<int64_t>(weights_.size() * sizeof(double));
+  }
+
+ private:
+  Grid grid_;
+  double l2_;
+  std::vector<double> weights_;  // includes intercept (last)
+};
+
+/// \brief One axis-aligned regression tree (CART, squared loss).
+struct RegressionTree {
+  struct Node {
+    int feature = -1;        ///< -1 marks a leaf
+    double threshold = 0;
+    double value = 0;        ///< leaf prediction
+    int left = -1, right = -1;
+  };
+  std::vector<Node> nodes;
+
+  double Predict(const std::vector<double>& x) const;
+  int64_t SizeBytes() const {
+    return static_cast<int64_t>(nodes.size() * sizeof(Node));
+  }
+};
+
+/// \brief GBM hyper-parameters.
+struct GbmConfig {
+  int64_t num_trees = 60;
+  int64_t max_depth = 3;
+  double learning_rate = 0.1;
+  int64_t min_samples_leaf = 8;
+  /// Candidate split thresholds per feature (quantile grid).
+  int64_t candidate_splits = 16;
+};
+
+/// \brief Gradient-boosted regression trees over OdtFeatures.
+class GbmOracle : public OdtOracle {
+ public:
+  GbmOracle(const Grid& grid, GbmConfig config = {})
+      : grid_(grid), config_(config) {}
+
+  Status Train(const std::vector<TripSample>& train,
+               const std::vector<TripSample>& val) override;
+  double EstimateMinutes(const OdtInput& odt) const override;
+  std::string name() const override { return "GBM"; }
+  int64_t SizeBytes() const override;
+
+  int64_t num_trees() const { return static_cast<int64_t>(trees_.size()); }
+
+ private:
+  Grid grid_;
+  GbmConfig config_;
+  double base_ = 0;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_BASELINES_REGRESSION_H_

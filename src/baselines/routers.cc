@@ -1,0 +1,124 @@
+#include "baselines/routers.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dot {
+
+// ---- Dijkstra ----------------------------------------------------------------------
+
+Status DijkstraRouter::Train(const std::vector<TripSample>& train) {
+  SegmentStats stats = SegmentStats::Learn(*net_, TrajectoriesOf(train));
+  edge_weights_ = stats.edge_seconds();
+  return Status::OK();
+}
+
+RoutingResult DijkstraRouter::NodeRoute(const OdtInput& odt) const {
+  int64_t from = net_->NearestNode(odt.origin);
+  int64_t to = net_->NearestNode(odt.destination);
+  return net_->ShortestPath(from, to, edge_weights_);
+}
+
+std::vector<int64_t> DijkstraRouter::Route(const OdtInput& odt) const {
+  RoutingResult r = NodeRoute(odt);
+  std::vector<int64_t> cells;
+  for (int64_t node : r.node_path) {
+    int64_t idx = grid_.CellIndex(grid_.Locate(net_->node(node).gps));
+    if (cells.empty() || cells.back() != idx) cells.push_back(idx);
+  }
+  return cells;
+}
+
+double DijkstraRouter::EstimateMinutes(const OdtInput& odt) const {
+  RoutingResult r = NodeRoute(odt);
+  if (!r.found()) return 15.0;  // conservative fallback
+  return r.cost / 60.0;
+}
+
+int64_t DijkstraRouter::SizeBytes() const {
+  // The weighted road network: nodes + edges + learned weights.
+  return net_->num_nodes() * static_cast<int64_t>(sizeof(RoadNode)) +
+         net_->num_edges() * static_cast<int64_t>(sizeof(RoadEdge)) +
+         static_cast<int64_t>(edge_weights_.size() * sizeof(double));
+}
+
+// ---- DeepST ------------------------------------------------------------------------
+
+Status DeepStRouter::Train(const std::vector<TripSample>& train) {
+  history_ = std::make_unique<CellHistory>(CellHistory::Learn(train, grid_));
+  return Status::OK();
+}
+
+double DeepStRouter::StepScore(int64_t from, int64_t to, int64_t dest) const {
+  int64_t l = grid_.grid_size();
+  auto row = [&](int64_t c) { return c / l; };
+  auto col = [&](int64_t c) { return c % l; };
+  double before = std::abs(row(from) - row(dest)) + std::abs(col(from) - col(dest));
+  double after = std::abs(row(to) - row(dest)) + std::abs(col(to) - col(dest));
+  // Learned popularity discounted by whether the step makes progress; the
+  // exponential progress factor is the "travel behavior prior" that Dijkstra
+  // lacks.
+  double popularity = history_->TransitionCount(from, to);
+  double progress = std::exp(1.2 * (before - after));
+  return (1.0 + popularity) * progress;
+}
+
+std::vector<int64_t> DeepStRouter::Route(const OdtInput& odt) const {
+  DOT_CHECK(history_ != nullptr) << "DeepST queried before Train";
+  int64_t l = grid_.grid_size();
+  int64_t cur = grid_.CellIndex(grid_.Locate(odt.origin));
+  int64_t dest = grid_.CellIndex(grid_.Locate(odt.destination));
+  std::vector<int64_t> path{cur};
+  std::vector<bool> visited(static_cast<size_t>(grid_.num_cells()), false);
+  visited[static_cast<size_t>(cur)] = true;
+  for (int64_t step = 0; step < max_steps_ && cur != dest; ++step) {
+    // Candidates: historically observed successors plus the 4-neighborhood
+    // (fallback when history is sparse).
+    std::vector<int64_t> candidates = history_->Successors(cur);
+    int64_t r = cur / l, c = cur % l;
+    if (r > 0) candidates.push_back(cur - l);
+    if (r < l - 1) candidates.push_back(cur + l);
+    if (c > 0) candidates.push_back(cur - 1);
+    if (c < l - 1) candidates.push_back(cur + 1);
+    std::vector<int64_t> fresh;
+    std::vector<double> scores;
+    for (int64_t cand : candidates) {
+      if (cand < 0 || cand >= grid_.num_cells()) continue;
+      if (visited[static_cast<size_t>(cand)]) continue;
+      fresh.push_back(cand);
+      scores.push_back(StepScore(cur, cand, dest));
+    }
+    if (fresh.empty()) break;
+    // Near-greedy walk: pick the best with high probability, sample
+    // otherwise (matches DeepST's probabilistic generation).
+    int64_t pick;
+    if (rng_.Bernoulli(greedy_prob_)) {
+      pick = 0;
+      for (size_t i = 1; i < scores.size(); ++i) {
+        if (scores[i] > scores[static_cast<size_t>(pick)]) {
+          pick = static_cast<int64_t>(i);
+        }
+      }
+    } else {
+      pick = rng_.Categorical(scores);
+      if (pick < 0) pick = 0;
+    }
+    cur = fresh[static_cast<size_t>(pick)];
+    visited[static_cast<size_t>(cur)] = true;
+    path.push_back(cur);
+  }
+  return path;
+}
+
+double DeepStRouter::EstimateMinutes(const OdtInput& odt) const {
+  DOT_CHECK(history_ != nullptr) << "DeepST queried before Train";
+  std::vector<int64_t> path = Route(odt);
+  return history_->RouteMinutes(path, odt.departure_time);
+}
+
+int64_t DeepStRouter::SizeBytes() const {
+  return history_ ? history_->SizeBytes() : 0;
+}
+
+}  // namespace dot

@@ -1,0 +1,76 @@
+// Routing baselines (Sec. 6.2.1):
+//   Dijkstra [23] — shortest path on the road network weighted with
+//                   historical average segment travel times.
+//   DeepST   [26] — data-driven router: a destination- and time-conditioned
+//                   spatial transition model learned from historical
+//                   trajectories (the learned stand-in documented in
+//                   DESIGN.md).
+
+#ifndef DOT_BASELINES_ROUTERS_H_
+#define DOT_BASELINES_ROUTERS_H_
+
+#include <memory>
+
+#include "baselines/cell_history.h"
+#include "baselines/oracle.h"
+#include "road/road_network.h"
+#include "road/segment_stats.h"
+
+namespace dot {
+
+/// \brief Dijkstra on the historically weighted road network.
+class DijkstraRouter : public Router {
+ public:
+  /// `net` must outlive the router.
+  DijkstraRouter(const RoadNetwork* net, const Grid& grid)
+      : net_(net), grid_(grid) {}
+
+  Status Train(const std::vector<TripSample>& train) override;
+  std::vector<int64_t> Route(const OdtInput& odt) const override;
+  double EstimateMinutes(const OdtInput& odt) const override;
+  std::string name() const override { return "Dijkstra"; }
+  int64_t SizeBytes() const override;
+
+  /// Node-level route (exposed for tests / conversions).
+  RoutingResult NodeRoute(const OdtInput& odt) const;
+
+ private:
+  const RoadNetwork* net_;
+  Grid grid_;
+  std::vector<double> edge_weights_;  // learned historical seconds
+};
+
+/// \brief DeepST-like learned router over grid cells.
+///
+/// Learns P(next cell | current cell, direction-to-destination, ToD slot)
+/// from historical transitions and walks greedily-stochastically from origin
+/// to destination; travel time is the sum of learned transition times.
+class DeepStRouter : public Router {
+ public:
+  DeepStRouter(const Grid& grid, uint64_t seed = 23, int64_t max_steps = 400,
+               double greedy_prob = 0.97)
+      : grid_(grid), rng_(seed), max_steps_(max_steps), greedy_prob_(greedy_prob) {}
+
+  Status Train(const std::vector<TripSample>& train) override;
+  std::vector<int64_t> Route(const OdtInput& odt) const override;
+  double EstimateMinutes(const OdtInput& odt) const override;
+  std::string name() const override { return "DeepST"; }
+  int64_t SizeBytes() const override;
+
+  const CellHistory& history() const { return *history_; }
+
+ private:
+  /// Score of stepping from `from` to `to` heading to `dest` (higher =
+  /// preferred): learned popularity times directional progress.
+  double StepScore(int64_t from, int64_t to, int64_t dest) const;
+
+  Grid grid_;
+  mutable Rng rng_;
+  int64_t max_steps_;
+  double greedy_prob_;
+  std::unique_ptr<CellHistory> history_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_BASELINES_ROUTERS_H_

@@ -1,0 +1,51 @@
+#include "baselines/temp.h"
+
+#include <cmath>
+
+namespace dot {
+
+Status TempOracle::Train(const std::vector<TripSample>& train,
+                         const std::vector<TripSample>& /*val*/) {
+  if (train.empty()) return Status::InvalidArgument("TEMP: empty training set");
+  history_.clear();
+  history_.reserve(train.size());
+  double sum = 0;
+  for (const auto& s : train) {
+    history_.push_back(Entry{s.odt.origin, s.odt.destination,
+                             SecondsOfDay(s.odt.departure_time),
+                             s.travel_time_minutes});
+    sum += s.travel_time_minutes;
+  }
+  global_mean_ = sum / static_cast<double>(train.size());
+  return Status::OK();
+}
+
+double TempOracle::EstimateMinutes(const OdtInput& odt) const {
+  int64_t query_sod = SecondsOfDay(odt.departure_time);
+  double radius = config_.initial_radius_meters;
+  int64_t window = config_.tod_window_seconds;
+  for (int64_t round = 0; round < config_.max_rounds; ++round) {
+    double sum = 0;
+    int64_t n = 0;
+    for (const auto& e : history_) {
+      // Circular time-of-day distance.
+      int64_t dt = std::abs(e.seconds_of_day - query_sod);
+      dt = std::min(dt, 86400 - dt);
+      if (dt > window) continue;
+      if (DistanceMeters(e.origin, odt.origin) > radius) continue;
+      if (DistanceMeters(e.destination, odt.destination) > radius) continue;
+      sum += e.minutes;
+      ++n;
+    }
+    if (n >= config_.min_neighbors) return sum / static_cast<double>(n);
+    radius *= config_.radius_growth;
+    window *= 2;
+  }
+  return global_mean_;
+}
+
+int64_t TempOracle::SizeBytes() const {
+  return static_cast<int64_t>(history_.size() * sizeof(Entry));
+}
+
+}  // namespace dot

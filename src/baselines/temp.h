@@ -1,0 +1,47 @@
+// TEMP [48]: temporally weighted neighbor averaging (Sec. 6.2.3). Caches all
+// historical trips; a query averages the travel times of trips with similar
+// origin, destination and departure time, widening the neighborhood until
+// enough neighbors are found.
+
+#ifndef DOT_BASELINES_TEMP_H_
+#define DOT_BASELINES_TEMP_H_
+
+#include "baselines/oracle.h"
+
+namespace dot {
+
+/// \brief Configuration of the TEMP baseline.
+struct TempConfig {
+  double initial_radius_meters = 500.0;
+  double radius_growth = 2.0;      ///< multiplier per widening round
+  int64_t max_rounds = 5;
+  int64_t min_neighbors = 3;
+  int64_t tod_window_seconds = 3600;  ///< +- departure-time window
+};
+
+/// \brief The TEMP history-average ODT-Oracle.
+class TempOracle : public OdtOracle {
+ public:
+  explicit TempOracle(TempConfig config = {}) : config_(config) {}
+
+  Status Train(const std::vector<TripSample>& train,
+               const std::vector<TripSample>& val) override;
+  double EstimateMinutes(const OdtInput& odt) const override;
+  std::string name() const override { return "TEMP"; }
+  int64_t SizeBytes() const override;
+
+ private:
+  struct Entry {
+    GpsPoint origin, destination;
+    int64_t seconds_of_day;
+    double minutes;
+  };
+
+  TempConfig config_;
+  std::vector<Entry> history_;
+  double global_mean_ = 15.0;
+};
+
+}  // namespace dot
+
+#endif  // DOT_BASELINES_TEMP_H_

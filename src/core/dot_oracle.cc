@@ -1,0 +1,403 @@
+#include "core/dot_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "util/logging.h"
+
+namespace dot {
+
+namespace {
+
+/// Copies a PiT's CHW tensor into row `i` of a [B, 3, L, L] batch.
+void CopyPitInto(const Pit& pit, Tensor* batch, int64_t i) {
+  int64_t per = pit.tensor().numel();
+  std::copy(pit.tensor().data(), pit.tensor().data() + per,
+            batch->data() + i * per);
+}
+
+}  // namespace
+
+DotOracle::DotOracle(const DotConfig& config, const Grid& grid)
+    : config_(config),
+      grid_(grid),
+      diffusion_(DiffusionSchedule(config.diffusion_steps),
+                 config.parameterization),
+      rng_(config.seed) {
+  DOT_CHECK(grid.grid_size() == config.grid_size)
+      << "grid resolution must match config.grid_size";
+  DotConfig& cfg = config_;
+  cfg.unet.max_steps = std::max(cfg.unet.max_steps, cfg.diffusion_steps);
+  cfg.estimator.grid_size = cfg.grid_size;
+  Rng init_rng(config.seed ^ 0xD07);
+  denoiser_ = std::make_unique<UnetDenoiser>(cfg.unet, &init_rng);
+  estimator_ = MakeEstimator(cfg.estimator_kind, cfg.estimator, &init_rng);
+}
+
+std::vector<float> DotOracle::EncodeCondition(const OdtInput& odt) const {
+  std::vector<float> cond = EncodeOdt(odt, grid_);
+  if (!config_.use_od_condition) {
+    cond[0] = cond[1] = cond[2] = cond[3] = 0.0f;
+  }
+  if (!config_.use_time_condition) cond[4] = 0.0f;
+  return cond;
+}
+
+Pit DotOracle::GroundTruthPit(const Trajectory& t) const {
+  return Pit::Build(t, grid_, config_.pit_interpolate);
+}
+
+Status DotOracle::TrainStage1(const std::vector<TripSample>& train) {
+  if (train.empty()) return Status::InvalidArgument("stage 1: empty training set");
+  int64_t l = config_.grid_size;
+  int64_t b = std::min<int64_t>(config_.batch_size,
+                                static_cast<int64_t>(train.size()));
+
+  // Pre-rasterize PiTs and conditions once.
+  std::vector<Pit> pits;
+  std::vector<std::vector<float>> conds;
+  pits.reserve(train.size());
+  conds.reserve(train.size());
+  for (const auto& s : train) {
+    pits.push_back(GroundTruthPit(s.trajectory));
+    conds.push_back(EncodeCondition(s.odt));
+  }
+
+  optim::Adam opt(denoiser_->Parameters(), config_.lr);
+  std::vector<int64_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  for (int64_t epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
+    // Cosine learning-rate decay to 10% over the training run.
+    double progress = config_.stage1_epochs > 1
+                          ? static_cast<double>(epoch) /
+                                static_cast<double>(config_.stage1_epochs - 1)
+                          : 0.0;
+    opt.set_lr(static_cast<float>(
+        config_.lr * (0.55 + 0.45 * std::cos(progress * 3.14159265))));
+    rng_.Shuffle(&order);
+    double loss_sum = 0;
+    int64_t batches = 0;
+    for (size_t start = 0; start + static_cast<size_t>(b) <= order.size();
+         start += static_cast<size_t>(b)) {
+      Tensor x0 = Tensor::Empty({b, kPitChannels, l, l});
+      Tensor cond = Tensor::Empty({b, 5});
+      for (int64_t i = 0; i < b; ++i) {
+        int64_t idx = order[start + static_cast<size_t>(i)];
+        CopyPitInto(pits[static_cast<size_t>(idx)], &x0, i);
+        std::copy(conds[static_cast<size_t>(idx)].begin(),
+                  conds[static_cast<size_t>(idx)].end(), cond.data() + i * 5);
+      }
+      // Algorithm 2: sample step + noise, predict, regress the target under
+      // the configured parameterization (the added noise, or equivalently
+      // the clean PiT).
+      std::vector<int64_t> steps;
+      Tensor eps;
+      Tensor xn = diffusion_.MakeTrainingExample(x0, &rng_, &steps, &eps);
+      denoiser_->ZeroGrad();
+      Tensor pred = denoiser_->PredictNoise(xn, steps, cond);
+      Tensor target =
+          config_.parameterization == Parameterization::kX0 ? x0 : eps;
+      Tensor loss = MseLoss(pred, target);
+      loss.Backward();
+      opt.Step();
+      loss_sum += loss.item();
+      ++batches;
+    }
+    last_stage1_loss_ = batches > 0 ? loss_sum / static_cast<double>(batches) : 0;
+    if (config_.verbose) {
+      DOT_LOG_INFO << "[stage1] epoch " << epoch + 1 << "/"
+                   << config_.stage1_epochs << " target MSE "
+                   << last_stage1_loss_;
+    }
+  }
+  stage1_trained_ = true;
+  return Status::OK();
+}
+
+std::vector<Pit> DotOracle::InferPits(const std::vector<OdtInput>& odts) {
+  DOT_CHECK(stage1_trained_) << "InferPits before TrainStage1";
+  std::vector<Pit> out;
+  out.reserve(odts.size());
+  int64_t l = config_.grid_size;
+  int64_t bs = std::max<int64_t>(1, config_.batch_size);
+  for (size_t start = 0; start < odts.size(); start += static_cast<size_t>(bs)) {
+    int64_t b = std::min<int64_t>(bs, static_cast<int64_t>(odts.size() - start));
+    Tensor cond = Tensor::Empty({b, 5});
+    for (int64_t i = 0; i < b; ++i) {
+      auto c = EncodeCondition(odts[start + static_cast<size_t>(i)]);
+      std::copy(c.begin(), c.end(), cond.data() + i * 5);
+    }
+    Tensor x;
+    std::vector<int64_t> shape = {b, kPitChannels, l, l};
+    if (config_.ancestral_sampling) {
+      x = diffusion_.Sample(*denoiser_, cond, shape, &rng_);
+    } else {
+      x = diffusion_.SampleStrided(*denoiser_, cond, shape,
+                                   config_.sample_steps, &rng_);
+    }
+    for (int64_t i = 0; i < b; ++i) {
+      Tensor one = Tensor::Empty({kPitChannels, l, l});
+      std::copy(x.data() + i * one.numel(), x.data() + (i + 1) * one.numel(),
+                one.data());
+      Pit pit = Pit::FromTensor(one).ValueOrDie();
+      pit.Canonicalize(config_.mask_threshold);
+      if (config_.augment_endpoints) {
+        const OdtInput& odt = odts[start + static_cast<size_t>(i)];
+        float tod = static_cast<float>(NormalizedTimeOfDay(odt.departure_time));
+        Cell o = grid_.Locate(odt.origin);
+        if (!pit.Visited(o.row, o.col)) {
+          pit.Set(kPitMask, o.row, o.col, 1.0f);
+          pit.Set(kPitTimeOfDay, o.row, o.col, tod);
+          pit.Set(kPitTimeOffset, o.row, o.col, -1.0f);
+        }
+        Cell d = grid_.Locate(odt.destination);
+        if (!pit.Visited(d.row, d.col)) {
+          pit.Set(kPitMask, d.row, d.col, 1.0f);
+          pit.Set(kPitTimeOfDay, d.row, d.col, tod);
+          pit.Set(kPitTimeOffset, d.row, d.col, 1.0f);
+        }
+      }
+      out.push_back(std::move(pit));
+    }
+  }
+  return out;
+}
+
+Status DotOracle::TrainStage2(const std::vector<TripSample>& train,
+                              const std::vector<TripSample>& val) {
+  if (!stage1_trained_) {
+    return Status::FailedPrecondition("stage 2 requires a trained stage 1");
+  }
+  if (train.empty()) return Status::InvalidArgument("stage 2: empty training set");
+
+  // Target normalization from the training distribution.
+  double sum = 0, sq = 0;
+  for (const auto& s : train) {
+    sum += s.travel_time_minutes;
+    sq += s.travel_time_minutes * s.travel_time_minutes;
+  }
+  double n = static_cast<double>(train.size());
+  target_mean_ = sum / n;
+  target_std_ = std::sqrt(std::max(1e-6, sq / n - target_mean_ * target_mean_));
+
+  std::vector<Pit> pits;
+  std::vector<std::vector<double>> feats;
+  pits.reserve(train.size());
+  feats.reserve(train.size());
+  for (const auto& s : train) {
+    pits.push_back(GroundTruthPit(s.trajectory));
+    feats.push_back(OdtFeatures(s.odt, grid_));
+  }
+
+  // Replace a slice of the training PiTs with stage-1 inferred ones so the
+  // estimator sees the distribution it will serve (inferred PiTs differ
+  // from rasterized ground truth in sparsity and soft-threshold artifacts).
+  int64_t n_inferred = std::min<int64_t>(
+      config_.stage2_inferred_cap,
+      static_cast<int64_t>(static_cast<double>(train.size()) *
+                           config_.stage2_inferred_fraction));
+  if (n_inferred > 0) {
+    std::vector<int64_t> pick(train.size());
+    for (size_t i = 0; i < pick.size(); ++i) pick[i] = static_cast<int64_t>(i);
+    rng_.Shuffle(&pick);
+    pick.resize(static_cast<size_t>(n_inferred));
+    std::vector<OdtInput> odts;
+    for (int64_t idx : pick) odts.push_back(train[static_cast<size_t>(idx)].odt);
+    std::vector<Pit> inferred = InferPits(odts);
+    for (size_t k = 0; k < pick.size(); ++k) {
+      pits[static_cast<size_t>(pick[k])] = std::move(inferred[k]);
+    }
+  }
+
+  // Inferred validation PiTs for early stopping (Sec. 6.3).
+  std::vector<Pit> val_pits;
+  std::vector<OdtInput> val_odts;
+  std::vector<double> val_truth;
+  if (config_.val_samples > 0 && !val.empty()) {
+    int64_t nv = std::min<int64_t>(config_.val_samples,
+                                   static_cast<int64_t>(val.size()));
+    for (int64_t i = 0; i < nv; ++i) {
+      val_odts.push_back(val[static_cast<size_t>(i)].odt);
+      val_truth.push_back(val[static_cast<size_t>(i)].travel_time_minutes);
+    }
+    val_pits = InferPits(val_odts);
+  }
+
+  optim::Adam opt(estimator_->module()->Parameters(), config_.lr);
+  std::vector<int64_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  int64_t b = std::min<int64_t>(config_.batch_size,
+                                static_cast<int64_t>(train.size()));
+
+  double best_val = 1e18;
+  std::vector<std::vector<float>> best_weights;
+  int64_t bad_epochs = 0;
+  stage2_trained_ = true;  // EstimateFromPits is used for validation below
+
+  for (int64_t epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
+    rng_.Shuffle(&order);
+    double loss_sum = 0;
+    int64_t batches = 0;
+    for (size_t start = 0; start + static_cast<size_t>(b) <= order.size();
+         start += static_cast<size_t>(b)) {
+      std::vector<Pit> batch;
+      std::vector<std::vector<double>> batch_feats;
+      std::vector<float> targets;
+      for (int64_t i = 0; i < b; ++i) {
+        int64_t idx = order[start + static_cast<size_t>(i)];
+        batch.push_back(pits[static_cast<size_t>(idx)]);
+        batch_feats.push_back(feats[static_cast<size_t>(idx)]);
+        targets.push_back(static_cast<float>(
+            (train[static_cast<size_t>(idx)].travel_time_minutes - target_mean_) /
+            target_std_));
+      }
+      estimator_->module()->ZeroGrad();
+      Tensor pred = estimator_->ForwardBatch(batch, batch_feats);
+      Tensor loss = MseLoss(pred, Tensor::FromVector({b, 1}, targets));
+      loss.Backward();
+      opt.Step();
+      loss_sum += loss.item();
+      ++batches;
+    }
+    if (config_.verbose) {
+      DOT_LOG_INFO << "[stage2] epoch " << epoch + 1 << "/"
+                   << config_.stage2_epochs << " MSE "
+                   << (batches ? loss_sum / static_cast<double>(batches) : 0);
+    }
+    if (!val_pits.empty()) {
+      std::vector<double> preds = EstimateFromPits(val_pits, val_odts);
+      MetricsAccumulator acc;
+      for (size_t i = 0; i < preds.size(); ++i) acc.Add(preds[i], val_truth[i]);
+      double mae = acc.Finalize().mae;
+      if (mae < best_val) {
+        best_val = mae;
+        bad_epochs = 0;
+        best_weights.clear();
+        for (auto& p : estimator_->module()->Parameters()) {
+          best_weights.push_back(p.vec());
+        }
+      } else if (++bad_epochs >= 2) {
+        if (config_.verbose) {
+          DOT_LOG_INFO << "[stage2] early stop at epoch " << epoch + 1;
+        }
+        break;
+      }
+    }
+  }
+  if (!best_weights.empty()) {
+    auto params = estimator_->module()->Parameters();
+    for (size_t i = 0; i < params.size(); ++i) params[i].vec() = best_weights[i];
+  }
+  return Status::OK();
+}
+
+std::vector<double> DotOracle::EstimateFromPits(
+    const std::vector<Pit>& pits, const std::vector<OdtInput>& odts) const {
+  DOT_CHECK(stage2_trained_) << "EstimateFromPits before TrainStage2";
+  DOT_CHECK(odts.size() == pits.size()) << "odts must parallel pits";
+  NoGradGuard guard;
+  std::vector<double> out;
+  out.reserve(pits.size());
+  int64_t bs = std::max<int64_t>(1, config_.batch_size);
+  for (size_t start = 0; start < pits.size(); start += static_cast<size_t>(bs)) {
+    size_t end = std::min(pits.size(), start + static_cast<size_t>(bs));
+    std::vector<Pit> batch(pits.begin() + static_cast<int64_t>(start),
+                           pits.begin() + static_cast<int64_t>(end));
+    std::vector<std::vector<double>> batch_feats;
+    for (size_t i = start; i < end; ++i) {
+      batch_feats.push_back(OdtFeatures(odts[i], grid_));
+    }
+    Tensor pred = estimator_->ForwardBatch(batch, batch_feats);
+    for (int64_t i = 0; i < pred.numel(); ++i) {
+      out.push_back(static_cast<double>(pred.at(i)) * target_std_ + target_mean_);
+    }
+  }
+  return out;
+}
+
+Status DotOracle::AdoptStage1(const DotOracle& other) {
+  if (!other.stage1_trained_) {
+    return Status::FailedPrecondition("source oracle's stage 1 is untrained");
+  }
+  auto src = other.denoiser_->NamedParameters();
+  auto dst = denoiser_->NamedParameters();
+  if (src.size() != dst.size()) {
+    return Status::InvalidArgument("denoiser architectures differ");
+  }
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i].first != dst[i].first ||
+        src[i].second.shape() != dst[i].second.shape()) {
+      return Status::InvalidArgument("denoiser parameter mismatch at " +
+                                     src[i].first);
+    }
+    dst[i].second.vec() = src[i].second.vec();
+  }
+  stage1_trained_ = true;
+  return Status::OK();
+}
+
+Status DotOracle::SaveStage1(const std::string& path) const {
+  if (!stage1_trained_) {
+    return Status::FailedPrecondition("stage 1 untrained");
+  }
+  BinaryWriter w(path);
+  if (!w.Ok()) return Status::IOError("cannot open " + path);
+  w.WriteString("DOTS1");
+  DOT_RETURN_NOT_OK(denoiser_->Save(&w));
+  return w.Close();
+}
+
+Status DotOracle::LoadStage1(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.Ok()) return Status::IOError("cannot open " + path);
+  if (r.ReadString() != "DOTS1") {
+    return Status::InvalidArgument("bad stage-1 checkpoint magic");
+  }
+  DOT_RETURN_NOT_OK(denoiser_->Load(&r));
+  stage1_trained_ = true;
+  return Status::OK();
+}
+
+Status DotOracle::SaveFile(const std::string& path) const {
+  if (!stage1_trained_ || !stage2_trained_) {
+    return Status::FailedPrecondition("cannot save an untrained oracle");
+  }
+  BinaryWriter w(path);
+  if (!w.Ok()) return Status::IOError("cannot open " + path);
+  w.WriteString("DOT1");
+  w.WriteF64(target_mean_);
+  w.WriteF64(target_std_);
+  DOT_RETURN_NOT_OK(denoiser_->Save(&w));
+  DOT_RETURN_NOT_OK(estimator_->module()->Save(&w));
+  return w.Close();
+}
+
+Status DotOracle::LoadFile(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.Ok()) return Status::IOError("cannot open " + path);
+  if (r.ReadString() != "DOT1") {
+    return Status::InvalidArgument("bad oracle checkpoint magic");
+  }
+  target_mean_ = r.ReadF64();
+  target_std_ = r.ReadF64();
+  DOT_RETURN_NOT_OK(denoiser_->Load(&r));
+  DOT_RETURN_NOT_OK(estimator_->module()->Load(&r));
+  stage1_trained_ = true;
+  stage2_trained_ = true;
+  return Status::OK();
+}
+
+Result<DotEstimate> DotOracle::Estimate(const OdtInput& odt) {
+  if (!stage1_trained_ || !stage2_trained_) {
+    return Status::FailedPrecondition("oracle not trained");
+  }
+  std::vector<Pit> pits = InferPits({odt});
+  DotEstimate est{EstimateFromPits(pits, {odt})[0], pits[0]};
+  return est;
+}
+
+}  // namespace dot

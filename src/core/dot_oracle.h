@@ -1,0 +1,156 @@
+// The DOT ODT-Oracle facade (paper Sec. 3.3): stage-1 conditioned
+// diffusion PiT inference + stage-2 MViT travel-time estimation, trained
+// separately (Sec. 5, last paragraph).
+
+#ifndef DOT_CORE_DOT_ORACLE_H_
+#define DOT_CORE_DOT_ORACLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/diffusion.h"
+#include "core/estimator.h"
+#include "core/unet.h"
+#include "eval/dataset.h"
+#include "geo/pit.h"
+#include "util/result.h"
+
+namespace dot {
+
+/// \brief Full configuration of a DOT oracle.
+struct DotConfig {
+  int64_t grid_size = 20;        ///< L_G (paper Table 2 optimum)
+  int64_t diffusion_steps = 1000;  ///< N
+  /// Strided DDIM evaluation steps at inference; diffusion_steps for the
+  /// paper's full ancestral process (see `ancestral_sampling`).
+  int64_t sample_steps = 25;
+  bool ancestral_sampling = false;  ///< Algorithm 1's step-by-step sampler
+
+  UnetConfig unet;              ///< levels = L_D
+  EstimatorConfig estimator;    ///< embed_dim = d_E, layers = L_E
+  EstimatorKind estimator_kind = EstimatorKind::kMvit;
+
+  /// Denoiser regression target. kEpsilon is the paper's Algorithm 2;
+  /// kX0 is its exact reparameterization (DDPM Sec. 3.2), which trains far
+  /// better at CPU scale (DESIGN.md §4b) and is therefore the default here.
+  Parameterization parameterization = Parameterization::kX0;
+
+  int64_t stage1_epochs = 4;
+  int64_t stage2_epochs = 8;
+  int64_t batch_size = 8;
+  float lr = 1e-3f;             ///< Adam, as in Sec. 6.3
+  /// Densify sparse GPS tracks when rasterizing PiTs (cells crossed between
+  /// consecutive samples are filled in).
+  bool pit_interpolate = true;
+  /// Mask-channel decision threshold applied to sampled PiTs (see
+  /// Pit::Canonicalize). Slightly negative recovers soft route cells.
+  float mask_threshold = -0.3f;
+  /// Fraction of the stage-2 training PiTs replaced by stage-1 *inferred*
+  /// PiTs (capped by stage2_inferred_cap). The estimator serves inferred
+  /// PiTs at query time; training on them closes the
+  /// ground-truth-vs-inferred distribution gap (the "inferred training set"
+  /// reading of Sec. 6.3) and measurably improves accuracy.
+  double stage2_inferred_fraction = 1.0;
+  int64_t stage2_inferred_cap = 800;
+  /// Enforce the PiT validity invariant on inferred PiTs: every real PiT
+  /// contains its origin and destination cells (the trajectory endpoints,
+  /// Def. 2), so mark them visited with offset -1/+1 if sampling missed
+  /// them.
+  bool augment_endpoints = true;
+  /// Early-stop stage 2 on this many inferred validation PiTs (0 = skip
+  /// early stopping).
+  int64_t val_samples = 64;
+
+  /// Condition ablations (Table 7): No-t drops the departure time, No-od
+  /// drops the endpoints, both off reproduces No-odt.
+  bool use_time_condition = true;
+  bool use_od_condition = true;
+
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// \brief An oracle answer: the travel time and the inferred PiT
+/// (the explainability output, Sec. 6.6).
+struct DotEstimate {
+  double minutes = 0;
+  Pit pit{1};
+};
+
+/// \brief Two-stage DOT model.
+class DotOracle {
+ public:
+  /// `grid` must cover the query area at config.grid_size resolution.
+  DotOracle(const DotConfig& config, const Grid& grid);
+
+  /// Stage 1 (Algorithm 2): trains the conditioned PiT denoiser on the
+  /// historical trajectories.
+  Status TrainStage1(const std::vector<TripSample>& train);
+
+  /// Stage 2 (Eq. 23): trains the PiT travel-time estimator on ground-truth
+  /// training PiTs, early-stopped on *inferred* validation PiTs as in
+  /// Sec. 6.3. Stage 1 must have been trained first.
+  Status TrainStage2(const std::vector<TripSample>& train,
+                     const std::vector<TripSample>& val);
+
+  /// Full oracle query (Eq. 1): odt -> (travel time, inferred PiT).
+  Result<DotEstimate> Estimate(const OdtInput& odt);
+
+  /// Stage-1 only: infers PiTs for a batch of queries.
+  std::vector<Pit> InferPits(const std::vector<OdtInput>& odts);
+
+  /// Stage-2 only: estimates minutes from already-inferred PiTs. `odts`
+  /// must be parallel to `pits` (the estimator's wide component reads the
+  /// query features; see EstimatorConfig::use_odt_features).
+  std::vector<double> EstimateFromPits(const std::vector<Pit>& pits,
+                                       const std::vector<OdtInput>& odts) const;
+
+  /// Rasterizes a trajectory on this oracle's grid (ground-truth PiT).
+  Pit GroundTruthPit(const Trajectory& t) const;
+
+  /// Encodes an ODT-Input honoring the condition ablation switches.
+  std::vector<float> EncodeCondition(const OdtInput& odt) const;
+
+  int64_t Stage1NumParams() const { return denoiser_->NumParams(); }
+  int64_t Stage2NumParams() const { return estimator_->module()->NumParams(); }
+  int64_t NumParams() const { return Stage1NumParams() + Stage2NumParams(); }
+
+  const DotConfig& config() const { return config_; }
+  const Grid& grid() const { return grid_; }
+  const UnetDenoiser& denoiser() const { return *denoiser_; }
+
+  /// Mean stage-1 training loss of the last epoch (diagnostics).
+  double last_stage1_loss() const { return last_stage1_loss_; }
+
+  /// Persists both stages plus target normalization. The loading oracle
+  /// must be constructed with an identical architecture config.
+  Status SaveFile(const std::string& path) const;
+  Status LoadFile(const std::string& path);
+
+  /// Stage-1-only checkpointing (the denoiser); lets callers iterate on
+  /// stage 2 / sampling without repeating the expensive diffusion training.
+  Status SaveStage1(const std::string& path) const;
+  Status LoadStage1(const std::string& path);
+
+  /// Copies `other`'s trained stage-1 denoiser weights into this oracle
+  /// (identical UNet architecture required). Used by the Table-7 ablations
+  /// that vary only the stage-2 estimator: the two stages are trained
+  /// separately (Sec. 5), so stage 1 can be shared.
+  Status AdoptStage1(const DotOracle& other);
+
+ private:
+  DotConfig config_;
+  Grid grid_;
+  Diffusion diffusion_;
+  std::unique_ptr<UnetDenoiser> denoiser_;
+  std::unique_ptr<PitEstimator> estimator_;
+  Rng rng_;
+  bool stage1_trained_ = false;
+  bool stage2_trained_ = false;
+  double target_mean_ = 0, target_std_ = 1;
+  double last_stage1_loss_ = 0;
+};
+
+}  // namespace dot
+
+#endif  // DOT_CORE_DOT_ORACLE_H_

@@ -1,0 +1,201 @@
+#include "core/estimator.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace dot {
+
+TransformerEstimator::TransformerEstimator(const EstimatorConfig& config,
+                                           bool masked, Rng* rng)
+    : config_(config), masked_(masked) {
+  int64_t cells = config.grid_size * config.grid_size;
+  pos_encoding_ = nn::SinusoidalEncoding(cells, config.embed_dim);
+  if (config.use_cell_embedding) {
+    cell_embedding_ = std::make_unique<nn::Embedding>(cells, config.embed_dim, rng);
+    RegisterModule("cell_embedding", cell_embedding_.get());
+  }
+  if (config.use_latent_cast) {
+    fc_st_ = std::make_unique<nn::Linear>(kPitChannels, config.embed_dim, rng);
+    RegisterModule("fc_st", fc_st_.get());
+  }
+  for (int64_t i = 0; i < config.layers; ++i) {
+    Layer layer;
+    layer.norm1 = std::make_unique<nn::LayerNorm>(config.embed_dim);
+    layer.norm2 = std::make_unique<nn::LayerNorm>(config.embed_dim);
+    layer.att = std::make_unique<nn::MultiheadAttention>(config.embed_dim,
+                                                         config.heads, rng);
+    layer.ffn = std::make_unique<nn::FeedForward>(
+        config.embed_dim, config.embed_dim * config.ffn_mult, rng);
+    std::string p = "layer" + std::to_string(i);
+    RegisterModule(p + ".norm1", layer.norm1.get());
+    RegisterModule(p + ".att", layer.att.get());
+    RegisterModule(p + ".norm2", layer.norm2.get());
+    RegisterModule(p + ".ffn", layer.ffn.get());
+    layers_.push_back(std::move(layer));
+  }
+  final_norm_ = std::make_unique<nn::LayerNorm>(config.embed_dim);
+  if (config.use_odt_features) {
+    odt_fc1_ = std::make_unique<nn::Linear>(kOdtFeatureDim, config.embed_dim, rng);
+    odt_fc2_ = std::make_unique<nn::Linear>(config.embed_dim, config.embed_dim, rng);
+    RegisterModule("odt_fc1", odt_fc1_.get());
+    RegisterModule("odt_fc2", odt_fc2_.get());
+  }
+  head_ = std::make_unique<nn::Linear>(config.embed_dim, 1, rng);
+  RegisterModule("final_norm", final_norm_.get());
+  RegisterModule("head", head_.get());
+}
+
+Tensor TransformerEstimator::ForwardOne(const Pit& pit,
+                                        const std::vector<double>* features) const {
+  DOT_CHECK(pit.grid_size() == config_.grid_size)
+      << "PiT size does not match estimator config";
+  int64_t l = config_.grid_size;
+  int64_t cells = l * l;
+  std::vector<int64_t> valid = pit.VisitedIndices();
+  // A degenerate inferred PiT with no visited cell falls back to the full
+  // grid so the model still produces an estimate.
+  if (valid.empty()) {
+    valid.resize(static_cast<size_t>(cells));
+    for (int64_t i = 0; i < cells; ++i) valid[static_cast<size_t>(i)] = i;
+  }
+
+  // Token ids for this sample: the packed valid cells (MViT) or every cell
+  // (vanilla ViT).
+  std::vector<int64_t> token_ids;
+  std::vector<float> key_bias;
+  if (masked_) {
+    token_ids = valid;
+  } else {
+    token_ids.resize(static_cast<size_t>(cells));
+    for (int64_t i = 0; i < cells; ++i) token_ids[static_cast<size_t>(i)] = i;
+    key_bias.assign(static_cast<size_t>(cells), -1e9f);
+    for (int64_t i : valid) key_bias[static_cast<size_t>(i)] = 0.0f;
+  }
+  int64_t n_tokens = static_cast<int64_t>(token_ids.size());
+
+  // Eq. 18: latent = E[cell] + PE(cell) + FC_ST(channels).
+  std::vector<float> channel_values(static_cast<size_t>(n_tokens * kPitChannels));
+  for (int64_t i = 0; i < n_tokens; ++i) {
+    int64_t idx = token_ids[static_cast<size_t>(i)];
+    int64_t row = idx / l, col = idx % l;
+    for (int64_t c = 0; c < kPitChannels; ++c) {
+      channel_values[static_cast<size_t>(i * kPitChannels + c)] =
+          pit.At(c, row, col);
+    }
+  }
+  Tensor latent;
+  if (fc_st_) {
+    latent = fc_st_->Forward(
+        Tensor::FromVector({n_tokens, kPitChannels}, std::move(channel_values)));
+  } else {
+    latent = Tensor::Zeros({n_tokens, config_.embed_dim});
+  }
+  latent = Add(latent, Rows(pos_encoding_, token_ids));
+  if (cell_embedding_) latent = Add(latent, cell_embedding_->Forward(token_ids));
+
+  // Pre-norm Transformer layers; attention is the masked scheme selected at
+  // construction.
+  Tensor x = Reshape(latent, {1, n_tokens, config_.embed_dim});
+  const std::vector<float>* bias = masked_ ? nullptr : &key_bias;
+  for (const auto& layer : layers_) {
+    x = Add(x, layer.att->Forward(layer.norm1->Forward(x), bias));
+    x = Add(x, layer.ffn->Forward(layer.norm2->Forward(x)));
+  }
+  x = final_norm_->Forward(x);
+
+  // Mean pooling over valid tokens only (Eq. 22). For ViT, gather the valid
+  // rows first so masked-out tokens do not contaminate the pool.
+  Tensor seq = Reshape(x, {n_tokens, config_.embed_dim});
+  if (!masked_) seq = Rows(seq, valid);
+  Tensor pooled = MeanAxis(seq, 0, /*keepdim=*/true);  // [1, d]
+  if (odt_fc1_ && features != nullptr) {
+    std::vector<float> f(features->begin(), features->end());
+    Tensor wide = Relu(odt_fc1_->Forward(
+        Tensor::FromVector({1, kOdtFeatureDim}, std::move(f))));
+    wide = Relu(odt_fc2_->Forward(wide));
+    pooled = Add(pooled, wide);
+  }
+  return head_->Forward(pooled);                       // [1, 1]
+}
+
+Tensor TransformerEstimator::ForwardBatch(
+    const std::vector<Pit>& pits,
+    const std::vector<std::vector<double>>& odt_features) const {
+  DOT_CHECK(!pits.empty()) << "empty PiT batch";
+  DOT_CHECK(odt_features.empty() || odt_features.size() == pits.size())
+      << "odt_features must be empty or parallel to pits";
+  std::vector<Tensor> outs;
+  outs.reserve(pits.size());
+  for (size_t i = 0; i < pits.size(); ++i) {
+    const std::vector<double>* f =
+        odt_features.empty() ? nullptr : &odt_features[i];
+    outs.push_back(ForwardOne(pits[i], f));
+  }
+  return Concat(outs, 0);  // [B, 1]
+}
+
+CnnEstimator::CnnEstimator(const EstimatorConfig& config, Rng* rng)
+    : config_(config) {
+  conv1_ = std::make_unique<nn::Conv2dLayer>(kPitChannels, 16, 3, 1, 1, rng);
+  conv2_ = std::make_unique<nn::Conv2dLayer>(16, 32, 3, 1, 1, rng);
+  if (config.use_odt_features) {
+    odt_fc1_ = std::make_unique<nn::Linear>(kOdtFeatureDim, 32, rng);
+    odt_fc2_ = std::make_unique<nn::Linear>(32, 32, rng);
+    RegisterModule("odt_fc1", odt_fc1_.get());
+    RegisterModule("odt_fc2", odt_fc2_.get());
+  }
+  head_ = std::make_unique<nn::Linear>(32, 1, rng);
+  RegisterModule("conv1", conv1_.get());
+  RegisterModule("conv2", conv2_.get());
+  RegisterModule("head", head_.get());
+}
+
+Tensor CnnEstimator::ForwardBatch(
+    const std::vector<Pit>& pits,
+    const std::vector<std::vector<double>>& odt_features) const {
+  DOT_CHECK(!pits.empty()) << "empty PiT batch";
+  DOT_CHECK(odt_features.empty() || odt_features.size() == pits.size())
+      << "odt_features must be empty or parallel to pits";
+  int64_t b = static_cast<int64_t>(pits.size());
+  int64_t l = config_.grid_size;
+  Tensor x = Tensor::Empty({b, kPitChannels, l, l});
+  int64_t per = kPitChannels * l * l;
+  for (int64_t i = 0; i < b; ++i) {
+    DOT_CHECK(pits[static_cast<size_t>(i)].grid_size() == l) << "PiT size mismatch";
+    const Tensor& t = pits[static_cast<size_t>(i)].tensor();
+    std::copy(t.data(), t.data() + per, x.data() + i * per);
+  }
+  Tensor h = Gelu(conv1_->Forward(x));
+  if (h.size(2) % 2 == 0) h = AvgPool2d(h);
+  h = Gelu(conv2_->Forward(h));
+  // Global average pool -> [B, C].
+  h = MeanAxis(MeanAxis(h, 3), 2);
+  if (odt_fc1_ && !odt_features.empty()) {
+    std::vector<float> f;
+    f.reserve(static_cast<size_t>(b * kOdtFeatureDim));
+    for (const auto& row : odt_features) {
+      for (double v : row) f.push_back(static_cast<float>(v));
+    }
+    Tensor wide = Relu(odt_fc1_->Forward(
+        Tensor::FromVector({b, kOdtFeatureDim}, std::move(f))));
+    wide = Relu(odt_fc2_->Forward(wide));
+    h = Add(h, wide);
+  }
+  return head_->Forward(h);  // [B, 1]
+}
+
+std::unique_ptr<PitEstimator> MakeEstimator(EstimatorKind kind,
+                                            const EstimatorConfig& config,
+                                            Rng* rng) {
+  switch (kind) {
+    case EstimatorKind::kMvit:
+      return std::make_unique<TransformerEstimator>(config, /*masked=*/true, rng);
+    case EstimatorKind::kVit:
+      return std::make_unique<TransformerEstimator>(config, /*masked=*/false, rng);
+    case EstimatorKind::kCnn:
+      return std::make_unique<CnnEstimator>(config, rng);
+  }
+  return nullptr;
+}
+
+}  // namespace dot

@@ -1,0 +1,129 @@
+// Stage-2 travel-time estimators over (inferred) PiTs (paper Sec. 5):
+// the Masked Vision Transformer (MViT), the vanilla ViT it is compared
+// against, and the CNN ablation (Est-CNN, Table 7).
+
+#ifndef DOT_CORE_ESTIMATOR_H_
+#define DOT_CORE_ESTIMATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "geo/pit.h"
+#include "tensor/nn.h"
+
+namespace dot {
+
+/// Which stage-2 estimator to build.
+enum class EstimatorKind {
+  kMvit,  ///< masked attention over valid cells only (Fig. 7b)
+  kVit,   ///< full attention with a -inf mask (Fig. 7a)
+  kCnn,   ///< convolutional ablation (Table 7, Est-CNN)
+};
+
+/// \brief Hyper-parameters of the stage-2 estimator.
+struct EstimatorConfig {
+  int64_t grid_size = 20;  ///< L_G
+  int64_t embed_dim = 64;  ///< d_E (paper Table 2)
+  int64_t layers = 2;      ///< L_E
+  int64_t heads = 2;
+  int64_t ffn_mult = 2;
+  /// Ablations (Table 7): No-CE removes the cell-embedding module; No-ST
+  /// removes the latent casting of the three PiT channels.
+  bool use_cell_embedding = true;
+  bool use_latent_cast = true;
+  /// Wide component: fuse the engineered query features (OdtFeatures) into
+  /// the pooled representation before the head. The paper's estimator uses
+  /// the PiT alone — affordable when inferred routes are near-perfect; at
+  /// CPU-scale stage-1 quality the explicit query features recover the
+  /// remaining signal (DESIGN.md §4b).
+  bool use_odt_features = true;
+};
+
+/// Number of engineered query features (see OdtFeatures in baselines; the
+/// estimator receives the same vector).
+inline constexpr int64_t kOdtFeatureDim = 7;
+
+/// \brief Common interface: PiT batch -> normalized travel-time predictions.
+class PitEstimator {
+ public:
+  virtual ~PitEstimator() = default;
+
+  /// Returns [B, 1] predictions in normalized target space; the returned
+  /// tensor is autograd-attached so callers can backprop a loss through it.
+  /// `odt_features` is one kOdtFeatureDim vector per PiT (pass {} when the
+  /// wide component is disabled).
+  virtual Tensor ForwardBatch(
+      const std::vector<Pit>& pits,
+      const std::vector<std::vector<double>>& odt_features) const = 0;
+
+  /// The underlying trainable module.
+  virtual nn::Module* module() = 0;
+  virtual const nn::Module* module() const = 0;
+};
+
+/// \brief Transformer estimator; `masked` selects MViT vs vanilla ViT.
+///
+/// Both share the token construction of Eq. 17/18: per-cell latent =
+/// cell embedding + positional encoding + FC_ST(channels). MViT packs the
+/// valid cells into a short sequence (computation scales with the number of
+/// visited cells); ViT attends over all L_G^2 tokens with invalid keys
+/// masked out. Their outputs agree up to float rounding (property-tested).
+class TransformerEstimator : public nn::Module, public PitEstimator {
+ public:
+  TransformerEstimator(const EstimatorConfig& config, bool masked, Rng* rng);
+
+  Tensor ForwardBatch(const std::vector<Pit>& pits,
+                      const std::vector<std::vector<double>>& odt_features)
+      const override;
+  nn::Module* module() override { return this; }
+  const nn::Module* module() const override { return this; }
+
+  bool masked() const { return masked_; }
+  const EstimatorConfig& config() const { return config_; }
+
+ private:
+  Tensor ForwardOne(const Pit& pit, const std::vector<double>* features) const;
+
+  EstimatorConfig config_;
+  bool masked_;
+  Tensor pos_encoding_;  // [L^2, d_E], constant (Eq. 12 applied to positions)
+  std::unique_ptr<nn::Embedding> cell_embedding_;  // E, Eq. 18
+  std::unique_ptr<nn::Linear> fc_st_;              // FC_ST: R^3 -> R^dE
+
+  struct Layer {
+    std::unique_ptr<nn::LayerNorm> norm1, norm2;
+    std::unique_ptr<nn::MultiheadAttention> att;
+    std::unique_ptr<nn::FeedForward> ffn;
+  };
+  std::vector<Layer> layers_;
+  std::unique_ptr<nn::LayerNorm> final_norm_;
+  std::unique_ptr<nn::Linear> odt_fc1_, odt_fc2_;  // wide component (optional)
+  std::unique_ptr<nn::Linear> head_;               // FC_pre, Eq. 22
+};
+
+/// \brief CNN baseline estimator (Est-CNN): stacked conv + pooling + head.
+class CnnEstimator : public nn::Module, public PitEstimator {
+ public:
+  CnnEstimator(const EstimatorConfig& config, Rng* rng);
+
+  Tensor ForwardBatch(const std::vector<Pit>& pits,
+                      const std::vector<std::vector<double>>& odt_features)
+      const override;
+  nn::Module* module() override { return this; }
+  const nn::Module* module() const override { return this; }
+
+ private:
+  EstimatorConfig config_;
+  std::unique_ptr<nn::Conv2dLayer> conv1_, conv2_;
+  std::unique_ptr<nn::Linear> odt_fc1_, odt_fc2_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+/// Factory over EstimatorKind.
+std::unique_ptr<PitEstimator> MakeEstimator(EstimatorKind kind,
+                                            const EstimatorConfig& config,
+                                            Rng* rng);
+
+}  // namespace dot
+
+#endif  // DOT_CORE_ESTIMATOR_H_

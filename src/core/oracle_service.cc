@@ -1,0 +1,55 @@
+#include "core/oracle_service.h"
+
+namespace dot {
+
+OracleService::OracleService(DotOracle* oracle, OracleServiceConfig config)
+    : oracle_(oracle), config_(config) {}
+
+int64_t OracleService::BucketOf(const OdtInput& odt) const {
+  const Grid& grid = oracle_->grid();
+  int64_t o = grid.CellIndex(grid.Locate(odt.origin));
+  int64_t d = grid.CellIndex(grid.Locate(odt.destination));
+  int64_t slot = SecondsOfDay(odt.departure_time) * config_.tod_slots / 86400;
+  return (o * grid.num_cells() + d) * config_.tod_slots + slot;
+}
+
+Result<DotEstimate> OracleService::Query(const OdtInput& odt) {
+  ++stats_.queries;
+  int64_t bucket = BucketOf(odt);
+  auto it = cache_.find(bucket);
+  if (it != cache_.end()) {
+    ++stats_.cache_hits;
+    DotEstimate est{oracle_->EstimateFromPits({it->second}, {odt})[0],
+                    it->second};
+    return est;
+  }
+  Result<DotEstimate> est = oracle_->Estimate(odt);
+  if (!est.ok()) return est;
+  if (static_cast<int64_t>(cache_.size()) >= config_.max_entries) cache_.clear();
+  cache_.emplace(bucket, est->pit);
+  return est;
+}
+
+Status OracleService::Warm(const std::vector<OdtInput>& odts) {
+  // Deduplicate buckets, then batch-infer the missing ones.
+  std::vector<OdtInput> missing;
+  std::vector<int64_t> buckets;
+  for (const auto& odt : odts) {
+    int64_t bucket = BucketOf(odt);
+    if (cache_.count(bucket)) continue;
+    bool queued = false;
+    for (int64_t b : buckets) queued = queued || b == bucket;
+    if (queued) continue;
+    missing.push_back(odt);
+    buckets.push_back(bucket);
+  }
+  if (missing.empty()) return Status::OK();
+  std::vector<Pit> pits = oracle_->InferPits(missing);
+  for (size_t i = 0; i < pits.size(); ++i) {
+    if (static_cast<int64_t>(cache_.size()) >= config_.max_entries) break;
+    cache_.emplace(buckets[i], std::move(pits[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace dot

@@ -1,0 +1,65 @@
+// A thin serving layer over DotOracle for map-based services: queries are
+// bucketed by (origin cell, destination cell, time-of-day slot) and the
+// inferred PiT of a bucket is cached, so repeated queries for the same OD
+// neighborhood skip the diffusion sampling entirely (the expensive part of
+// Table 5's estimation cost).
+
+#ifndef DOT_CORE_ORACLE_SERVICE_H_
+#define DOT_CORE_ORACLE_SERVICE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/dot_oracle.h"
+
+namespace dot {
+
+/// \brief Caching configuration.
+struct OracleServiceConfig {
+  /// Time-of-day slots per day used in the cache key (48 = 30-minute bins).
+  int64_t tod_slots = 48;
+  /// Maximum cached buckets; the cache is cleared wholesale when exceeded
+  /// (simple and allocation-friendly; typical working sets fit easily).
+  int64_t max_entries = 200000;
+};
+
+/// \brief Query statistics of an OracleService.
+struct OracleServiceStats {
+  int64_t queries = 0;
+  int64_t cache_hits = 0;
+  double hit_rate() const {
+    return queries > 0 ? static_cast<double>(cache_hits) /
+                             static_cast<double>(queries)
+                       : 0.0;
+  }
+};
+
+/// \brief Bucketed-cache front end for a trained DotOracle.
+class OracleService {
+ public:
+  /// `oracle` must be trained and outlive the service.
+  OracleService(DotOracle* oracle, OracleServiceConfig config = {});
+
+  /// Answers a query, reusing the bucket's cached PiT when available.
+  Result<DotEstimate> Query(const OdtInput& odt);
+
+  /// Pre-computes the buckets for a set of expected queries (e.g. a
+  /// morning's dispatch plan) so later Query calls are cache hits.
+  Status Warm(const std::vector<OdtInput>& odts);
+
+  const OracleServiceStats& stats() const { return stats_; }
+  int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
+  void ClearCache() { cache_.clear(); }
+
+ private:
+  int64_t BucketOf(const OdtInput& odt) const;
+
+  DotOracle* oracle_;
+  OracleServiceConfig config_;
+  std::unordered_map<int64_t, Pit> cache_;
+  OracleServiceStats stats_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_CORE_ORACLE_SERVICE_H_

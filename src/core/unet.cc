@@ -1,0 +1,232 @@
+#include "core/unet.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace dot {
+
+namespace {
+
+// Groups are chosen so each group spans >= 4 channels: normalization over a
+// single channel would cancel the per-channel conditioning shift of Eq. 15.
+int64_t GroupsFor(int64_t channels) {
+  for (int64_t g : {8, 4, 2}) {
+    if (channels % g == 0 && channels / g >= 4) return g;
+  }
+  return 1;
+}
+
+/// Crops an NCHW tensor's spatial dims down to (h, w).
+Tensor CropTo(const Tensor& x, int64_t h, int64_t w) {
+  Tensor out = x;
+  if (out.size(2) > h) out = Slice(out, 2, 0, h);
+  if (out.size(3) > w) out = Slice(out, 3, 0, w);
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+
+OCConv::OCConv(int64_t in_channels, int64_t out_channels, int64_t cond_dim,
+               Rng* rng)
+    : conv_in_(in_channels, in_channels, 3, 1, 1, rng),
+      fc_cond_(cond_dim, in_channels, rng),
+      norm1_(in_channels, GroupsFor(in_channels)),
+      norm2_(out_channels, GroupsFor(out_channels)),
+      conv1_(in_channels, out_channels, 3, 1, 1, rng),
+      conv2_(out_channels, out_channels, 3, 1, 1, rng),
+      res_(in_channels, out_channels, 1, 1, 0, rng) {
+  RegisterModule("conv_in", &conv_in_);
+  RegisterModule("fc_cond", &fc_cond_);
+  RegisterModule("norm1", &norm1_);
+  RegisterModule("norm2", &norm2_);
+  RegisterModule("conv1", &conv1_);
+  RegisterModule("conv2", &conv2_);
+  RegisterModule("res", &res_);
+}
+
+Tensor OCConv::Forward(const Tensor& x, const Tensor& cond) const {
+  // Eq. 14: dimension-preserving convolution (with a pre-normalization for
+  // training stability; normalizing *after* the conditioning would cancel
+  // the channel-wise shift of Eq. 15).
+  Tensor h = conv_in_.Forward(norm1_.Forward(x));
+  // Eq. 15: add the conditioned vector to every pixel, channel-wise.
+  Tensor c = fc_cond_.Forward(cond);                    // [B, C_in]
+  c = Reshape(c, {c.size(0), c.size(1), 1, 1});         // broadcast over H, W
+  h = Add(h, c);
+  // Eq. 16: two-layer convolution with GELU, plus the residual projection.
+  h = conv1_.Forward(Gelu(h));
+  h = conv2_.Forward(Gelu(norm2_.Forward(h)));
+  return Add(h, res_.Forward(x));
+}
+
+SpatialAttention::SpatialAttention(int64_t channels, int64_t heads, Rng* rng)
+    : norm_(channels, GroupsFor(channels)), att_(channels, heads, rng) {
+  RegisterModule("norm", &norm_);
+  RegisterModule("att", &att_);
+}
+
+Tensor SpatialAttention::Forward(const Tensor& x) const {
+  int64_t b = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  Tensor seq = Reshape(norm_.Forward(x), {b, c, h * w});
+  seq = Permute(seq, {0, 2, 1});  // [B, HW, C]
+  seq = att_.Forward(seq);
+  seq = Permute(seq, {0, 2, 1});
+  return Add(x, Reshape(seq, {b, c, h, w}));
+}
+
+}  // namespace internal
+
+UnetDenoiser::UnetDenoiser(const UnetConfig& config, Rng* rng) : config_(config) {
+  step_encoding_ = nn::SinusoidalEncoding(config.max_steps, config.cond_dim);
+  fc_od_ = std::make_unique<nn::Linear>(5, config.cond_dim, rng);
+  RegisterModule("fc_od", fc_od_.get());
+
+  std::vector<int64_t> ch(static_cast<size_t>(config.levels) + 1);
+  for (int64_t i = 0; i <= config.levels; ++i) {
+    ch[static_cast<size_t>(i)] = config.base_channels << i;
+  }
+
+  int64_t stem_in = config.in_channels + (config.spatial_condition ? 3 : 0);
+  stem_ = std::make_unique<nn::Conv2dLayer>(stem_in, ch[0], 3, 1, 1, rng);
+  RegisterModule("stem", stem_.get());
+
+  for (int64_t i = 0; i < config.levels; ++i) {
+    DownLevel level;
+    level.block1 = std::make_unique<internal::OCConv>(
+        ch[static_cast<size_t>(i)], ch[static_cast<size_t>(i)], config.cond_dim, rng);
+    level.block2 = std::make_unique<internal::OCConv>(
+        ch[static_cast<size_t>(i)], ch[static_cast<size_t>(i)], config.cond_dim, rng);
+    level.att = std::make_unique<internal::SpatialAttention>(
+        ch[static_cast<size_t>(i)], config.heads, rng);
+    level.down = std::make_unique<nn::Conv2dLayer>(
+        ch[static_cast<size_t>(i)], ch[static_cast<size_t>(i + 1)], 3, 2, 1, rng);
+    std::string p = "down" + std::to_string(i);
+    RegisterModule(p + ".block1", level.block1.get());
+    RegisterModule(p + ".block2", level.block2.get());
+    RegisterModule(p + ".att", level.att.get());
+    RegisterModule(p + ".down", level.down.get());
+    down_.push_back(std::move(level));
+  }
+
+  int64_t cm = ch[static_cast<size_t>(config.levels)];
+  mid1_ = std::make_unique<internal::OCConv>(cm, cm, config.cond_dim, rng);
+  mid_att_ = std::make_unique<internal::SpatialAttention>(cm, config.heads, rng);
+  mid2_ = std::make_unique<internal::OCConv>(cm, cm, config.cond_dim, rng);
+  RegisterModule("mid1", mid1_.get());
+  RegisterModule("mid_att", mid_att_.get());
+  RegisterModule("mid2", mid2_.get());
+
+  for (int64_t i = config.levels - 1; i >= 0; --i) {
+    UpLevel level;
+    level.up_conv = std::make_unique<nn::Conv2dLayer>(
+        ch[static_cast<size_t>(i + 1)], ch[static_cast<size_t>(i)], 3, 1, 1, rng);
+    level.block1 = std::make_unique<internal::OCConv>(
+        2 * ch[static_cast<size_t>(i)], ch[static_cast<size_t>(i)], config.cond_dim,
+        rng);
+    level.block2 = std::make_unique<internal::OCConv>(
+        ch[static_cast<size_t>(i)], ch[static_cast<size_t>(i)], config.cond_dim, rng);
+    level.att = std::make_unique<internal::SpatialAttention>(
+        ch[static_cast<size_t>(i)], config.heads, rng);
+    std::string p = "up" + std::to_string(i);
+    RegisterModule(p + ".up_conv", level.up_conv.get());
+    RegisterModule(p + ".block1", level.block1.get());
+    RegisterModule(p + ".block2", level.block2.get());
+    RegisterModule(p + ".att", level.att.get());
+    up_.push_back(std::move(level));
+  }
+
+  out_norm_ = std::make_unique<nn::GroupNorm>(ch[0], GroupsFor(ch[0]));
+  out_conv_ = std::make_unique<nn::Conv2dLayer>(ch[0], config.in_channels, 3, 1, 1,
+                                                rng);
+  RegisterModule("out_norm", out_norm_.get());
+  RegisterModule("out_conv", out_conv_.get());
+}
+
+Tensor UnetDenoiser::SpatialCondition(const Tensor& cond, int64_t h,
+                                      int64_t w) const {
+  int64_t b = cond.size(0);
+  Tensor maps = Tensor::Zeros({b, 3, h, w});
+  for (int64_t i = 0; i < b; ++i) {
+    const float* c = cond.data() + i * 5;
+    float* base = maps.data() + i * 3 * h * w;
+    // Channels 0/1: Gaussian blobs (sigma = 1 cell) at origin/destination.
+    for (int64_t which = 0; which < 2; ++which) {
+      double cx = (static_cast<double>(c[2 * which]) + 1.0) / 2.0 *
+                  static_cast<double>(w - 1);
+      double cy = (static_cast<double>(c[2 * which + 1]) + 1.0) / 2.0 *
+                  static_cast<double>(h - 1);
+      float* plane = base + which * h * w;
+      for (int64_t r = 0; r < h; ++r) {
+        for (int64_t col = 0; col < w; ++col) {
+          double dx = static_cast<double>(col) - cx;
+          double dy = static_cast<double>(r) - cy;
+          plane[r * w + col] =
+              static_cast<float>(std::exp(-0.5 * (dx * dx + dy * dy)));
+        }
+      }
+    }
+    // Channel 2: constant normalized time-of-day plane.
+    std::fill(base + 2 * h * w, base + 3 * h * w, c[4]);
+  }
+  return maps;
+}
+
+Tensor UnetDenoiser::CondVector(const std::vector<int64_t>& steps,
+                                const Tensor& cond) const {
+  for (int64_t s : steps) {
+    DOT_CHECK(s >= 0 && s < config_.max_steps) << "step index out of range";
+  }
+  Tensor pe = Rows(step_encoding_, steps);  // constant: no grad flows into it
+  return Add(pe, fc_od_->Forward(cond));    // PE(n) + FC_OD(odt), Eq. 15
+}
+
+Tensor UnetDenoiser::PredictNoise(const Tensor& x,
+                                  const std::vector<int64_t>& steps,
+                                  const Tensor& cond) const {
+  DOT_CHECK(x.dim() == 4) << "denoiser expects [B, C, L, L]";
+  DOT_CHECK(cond.dim() == 2 && cond.size(1) == 5) << "cond must be [B, 5]";
+  Tensor cvec = CondVector(steps, cond);
+
+  Tensor inp = x;
+  if (config_.spatial_condition) {
+    inp = Concat({x, SpatialCondition(cond, x.size(2), x.size(3))}, 1);
+  }
+  Tensor h = stem_->Forward(inp);
+  std::vector<Tensor> skips;
+  for (const auto& level : down_) {
+    h = level.block1->Forward(h, cvec);
+    h = level.block2->Forward(h, cvec);
+    if (h.size(2) * h.size(3) <= config_.attention_max_hw) {
+      h = level.att->Forward(h);
+    }
+    skips.push_back(h);
+    h = level.down->Forward(h);
+  }
+
+  h = mid1_->Forward(h, cvec);
+  if (h.size(2) * h.size(3) <= config_.attention_max_hw) {
+    h = mid_att_->Forward(h);
+  }
+  h = mid2_->Forward(h, cvec);
+
+  for (size_t i = 0; i < up_.size(); ++i) {
+    const auto& level = up_[i];
+    const Tensor& skip = skips[skips.size() - 1 - i];
+    h = level.up_conv->Forward(UpsampleNearest2x(h));
+    h = CropTo(h, skip.size(2), skip.size(3));
+    h = Concat({h, skip}, 1);
+    h = level.block1->Forward(h, cvec);
+    h = level.block2->Forward(h, cvec);
+    if (h.size(2) * h.size(3) <= config_.attention_max_hw) {
+      h = level.att->Forward(h);
+    }
+  }
+
+  return out_conv_->Forward(Gelu(out_norm_->Forward(h)));
+}
+
+}  // namespace dot

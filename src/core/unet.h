@@ -1,0 +1,113 @@
+// The conditioned PiT denoiser (paper Sec. 4.2, Fig. 6): a UNet whose
+// OCConv blocks fuse the ODT-Input condition and the diffusion-step
+// encoding into every level.
+
+#ifndef DOT_CORE_UNET_H_
+#define DOT_CORE_UNET_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/diffusion.h"
+#include "tensor/nn.h"
+
+namespace dot {
+
+/// \brief Hyper-parameters of the denoiser.
+struct UnetConfig {
+  int64_t in_channels = 3;   ///< PiT channels
+  int64_t base_channels = 16;
+  int64_t levels = 3;        ///< L_D down-sampling blocks (paper Table 2)
+  int64_t cond_dim = 64;     ///< d in Eq. 12/13
+  int64_t heads = 2;         ///< attention heads
+  /// Self-attention is applied in blocks whose H*W is at most this (the
+  /// standard DDPM practice of attending at coarse resolutions; full
+  /// attention at the native PiT resolution is prohibitively slow on CPU).
+  int64_t attention_max_hw = 160;
+  int64_t max_steps = 1000;  ///< size of the step-encoding table (>= N)
+  /// When set (default), the ODT-Input is additionally rendered as three
+  /// spatial channels concatenated to the noisy PiT: Gaussian blobs at the
+  /// origin and destination cells plus a constant time-of-day plane. The
+  /// paper's global FC_OD pathway (Eq. 13/15) is kept either way; the
+  /// spatial channels give the small CPU-scale UNet a localized view of the
+  /// endpoints that the full-scale model learns from data (DESIGN.md).
+  bool spatial_condition = true;
+};
+
+namespace internal {
+
+/// \brief ODT-Input Conditioned Convolutional module (Fig. 6b, Eq. 14-16).
+///
+/// GroupNorm layers are inserted before the activations for training
+/// stability (the paper's ConvNeXt backbone normalizes likewise).
+class OCConv : public nn::Module {
+ public:
+  OCConv(int64_t in_channels, int64_t out_channels, int64_t cond_dim, Rng* rng);
+
+  /// x: [B, C_in, H, W], cond: [B, cond_dim] -> [B, C_out, H, W].
+  Tensor Forward(const Tensor& x, const Tensor& cond) const;
+
+ private:
+  nn::Conv2dLayer conv_in_;    // Eq. 14: dimension-preserving Conv2D
+  nn::Linear fc_cond_;         // Eq. 15: FC_Cond
+  nn::GroupNorm norm1_, norm2_;
+  nn::Conv2dLayer conv1_, conv2_;  // Eq. 16 two-layer conv with activation
+  nn::Conv2dLayer res_;        // Eq. 16 ResConv (1x1)
+};
+
+/// \brief Spatial self-attention over an NCHW feature map.
+class SpatialAttention : public nn::Module {
+ public:
+  SpatialAttention(int64_t channels, int64_t heads, Rng* rng);
+
+  Tensor Forward(const Tensor& x) const;  ///< residual attention
+
+ private:
+  nn::GroupNorm norm_;
+  nn::MultiheadAttention att_;
+};
+
+}  // namespace internal
+
+/// \brief The conditioned PiT denoiser epsilon_theta(X_n, n, odt).
+class UnetDenoiser : public nn::Module, public NoisePredictor {
+ public:
+  UnetDenoiser(const UnetConfig& config, Rng* rng);
+
+  /// NoisePredictor: x [B, C, L, L], per-sample 0-based steps, cond [B, 5].
+  Tensor PredictNoise(const Tensor& x, const std::vector<int64_t>& steps,
+                      const Tensor& cond) const override;
+
+  const UnetConfig& config() const { return config_; }
+
+ private:
+  Tensor CondVector(const std::vector<int64_t>& steps, const Tensor& cond) const;
+  /// Rasterizes the ODT condition into [B, 3, h, w] spatial planes.
+  Tensor SpatialCondition(const Tensor& cond, int64_t h, int64_t w) const;
+
+  UnetConfig config_;
+  Tensor step_encoding_;  // [max_steps, cond_dim], constant (Eq. 12)
+  std::unique_ptr<nn::Linear> fc_od_;  // Eq. 13
+  std::unique_ptr<nn::Conv2dLayer> stem_;
+
+  struct DownLevel {
+    std::unique_ptr<internal::OCConv> block1, block2;
+    std::unique_ptr<internal::SpatialAttention> att;  // null if disabled
+    std::unique_ptr<nn::Conv2dLayer> down;            // stride-2
+  };
+  struct UpLevel {
+    std::unique_ptr<nn::Conv2dLayer> up_conv;  // after nearest upsample
+    std::unique_ptr<internal::OCConv> block1, block2;
+    std::unique_ptr<internal::SpatialAttention> att;
+  };
+  std::vector<DownLevel> down_;
+  std::unique_ptr<internal::OCConv> mid1_, mid2_;
+  std::unique_ptr<internal::SpatialAttention> mid_att_;
+  std::vector<UpLevel> up_;
+  std::unique_ptr<nn::GroupNorm> out_norm_;
+  std::unique_ptr<nn::Conv2dLayer> out_conv_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_CORE_UNET_H_

@@ -1,0 +1,67 @@
+#include "eval/dataset.h"
+
+#include <algorithm>
+
+namespace dot {
+
+std::vector<TripSample> ToSamples(const std::vector<SimulatedTrip>& trips,
+                                  const TrajectoryFilter& filter) {
+  std::vector<TripSample> samples;
+  samples.reserve(trips.size());
+  for (const auto& trip : trips) {
+    if (!filter.Keep(trip.trajectory)) continue;
+    TripSample s;
+    s.trajectory = trip.trajectory;
+    s.odt = trip.odt;
+    s.travel_time_minutes =
+        static_cast<double>(trip.trajectory.DurationSeconds()) / 60.0;
+    s.is_outlier = trip.is_outlier;
+    s.edge_path = trip.edge_path;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+DatasetSplit ChronologicalSplit(std::vector<TripSample> samples, double train_frac,
+                                double val_frac) {
+  std::sort(samples.begin(), samples.end(),
+            [](const TripSample& a, const TripSample& b) {
+              return a.odt.departure_time < b.odt.departure_time;
+            });
+  DatasetSplit split;
+  size_t n = samples.size();
+  size_t n_train = static_cast<size_t>(static_cast<double>(n) * train_frac);
+  size_t n_val = static_cast<size_t>(static_cast<double>(n) * val_frac);
+  for (size_t i = 0; i < n; ++i) {
+    if (i < n_train) {
+      split.train.push_back(std::move(samples[i]));
+    } else if (i < n_train + n_val) {
+      split.val.push_back(std::move(samples[i]));
+    } else {
+      split.test.push_back(std::move(samples[i]));
+    }
+  }
+  return split;
+}
+
+BenchmarkDataset BuildDataset(const City& city, const TripConfig& trips,
+                              uint64_t seed, const std::string& name) {
+  BenchmarkDataset ds;
+  ds.name = name;
+  ds.city = &city;
+  TripGenerator gen(&city, seed);
+  std::vector<SimulatedTrip> raw = gen.Generate(trips);
+  TrajectoryFilter filter;
+  ds.split = ChronologicalSplit(ToSamples(raw, filter));
+  ds.area = city.network().Bounds().Inflated(0.03);
+  return ds;
+}
+
+std::vector<Trajectory> TrajectoriesOf(const std::vector<TripSample>& samples) {
+  std::vector<Trajectory> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.trajectory);
+  return out;
+}
+
+}  // namespace dot

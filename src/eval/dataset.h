@@ -1,0 +1,63 @@
+// Dataset assembly: simulated trips -> filtered samples -> chronological
+// train/validation/test split (8:1:1, Sec. 6.3).
+
+#ifndef DOT_EVAL_DATASET_H_
+#define DOT_EVAL_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/trajectory.h"
+#include "sim/city.h"
+#include "sim/trips.h"
+#include "util/result.h"
+
+namespace dot {
+
+/// \brief One supervised example for an ODT-Oracle.
+struct TripSample {
+  Trajectory trajectory;
+  OdtInput odt;
+  double travel_time_minutes = 0;
+  bool is_outlier = false;             ///< simulator ground truth
+  std::vector<int64_t> edge_path;      ///< simulator ground truth route
+};
+
+/// \brief Chronological 8:1:1 split.
+struct DatasetSplit {
+  std::vector<TripSample> train;
+  std::vector<TripSample> val;
+  std::vector<TripSample> test;
+};
+
+/// Converts simulated trips into samples, dropping those rejected by the
+/// preprocessing filter (Sec. 6.1).
+std::vector<TripSample> ToSamples(const std::vector<SimulatedTrip>& trips,
+                                  const TrajectoryFilter& filter);
+
+/// Sorts by departure time and splits train/val/test by the given fractions.
+DatasetSplit ChronologicalSplit(std::vector<TripSample> samples,
+                                double train_frac = 0.8, double val_frac = 0.1);
+
+/// \brief A fully assembled benchmark dataset: city + split + grid box.
+struct BenchmarkDataset {
+  std::string name;
+  const City* city = nullptr;  ///< not owned
+  DatasetSplit split;
+  BoundingBox area;  ///< grid area (city bounds, slightly inflated)
+
+  /// Grid over the dataset area at the requested resolution (L_G).
+  Result<Grid> MakeGrid(int64_t grid_size) const { return Grid::Make(area, grid_size); }
+};
+
+/// Generates, filters, and splits a dataset for `city`.
+BenchmarkDataset BuildDataset(const City& city, const TripConfig& trips,
+                              uint64_t seed, const std::string& name);
+
+/// Plain trajectories of a sample vector (for SegmentStats etc.).
+std::vector<Trajectory> TrajectoriesOf(const std::vector<TripSample>& samples);
+
+}  // namespace dot
+
+#endif  // DOT_EVAL_DATASET_H_

@@ -1,0 +1,28 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+namespace dot {
+
+void MetricsAccumulator::Add(double predicted, double truth) {
+  double err = predicted - truth;
+  sq_sum_ += err * err;
+  abs_sum_ += std::fabs(err);
+  if (std::fabs(truth) > 1e-9) {
+    ape_sum_ += std::fabs(err) / std::fabs(truth);
+    ++ape_count_;
+  }
+  ++count_;
+}
+
+RegressionMetrics MetricsAccumulator::Finalize() const {
+  RegressionMetrics m;
+  m.count = count_;
+  if (count_ == 0) return m;
+  m.rmse = std::sqrt(sq_sum_ / static_cast<double>(count_));
+  m.mae = abs_sum_ / static_cast<double>(count_);
+  m.mape = ape_count_ > 0 ? 100.0 * ape_sum_ / static_cast<double>(ape_count_) : 0;
+  return m;
+}
+
+}  // namespace dot

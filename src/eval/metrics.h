@@ -1,0 +1,40 @@
+// Regression metrics used throughout the evaluation (RMSE / MAE / MAPE,
+// Sec. 6.3).
+
+#ifndef DOT_EVAL_METRICS_H_
+#define DOT_EVAL_METRICS_H_
+
+#include <cstdint>
+
+namespace dot {
+
+/// \brief RMSE / MAE / MAPE over accumulated (prediction, truth) pairs.
+struct RegressionMetrics {
+  double rmse = 0;  ///< minutes
+  double mae = 0;   ///< minutes
+  double mape = 0;  ///< percent
+  int64_t count = 0;
+};
+
+/// \brief Streaming accumulator for RegressionMetrics.
+class MetricsAccumulator {
+ public:
+  /// Adds one (prediction, ground truth) pair, both in minutes. Pairs with
+  /// truth <= epsilon are excluded from MAPE (division guard).
+  void Add(double predicted, double truth);
+
+  RegressionMetrics Finalize() const;
+
+  int64_t count() const { return count_; }
+
+ private:
+  double sq_sum_ = 0;
+  double abs_sum_ = 0;
+  double ape_sum_ = 0;
+  int64_t ape_count_ = 0;
+  int64_t count_ = 0;
+};
+
+}  // namespace dot
+
+#endif  // DOT_EVAL_METRICS_H_

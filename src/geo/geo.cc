@@ -1,0 +1,69 @@
+#include "geo/geo.h"
+
+#include "util/logging.h"
+
+namespace dot {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kEarthRadiusMeters = 6371000.0;
+constexpr double kMetersPerDegLat = kEarthRadiusMeters * kPi / 180.0;
+}  // namespace
+
+double DistanceMeters(const GpsPoint& a, const GpsPoint& b) {
+  double mean_lat = 0.5 * (a.lat + b.lat) * kPi / 180.0;
+  double dx = (a.lng - b.lng) * kMetersPerDegLat * std::cos(mean_lat);
+  double dy = (a.lat - b.lat) * kMetersPerDegLat;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void BoundingBox::Extend(const GpsPoint& p) {
+  min_lng = std::min(min_lng, p.lng);
+  max_lng = std::max(max_lng, p.lng);
+  min_lat = std::min(min_lat, p.lat);
+  max_lat = std::max(max_lat, p.lat);
+}
+
+BoundingBox BoundingBox::Inflated(double margin_frac) const {
+  BoundingBox b = *this;
+  double mw = width_deg() * margin_frac;
+  double mh = height_deg() * margin_frac;
+  b.min_lng -= mw;
+  b.max_lng += mw;
+  b.min_lat -= mh;
+  b.max_lat += mh;
+  return b;
+}
+
+double BoundingBox::WidthMeters() const {
+  return DistanceMeters({min_lng, (min_lat + max_lat) / 2},
+                        {max_lng, (min_lat + max_lat) / 2});
+}
+
+double BoundingBox::HeightMeters() const {
+  return DistanceMeters({min_lng, min_lat}, {min_lng, max_lat});
+}
+
+BoundingBox BoundingBox::Cover(const std::vector<GpsPoint>& points) {
+  DOT_CHECK(!points.empty()) << "BoundingBox::Cover on empty point set";
+  BoundingBox b{points[0].lng, points[0].lat, points[0].lng, points[0].lat};
+  for (const auto& p : points) b.Extend(p);
+  return b;
+}
+
+Projection::Projection(GpsPoint anchor) : anchor_(anchor) {
+  meters_per_deg_lat_ = kMetersPerDegLat;
+  meters_per_deg_lng_ = kMetersPerDegLat * std::cos(anchor.lat * kPi / 180.0);
+}
+
+GpsPoint Projection::ToGps(double x_meters, double y_meters) const {
+  return {anchor_.lng + x_meters / meters_per_deg_lng_,
+          anchor_.lat + y_meters / meters_per_deg_lat_};
+}
+
+void Projection::ToMeters(const GpsPoint& p, double* x, double* y) const {
+  *x = (p.lng - anchor_.lng) * meters_per_deg_lng_;
+  *y = (p.lat - anchor_.lat) * meters_per_deg_lat_;
+}
+
+}  // namespace dot

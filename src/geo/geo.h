@@ -1,0 +1,67 @@
+// Basic geographic types: GPS points, bounding boxes, distances and a local
+// planar projection used by the road network and simulator.
+
+#ifndef DOT_GEO_GEO_H_
+#define DOT_GEO_GEO_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dot {
+
+/// \brief A WGS84 GPS coordinate (degrees).
+struct GpsPoint {
+  double lng = 0;
+  double lat = 0;
+
+  bool operator==(const GpsPoint& o) const = default;
+};
+
+/// Approximate great-circle distance in meters (equirectangular; accurate to
+/// well under 0.1% at city scale, which is all this library needs).
+double DistanceMeters(const GpsPoint& a, const GpsPoint& b);
+
+/// \brief Axis-aligned lng/lat bounding box.
+struct BoundingBox {
+  double min_lng = 0, min_lat = 0, max_lng = 0, max_lat = 0;
+
+  double width_deg() const { return max_lng - min_lng; }
+  double height_deg() const { return max_lat - min_lat; }
+  bool Contains(const GpsPoint& p) const {
+    return p.lng >= min_lng && p.lng <= max_lng && p.lat >= min_lat &&
+           p.lat <= max_lat;
+  }
+  /// Grows the box to cover `p`.
+  void Extend(const GpsPoint& p);
+  /// Expands all sides by `margin_frac` of the current extent.
+  BoundingBox Inflated(double margin_frac) const;
+  /// Approximate box extent in meters.
+  double WidthMeters() const;
+  double HeightMeters() const;
+
+  /// Smallest box covering all points (dies on empty input).
+  static BoundingBox Cover(const std::vector<GpsPoint>& points);
+};
+
+/// \brief Equirectangular projection anchored at a reference point: maps GPS
+/// to planar meters and back. The simulator builds road networks in meters
+/// and converts to GPS through this.
+class Projection {
+ public:
+  explicit Projection(GpsPoint anchor);
+
+  GpsPoint ToGps(double x_meters, double y_meters) const;
+  void ToMeters(const GpsPoint& p, double* x, double* y) const;
+
+  const GpsPoint& anchor() const { return anchor_; }
+
+ private:
+  GpsPoint anchor_;
+  double meters_per_deg_lng_;
+  double meters_per_deg_lat_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_GEO_GEO_H_

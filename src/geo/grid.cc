@@ -1,0 +1,39 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+
+namespace dot {
+
+Result<Grid> Grid::Make(const BoundingBox& box, int64_t grid_size) {
+  if (grid_size <= 0) {
+    return Status::InvalidArgument("grid size must be positive");
+  }
+  if (box.width_deg() <= 0 || box.height_deg() <= 0) {
+    return Status::InvalidArgument("grid bounding box is degenerate");
+  }
+  return Grid(box, grid_size);
+}
+
+Cell Grid::Locate(const GpsPoint& p) const {
+  double fx = (p.lng - box_.min_lng) / box_.width_deg();
+  double fy = (p.lat - box_.min_lat) / box_.height_deg();
+  auto clamp_idx = [this](double f) {
+    int64_t i = static_cast<int64_t>(f * static_cast<double>(size_));
+    return std::clamp<int64_t>(i, 0, size_ - 1);
+  };
+  return Cell{clamp_idx(fy), clamp_idx(fx)};
+}
+
+GpsPoint Grid::CellCenter(const Cell& c) const {
+  double fx = (static_cast<double>(c.col) + 0.5) / static_cast<double>(size_);
+  double fy = (static_cast<double>(c.row) + 0.5) / static_cast<double>(size_);
+  return {box_.min_lng + fx * box_.width_deg(),
+          box_.min_lat + fy * box_.height_deg()};
+}
+
+void Grid::Normalized(const GpsPoint& p, double* nx, double* ny) const {
+  *nx = std::clamp(2.0 * (p.lng - box_.min_lng) / box_.width_deg() - 1.0, -1.0, 1.0);
+  *ny = std::clamp(2.0 * (p.lat - box_.min_lat) / box_.height_deg() - 1.0, -1.0, 1.0);
+}
+
+}  // namespace dot

@@ -1,0 +1,57 @@
+// The spatial grid over the area of interest (paper Definition 2): L_G x L_G
+// equal splits of the longitude and latitude extents.
+
+#ifndef DOT_GEO_GRID_H_
+#define DOT_GEO_GRID_H_
+
+#include <cstdint>
+
+#include "geo/geo.h"
+#include "util/result.h"
+
+namespace dot {
+
+/// \brief Row/column cell address, 0-based. Row 0 is the southern edge.
+struct Cell {
+  int64_t row = 0;
+  int64_t col = 0;
+
+  bool operator==(const Cell& o) const = default;
+};
+
+/// \brief Uniform L_G x L_G grid over a bounding box.
+class Grid {
+ public:
+  /// Creates a grid; fails on empty boxes or non-positive sizes.
+  static Result<Grid> Make(const BoundingBox& box, int64_t grid_size);
+
+  int64_t grid_size() const { return size_; }
+  int64_t num_cells() const { return size_ * size_; }
+  const BoundingBox& box() const { return box_; }
+
+  /// Cell containing `p`; points outside the box clamp to the border cells
+  /// (a PiT must place every point somewhere).
+  Cell Locate(const GpsPoint& p) const;
+
+  /// Flat index in row-major order (matches the paper's PiT flattening,
+  /// Eq. 17).
+  int64_t CellIndex(const Cell& c) const { return c.row * size_ + c.col; }
+  Cell CellAt(int64_t index) const { return {index / size_, index % size_}; }
+
+  /// GPS coordinate of a cell's center.
+  GpsPoint CellCenter(const Cell& c) const;
+
+  /// Normalized cell-space coordinate of a point in [-1, 1] per axis (used
+  /// to encode the ODT-Input condition).
+  void Normalized(const GpsPoint& p, double* nx, double* ny) const;
+
+ private:
+  Grid(const BoundingBox& box, int64_t size) : box_(box), size_(size) {}
+
+  BoundingBox box_;
+  int64_t size_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_GEO_GRID_H_

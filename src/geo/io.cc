@@ -1,0 +1,123 @@
+#include "geo/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/serialize.h"
+
+namespace dot {
+
+Result<std::vector<Trajectory>> LoadTrajectoriesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<Trajectory> out;
+  std::string line;
+  int64_t line_no = 0;
+  std::string current_id;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string id, lng_s, lat_s, time_s;
+    if (!std::getline(ss, id, ',') || !std::getline(ss, lng_s, ',') ||
+        !std::getline(ss, lat_s, ',') || !std::getline(ss, time_s)) {
+      return Status::InvalidArgument("malformed CSV row at line " +
+                                     std::to_string(line_no));
+    }
+    char* end = nullptr;
+    double lng = std::strtod(lng_s.c_str(), &end);
+    if (end == lng_s.c_str()) {
+      // Tolerate one header line.
+      if (first_data_line) {
+        first_data_line = false;
+        continue;
+      }
+      return Status::InvalidArgument("bad longitude at line " +
+                                     std::to_string(line_no));
+    }
+    double lat = std::strtod(lat_s.c_str(), &end);
+    if (end == lat_s.c_str()) {
+      return Status::InvalidArgument("bad latitude at line " +
+                                     std::to_string(line_no));
+    }
+    long long time = std::strtoll(time_s.c_str(), &end, 10);
+    if (end == time_s.c_str()) {
+      return Status::InvalidArgument("bad timestamp at line " +
+                                     std::to_string(line_no));
+    }
+    first_data_line = false;
+    if (out.empty() || id != current_id) {
+      out.emplace_back();
+      current_id = id;
+    }
+    out.back().points.push_back({{lng, lat}, static_cast<int64_t>(time)});
+  }
+  for (auto& t : out) {
+    std::stable_sort(t.points.begin(), t.points.end(),
+                     [](const TrajectoryPoint& a, const TrajectoryPoint& b) {
+                       return a.time < b.time;
+                     });
+  }
+  return out;
+}
+
+Status SaveTrajectoriesCsv(const std::string& path,
+                           const std::vector<Trajectory>& trajectories) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << "trip_id,lng,lat,unix_time\n";
+  for (size_t i = 0; i < trajectories.size(); ++i) {
+    for (const auto& p : trajectories[i].points) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "%zu,%.7f,%.7f,%lld\n", i, p.gps.lng,
+                    p.gps.lat, static_cast<long long>(p.time));
+      out << buf;
+    }
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Status SaveTrajectoriesBinary(const std::string& path,
+                              const std::vector<Trajectory>& trajectories) {
+  BinaryWriter w(path);
+  if (!w.Ok()) return Status::IOError("cannot open " + path);
+  w.WriteString("DOTTRAJ1");
+  w.WriteU64(trajectories.size());
+  for (const auto& t : trajectories) {
+    w.WriteU64(t.points.size());
+    for (const auto& p : t.points) {
+      w.WriteF64(p.gps.lng);
+      w.WriteF64(p.gps.lat);
+      w.WriteI64(p.time);
+    }
+  }
+  return w.Close();
+}
+
+Result<std::vector<Trajectory>> LoadTrajectoriesBinary(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.Ok()) return Status::IOError("cannot open " + path);
+  if (r.ReadString() != "DOTTRAJ1") {
+    return Status::InvalidArgument("bad trajectory file magic");
+  }
+  uint64_t n = r.ReadU64();
+  std::vector<Trajectory> out(n);
+  for (auto& t : out) {
+    uint64_t m = r.ReadU64();
+    if (!r.Ok()) return Status::IOError("truncated trajectory file");
+    t.points.resize(m);
+    for (auto& p : t.points) {
+      p.gps.lng = r.ReadF64();
+      p.gps.lat = r.ReadF64();
+      p.time = r.ReadI64();
+    }
+  }
+  if (!r.Ok()) return Status::IOError("truncated trajectory file");
+  return out;
+}
+
+}  // namespace dot

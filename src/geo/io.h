@@ -1,0 +1,35 @@
+// Trajectory dataset I/O: a line-oriented CSV format for importing real GPS
+// data into the oracle, plus a compact binary cache.
+//
+// CSV format (one GPS sample per line, sorted within a trip):
+//   trip_id,lng,lat,unix_time
+// Lines starting with '#' and a single optional header line are skipped.
+
+#ifndef DOT_GEO_IO_H_
+#define DOT_GEO_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/trajectory.h"
+#include "util/result.h"
+
+namespace dot {
+
+/// Reads trajectories from a CSV of (trip_id, lng, lat, unix_time) rows.
+/// Rows of one trip must be contiguous; points are sorted by time within a
+/// trip. Returns InvalidArgument on malformed rows (with line number).
+Result<std::vector<Trajectory>> LoadTrajectoriesCsv(const std::string& path);
+
+/// Writes trajectories in the same CSV format (trip ids are 0..n-1).
+Status SaveTrajectoriesCsv(const std::string& path,
+                           const std::vector<Trajectory>& trajectories);
+
+/// Binary round-trip (much faster; used to cache simulated datasets).
+Status SaveTrajectoriesBinary(const std::string& path,
+                              const std::vector<Trajectory>& trajectories);
+Result<std::vector<Trajectory>> LoadTrajectoriesBinary(const std::string& path);
+
+}  // namespace dot
+
+#endif  // DOT_GEO_IO_H_

@@ -1,0 +1,234 @@
+#include "geo/pit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace dot {
+
+Pit::Pit(int64_t grid_size)
+    : data_(Tensor::Full({kPitChannels, grid_size, grid_size}, -1.0f)),
+      size_(grid_size) {}
+
+Pit::Pit(Tensor data) : data_(std::move(data)), size_(data_.size(1)) {}
+
+Result<Pit> Pit::FromTensor(const Tensor& chw) {
+  if (chw.dim() != 3 || chw.size(0) != kPitChannels || chw.size(1) != chw.size(2)) {
+    return Status::InvalidArgument("PiT tensor must be [3, L, L], got " +
+                                   chw.ShapeString());
+  }
+  return Pit(chw);
+}
+
+float Pit::At(int64_t channel, int64_t row, int64_t col) const {
+  return data_.at((channel * size_ + row) * size_ + col);
+}
+
+void Pit::Set(int64_t channel, int64_t row, int64_t col, float v) {
+  data_.at((channel * size_ + row) * size_ + col) = v;
+}
+
+int64_t Pit::NumVisited() const {
+  int64_t n = 0;
+  for (int64_t i = 0; i < size_ * size_; ++i) {
+    if (data_.at(kPitMask * size_ * size_ + i) >= 0.0f) ++n;
+  }
+  return n;
+}
+
+std::vector<int64_t> Pit::VisitedIndices() const {
+  std::vector<int64_t> out;
+  for (int64_t i = 0; i < size_ * size_; ++i) {
+    if (data_.at(kPitMask * size_ * size_ + i) >= 0.0f) out.push_back(i);
+  }
+  return out;
+}
+
+namespace {
+
+/// Writes one cell's channels if it has not been visited yet (Definition 2
+/// keeps the earliest point per cell).
+void MarkCell(Pit* pit, const Cell& c, int64_t time, int64_t t0, int64_t t_end) {
+  if (pit->Visited(c.row, c.col)) return;
+  pit->Set(kPitMask, c.row, c.col, 1.0f);
+  pit->Set(kPitTimeOfDay, c.row, c.col,
+           static_cast<float>(NormalizedTimeOfDay(time)));
+  double denom = static_cast<double>(std::max<int64_t>(1, t_end - t0));
+  double offset = 2.0 * static_cast<double>(time - t0) / denom - 1.0;
+  pit->Set(kPitTimeOffset, c.row, c.col, static_cast<float>(offset));
+}
+
+}  // namespace
+
+Pit Pit::Build(const Trajectory& t, const Grid& grid, bool interpolate) {
+  Pit pit(grid.grid_size());
+  if (t.empty()) return pit;
+  int64_t t0 = t.front().time;
+  int64_t t_end = t.back().time;
+  for (size_t i = 0; i < t.points.size(); ++i) {
+    const auto& p = t.points[i];
+    MarkCell(&pit, grid.Locate(p.gps), p.time, t0, t_end);
+    if (interpolate && i + 1 < t.points.size()) {
+      const auto& q = t.points[i + 1];
+      // Subdivide the segment finely enough to touch every crossed cell.
+      double dist = DistanceMeters(p.gps, q.gps);
+      double cell_m = grid.box().WidthMeters() / static_cast<double>(grid.grid_size());
+      int64_t steps = static_cast<int64_t>(dist / std::max(1.0, cell_m * 0.5));
+      for (int64_t s = 1; s < steps; ++s) {
+        double f = static_cast<double>(s) / static_cast<double>(steps);
+        GpsPoint mid{p.gps.lng + f * (q.gps.lng - p.gps.lng),
+                     p.gps.lat + f * (q.gps.lat - p.gps.lat)};
+        int64_t mid_t = p.time + static_cast<int64_t>(f * static_cast<double>(
+                                                              q.time - p.time));
+        MarkCell(&pit, grid.Locate(mid), mid_t, t0, t_end);
+      }
+    }
+  }
+  return pit;
+}
+
+void Pit::Canonicalize(float mask_threshold) {
+  int64_t hw = size_ * size_;
+  for (int64_t i = 0; i < hw; ++i) {
+    float& m = data_.at(kPitMask * hw + i);
+    m = m >= mask_threshold ? 1.0f : -1.0f;
+  }
+  for (int64_t c = 1; c < kPitChannels; ++c) {
+    for (int64_t i = 0; i < hw; ++i) {
+      float& v = data_.at(c * hw + i);
+      if (data_.at(kPitMask * hw + i) < 0.0f) {
+        v = -1.0f;
+      } else {
+        v = std::clamp(v, -1.0f, 1.0f);
+      }
+    }
+  }
+}
+
+std::string Pit::RenderMask() const {
+  std::ostringstream os;
+  for (int64_t row = size_ - 1; row >= 0; --row) {
+    for (int64_t col = 0; col < size_; ++col) {
+      os << (Visited(row, col) ? '#' : '.');
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+PitError ComparePits(const Pit& inferred, const Pit& truth) {
+  DOT_CHECK(inferred.grid_size() == truth.grid_size()) << "PiT size mismatch";
+  PitError e;
+  int64_t hw = inferred.grid_size() * inferred.grid_size();
+  double total_sq = 0, total_abs = 0;
+  for (int64_t c = 0; c < kPitChannels; ++c) {
+    double sq = 0, ab = 0;
+    for (int64_t i = 0; i < hw; ++i) {
+      int64_t row = i / inferred.grid_size();
+      int64_t col = i % inferred.grid_size();
+      double d = static_cast<double>(inferred.At(c, row, col)) -
+                 static_cast<double>(truth.At(c, row, col));
+      sq += d * d;
+      ab += std::fabs(d);
+    }
+    e.channel_rmse[c] = std::sqrt(sq / static_cast<double>(hw));
+    e.channel_mae[c] = ab / static_cast<double>(hw);
+    total_sq += sq;
+    total_abs += ab;
+  }
+  e.overall_rmse = std::sqrt(total_sq / static_cast<double>(hw * kPitChannels));
+  e.overall_mae = total_abs / static_cast<double>(hw * kPitChannels);
+  return e;
+}
+
+PitError MeanPitError(const std::vector<PitError>& errors) {
+  PitError m;
+  if (errors.empty()) return m;
+  double n = static_cast<double>(errors.size());
+  for (const auto& e : errors) {
+    m.overall_rmse += e.overall_rmse / n;
+    m.overall_mae += e.overall_mae / n;
+    for (int64_t c = 0; c < kPitChannels; ++c) {
+      m.channel_rmse[c] += e.channel_rmse[c] / n;
+      m.channel_mae[c] += e.channel_mae[c] / n;
+    }
+  }
+  return m;
+}
+
+RouteAccuracy CompareRoutes(const Pit& inferred, const Pit& truth) {
+  DOT_CHECK(inferred.grid_size() == truth.grid_size()) << "PiT size mismatch";
+  int64_t tp = 0, fp = 0, fn = 0;
+  int64_t l = inferred.grid_size();
+  for (int64_t r = 0; r < l; ++r) {
+    for (int64_t c = 0; c < l; ++c) {
+      bool pred = inferred.Visited(r, c);
+      bool real = truth.Visited(r, c);
+      if (pred && real) ++tp;
+      if (pred && !real) ++fp;
+      if (!pred && real) ++fn;
+    }
+  }
+  RouteAccuracy a;
+  a.precision = tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0;
+  a.recall = tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0;
+  a.f1 = (a.precision + a.recall) > 0
+             ? 2 * a.precision * a.recall / (a.precision + a.recall)
+             : 0;
+  return a;
+}
+
+RouteAccuracy MeanRouteAccuracy(const std::vector<RouteAccuracy>& accs) {
+  RouteAccuracy m;
+  if (accs.empty()) return m;
+  double n = static_cast<double>(accs.size());
+  for (const auto& a : accs) {
+    m.precision += a.precision / n;
+    m.recall += a.recall / n;
+    m.f1 += a.f1 / n;
+  }
+  return m;
+}
+
+std::vector<int64_t> PitToCellSequence(const Pit& pit) {
+  std::vector<std::pair<float, int64_t>> cells;  // (offset, flat index)
+  int64_t l = pit.grid_size();
+  for (int64_t r = 0; r < l; ++r) {
+    for (int64_t c = 0; c < l; ++c) {
+      if (pit.Visited(r, c)) {
+        cells.emplace_back(pit.At(kPitTimeOffset, r, c), r * l + c);
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end());
+  std::vector<int64_t> out;
+  out.reserve(cells.size());
+  for (auto& [offset, idx] : cells) {
+    (void)offset;
+    out.push_back(idx);
+  }
+  return out;
+}
+
+std::vector<double> OdtFeatures(const OdtInput& odt, const Grid& grid) {
+  double ox, oy, dx, dy;
+  grid.Normalized(odt.origin, &ox, &oy);
+  grid.Normalized(odt.destination, &dx, &dy);
+  double dist_km = DistanceMeters(odt.origin, odt.destination) / 1000.0;
+  double tod = 2.0 * 3.14159265358979 *
+               static_cast<double>(SecondsOfDay(odt.departure_time)) / 86400.0;
+  return {ox, oy, dx, dy, dist_km, std::sin(tod), std::cos(tod)};
+}
+
+std::vector<float> EncodeOdt(const OdtInput& odt, const Grid& grid) {
+  double ox, oy, dx, dy;
+  grid.Normalized(odt.origin, &ox, &oy);
+  grid.Normalized(odt.destination, &dx, &dy);
+  return {static_cast<float>(ox), static_cast<float>(oy), static_cast<float>(dx),
+          static_cast<float>(dy),
+          static_cast<float>(NormalizedTimeOfDay(odt.departure_time))};
+}
+
+}  // namespace dot

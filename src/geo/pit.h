@@ -1,0 +1,122 @@
+// Pixelated Trajectories (paper Definition 2): an L_G x L_G x 3 image with
+// Mask, Time-of-Day and Time-offset channels; unvisited cells hold -1 in all
+// channels.
+
+#ifndef DOT_GEO_PIT_H_
+#define DOT_GEO_PIT_H_
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/trajectory.h"
+#include "tensor/tensor.h"
+#include "util/result.h"
+
+namespace dot {
+
+/// Channel indices within a PiT.
+enum PitChannel : int64_t {
+  kPitMask = 0,
+  kPitTimeOfDay = 1,
+  kPitTimeOffset = 2,
+};
+inline constexpr int64_t kPitChannels = 3;
+
+/// \brief A PiT stored as a CHW float tensor [3, L_G, L_G], values in [-1, 1].
+class Pit {
+ public:
+  /// All-unvisited PiT (every channel -1).
+  explicit Pit(int64_t grid_size);
+  /// Wraps an existing CHW tensor (must be [3, L, L]).
+  static Result<Pit> FromTensor(const Tensor& chw);
+
+  /// Builds the PiT of a trajectory on `grid` per Definition 2: for each
+  /// cell, the earliest GPS point falling in it defines the channels.
+  /// If `interpolate` is set, cells crossed between consecutive samples are
+  /// filled by linear interpolation (useful for sparse trajectories).
+  static Pit Build(const Trajectory& t, const Grid& grid,
+                   bool interpolate = false);
+
+  int64_t grid_size() const { return size_; }
+
+  float At(int64_t channel, int64_t row, int64_t col) const;
+  void Set(int64_t channel, int64_t row, int64_t col, float v);
+
+  /// True if the mask channel marks (row, col) visited (>= 0, Eq. 19).
+  bool Visited(int64_t row, int64_t col) const {
+    return At(kPitMask, row, col) >= 0.0f;
+  }
+
+  /// Number of visited cells.
+  int64_t NumVisited() const;
+
+  /// Flat row-major indices of visited cells (Eq. 17 ordering).
+  std::vector<int64_t> VisitedIndices() const;
+
+  /// Underlying CHW tensor (shared storage).
+  const Tensor& tensor() const { return data_; }
+  Tensor& tensor() { return data_; }
+
+  /// Clamps all channels to [-1, 1] and snaps the mask channel to {-1, +1}
+  /// (used to round diffusion outputs into valid PiTs). `mask_threshold`
+  /// decides visited-ness: cells with mask >= threshold become +1. The
+  /// natural midpoint is 0; a slightly negative threshold trades mask
+  /// precision for recall on soft diffusion outputs.
+  void Canonicalize(float mask_threshold = 0.0f);
+
+  /// ASCII rendering of the mask channel ('#' visited, '.' empty) with row 0
+  /// printed at the bottom (south). For case-study output.
+  std::string RenderMask() const;
+
+ private:
+  explicit Pit(Tensor data);
+
+  Tensor data_;  // [3, size_, size_]
+  int64_t size_;
+};
+
+/// \brief Per-channel and overall reconstruction error between two PiTs
+/// (paper Table 8).
+struct PitError {
+  double overall_rmse = 0, overall_mae = 0;
+  double channel_rmse[kPitChannels] = {0, 0, 0};
+  double channel_mae[kPitChannels] = {0, 0, 0};
+};
+
+/// Computes RMSE/MAE between inferred and ground-truth PiTs.
+PitError ComparePits(const Pit& inferred, const Pit& truth);
+
+/// Accumulates PitError over many pairs (mean of per-pair errors).
+PitError MeanPitError(const std::vector<PitError>& errors);
+
+/// \brief Route-overlap metrics on the mask channel (paper Table 9).
+struct RouteAccuracy {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+
+/// Precision/recall/F1 of `inferred`'s visited set against `truth`'s.
+RouteAccuracy CompareRoutes(const Pit& inferred, const Pit& truth);
+
+/// Mean route accuracy over many pairs.
+RouteAccuracy MeanRouteAccuracy(const std::vector<RouteAccuracy>& accs);
+
+/// Orders a PiT's visited cells by the Time-offset channel, recovering the
+/// travel sequence (used to feed inferred PiTs to the sequential path-based
+/// estimators in the Infer.+Path-based ablation, Table 7).
+std::vector<int64_t> PitToCellSequence(const Pit& pit);
+
+/// Encodes an ODT-Input as the 5-feature condition vector fed to FC_OD
+/// (paper Eq. 13): normalized origin (x, y), destination (x, y), and
+/// time-of-day, all in [-1, 1].
+std::vector<float> EncodeOdt(const OdtInput& odt, const Grid& grid);
+
+/// Engineered query features shared by the regression baselines and the
+/// estimator's wide component: normalized endpoints, straight-line distance
+/// (km), and cyclic time-of-day encoding (7 values).
+std::vector<double> OdtFeatures(const OdtInput& odt, const Grid& grid);
+
+}  // namespace dot
+
+#endif  // DOT_GEO_PIT_H_

@@ -1,0 +1,92 @@
+#include "geo/trajectory.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace dot {
+
+int64_t Trajectory::DurationSeconds() const {
+  if (points.size() < 2) return 0;
+  return points.back().time - points.front().time;
+}
+
+double Trajectory::LengthMeters() const {
+  double total = 0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    total += DistanceMeters(points[i - 1].gps, points[i].gps);
+  }
+  return total;
+}
+
+double Trajectory::MeanSampleIntervalSeconds() const {
+  if (points.size() < 2) return 0;
+  return static_cast<double>(DurationSeconds()) /
+         static_cast<double>(points.size() - 1);
+}
+
+int64_t Trajectory::MaxSampleIntervalSeconds() const {
+  int64_t mx = 0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    mx = std::max(mx, points[i].time - points[i - 1].time);
+  }
+  return mx;
+}
+
+OdtInput OdtFromTrajectory(const Trajectory& t) {
+  DOT_CHECK(!t.empty()) << "ODT of empty trajectory";
+  return OdtInput{t.front().gps, t.back().gps, t.front().time};
+}
+
+int64_t SecondsOfDay(int64_t unix_time) {
+  int64_t s = unix_time % 86400;
+  if (s < 0) s += 86400;
+  return s;
+}
+
+double NormalizedTimeOfDay(int64_t unix_time) {
+  return 2.0 * static_cast<double>(SecondsOfDay(unix_time)) / 86400.0 - 1.0;
+}
+
+bool TrajectoryFilter::Keep(const Trajectory& t) const {
+  if (t.size() < 2) return false;
+  if (t.LengthMeters() < min_length_meters) return false;
+  int64_t dur = t.DurationSeconds();
+  if (dur < min_duration_seconds || dur > max_duration_seconds) return false;
+  if (t.MaxSampleIntervalSeconds() > max_sample_interval_seconds) return false;
+  return true;
+}
+
+int64_t FilterTrajectories(std::vector<Trajectory>* trajectories,
+                           const TrajectoryFilter& filter) {
+  int64_t before = static_cast<int64_t>(trajectories->size());
+  trajectories->erase(
+      std::remove_if(trajectories->begin(), trajectories->end(),
+                     [&](const Trajectory& t) { return !filter.Keep(t); }),
+      trajectories->end());
+  return before - static_cast<int64_t>(trajectories->size());
+}
+
+DatasetStats ComputeStats(const std::vector<Trajectory>& trajectories) {
+  DatasetStats s;
+  s.num_trajectories = static_cast<int64_t>(trajectories.size());
+  if (trajectories.empty()) return s;
+  double time_sum = 0, dist_sum = 0, interval_sum = 0;
+  std::vector<GpsPoint> all;
+  for (const auto& t : trajectories) {
+    time_sum += static_cast<double>(t.DurationSeconds()) / 60.0;
+    dist_sum += t.LengthMeters();
+    interval_sum += t.MeanSampleIntervalSeconds();
+    for (const auto& p : t.points) all.push_back(p.gps);
+  }
+  double n = static_cast<double>(trajectories.size());
+  s.mean_travel_time_minutes = time_sum / n;
+  s.mean_travel_distance_meters = dist_sum / n;
+  s.mean_sample_interval_seconds = interval_sum / n;
+  BoundingBox box = BoundingBox::Cover(all);
+  s.area_width_km = box.WidthMeters() / 1000.0;
+  s.area_height_km = box.HeightMeters() / 1000.0;
+  return s;
+}
+
+}  // namespace dot

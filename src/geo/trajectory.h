@@ -1,0 +1,88 @@
+// Trajectories (Definition 1) and ODT-Inputs (Definition 3), plus the
+// preprocessing filters from Sec. 6.1 of the paper.
+
+#ifndef DOT_GEO_TRAJECTORY_H_
+#define DOT_GEO_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace dot {
+
+/// \brief A timestamped GPS sample.
+struct TrajectoryPoint {
+  GpsPoint gps;
+  int64_t time = 0;  ///< Unix timestamp, seconds.
+};
+
+/// \brief A sequence of timestamped GPS points (paper Definition 1).
+struct Trajectory {
+  std::vector<TrajectoryPoint> points;
+
+  int64_t size() const { return static_cast<int64_t>(points.size()); }
+  bool empty() const { return points.empty(); }
+
+  const TrajectoryPoint& front() const { return points.front(); }
+  const TrajectoryPoint& back() const { return points.back(); }
+
+  /// Travel time in seconds (arrival - departure).
+  int64_t DurationSeconds() const;
+  /// Sum of consecutive point distances, meters.
+  double LengthMeters() const;
+  /// Mean gap between consecutive samples, seconds.
+  double MeanSampleIntervalSeconds() const;
+  /// Largest gap between consecutive samples, seconds.
+  int64_t MaxSampleIntervalSeconds() const;
+};
+
+/// \brief Query tuple for the ODT-Oracle (paper Definition 3): origin,
+/// destination, and departure time.
+struct OdtInput {
+  GpsPoint origin;
+  GpsPoint destination;
+  int64_t departure_time = 0;  ///< Unix timestamp, seconds.
+};
+
+/// Extracts the ODT-Input of a historical trajectory (its endpoints and
+/// departure time).
+OdtInput OdtFromTrajectory(const Trajectory& t);
+
+/// Seconds-of-day in [0, 86400).
+int64_t SecondsOfDay(int64_t unix_time);
+
+/// Normalized time-of-day in [-1, 1] (paper Definition 2, ToD channel).
+double NormalizedTimeOfDay(int64_t unix_time);
+
+/// \brief Preprocessing thresholds from Sec. 6.1.
+struct TrajectoryFilter {
+  double min_length_meters = 500.0;
+  int64_t min_duration_seconds = 5 * 60;
+  int64_t max_duration_seconds = 60 * 60;
+  int64_t max_sample_interval_seconds = 80;
+
+  /// True if the trajectory survives all filters.
+  bool Keep(const Trajectory& t) const;
+};
+
+/// Removes trajectories rejected by `filter`; returns number removed.
+int64_t FilterTrajectories(std::vector<Trajectory>* trajectories,
+                           const TrajectoryFilter& filter);
+
+/// \brief Summary statistics for a trajectory dataset (paper Table 1).
+struct DatasetStats {
+  int64_t num_trajectories = 0;
+  double mean_travel_time_minutes = 0;
+  double mean_travel_distance_meters = 0;
+  double mean_sample_interval_seconds = 0;
+  double area_width_km = 0;
+  double area_height_km = 0;
+};
+
+/// Computes Table-1 statistics over a dataset.
+DatasetStats ComputeStats(const std::vector<Trajectory>& trajectories);
+
+}  // namespace dot
+
+#endif  // DOT_GEO_TRAJECTORY_H_

@@ -1,0 +1,242 @@
+#include "road/road_network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "util/logging.h"
+
+namespace dot {
+
+int64_t RoadNetwork::AddNode(GpsPoint gps) {
+  nodes_.push_back(RoadNode{gps});
+  out_edges_.emplace_back();
+  return num_nodes() - 1;
+}
+
+int64_t RoadNetwork::AddEdge(int64_t from, int64_t to, double speed_mps,
+                             double length_meters) {
+  DOT_CHECK(from >= 0 && from < num_nodes() && to >= 0 && to < num_nodes())
+      << "AddEdge: node id out of range";
+  RoadEdge e;
+  e.from = from;
+  e.to = to;
+  e.free_flow_speed_mps = speed_mps;
+  e.length_meters = length_meters >= 0
+                        ? length_meters
+                        : DistanceMeters(node(from).gps, node(to).gps);
+  edges_.push_back(e);
+  int64_t id = num_edges() - 1;
+  out_edges_[static_cast<size_t>(from)].push_back(id);
+  return id;
+}
+
+int64_t RoadNetwork::AddBidirectional(int64_t a, int64_t b, double speed_mps) {
+  int64_t id = AddEdge(a, b, speed_mps);
+  AddEdge(b, a, speed_mps);
+  return id;
+}
+
+double RoadNetwork::FreeFlowSeconds(int64_t edge_id) const {
+  const RoadEdge& e = edge(edge_id);
+  return e.length_meters / std::max(0.1, e.free_flow_speed_mps);
+}
+
+void RoadNetwork::BuildIndex(int64_t buckets_per_axis) {
+  DOT_CHECK(num_nodes() > 0) << "BuildIndex on empty network";
+  index_box_ = Bounds();
+  index_buckets_ = buckets_per_axis;
+  index_cells_.assign(static_cast<size_t>(buckets_per_axis * buckets_per_axis), {});
+  for (int64_t i = 0; i < num_nodes(); ++i) {
+    const GpsPoint& p = node(i).gps;
+    int64_t bx = std::clamp<int64_t>(
+        static_cast<int64_t>((p.lng - index_box_.min_lng) /
+                             std::max(1e-12, index_box_.width_deg()) *
+                             static_cast<double>(buckets_per_axis)),
+        0, buckets_per_axis - 1);
+    int64_t by = std::clamp<int64_t>(
+        static_cast<int64_t>((p.lat - index_box_.min_lat) /
+                             std::max(1e-12, index_box_.height_deg()) *
+                             static_cast<double>(buckets_per_axis)),
+        0, buckets_per_axis - 1);
+    index_cells_[static_cast<size_t>(by * buckets_per_axis + bx)].push_back(i);
+  }
+}
+
+int64_t RoadNetwork::NearestNode(const GpsPoint& p) const {
+  DOT_CHECK(num_nodes() > 0) << "NearestNode on empty network";
+  if (index_buckets_ == 0) {
+    int64_t best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (int64_t i = 0; i < num_nodes(); ++i) {
+      double d = DistanceMeters(p, node(i).gps);
+      if (d < best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    return best;
+  }
+  int64_t bx = std::clamp<int64_t>(
+      static_cast<int64_t>((p.lng - index_box_.min_lng) /
+                           std::max(1e-12, index_box_.width_deg()) *
+                           static_cast<double>(index_buckets_)),
+      0, index_buckets_ - 1);
+  int64_t by = std::clamp<int64_t>(
+      static_cast<int64_t>((p.lat - index_box_.min_lat) /
+                           std::max(1e-12, index_box_.height_deg()) *
+                           static_cast<double>(index_buckets_)),
+      0, index_buckets_ - 1);
+  // Expand rings until a candidate is found, then one extra ring to be safe.
+  int64_t best = -1;
+  double best_d = std::numeric_limits<double>::max();
+  for (int64_t radius = 0; radius < index_buckets_; ++radius) {
+    bool scanned_any = false;
+    for (int64_t y = std::max<int64_t>(0, by - radius);
+         y <= std::min(index_buckets_ - 1, by + radius); ++y) {
+      for (int64_t x = std::max<int64_t>(0, bx - radius);
+           x <= std::min(index_buckets_ - 1, bx + radius); ++x) {
+        if (std::max(std::abs(x - bx), std::abs(y - by)) != radius) continue;
+        scanned_any = true;
+        for (int64_t id : index_cells_[static_cast<size_t>(y * index_buckets_ + x)]) {
+          double d = DistanceMeters(p, node(id).gps);
+          if (d < best_d) {
+            best_d = d;
+            best = id;
+          }
+        }
+      }
+    }
+    if (best >= 0 && radius > 0) break;  // found plus one safety ring
+    if (!scanned_any && radius > 0 && best >= 0) break;
+  }
+  return best >= 0 ? best : 0;
+}
+
+BoundingBox RoadNetwork::Bounds() const {
+  std::vector<GpsPoint> pts;
+  pts.reserve(static_cast<size_t>(num_nodes()));
+  for (const auto& n : nodes_) pts.push_back(n.gps);
+  return BoundingBox::Cover(pts);
+}
+
+double RoadNetwork::EdgeWeight(int64_t edge_id,
+                               const std::vector<double>& weights) const {
+  if (!weights.empty()) return weights[static_cast<size_t>(edge_id)];
+  return FreeFlowSeconds(edge_id);
+}
+
+RoutingResult RoadNetwork::ShortestPath(int64_t from, int64_t to,
+                                        const std::vector<double>& weights) const {
+  return ShortestPathAvoiding(from, to, weights, {}, {});
+}
+
+RoutingResult RoadNetwork::ShortestPathAvoiding(
+    int64_t from, int64_t to, const std::vector<double>& weights,
+    const std::vector<bool>& banned_edges,
+    const std::vector<bool>& banned_nodes) const {
+  DOT_CHECK(!(!weights.empty() &&
+              static_cast<int64_t>(weights.size()) != num_edges()))
+      << "weights size must equal edge count";
+  const double kInf = std::numeric_limits<double>::max();
+  std::vector<double> dist(static_cast<size_t>(num_nodes()), kInf);
+  std::vector<int64_t> prev_edge(static_cast<size_t>(num_nodes()), -1);
+  using Item = std::pair<double, int64_t>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<size_t>(from)] = 0;
+  heap.emplace(0.0, from);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;
+    if (u == to) break;
+    for (int64_t eid : OutEdges(u)) {
+      if (!banned_edges.empty() && banned_edges[static_cast<size_t>(eid)]) continue;
+      const RoadEdge& e = edge(eid);
+      if (!banned_nodes.empty() && banned_nodes[static_cast<size_t>(e.to)]) continue;
+      double nd = d + EdgeWeight(eid, weights);
+      if (nd < dist[static_cast<size_t>(e.to)]) {
+        dist[static_cast<size_t>(e.to)] = nd;
+        prev_edge[static_cast<size_t>(e.to)] = eid;
+        heap.emplace(nd, e.to);
+      }
+    }
+  }
+  RoutingResult r;
+  if (dist[static_cast<size_t>(to)] == kInf) return r;
+  r.cost = dist[static_cast<size_t>(to)];
+  int64_t cur = to;
+  while (cur != from) {
+    int64_t eid = prev_edge[static_cast<size_t>(cur)];
+    r.edge_path.push_back(eid);
+    r.node_path.push_back(cur);
+    cur = edge(eid).from;
+  }
+  r.node_path.push_back(from);
+  std::reverse(r.node_path.begin(), r.node_path.end());
+  std::reverse(r.edge_path.begin(), r.edge_path.end());
+  return r;
+}
+
+std::vector<RoutingResult> RoadNetwork::KShortestPaths(
+    int64_t from, int64_t to, int64_t k, const std::vector<double>& weights) const {
+  std::vector<RoutingResult> result;
+  RoutingResult first = ShortestPath(from, to, weights);
+  if (!first.found() || k <= 0) return result;
+  result.push_back(first);
+
+  // Yen's algorithm with a candidate set keyed by cost.
+  auto path_less = [](const RoutingResult& a, const RoutingResult& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.node_path < b.node_path;
+  };
+  std::set<std::pair<double, std::vector<int64_t>>> seen;
+  seen.insert({first.cost, first.node_path});
+  std::vector<RoutingResult> candidates;
+
+  for (int64_t ki = 1; ki < k; ++ki) {
+    const RoutingResult& prev = result.back();
+    for (size_t spur = 0; spur + 1 < prev.node_path.size(); ++spur) {
+      int64_t spur_node = prev.node_path[spur];
+      // Root path: prefix up to the spur node.
+      std::vector<bool> banned_edges(static_cast<size_t>(num_edges()), false);
+      std::vector<bool> banned_nodes(static_cast<size_t>(num_nodes()), false);
+      for (const auto& p : result) {
+        if (p.node_path.size() > spur &&
+            std::equal(p.node_path.begin(), p.node_path.begin() + spur + 1,
+                       prev.node_path.begin())) {
+          banned_edges[static_cast<size_t>(p.edge_path[spur])] = true;
+        }
+      }
+      for (size_t i = 0; i < spur; ++i) {
+        banned_nodes[static_cast<size_t>(prev.node_path[i])] = true;
+      }
+      RoutingResult spur_path =
+          ShortestPathAvoiding(spur_node, to, weights, banned_edges, banned_nodes);
+      if (!spur_path.found()) continue;
+      RoutingResult total;
+      total.node_path.assign(prev.node_path.begin(), prev.node_path.begin() + spur);
+      total.node_path.insert(total.node_path.end(), spur_path.node_path.begin(),
+                             spur_path.node_path.end());
+      total.edge_path.assign(prev.edge_path.begin(), prev.edge_path.begin() + spur);
+      total.edge_path.insert(total.edge_path.end(), spur_path.edge_path.begin(),
+                             spur_path.edge_path.end());
+      total.cost = spur_path.cost;
+      for (size_t i = 0; i < spur; ++i) {
+        total.cost += EdgeWeight(prev.edge_path[i], weights);
+      }
+      if (seen.insert({total.cost, total.node_path}).second) {
+        candidates.push_back(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    auto best = std::min_element(candidates.begin(), candidates.end(), path_less);
+    result.push_back(*best);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+}  // namespace dot

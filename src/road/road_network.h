@@ -1,0 +1,97 @@
+// Directed road network with a spatial index, shortest-path routing
+// (Dijkstra), and k-shortest-path enumeration (Yen). This is the substrate
+// for the routing baselines (Sec. 6.2.1) and the trajectory simulator.
+
+#ifndef DOT_ROAD_ROAD_NETWORK_H_
+#define DOT_ROAD_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo.h"
+#include "util/result.h"
+
+namespace dot {
+
+/// \brief A road-network vertex.
+struct RoadNode {
+  GpsPoint gps;
+};
+
+/// \brief A directed road segment.
+struct RoadEdge {
+  int64_t from = 0;
+  int64_t to = 0;
+  double length_meters = 0;
+  double free_flow_speed_mps = 13.9;  ///< ~50 km/h default
+};
+
+/// \brief Result of a shortest-path query.
+struct RoutingResult {
+  std::vector<int64_t> node_path;  ///< empty when unreachable
+  std::vector<int64_t> edge_path;
+  double cost = 0;  ///< sum of edge weights (seconds when weights are times)
+
+  bool found() const { return !node_path.empty(); }
+};
+
+/// \brief Directed graph over road nodes with per-edge lengths/speeds.
+class RoadNetwork {
+ public:
+  int64_t AddNode(GpsPoint gps);
+  /// Adds a directed edge; length defaults to the node distance.
+  int64_t AddEdge(int64_t from, int64_t to, double speed_mps = 13.9,
+                  double length_meters = -1);
+  /// Adds edges in both directions; returns the forward edge id.
+  int64_t AddBidirectional(int64_t a, int64_t b, double speed_mps = 13.9);
+
+  int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  const RoadNode& node(int64_t id) const { return nodes_[static_cast<size_t>(id)]; }
+  const RoadEdge& edge(int64_t id) const { return edges_[static_cast<size_t>(id)]; }
+  const std::vector<int64_t>& OutEdges(int64_t node) const {
+    return out_edges_[static_cast<size_t>(node)];
+  }
+
+  /// Free-flow travel time of an edge, seconds.
+  double FreeFlowSeconds(int64_t edge_id) const;
+
+  /// Builds the nearest-node spatial index; call after all nodes are added.
+  void BuildIndex(int64_t buckets_per_axis = 64);
+  /// Nearest node to `p` (linear scan fallback if the index is absent).
+  int64_t NearestNode(const GpsPoint& p) const;
+
+  /// Bounding box over all nodes.
+  BoundingBox Bounds() const;
+
+  /// Dijkstra shortest path with per-edge weights (seconds). `weights` must
+  /// have one entry per edge; pass {} to use free-flow times.
+  RoutingResult ShortestPath(int64_t from, int64_t to,
+                             const std::vector<double>& weights = {}) const;
+
+  /// Yen's k-shortest loopless paths (used by the simulator's route-choice
+  /// model). Returns at most k paths sorted by cost.
+  std::vector<RoutingResult> KShortestPaths(
+      int64_t from, int64_t to, int64_t k,
+      const std::vector<double>& weights = {}) const;
+
+ private:
+  double EdgeWeight(int64_t edge_id, const std::vector<double>& weights) const;
+  RoutingResult ShortestPathAvoiding(int64_t from, int64_t to,
+                                     const std::vector<double>& weights,
+                                     const std::vector<bool>& banned_edges,
+                                     const std::vector<bool>& banned_nodes) const;
+
+  std::vector<RoadNode> nodes_;
+  std::vector<RoadEdge> edges_;
+  std::vector<std::vector<int64_t>> out_edges_;
+
+  // Spatial hash for NearestNode.
+  BoundingBox index_box_;
+  int64_t index_buckets_ = 0;
+  std::vector<std::vector<int64_t>> index_cells_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_ROAD_ROAD_NETWORK_H_

@@ -1,0 +1,65 @@
+#include "road/segment_stats.h"
+
+#include <algorithm>
+
+namespace dot {
+
+std::vector<int64_t> MapMatcher::MatchNodes(const Trajectory& t) const {
+  std::vector<int64_t> nodes;
+  nodes.reserve(t.points.size());
+  for (const auto& p : t.points) {
+    int64_t id = net_->NearestNode(p.gps);
+    if (nodes.empty() || nodes.back() != id) nodes.push_back(id);
+  }
+  return nodes;
+}
+
+SegmentStats SegmentStats::Learn(const RoadNetwork& net,
+                                 const std::vector<Trajectory>& trajectories) {
+  SegmentStats stats;
+  std::vector<double> sum(static_cast<size_t>(net.num_edges()), 0.0);
+  std::vector<double> count(static_cast<size_t>(net.num_edges()), 0.0);
+  MapMatcher matcher(&net);
+
+  for (const auto& t : trajectories) {
+    if (t.size() < 2) continue;
+    // Match each point, keeping timestamps; merge consecutive duplicates.
+    std::vector<std::pair<int64_t, int64_t>> matched;  // (node, time)
+    for (const auto& p : t.points) {
+      int64_t id = net.NearestNode(p.gps);
+      if (matched.empty() || matched.back().first != id) {
+        matched.emplace_back(id, p.time);
+      }
+    }
+    for (size_t i = 1; i < matched.size(); ++i) {
+      auto [a, ta] = matched[i - 1];
+      auto [b, tb] = matched[i];
+      double elapsed = static_cast<double>(tb - ta);
+      if (elapsed <= 0) continue;
+      RoutingResult path = net.ShortestPath(a, b);
+      if (!path.found() || path.edge_path.empty()) continue;
+      double total_ff = 0;
+      for (int64_t eid : path.edge_path) total_ff += net.FreeFlowSeconds(eid);
+      if (total_ff <= 0) continue;
+      for (int64_t eid : path.edge_path) {
+        double share = net.FreeFlowSeconds(eid) / total_ff;
+        sum[static_cast<size_t>(eid)] += elapsed * share;
+        count[static_cast<size_t>(eid)] += share;
+      }
+    }
+  }
+
+  stats.edge_seconds_.resize(static_cast<size_t>(net.num_edges()));
+  for (int64_t e = 0; e < net.num_edges(); ++e) {
+    if (count[static_cast<size_t>(e)] > 1e-9) {
+      stats.edge_seconds_[static_cast<size_t>(e)] =
+          sum[static_cast<size_t>(e)] / count[static_cast<size_t>(e)];
+      ++stats.num_observed_;
+    } else {
+      stats.edge_seconds_[static_cast<size_t>(e)] = net.FreeFlowSeconds(e);
+    }
+  }
+  return stats;
+}
+
+}  // namespace dot

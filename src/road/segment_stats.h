@@ -1,0 +1,56 @@
+// Map matching and historical per-segment travel times.
+//
+// The routing baselines (Sec. 6.2.1) are "provided with a weighted road
+// network, where the weights represent the average travel time of road
+// segments that is calculated from historical trajectories". SegmentStats
+// computes exactly those weights.
+
+#ifndef DOT_ROAD_SEGMENT_STATS_H_
+#define DOT_ROAD_SEGMENT_STATS_H_
+
+#include <vector>
+
+#include "geo/trajectory.h"
+#include "road/road_network.h"
+
+namespace dot {
+
+/// \brief Snaps GPS trajectories onto the road network.
+class MapMatcher {
+ public:
+  explicit MapMatcher(const RoadNetwork* net) : net_(net) {}
+
+  /// Nearest network node for each GPS point, consecutive duplicates merged.
+  std::vector<int64_t> MatchNodes(const Trajectory& t) const;
+
+  /// Nearest node for a single point.
+  int64_t Match(const GpsPoint& p) const { return net_->NearestNode(p); }
+
+ private:
+  const RoadNetwork* net_;
+};
+
+/// \brief Historical average travel time per road segment.
+class SegmentStats {
+ public:
+  /// Learns edge weights from trajectories: every consecutive matched node
+  /// pair contributes its elapsed time, distributed over the free-flow
+  /// shortest path between the nodes proportionally to free-flow times.
+  /// Edges never observed fall back to free-flow travel time.
+  static SegmentStats Learn(const RoadNetwork& net,
+                            const std::vector<Trajectory>& trajectories);
+
+  /// Seconds per edge, aligned with RoadNetwork edge ids.
+  const std::vector<double>& edge_seconds() const { return edge_seconds_; }
+
+  /// Number of edges with at least one observation.
+  int64_t num_observed() const { return num_observed_; }
+
+ private:
+  std::vector<double> edge_seconds_;
+  int64_t num_observed_ = 0;
+};
+
+}  // namespace dot
+
+#endif  // DOT_ROAD_SEGMENT_STATS_H_

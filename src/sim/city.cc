@@ -1,0 +1,112 @@
+#include "sim/city.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dot {
+
+CityConfig CityConfig::ChengduLike() {
+  CityConfig c;
+  c.name = "Chengdu";
+  c.grid_nodes = 20;
+  c.spacing_meters = 760;  // ~15.2 km extent, close to Table 1
+  c.anchor = {103.95, 30.60};
+  c.edge_removal_prob = 0.06;
+  c.arterial_every = 4;
+  c.rush_hour_strength = 0.6;
+  return c;
+}
+
+CityConfig CityConfig::HarbinLike() {
+  CityConfig c;
+  c.name = "Harbin";
+  c.grid_nodes = 19;
+  c.spacing_meters = 1020;  // ~18.5 km extent
+  c.anchor = {126.53, 45.70};
+  c.edge_removal_prob = 0.09;
+  c.arterial_every = 5;
+  c.arterial_speed_mps = 13.0;  // winter city: slower overall
+  c.street_speed_mps = 7.5;
+  c.rush_hour_strength = 0.65;
+  return c;
+}
+
+City::City(const CityConfig& config, uint64_t seed) : config_(config) {
+  Rng rng(seed);
+  const int64_t n = config.grid_nodes;
+  DOT_CHECK(n >= 4) << "city grid too small";
+  Projection proj(config.anchor);
+
+  // Intersections with slight jitter so streets are not perfectly straight.
+  std::vector<int64_t> ids(static_cast<size_t>(n * n));
+  for (int64_t y = 0; y < n; ++y) {
+    for (int64_t x = 0; x < n; ++x) {
+      double jx = rng.Uniform(-0.08, 0.08) * config.spacing_meters;
+      double jy = rng.Uniform(-0.08, 0.08) * config.spacing_meters;
+      GpsPoint gps = proj.ToGps(static_cast<double>(x) * config.spacing_meters + jx,
+                                static_cast<double>(y) * config.spacing_meters + jy);
+      ids[static_cast<size_t>(y * n + x)] = network_.AddNode(gps);
+    }
+  }
+
+  auto is_arterial_line = [&](int64_t idx) {
+    return idx % config.arterial_every == config.arterial_every / 2;
+  };
+
+  // Horizontal and vertical street segments. Arterial rows/columns are never
+  // removed (keeps the network connected); side streets drop out with
+  // edge_removal_prob.
+  auto add_segment = [&](int64_t a, int64_t b, bool arterial) {
+    double speed = arterial ? config.arterial_speed_mps : config.street_speed_mps;
+    network_.AddBidirectional(a, b, speed);
+    arterial_.push_back(arterial);
+    arterial_.push_back(arterial);
+  };
+  for (int64_t y = 0; y < n; ++y) {
+    for (int64_t x = 0; x + 1 < n; ++x) {
+      bool arterial = is_arterial_line(y);
+      if (!arterial && rng.Bernoulli(config.edge_removal_prob)) continue;
+      add_segment(ids[static_cast<size_t>(y * n + x)],
+                  ids[static_cast<size_t>(y * n + x + 1)], arterial);
+    }
+  }
+  for (int64_t x = 0; x < n; ++x) {
+    for (int64_t y = 0; y + 1 < n; ++y) {
+      bool arterial = is_arterial_line(x);
+      if (!arterial && rng.Bernoulli(config.edge_removal_prob)) continue;
+      add_segment(ids[static_cast<size_t>(y * n + x)],
+                  ids[static_cast<size_t>((y + 1) * n + x)], arterial);
+    }
+  }
+
+  // Static per-edge quality factor (pavement, lanes, signal timing...).
+  quality_.resize(static_cast<size_t>(network_.num_edges()));
+  for (auto& q : quality_) q = rng.Uniform(0.85, 1.15);
+
+  network_.BuildIndex();
+}
+
+double City::SpeedFactor(int64_t edge_id, int64_t seconds_of_day) const {
+  double hour = static_cast<double>(seconds_of_day) / 3600.0;
+  auto gauss = [](double h, double mu, double sigma) {
+    double z = (h - mu) / sigma;
+    return std::exp(-0.5 * z * z);
+  };
+  // Morning and evening rush dips; arterials are hit harder (they carry the
+  // through traffic), which flips the fastest route across the day.
+  double strength = config_.rush_hour_strength;
+  double dip = gauss(hour, 8.0, 1.4) + 1.1 * gauss(hour, 18.0, 1.7);
+  double factor = IsArterial(edge_id) ? 1.0 - strength * dip
+                                      : 1.0 - 0.35 * strength * dip;
+  return std::max(0.25, factor);
+}
+
+double City::ExpectedEdgeSeconds(int64_t edge_id, int64_t seconds_of_day) const {
+  const RoadEdge& e = network_.edge(edge_id);
+  double speed = e.free_flow_speed_mps * SpeedFactor(edge_id, seconds_of_day) *
+                 EdgeQuality(edge_id);
+  return e.length_meters / std::max(0.5, speed);
+}
+
+}  // namespace dot

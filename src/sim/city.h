@@ -1,0 +1,81 @@
+// Synthetic city: road network generation and time-of-day speed model.
+//
+// This substitutes for the proprietary Didi Chengdu / Harbin GPS datasets
+// (see DESIGN.md). The generator produces the phenomena the paper's
+// evaluation depends on: a connected street grid with faster arterials,
+// rush-hour congestion that changes route choice across the day, and
+// heterogeneous per-edge speeds.
+
+#ifndef DOT_SIM_CITY_H_
+#define DOT_SIM_CITY_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/geo.h"
+#include "road/road_network.h"
+#include "util/rng.h"
+
+namespace dot {
+
+/// \brief Parameters of a synthetic city.
+struct CityConfig {
+  std::string name = "synthetic";
+  /// Intersections per axis (grid_nodes^2 total).
+  int64_t grid_nodes = 18;
+  /// Distance between adjacent intersections, meters.
+  double spacing_meters = 750;
+  /// GPS anchor of the south-west corner.
+  GpsPoint anchor{104.00, 30.60};
+  /// Probability that a non-arterial street segment is removed (creates
+  /// irregular blocks and forces detours).
+  double edge_removal_prob = 0.06;
+  /// Every k-th row/column is an arterial with higher free-flow speed.
+  int64_t arterial_every = 4;
+  double arterial_speed_mps = 15.0;  ///< ~54 km/h
+  double street_speed_mps = 8.5;     ///< ~31 km/h
+  /// Relative strength of the morning/evening congestion dips.
+  double rush_hour_strength = 0.6;
+
+  /// A Chengdu-like city: denser, smaller blocks (Table 1: 15.3 km extent).
+  static CityConfig ChengduLike();
+  /// A Harbin-like city: sparser, larger extent (Table 1: 18.7 km).
+  static CityConfig HarbinLike();
+};
+
+/// \brief A generated city: the road network plus its speed model.
+class City {
+ public:
+  /// Builds the network deterministically from `seed`.
+  City(const CityConfig& config, uint64_t seed);
+
+  const CityConfig& config() const { return config_; }
+  const RoadNetwork& network() const { return network_; }
+
+  /// Multiplicative congestion factor in (0, 1] for an edge at a given
+  /// second-of-day. Arterials are hit harder at rush hour.
+  double SpeedFactor(int64_t edge_id, int64_t seconds_of_day) const;
+
+  /// Expected traversal seconds of an edge entered at `seconds_of_day`.
+  double ExpectedEdgeSeconds(int64_t edge_id, int64_t seconds_of_day) const;
+
+  /// True if the edge belongs to an arterial row/column.
+  bool IsArterial(int64_t edge_id) const {
+    return arterial_[static_cast<size_t>(edge_id)];
+  }
+
+  /// Per-edge static quality multiplier in [0.85, 1.15].
+  double EdgeQuality(int64_t edge_id) const {
+    return quality_[static_cast<size_t>(edge_id)];
+  }
+
+ private:
+  CityConfig config_;
+  RoadNetwork network_;
+  std::vector<bool> arterial_;
+  std::vector<double> quality_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_SIM_CITY_H_

@@ -1,0 +1,227 @@
+#include "sim/trips.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace dot {
+
+TripConfig TripConfig::ChengduLike() {
+  TripConfig c;
+  c.start_unix = 1541030400;  // 2018-11-01
+  c.num_days = 10;
+  c.gps_interval_mean = 29.0;
+  c.gps_interval_jitter = 12.0;
+  return c;
+}
+
+TripConfig TripConfig::HarbinLike() {
+  TripConfig c;
+  c.start_unix = 1420243200;  // 2015-01-03
+  c.num_days = 5;
+  c.gps_interval_mean = 44.0;
+  c.gps_interval_jitter = 16.0;
+  c.max_od_meters = 6500.0;
+  return c;
+}
+
+TripGenerator::TripGenerator(const City* city, uint64_t seed)
+    : city_(city), rng_(seed) {
+  // Three activity hotspots: center, north-east business area, south-west
+  // station — placed by grid position.
+  const RoadNetwork& net = city_->network();
+  int64_t n = city_->config().grid_nodes;
+  auto node_at = [&](int64_t x, int64_t y) { return y * n + x; };
+  hotspots_ = {node_at(n / 2, n / 2), node_at((3 * n) / 4, (3 * n) / 4),
+               node_at(n / 4, n / 4)};
+  for (int64_t h : hotspots_) {
+    DOT_CHECK(h >= 0 && h < net.num_nodes()) << "hotspot out of range";
+  }
+}
+
+int64_t TripGenerator::SampleSecondsOfDay() {
+  // Hourly demand profile: quiet nights, morning and evening peaks.
+  static const double kHourWeight[24] = {
+      0.4, 0.3, 0.2, 0.2, 0.3, 0.8, 1.6, 2.6, 3.0, 2.2, 1.8, 1.9,
+      2.0, 1.8, 1.7, 1.8, 2.2, 2.9, 3.2, 2.6, 2.0, 1.6, 1.1, 0.7};
+  std::vector<double> w(kHourWeight, kHourWeight + 24);
+  int64_t hour = rng_.Categorical(w);
+  return hour * 3600 + rng_.UniformInt(0, 3599);
+}
+
+int64_t TripGenerator::SampleNodeNearHotspot() {
+  const int64_t n = city_->config().grid_nodes;
+  int64_t h = hotspots_[static_cast<size_t>(
+      rng_.UniformInt(0, static_cast<int64_t>(hotspots_.size()) - 1))];
+  int64_t hx = h % n, hy = h / n;
+  int64_t x = std::clamp<int64_t>(
+      hx + static_cast<int64_t>(std::lround(rng_.Normal(0, 2.0))), 0, n - 1);
+  int64_t y = std::clamp<int64_t>(
+      hy + static_cast<int64_t>(std::lround(rng_.Normal(0, 2.0))), 0, n - 1);
+  return y * n + x;
+}
+
+int64_t TripGenerator::SampleOrigin() {
+  if (rng_.Bernoulli(0.5)) return SampleNodeNearHotspot();
+  return rng_.UniformInt(0, city_->network().num_nodes() - 1);
+}
+
+int64_t TripGenerator::SampleDestination(int64_t origin, const TripConfig& config) {
+  const RoadNetwork& net = city_->network();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    int64_t d = rng_.Bernoulli(0.5) ? SampleNodeNearHotspot()
+                                    : rng_.UniformInt(0, net.num_nodes() - 1);
+    if (d == origin) continue;
+    double dist = DistanceMeters(net.node(origin).gps, net.node(d).gps);
+    if (dist >= config.min_od_meters && dist <= config.max_od_meters) return d;
+  }
+  return -1;
+}
+
+std::vector<int64_t> TripGenerator::ChooseRoute(int64_t from, int64_t to,
+                                                int64_t depart_sod,
+                                                const TripConfig& config,
+                                                bool* is_outlier) {
+  const RoadNetwork& net = city_->network();
+  // Perceived per-edge costs at the departure time drive route choice: the
+  // expected time skewed by the drivers' arterial preference. Time-of-day
+  // dependence makes the preferred route flip between off-peak and rush
+  // hour; the perception skew separates realized routes from the true
+  // time-optimal path.
+  std::vector<double> weights(static_cast<size_t>(net.num_edges()));
+  for (int64_t e = 0; e < net.num_edges(); ++e) {
+    double perception = city_->IsArterial(e) ? config.perceived_arterial_factor
+                                             : config.perceived_street_factor;
+    weights[static_cast<size_t>(e)] =
+        city_->ExpectedEdgeSeconds(e, depart_sod) * perception;
+  }
+
+  *is_outlier = false;
+  std::vector<RoutingResult> candidates =
+      net.KShortestPaths(from, to, config.route_candidates, weights);
+  if (candidates.empty()) return {};
+
+  if (rng_.Bernoulli(config.outlier_prob)) {
+    // Outlier: detour via an unrelated waypoint (Fig. 1's T4 via point B).
+    double best_cost = candidates[0].cost;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      int64_t via = rng_.UniformInt(0, net.num_nodes() - 1);
+      if (via == from || via == to) continue;
+      RoutingResult leg1 = net.ShortestPath(from, via, weights);
+      RoutingResult leg2 = net.ShortestPath(via, to, weights);
+      if (!leg1.found() || !leg2.found()) continue;
+      double cost = leg1.cost + leg2.cost;
+      if (cost >= config.detour_min_factor * best_cost &&
+          cost <= 3.0 * best_cost) {
+        std::vector<int64_t> path = leg1.edge_path;
+        path.insert(path.end(), leg2.edge_path.begin(), leg2.edge_path.end());
+        *is_outlier = true;
+        return path;
+      }
+    }
+    // No suitable detour found; fall through to a normal route.
+  }
+
+  // Softmax over candidate costs relative to the best.
+  std::vector<double> probs;
+  for (const auto& c : candidates) {
+    probs.push_back(std::exp(-(c.cost - candidates[0].cost) /
+                             std::max(1.0, config.route_choice_temp)));
+  }
+  int64_t pick = rng_.Categorical(probs);
+  if (pick < 0) pick = 0;
+  return candidates[static_cast<size_t>(pick)].edge_path;
+}
+
+Trajectory TripGenerator::Drive(const std::vector<int64_t>& edge_path,
+                                int64_t depart_unix, const TripConfig& config) {
+  const RoadNetwork& net = city_->network();
+  // 1) Walk the path, producing a piecewise-linear position/time curve.
+  struct Waypoint {
+    GpsPoint gps;
+    double time;  // seconds since departure
+  };
+  std::vector<Waypoint> curve;
+  double trip_factor = std::exp(rng_.Normal(0, config.trip_speed_noise));
+  double t = 0;
+  curve.push_back({net.node(net.edge(edge_path.front()).from).gps, 0.0});
+  for (int64_t eid : edge_path) {
+    const RoadEdge& e = net.edge(eid);
+    int64_t sod = SecondsOfDay(depart_unix + static_cast<int64_t>(t));
+    double drive = city_->ExpectedEdgeSeconds(eid, sod) * trip_factor *
+                   rng_.Uniform(0.9, 1.1);
+    double delay =
+        rng_.Uniform(config.intersection_delay_min, config.intersection_delay_max);
+    if (city_->IsArterial(eid)) delay *= 0.5;
+    t += drive + delay;
+    curve.push_back({net.node(e.to).gps, t});
+  }
+  double total = t;
+
+  // 2) Sample GPS points along the curve at irregular intervals.
+  Trajectory traj;
+  Projection proj(city_->config().anchor);
+  auto position_at = [&](double query) {
+    for (size_t i = 1; i < curve.size(); ++i) {
+      if (query <= curve[i].time) {
+        double span = std::max(1e-9, curve[i].time - curve[i - 1].time);
+        double f = (query - curve[i - 1].time) / span;
+        return GpsPoint{
+            curve[i - 1].gps.lng + f * (curve[i].gps.lng - curve[i - 1].gps.lng),
+            curve[i - 1].gps.lat + f * (curve[i].gps.lat - curve[i - 1].gps.lat)};
+      }
+    }
+    return curve.back().gps;
+  };
+  auto noisy = [&](const GpsPoint& p) {
+    double x, y;
+    proj.ToMeters(p, &x, &y);
+    x += rng_.Normal(0, config.gps_noise_meters);
+    y += rng_.Normal(0, config.gps_noise_meters);
+    return proj.ToGps(x, y);
+  };
+  double sample_t = 0;
+  while (sample_t < total) {
+    traj.points.push_back(
+        {noisy(position_at(sample_t)), depart_unix + static_cast<int64_t>(sample_t)});
+    double gap = config.gps_interval_mean +
+                 rng_.Uniform(-config.gps_interval_jitter, config.gps_interval_jitter);
+    sample_t += std::max(5.0, gap);
+  }
+  // Final fix exactly at the destination/arrival.
+  traj.points.push_back(
+      {noisy(curve.back().gps), depart_unix + static_cast<int64_t>(total)});
+  return traj;
+}
+
+std::vector<SimulatedTrip> TripGenerator::Generate(const TripConfig& config) {
+  std::vector<SimulatedTrip> trips;
+  trips.reserve(static_cast<size_t>(config.num_trips));
+  int64_t guard = 0;
+  while (static_cast<int64_t>(trips.size()) < config.num_trips &&
+         guard < config.num_trips * 20) {
+    ++guard;
+    int64_t origin = SampleOrigin();
+    int64_t dest = SampleDestination(origin, config);
+    if (dest < 0) continue;
+    int64_t day = rng_.UniformInt(0, config.num_days - 1);
+    int64_t sod = SampleSecondsOfDay();
+    int64_t depart = config.start_unix + day * 86400 + sod;
+    bool outlier = false;
+    std::vector<int64_t> path = ChooseRoute(origin, dest, sod, config, &outlier);
+    if (path.empty()) continue;
+    SimulatedTrip trip;
+    trip.edge_path = path;
+    trip.is_outlier = outlier;
+    trip.trajectory = Drive(path, depart, config);
+    if (trip.trajectory.size() < 2) continue;
+    trip.odt = OdtFromTrajectory(trip.trajectory);
+    trips.push_back(std::move(trip));
+  }
+  DOT_CHECK(static_cast<int64_t>(trips.size()) == config.num_trips)
+      << "trip generation starved; relax OD distance bounds";
+  return trips;
+}
+
+}  // namespace dot

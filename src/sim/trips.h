@@ -1,0 +1,105 @@
+// Trip demand, route choice (with deliberate outlier detours) and GPS
+// sampling on top of a synthetic City.
+//
+// The generator reproduces the data phenomena the paper's evaluation relies
+// on (Fig. 1): several plausible routes per OD pair whose attractiveness
+// depends on departure time, a minority of outlier detours with much larger
+// travel times, and irregular noisy GPS sampling.
+
+#ifndef DOT_SIM_TRIPS_H_
+#define DOT_SIM_TRIPS_H_
+
+#include <vector>
+
+#include "geo/trajectory.h"
+#include "sim/city.h"
+
+namespace dot {
+
+/// \brief Parameters of a generated trip set.
+struct TripConfig {
+  int64_t num_trips = 2000;
+  /// Unix timestamp of day 0, 00:00.
+  int64_t start_unix = 1541030400;  // 2018-11-01 (Chengdu-like default)
+  int64_t num_days = 10;
+
+  /// Fraction of trips that take a long detour via an unrelated waypoint
+  /// (the paper's outlier trajectories, e.g. T4 via point B in Fig. 1).
+  double outlier_prob = 0.08;
+  /// A detour qualifies as an outlier when its cost exceeds this multiple of
+  /// the best route's cost.
+  double detour_min_factor = 1.6;
+
+  /// Number of candidate routes considered by normal drivers.
+  int64_t route_candidates = 3;
+  /// Softmax temperature (seconds) over candidate costs; lower = greedier.
+  double route_choice_temp = 90.0;
+  /// Drivers' perceived cost multiplier for arterials vs side streets:
+  /// habit and simplicity make arterials feel cheaper than they are. This
+  /// drives realized routes away from the true time-optimal path — the gap
+  /// that makes shortest-path oracles inaccurate (paper Fig. 1).
+  double perceived_arterial_factor = 0.72;
+  double perceived_street_factor = 1.35;
+
+  /// GPS sampler: mean gap, uniform jitter, and positional noise.
+  double gps_interval_mean = 29.0;
+  double gps_interval_jitter = 12.0;
+  double gps_noise_meters = 10.0;
+
+  /// OD pairs are resampled until the straight-line distance lies in range.
+  double min_od_meters = 1300.0;
+  double max_od_meters = 5500.0;
+
+  /// Per-trip multiplicative speed noise (driver behaviour).
+  double trip_speed_noise = 0.12;
+  /// Per-edge intersection/signal delay range, seconds (streets; arterials
+  /// use half of it).
+  double intersection_delay_min = 5.0;
+  double intersection_delay_max = 30.0;
+
+  /// Chengdu-like trip mix matching Table 1 (Nov 1-10 2018, 29 s sampling).
+  static TripConfig ChengduLike();
+  /// Harbin-like trip mix (Jan 3-7 2015, 44 s sampling).
+  static TripConfig HarbinLike();
+};
+
+/// \brief A simulated trip: trajectory plus generation ground truth.
+struct SimulatedTrip {
+  Trajectory trajectory;
+  std::vector<int64_t> edge_path;  ///< edges actually driven
+  bool is_outlier = false;
+  OdtInput odt;
+};
+
+/// \brief Samples trips from a City.
+class TripGenerator {
+ public:
+  TripGenerator(const City* city, uint64_t seed);
+
+  /// Generates `config.num_trips` trips. Trajectories are raw (pre-filter);
+  /// apply TrajectoryFilter afterwards as in Sec. 6.1.
+  std::vector<SimulatedTrip> Generate(const TripConfig& config);
+
+  /// Samples a departure second-of-day from the daily demand profile
+  /// (morning/evening peaks). Exposed for tests.
+  int64_t SampleSecondsOfDay();
+
+ private:
+  int64_t SampleNodeNearHotspot();
+  int64_t SampleOrigin();
+  int64_t SampleDestination(int64_t origin, const TripConfig& config);
+  /// Picks the driven route: usually one of the k best under expected
+  /// time-of-day costs, occasionally an outlier detour.
+  std::vector<int64_t> ChooseRoute(int64_t from, int64_t to, int64_t depart_sod,
+                                   const TripConfig& config, bool* is_outlier);
+  Trajectory Drive(const std::vector<int64_t>& edge_path, int64_t depart_unix,
+                   const TripConfig& config);
+
+  const City* city_;
+  Rng rng_;
+  std::vector<int64_t> hotspots_;  // node ids
+};
+
+}  // namespace dot
+
+#endif  // DOT_SIM_TRIPS_H_

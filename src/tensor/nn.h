@@ -1,0 +1,197 @@
+// Neural-network modules built on the tensor ops: parameter registry,
+// initialization, checkpoint save/load, and the layers needed by the DOT
+// models (Linear, Conv2d, Embedding, norms, multi-head attention, GRUCell).
+
+#ifndef DOT_TENSOR_NN_H_
+#define DOT_TENSOR_NN_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/result.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace dot::nn {
+
+/// \brief Base class with a named-parameter registry.
+///
+/// Subclasses register their parameters and sub-modules in their
+/// constructor; Parameters() flattens the tree in registration order, which
+/// also defines the checkpoint layout.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module and its children (depth-first,
+  /// registration order).
+  std::vector<Tensor> Parameters() const;
+
+  /// (qualified name, parameter) pairs, e.g. "block1.conv.weight".
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  /// Total scalar parameter count.
+  int64_t NumParams() const;
+
+  /// Approximate in-memory model size in bytes (float32 weights).
+  int64_t SizeBytes() const { return NumParams() * 4; }
+
+  /// Zeroes gradients of all parameters.
+  void ZeroGrad();
+
+  /// Writes all parameters (with names and shapes) to `w`.
+  Status Save(BinaryWriter* w) const;
+  /// Reads parameters; names/shapes must match the current architecture.
+  Status Load(BinaryReader* r);
+
+  /// Convenience file-based checkpointing.
+  Status SaveFile(const std::string& path) const;
+  Status LoadFile(const std::string& path);
+
+ protected:
+  /// Registers a trainable tensor under `name`; marks it requires_grad.
+  Tensor RegisterParameter(const std::string& name, Tensor t);
+  /// Registers `child` (not owned) under `name`.
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  void CollectNamed(const std::string& prefix,
+                    std::vector<std::pair<std::string, Tensor>>* out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+// ---- Initialization helpers --------------------------------------------------
+
+/// Kaiming-uniform init for a weight with given fan-in.
+Tensor KaimingUniform(std::vector<int64_t> shape, int64_t fan_in, Rng* rng);
+
+// ---- Layers -------------------------------------------------------------------
+
+/// \brief Affine map y = x W + b with W stored [in, out].
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias = true);
+
+  /// x: [..., in] -> [..., out].
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_; }
+  int64_t out_features() const { return out_; }
+
+ private:
+  int64_t in_, out_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+/// \brief 2-D convolution over NCHW tensors.
+class Conv2dLayer : public Module {
+ public:
+  Conv2dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel,
+              int64_t stride, int64_t padding, Rng* rng, bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t out_channels() const { return weight_.size(0); }
+
+ private:
+  int64_t stride_, padding_;
+  Tensor weight_;  // [oc, ic, k, k]
+  Tensor bias_;    // [oc] or undefined
+};
+
+/// \brief Lookup table of `count` embeddings of width `dim`.
+class Embedding : public Module {
+ public:
+  Embedding(int64_t count, int64_t dim, Rng* rng);
+
+  /// ids -> [ids.size(), dim].
+  Tensor Forward(const std::vector<int64_t>& ids) const;
+
+  int64_t dim() const { return table_.size(1); }
+
+ private:
+  Tensor table_;  // [count, dim]
+};
+
+/// \brief Layer normalization over the last dimension.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim);
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_, beta_;
+};
+
+/// \brief Group normalization over NCHW channels.
+class GroupNorm : public Module {
+ public:
+  GroupNorm(int64_t channels, int64_t groups);
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  int64_t groups_;
+  Tensor gamma_, beta_;
+};
+
+/// \brief Multi-head scaled-dot-product self-attention.
+///
+/// Forward takes [B, L, d] and applies attention over L. The MViT packs
+/// valid tokens before calling this, so no attention mask is required here
+/// (that *is* the paper's masking scheme, Fig. 7b).
+class MultiheadAttention : public Module {
+ public:
+  MultiheadAttention(int64_t dim, int64_t heads, Rng* rng);
+
+  /// Self-attention over [B, L, d]. If `key_bias` is non-null it must hold L
+  /// values added to every attention-score row before the softmax — pass
+  /// -1e9 on invalid positions to mask them (the vanilla-ViT masking scheme
+  /// of the paper's Fig. 7a, which still pays for the full L x L scores).
+  Tensor Forward(const Tensor& x, const std::vector<float>* key_bias = nullptr) const;
+
+  int64_t heads() const { return heads_; }
+
+ private:
+  int64_t dim_, heads_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+/// \brief Single GRU cell (used by the RNN path-based baselines).
+class GRUCell : public Module {
+ public:
+  GRUCell(int64_t input_dim, int64_t hidden_dim, Rng* rng);
+
+  /// x: [B, input_dim], h: [B, hidden_dim] -> new hidden [B, hidden_dim].
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  int64_t hidden_dim() const { return hidden_; }
+
+ private:
+  int64_t hidden_;
+  Linear xz_, hz_, xr_, hr_, xn_, hn_;
+};
+
+/// \brief Two-layer feed-forward block with GELU (Transformer FFN).
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t dim, int64_t hidden, Rng* rng);
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Linear fc1_, fc2_;
+};
+
+/// Sinusoidal positional/step encoding (paper Eq. 12): returns [count, dim].
+/// Not trainable; computed once and cached by callers.
+Tensor SinusoidalEncoding(int64_t count, int64_t dim);
+
+}  // namespace dot::nn
+
+#endif  // DOT_TENSOR_NN_H_

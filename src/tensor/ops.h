@@ -1,0 +1,118 @@
+// Differentiable operations over Tensor. All functions build autograd graph
+// nodes when GradModeEnabled() and any input requires (transitively) a
+// gradient; under NoGradGuard they are pure forward computations.
+//
+// Broadcasting: binary elementwise ops support full numpy-style
+// right-aligned broadcasting; gradients are reduce-summed back to each
+// input's shape.
+
+#ifndef DOT_TENSOR_OPS_H_
+#define DOT_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dot {
+
+// ---- Binary elementwise (broadcasting) ------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+
+// ---- Scalar ----------------------------------------------------------------
+
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+
+// ---- Unary -----------------------------------------------------------------
+
+Tensor Neg(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Log(const Tensor& a);  ///< natural log; input must be positive
+Tensor Sqrt(const Tensor& a);
+Tensor Square(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Relu(const Tensor& a);
+/// Gaussian Error Linear Unit (tanh approximation), the activation used in
+/// the OCConv blocks (paper Eq. 16).
+Tensor Gelu(const Tensor& a);
+Tensor Silu(const Tensor& a);
+
+// ---- Shape -----------------------------------------------------------------
+
+/// Returns a reshaped copy; one dimension may be -1 (inferred).
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape);
+/// Transpose of a 2-D tensor.
+Tensor Transpose2D(const Tensor& a);
+/// Generalized dimension permutation.
+Tensor Permute(const Tensor& a, std::vector<int64_t> perm);
+/// Concatenates tensors along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+/// Contiguous slice [start, start+len) along `axis`.
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len);
+/// Gathers rows of a 2-D tensor: out[i, :] = a[ids[i], :]. Backward
+/// scatter-adds (used for embeddings and MViT token packing).
+Tensor Rows(const Tensor& a, const std::vector<int64_t>& ids);
+
+// ---- Reductions ------------------------------------------------------------
+
+Tensor Sum(const Tensor& a);
+Tensor Mean(const Tensor& a);
+Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim = false);
+Tensor MeanAxis(const Tensor& a, int64_t axis, bool keepdim = false);
+
+// ---- Linear algebra ---------------------------------------------------------
+
+/// 2-D matrix product [m,k] x [k,n] -> [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// Batched 3-D matrix product [B,m,k] x [B,k,n] -> [B,m,n].
+Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+
+// ---- Neural-network functional ----------------------------------------------
+
+/// Softmax over the last dimension.
+Tensor Softmax(const Tensor& a);
+/// Layer normalization over the last dimension with affine gamma/beta [d].
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps = 1e-5f);
+/// Group normalization for NCHW inputs; gamma/beta have shape [C].
+Tensor GroupNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   int64_t groups, float eps = 1e-5f);
+/// 2-D convolution, NCHW x [OC,C,KH,KW] (+ optional bias [OC]).
+Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int64_t stride,
+              int64_t padding);
+/// Non-overlapping 2x2 average pooling (H, W must be even).
+Tensor AvgPool2d(const Tensor& x);
+/// Nearest-neighbour 2x upsampling of NCHW input.
+Tensor UpsampleNearest2x(const Tensor& x);
+/// Mean squared error between same-shaped tensors (scalar).
+Tensor MseLoss(const Tensor& pred, const Tensor& target);
+
+// ---- Raw kernels (no autograd; exposed for reuse and testing) ---------------
+
+namespace internal {
+
+/// C[m,n] (+)= A[m,k] * B[k,n]; `accumulate` keeps existing C contents.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool accumulate);
+/// C = A^T * B with A[k,m], B[k,n] -> C[m,n].
+void GemmTA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate);
+/// C = A * B^T with A[m,k], B[n,k] -> C[m,n].
+void GemmTB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate);
+
+/// Right-aligned numpy broadcast of two shapes; dies on incompatibility.
+std::vector<int64_t> BroadcastShape(const std::vector<int64_t>& a,
+                                    const std::vector<int64_t>& b);
+
+}  // namespace internal
+
+}  // namespace dot
+
+#endif  // DOT_TENSOR_OPS_H_

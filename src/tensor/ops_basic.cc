@@ -1,0 +1,534 @@
+// Elementwise, shape and reduction operators.
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/ops_internal.h"
+
+namespace dot {
+
+using internal::AttachNode;
+using internal::NeedsGrad;
+using internal::RowMajorStrides;
+
+namespace {
+
+// Broadcast execution plan: per-output-dim input strides (0 on broadcast dims).
+struct BcastPlan {
+  std::vector<int64_t> out_shape;
+  std::vector<int64_t> a_stride;
+  std::vector<int64_t> b_stride;
+  bool same = false;  // fast path: identical shapes
+};
+
+BcastPlan MakeBcastPlan(const Tensor& a, const Tensor& b) {
+  BcastPlan plan;
+  if (SameShape(a, b)) {
+    plan.out_shape = a.shape();
+    plan.same = true;
+    return plan;
+  }
+  plan.out_shape = internal::BroadcastShape(a.shape(), b.shape());
+  size_t nd = plan.out_shape.size();
+  auto expand = [&](const std::vector<int64_t>& shape) {
+    std::vector<int64_t> strides = RowMajorStrides(shape);
+    std::vector<int64_t> out(nd, 0);
+    size_t offset = nd - shape.size();
+    for (size_t i = 0; i < shape.size(); ++i) {
+      out[offset + i] = (shape[i] == 1) ? 0 : strides[i];
+    }
+    return out;
+  };
+  plan.a_stride = expand(a.shape());
+  plan.b_stride = expand(b.shape());
+  return plan;
+}
+
+/// Generic broadcasting binary op. `fwd(av,bv)` computes the value;
+/// `dfa`/`dfb` compute local derivatives from the two input values.
+template <typename F, typename DA, typename DB>
+Tensor BinaryOp(const char* name, const Tensor& a, const Tensor& b, F fwd, DA dfa,
+                DB dfb) {
+  BcastPlan plan = MakeBcastPlan(a, b);
+  Tensor out = Tensor::Empty(plan.out_shape);
+  const float* ap = a.data();
+  const float* bp = b.data();
+  float* op = out.data();
+  int64_t n = out.numel();
+  if (plan.same) {
+    for (int64_t i = 0; i < n; ++i) op[i] = fwd(ap[i], bp[i]);
+  } else {
+    size_t nd = plan.out_shape.size();
+    std::vector<int64_t> idx(nd, 0);
+    for (int64_t flat = 0; flat < n; ++flat) {
+      int64_t ai = 0, bi = 0;
+      for (size_t d = 0; d < nd; ++d) {
+        ai += idx[d] * plan.a_stride[d];
+        bi += idx[d] * plan.b_stride[d];
+      }
+      op[flat] = fwd(ap[ai], bp[bi]);
+      for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
+        if (++idx[d] < plan.out_shape[d]) break;
+        idx[d] = 0;
+      }
+    }
+  }
+  Tensor a_cap = a, b_cap = b;
+  AttachNode(&out, name, {a, b}, [a_cap, b_cap, plan, dfa, dfb](const Tensor& o) {
+    Tensor a = a_cap, b = b_cap;
+    const float* gout = o.grad_vec().data();
+    const float* ap = a.data();
+    const float* bp = b.data();
+    int64_t n = o.numel();
+    if (plan.same) {
+      if (NeedsGrad(a)) {
+        float* ga = a.grad();
+        for (int64_t i = 0; i < n; ++i) ga[i] += gout[i] * dfa(ap[i], bp[i]);
+      }
+      if (NeedsGrad(b)) {
+        float* gb = b.grad();
+        for (int64_t i = 0; i < n; ++i) gb[i] += gout[i] * dfb(ap[i], bp[i]);
+      }
+      return;
+    }
+    size_t nd = plan.out_shape.size();
+    bool need_a = NeedsGrad(a), need_b = NeedsGrad(b);
+    float* ga = need_a ? a.grad() : nullptr;
+    float* gb = need_b ? b.grad() : nullptr;
+    std::vector<int64_t> idx(nd, 0);
+    for (int64_t flat = 0; flat < n; ++flat) {
+      int64_t ai = 0, bi = 0;
+      for (size_t d = 0; d < nd; ++d) {
+        ai += idx[d] * plan.a_stride[d];
+        bi += idx[d] * plan.b_stride[d];
+      }
+      if (need_a) ga[ai] += gout[flat] * dfa(ap[ai], bp[bi]);
+      if (need_b) gb[bi] += gout[flat] * dfb(ap[ai], bp[bi]);
+      for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
+        if (++idx[d] < plan.out_shape[d]) break;
+        idx[d] = 0;
+      }
+    }
+  });
+  return out;
+}
+
+/// Generic unary op; derivative receives (input value, output value).
+template <typename F, typename D>
+Tensor UnaryOp(const char* name, const Tensor& a, F fwd, D dfdx) {
+  Tensor out = Tensor::Empty(a.shape());
+  const float* ap = a.data();
+  float* op = out.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) op[i] = fwd(ap[i]);
+  Tensor a_cap = a;
+  AttachNode(&out, name, {a}, [a_cap, dfdx](const Tensor& o) {
+    Tensor a = a_cap;
+    const float* gout = o.grad_vec().data();
+    const float* ap = a.data();
+    const float* op = o.data();
+    float* ga = a.grad();
+    int64_t n = o.numel();
+    for (int64_t i = 0; i < n; ++i) ga[i] += gout[i] * dfdx(ap[i], op[i]);
+  });
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::vector<int64_t> BroadcastShape(const std::vector<int64_t>& a,
+                                    const std::vector<int64_t>& b) {
+  size_t nd = std::max(a.size(), b.size());
+  std::vector<int64_t> out(nd);
+  for (size_t i = 0; i < nd; ++i) {
+    int64_t da = i < nd - a.size() ? 1 : a[i - (nd - a.size())];
+    int64_t db = i < nd - b.size() ? 1 : b[i - (nd - b.size())];
+    DOT_CHECK(da == db || da == 1 || db == 1)
+        << "broadcast mismatch at dim " << i << ": " << da << " vs " << db;
+    out[i] = std::max(da, db);
+  }
+  return out;
+}
+
+}  // namespace internal
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      "add", a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      "sub", a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      "mul", a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      "div", a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      "add_scalar", a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      "mul_scalar", a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      "exp", a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      "log", a, [](float x) { return std::log(x); },
+      [](float x, float) { return 1.0f / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      "sqrt", a, [](float x) { return std::sqrt(x); },
+      [](float, float y) { return 0.5f / y; });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      "square", a, [](float x) { return x * x; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      "abs", a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x >= 0 ? 1.0f : -1.0f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      "sigmoid", a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      "tanh", a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      "relu", a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation: 0.5*x*(1+tanh(sqrt(2/pi)*(x+0.044715 x^3))).
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  return UnaryOp(
+      "gelu", a,
+      [](float x) {
+        float inner = kC * (x + kA * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float) {
+        float x3 = x * x * x;
+        float inner = kC * (x + kA * x3);
+        float t = std::tanh(inner);
+        float dinner = kC * (1.0f + 3.0f * kA * x * x);
+        return 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * dinner;
+      });
+}
+
+Tensor Silu(const Tensor& a) {
+  return UnaryOp(
+      "silu", a,
+      [](float x) { return x / (1.0f + std::exp(-x)); },
+      [](float x, float) {
+        float s = 1.0f / (1.0f + std::exp(-x));
+        return s * (1.0f + x * (1.0f - s));
+      });
+}
+
+// ---- Shape ops --------------------------------------------------------------
+
+Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
+  int64_t known = 1;
+  int64_t infer = -1;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      DOT_CHECK(infer == -1) << "Reshape: multiple -1 dims";
+      infer = static_cast<int64_t>(i);
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (infer >= 0) shape[static_cast<size_t>(infer)] = a.numel() / known;
+  DOT_CHECK(ShapeNumel(shape) == a.numel())
+      << "Reshape: element count mismatch " << a.ShapeString();
+  Tensor out = Tensor::FromVector(shape, a.vec());
+  Tensor a_cap = a;
+  AttachNode(&out, "reshape", {a}, [a_cap](const Tensor& o) {
+    Tensor a = a_cap;
+    a.AccumulateGrad(o.grad_vec().data(), o.numel());
+  });
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  DOT_CHECK(a.dim() == 2) << "Transpose2D needs 2-D input";
+  return Permute(a, {1, 0});
+}
+
+Tensor Permute(const Tensor& a, std::vector<int64_t> perm) {
+  DOT_CHECK(static_cast<int64_t>(perm.size()) == a.dim()) << "Permute rank mismatch";
+  std::vector<int64_t> out_shape(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i) out_shape[i] = a.size(perm[i]);
+  Tensor out = Tensor::Empty(out_shape);
+  size_t nd = perm.size();
+  std::vector<int64_t> in_stride = RowMajorStrides(a.shape());
+  std::vector<int64_t> mapped(nd);  // stride of out-dim d within input
+  for (size_t d = 0; d < nd; ++d) mapped[d] = in_stride[static_cast<size_t>(perm[d])];
+  const float* ap = a.data();
+  float* op = out.data();
+  int64_t n = a.numel();
+  std::vector<int64_t> idx(nd, 0);
+  for (int64_t flat = 0; flat < n; ++flat) {
+    int64_t ai = 0;
+    for (size_t d = 0; d < nd; ++d) ai += idx[d] * mapped[d];
+    op[flat] = ap[ai];
+    for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
+      if (++idx[d] < out_shape[d]) break;
+      idx[d] = 0;
+    }
+  }
+  Tensor a_cap = a;
+  AttachNode(&out, "permute", {a},
+             [a_cap, mapped, out_shape, nd](const Tensor& o) {
+               Tensor a = a_cap;
+               float* ga = a.grad();
+               const float* gout = o.grad_vec().data();
+               int64_t n = o.numel();
+               std::vector<int64_t> idx(nd, 0);
+               for (int64_t flat = 0; flat < n; ++flat) {
+                 int64_t ai = 0;
+                 for (size_t d = 0; d < nd; ++d) ai += idx[d] * mapped[d];
+                 ga[ai] += gout[flat];
+                 for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
+                   if (++idx[d] < out_shape[d]) break;
+                   idx[d] = 0;
+                 }
+               }
+             });
+  return out;
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  DOT_CHECK(!parts.empty()) << "Concat of zero tensors";
+  if (axis < 0) axis += parts[0].dim();
+  std::vector<int64_t> out_shape = parts[0].shape();
+  int64_t total = 0;
+  for (const auto& p : parts) {
+    DOT_CHECK(p.dim() == parts[0].dim()) << "Concat rank mismatch";
+    for (int64_t d = 0; d < p.dim(); ++d) {
+      if (d != axis) DOT_CHECK(p.size(d) == out_shape[static_cast<size_t>(d)]);
+    }
+    total += p.size(axis);
+  }
+  out_shape[static_cast<size_t>(axis)] = total;
+  Tensor out = Tensor::Empty(out_shape);
+
+  // Treat tensors as [outer, axis_len, inner] blocks.
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= out_shape[static_cast<size_t>(d)];
+  for (int64_t d = axis + 1; d < parts[0].dim(); ++d) {
+    inner *= out_shape[static_cast<size_t>(d)];
+  }
+  float* op = out.data();
+  int64_t out_row = total * inner;
+  int64_t offset = 0;
+  for (const auto& p : parts) {
+    int64_t len = p.size(axis) * inner;
+    const float* pp = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(pp + o * len, pp + (o + 1) * len, op + o * out_row + offset);
+    }
+    offset += len;
+  }
+  std::vector<Tensor> caps = parts;
+  AttachNode(&out, "concat", parts,
+             [caps, outer, inner, total](const Tensor& o) {
+               const float* gout = o.grad_vec().data();
+               int64_t out_row = total * inner;
+               int64_t offset = 0;
+               for (auto part : caps) {
+                 int64_t axis_len = part.numel() / (outer * inner);
+                 int64_t row = axis_len * inner;
+                 if (NeedsGrad(part)) {
+                   float* gp = part.grad();
+                   for (int64_t oo = 0; oo < outer; ++oo) {
+                     const float* src = gout + oo * out_row + offset;
+                     float* dst = gp + oo * row;
+                     for (int64_t i = 0; i < row; ++i) dst[i] += src[i];
+                   }
+                 }
+                 offset += row;
+               }
+             });
+  return out;
+}
+
+Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
+  if (axis < 0) axis += a.dim();
+  DOT_CHECK(axis >= 0 && axis < a.dim()) << "Slice axis out of range";
+  DOT_CHECK(start >= 0 && start + len <= a.size(axis)) << "Slice bounds";
+  std::vector<int64_t> out_shape = a.shape();
+  out_shape[static_cast<size_t>(axis)] = len;
+  Tensor out = Tensor::Empty(out_shape);
+  int64_t outer = 1, inner = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= a.size(d);
+  for (int64_t d = axis + 1; d < a.dim(); ++d) inner *= a.size(d);
+  int64_t in_row = a.size(axis) * inner;
+  int64_t out_row = len * inner;
+  const float* ap = a.data();
+  float* op = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(ap + o * in_row + start * inner, ap + o * in_row + (start + len) * inner,
+              op + o * out_row);
+  }
+  Tensor a_cap = a;
+  AttachNode(&out, "slice", {a},
+             [a_cap, outer, inner, in_row, out_row, start](const Tensor& o) {
+               Tensor a = a_cap;
+               float* ga = a.grad();
+               const float* gout = o.grad_vec().data();
+               for (int64_t oo = 0; oo < outer; ++oo) {
+                 float* dst = ga + oo * in_row + start * inner;
+                 const float* src = gout + oo * out_row;
+                 for (int64_t i = 0; i < out_row; ++i) dst[i] += src[i];
+               }
+             });
+  return out;
+}
+
+Tensor Rows(const Tensor& a, const std::vector<int64_t>& ids) {
+  DOT_CHECK(a.dim() == 2) << "Rows needs a 2-D table";
+  int64_t d = a.size(1);
+  Tensor out = Tensor::Empty({static_cast<int64_t>(ids.size()), d});
+  const float* ap = a.data();
+  float* op = out.data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    int64_t r = ids[i];
+    DOT_CHECK(r >= 0 && r < a.size(0)) << "Rows: index out of range";
+    std::copy(ap + r * d, ap + (r + 1) * d, op + static_cast<int64_t>(i) * d);
+  }
+  Tensor a_cap = a;
+  std::vector<int64_t> ids_cap = ids;
+  AttachNode(&out, "rows", {a}, [a_cap, ids_cap, d](const Tensor& o) {
+    Tensor a = a_cap;
+    float* ga = a.grad();
+    const float* gout = o.grad_vec().data();
+    for (size_t i = 0; i < ids_cap.size(); ++i) {
+      float* dst = ga + ids_cap[i] * d;
+      const float* src = gout + static_cast<int64_t>(i) * d;
+      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+  });
+  return out;
+}
+
+// ---- Reductions --------------------------------------------------------------
+
+Tensor Sum(const Tensor& a) {
+  double acc = 0;
+  const float* ap = a.data();
+  for (int64_t i = 0; i < a.numel(); ++i) acc += ap[i];
+  Tensor out = Tensor::FromVector({1}, {static_cast<float>(acc)});
+  Tensor a_cap = a;
+  AttachNode(&out, "sum", {a}, [a_cap](const Tensor& o) {
+    Tensor a = a_cap;
+    float g = o.grad_vec()[0];
+    float* ga = a.grad();
+    for (int64_t i = 0; i < a.numel(); ++i) ga[i] += g;
+  });
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor SumAxis(const Tensor& a, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += a.dim();
+  DOT_CHECK(axis >= 0 && axis < a.dim()) << "SumAxis axis out of range";
+  int64_t outer = 1, inner = 1, len = a.size(axis);
+  for (int64_t d = 0; d < axis; ++d) outer *= a.size(d);
+  for (int64_t d = axis + 1; d < a.dim(); ++d) inner *= a.size(d);
+  std::vector<int64_t> out_shape;
+  for (int64_t d = 0; d < a.dim(); ++d) {
+    if (d == axis) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.size(d));
+    }
+  }
+  if (out_shape.empty()) out_shape.push_back(1);
+  Tensor out = Tensor::Zeros(out_shape);
+  const float* ap = a.data();
+  float* op = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t l = 0; l < len; ++l) {
+      const float* src = ap + (o * len + l) * inner;
+      float* dst = op + o * inner;
+      for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  Tensor a_cap = a;
+  AttachNode(&out, "sum_axis", {a},
+             [a_cap, outer, inner, len](const Tensor& o) {
+               Tensor a = a_cap;
+               float* ga = a.grad();
+               const float* gout = o.grad_vec().data();
+               for (int64_t oo = 0; oo < outer; ++oo) {
+                 for (int64_t l = 0; l < len; ++l) {
+                   float* dst = ga + (oo * len + l) * inner;
+                   const float* src = gout + oo * inner;
+                   for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+                 }
+               }
+             });
+  return out;
+}
+
+Tensor MeanAxis(const Tensor& a, int64_t axis, bool keepdim) {
+  if (axis < 0) axis += a.dim();
+  return MulScalar(SumAxis(a, axis, keepdim), 1.0f / static_cast<float>(a.size(axis)));
+}
+
+Tensor MseLoss(const Tensor& pred, const Tensor& target) {
+  DOT_CHECK(SameShape(pred, target)) << "MseLoss shape mismatch";
+  return Mean(Square(Sub(pred, target)));
+}
+
+}  // namespace dot

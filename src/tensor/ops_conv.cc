@@ -1,0 +1,258 @@
+// Convolution, pooling and upsampling for NCHW tensors.
+//
+// Conv2d lowers the whole batch to a single GEMM: im2col writes every
+// sample's patch matrix into one [C*KH*KW, B*OH*OW] buffer so the matrix
+// product runs with a long streaming dimension (order-of-magnitude better
+// throughput on one core than per-sample GEMMs). The backward pass
+// recomputes the column buffer (memory-for-time trade-off appropriate to
+// the small PiT images this library trains on).
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "tensor/ops_internal.h"
+
+namespace dot {
+
+using internal::AttachNode;
+using internal::NeedsGrad;
+
+namespace {
+
+struct ConvDims {
+  int64_t n, c, h, w;      // input
+  int64_t oc, kh, kw;      // kernel
+  int64_t oh, ow;          // output
+  int64_t stride, pad;
+  int64_t ckk() const { return c * kh * kw; }
+  int64_t ohw() const { return oh * ow; }
+};
+
+/// Expands one sample into the batch column buffer: row r of the patch
+/// matrix lands at col + r * row_stride + col_offset.
+void Im2Col(const float* x, const ConvDims& d, float* col, int64_t row_stride,
+            int64_t col_offset) {
+  for (int64_t c = 0; c < d.c; ++c) {
+    const float* xc = x + c * d.h * d.w;
+    for (int64_t kh = 0; kh < d.kh; ++kh) {
+      for (int64_t kw = 0; kw < d.kw; ++kw) {
+        float* crow = col + ((c * d.kh + kh) * d.kw + kw) * row_stride + col_offset;
+        for (int64_t oh = 0; oh < d.oh; ++oh) {
+          int64_t ih = oh * d.stride + kh - d.pad;
+          float* dst = crow + oh * d.ow;
+          if (ih < 0 || ih >= d.h) {
+            std::fill(dst, dst + d.ow, 0.0f);
+            continue;
+          }
+          const float* src = xc + ih * d.w;
+          for (int64_t ow = 0; ow < d.ow; ++ow) {
+            int64_t iw = ow * d.stride + kw - d.pad;
+            dst[ow] = (iw >= 0 && iw < d.w) ? src[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Scatter-adds one sample's column gradients (strided layout) back into
+/// that sample's input gradient.
+void Col2Im(const float* col, const ConvDims& d, int64_t row_stride,
+            int64_t col_offset, float* gx) {
+  for (int64_t c = 0; c < d.c; ++c) {
+    float* gc = gx + c * d.h * d.w;
+    for (int64_t kh = 0; kh < d.kh; ++kh) {
+      for (int64_t kw = 0; kw < d.kw; ++kw) {
+        const float* crow =
+            col + ((c * d.kh + kh) * d.kw + kw) * row_stride + col_offset;
+        for (int64_t oh = 0; oh < d.oh; ++oh) {
+          int64_t ih = oh * d.stride + kh - d.pad;
+          if (ih < 0 || ih >= d.h) continue;
+          const float* src = crow + oh * d.ow;
+          float* dst = gc + ih * d.w;
+          for (int64_t ow = 0; ow < d.ow; ++ow) {
+            int64_t iw = ow * d.stride + kw - d.pad;
+            if (iw >= 0 && iw < d.w) dst[iw] += src[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Fills the batch column buffer [CKK, B*OHW] from an NCHW input.
+void BatchIm2Col(const float* x, const ConvDims& d, float* col) {
+  int64_t total = d.n * d.ohw();
+  for (int64_t b = 0; b < d.n; ++b) {
+    Im2Col(x + b * d.c * d.h * d.w, d, col, total, b * d.ohw());
+  }
+}
+
+}  // namespace
+
+Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int64_t stride,
+              int64_t padding) {
+  DOT_CHECK(x.dim() == 4 && w.dim() == 4) << "Conv2d needs NCHW input and OIHW kernel";
+  ConvDims d;
+  d.n = x.size(0);
+  d.c = x.size(1);
+  d.h = x.size(2);
+  d.w = x.size(3);
+  d.oc = w.size(0);
+  DOT_CHECK(w.size(1) == d.c) << "Conv2d channel mismatch";
+  d.kh = w.size(2);
+  d.kw = w.size(3);
+  d.stride = stride;
+  d.pad = padding;
+  d.oh = (d.h + 2 * padding - d.kh) / stride + 1;
+  d.ow = (d.w + 2 * padding - d.kw) / stride + 1;
+  DOT_CHECK(d.oh > 0 && d.ow > 0) << "Conv2d output collapsed to zero";
+  bool has_bias = bias.defined();
+  if (has_bias) DOT_CHECK(bias.numel() == d.oc) << "Conv2d bias size";
+
+  int64_t cols = d.n * d.ohw();
+  Tensor out = Tensor::Empty({d.n, d.oc, d.oh, d.ow});
+  {
+    std::vector<float> col(static_cast<size_t>(d.ckk() * cols));
+    std::vector<float> tmp(static_cast<size_t>(d.oc * cols));
+    BatchIm2Col(x.data(), d, col.data());
+    // One GEMM for the whole batch: [OC, CKK] x [CKK, B*OHW].
+    internal::Gemm(w.data(), col.data(), tmp.data(), d.oc, d.ckk(), cols, false);
+    // Scatter [OC, B*OHW] -> [B, OC, OHW], fusing the bias.
+    for (int64_t b = 0; b < d.n; ++b) {
+      for (int64_t oc = 0; oc < d.oc; ++oc) {
+        const float* src = tmp.data() + oc * cols + b * d.ohw();
+        float* dst = out.data() + (b * d.oc + oc) * d.ohw();
+        float bv = has_bias ? bias.at(oc) : 0.0f;
+        for (int64_t i = 0; i < d.ohw(); ++i) dst[i] = src[i] + bv;
+      }
+    }
+  }
+
+  std::vector<Tensor> inputs = {x, w};
+  if (has_bias) inputs.push_back(bias);
+  Tensor x_cap = x, w_cap = w, b_cap = bias;
+  AttachNode(&out, "conv2d", inputs,
+             [x_cap, w_cap, b_cap, d, has_bias, cols](const Tensor& o) {
+               Tensor x = x_cap, w = w_cap, b = b_cap;
+               const float* gout = o.grad_vec().data();
+               bool need_x = NeedsGrad(x);
+               bool need_w = NeedsGrad(w);
+               bool need_b = has_bias && NeedsGrad(b);
+
+               // Gather dOut into [OC, B*OHW] once.
+               std::vector<float> gall(static_cast<size_t>(d.oc * cols));
+               for (int64_t bb = 0; bb < d.n; ++bb) {
+                 for (int64_t oc = 0; oc < d.oc; ++oc) {
+                   const float* src = gout + (bb * d.oc + oc) * d.ohw();
+                   float* dst = gall.data() + oc * cols + bb * d.ohw();
+                   std::copy(src, src + d.ohw(), dst);
+                 }
+               }
+               if (need_b) {
+                 float* gb = b.grad();
+                 for (int64_t oc = 0; oc < d.oc; ++oc) {
+                   const float* row = gall.data() + oc * cols;
+                   float acc = 0;
+                   for (int64_t i = 0; i < cols; ++i) acc += row[i];
+                   gb[oc] += acc;
+                 }
+               }
+               if (need_w) {
+                 std::vector<float> col(static_cast<size_t>(d.ckk() * cols));
+                 BatchIm2Col(x.data(), d, col.data());
+                 // dW += dOut_all * col^T : one GEMM over the long k = B*OHW.
+                 internal::GemmTB(gall.data(), col.data(), w.grad(), d.oc, cols,
+                                  d.ckk(), true);
+               }
+               if (need_x) {
+                 std::vector<float> gcol(static_cast<size_t>(d.ckk() * cols));
+                 // dcol = W^T * dOut_all : [CKK, OC] x [OC, B*OHW].
+                 internal::GemmTA(w.data(), gall.data(), gcol.data(), d.ckk(),
+                                  d.oc, cols, false);
+                 float* gx = x.grad();
+                 for (int64_t bb = 0; bb < d.n; ++bb) {
+                   Col2Im(gcol.data(), d, cols, bb * d.ohw(),
+                          gx + bb * d.c * d.h * d.w);
+                 }
+               }
+             });
+  return out;
+}
+
+Tensor AvgPool2d(const Tensor& x) {
+  DOT_CHECK(x.dim() == 4) << "AvgPool2d needs NCHW";
+  int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  DOT_CHECK(h % 2 == 0 && w % 2 == 0) << "AvgPool2d requires even H and W";
+  int64_t oh = h / 2, ow = w / 2;
+  Tensor out = Tensor::Empty({n, c, oh, ow});
+  const float* xp = x.data();
+  float* op = out.data();
+  for (int64_t nc = 0; nc < n * c; ++nc) {
+    const float* in = xp + nc * h * w;
+    float* o = op + nc * oh * ow;
+    for (int64_t i = 0; i < oh; ++i) {
+      for (int64_t j = 0; j < ow; ++j) {
+        const float* p = in + (2 * i) * w + 2 * j;
+        o[i * ow + j] = 0.25f * (p[0] + p[1] + p[w] + p[w + 1]);
+      }
+    }
+  }
+  Tensor x_cap = x;
+  AttachNode(&out, "avg_pool2d", {x}, [x_cap, n, c, h, w, oh, ow](const Tensor& o) {
+    Tensor x = x_cap;
+    float* gx = x.grad();
+    const float* gout = o.grad_vec().data();
+    for (int64_t nc = 0; nc < n * c; ++nc) {
+      float* gi = gx + nc * h * w;
+      const float* go = gout + nc * oh * ow;
+      for (int64_t i = 0; i < oh; ++i) {
+        for (int64_t j = 0; j < ow; ++j) {
+          float g = 0.25f * go[i * ow + j];
+          float* p = gi + (2 * i) * w + 2 * j;
+          p[0] += g;
+          p[1] += g;
+          p[w] += g;
+          p[w + 1] += g;
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Tensor UpsampleNearest2x(const Tensor& x) {
+  DOT_CHECK(x.dim() == 4) << "UpsampleNearest2x needs NCHW";
+  int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  int64_t oh = 2 * h, ow = 2 * w;
+  Tensor out = Tensor::Empty({n, c, oh, ow});
+  const float* xp = x.data();
+  float* op = out.data();
+  for (int64_t nc = 0; nc < n * c; ++nc) {
+    const float* in = xp + nc * h * w;
+    float* o = op + nc * oh * ow;
+    for (int64_t i = 0; i < oh; ++i) {
+      const float* irow = in + (i / 2) * w;
+      float* orow = o + i * ow;
+      for (int64_t j = 0; j < ow; ++j) orow[j] = irow[j / 2];
+    }
+  }
+  Tensor x_cap = x;
+  AttachNode(&out, "upsample2x", {x}, [x_cap, n, c, h, w, oh, ow](const Tensor& o) {
+    Tensor x = x_cap;
+    float* gx = x.grad();
+    const float* gout = o.grad_vec().data();
+    for (int64_t nc = 0; nc < n * c; ++nc) {
+      float* gi = gx + nc * h * w;
+      const float* go = gout + nc * oh * ow;
+      for (int64_t i = 0; i < oh; ++i) {
+        float* irow = gi + (i / 2) * w;
+        const float* orow = go + i * ow;
+        for (int64_t j = 0; j < ow; ++j) irow[j / 2] += orow[j];
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace dot

@@ -1,0 +1,47 @@
+// Helpers shared by the ops_*.cc translation units. Not part of the public API.
+
+#ifndef DOT_TENSOR_OPS_INTERNAL_H_
+#define DOT_TENSOR_OPS_INTERNAL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dot {
+namespace internal {
+
+/// True if gradients must flow through `t` (leaf parameter or graph output).
+inline bool NeedsGrad(const Tensor& t) {
+  return t.requires_grad() || t.grad_fn() != nullptr;
+}
+
+/// Attaches a backward node to `out` when autograd is active and at least one
+/// input participates in differentiation.
+inline void AttachNode(Tensor* out, const char* name, std::vector<Tensor> inputs,
+                       std::function<void(const Tensor&)> backward) {
+  if (!GradModeEnabled()) return;
+  bool any = false;
+  for (const auto& t : inputs) any = any || NeedsGrad(t);
+  if (!any) return;
+  auto fn = std::make_shared<GradFn>();
+  fn->name = name;
+  fn->inputs = std::move(inputs);
+  fn->backward = std::move(backward);
+  out->set_grad_fn(std::move(fn));
+}
+
+/// Row-major (C) strides of a contiguous shape.
+inline std::vector<int64_t> RowMajorStrides(const std::vector<int64_t>& shape) {
+  std::vector<int64_t> s(shape.size(), 1);
+  for (int64_t i = static_cast<int64_t>(shape.size()) - 2; i >= 0; --i) {
+    s[static_cast<size_t>(i)] = s[static_cast<size_t>(i + 1)] * shape[static_cast<size_t>(i + 1)];
+  }
+  return s;
+}
+
+}  // namespace internal
+}  // namespace dot
+
+#endif  // DOT_TENSOR_OPS_INTERNAL_H_

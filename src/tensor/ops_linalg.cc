@@ -1,0 +1,141 @@
+// Matrix multiplication kernels and differentiable wrappers.
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "tensor/ops_internal.h"
+#include "util/thread_pool.h"
+
+namespace dot {
+
+using internal::AttachNode;
+using internal::NeedsGrad;
+
+namespace internal {
+
+namespace {
+// Rows above which a GEMM is split across the global thread pool.
+constexpr int64_t kParallelRowThreshold = 64;
+
+template <typename RowFn>
+void ForEachRow(int64_t m, RowFn fn) {
+  if (m >= kParallelRowThreshold && ThreadPool::Global()->num_threads() > 1) {
+    ParallelFor(
+        ThreadPool::Global(), m,
+        [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) fn(i);
+        },
+        /*min_chunk=*/8);
+  } else {
+    for (int64_t i = 0; i < m; ++i) fn(i);
+  }
+}
+}  // namespace
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool accumulate) {
+  // i-k-j loop order: unit-stride access on B and C.
+  ForEachRow(m, [&](int64_t i) {
+    float* crow = c + i * n;
+    if (!accumulate) std::fill(crow, crow + n, 0.0f);
+    const float* arow = a + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+void GemmTA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate) {
+  // A is [k, m]; C[i, j] = sum_kk A[kk, i] * B[kk, j].
+  ForEachRow(m, [&](int64_t i) {
+    float* crow = c + i * n;
+    if (!accumulate) std::fill(crow, crow + n, 0.0f);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float av = a[kk * m + i];
+      if (av == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  });
+}
+
+void GemmTB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate) {
+  // B is [n, k]; C[i, j] = dot(A[i, :], B[j, :]).
+  ForEachRow(m, [&](int64_t i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      if (accumulate) {
+        crow[j] += acc;
+      } else {
+        crow[j] = acc;
+      }
+    }
+  });
+}
+
+}  // namespace internal
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  DOT_CHECK(a.dim() == 2 && b.dim() == 2) << "MatMul needs 2-D inputs";
+  int64_t m = a.size(0), k = a.size(1), n = b.size(1);
+  DOT_CHECK(b.size(0) == k) << "MatMul inner-dim mismatch: " << a.ShapeString()
+                            << " x " << b.ShapeString();
+  Tensor out = Tensor::Empty({m, n});
+  internal::Gemm(a.data(), b.data(), out.data(), m, k, n, /*accumulate=*/false);
+  Tensor a_cap = a, b_cap = b;
+  AttachNode(&out, "matmul", {a, b}, [a_cap, b_cap, m, k, n](const Tensor& o) {
+    Tensor a = a_cap, b = b_cap;
+    const float* gout = o.grad_vec().data();
+    if (NeedsGrad(a)) {
+      // dA = dC * B^T : [m,n] x [k,n]^T -> [m,k]
+      internal::GemmTB(gout, b.data(), a.grad(), m, n, k, /*accumulate=*/true);
+    }
+    if (NeedsGrad(b)) {
+      // dB = A^T * dC : [m,k]^T x [m,n] -> [k,n]
+      internal::GemmTA(a.data(), gout, b.grad(), k, m, n, /*accumulate=*/true);
+    }
+  });
+  return out;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  DOT_CHECK(a.dim() == 3 && b.dim() == 3) << "BatchMatMul needs 3-D inputs";
+  int64_t bs = a.size(0), m = a.size(1), k = a.size(2), n = b.size(2);
+  DOT_CHECK(b.size(0) == bs && b.size(1) == k)
+      << "BatchMatMul shape mismatch: " << a.ShapeString() << " x "
+      << b.ShapeString();
+  Tensor out = Tensor::Empty({bs, m, n});
+  for (int64_t i = 0; i < bs; ++i) {
+    internal::Gemm(a.data() + i * m * k, b.data() + i * k * n,
+                   out.data() + i * m * n, m, k, n, /*accumulate=*/false);
+  }
+  Tensor a_cap = a, b_cap = b;
+  AttachNode(&out, "bmm", {a, b}, [a_cap, b_cap, bs, m, k, n](const Tensor& o) {
+    Tensor a = a_cap, b = b_cap;
+    const float* gout = o.grad_vec().data();
+    bool need_a = NeedsGrad(a), need_b = NeedsGrad(b);
+    float* ga = need_a ? a.grad() : nullptr;
+    float* gb = need_b ? b.grad() : nullptr;
+    for (int64_t i = 0; i < bs; ++i) {
+      const float* g = gout + i * m * n;
+      if (need_a) {
+        internal::GemmTB(g, b.data() + i * k * n, ga + i * m * k, m, n, k, true);
+      }
+      if (need_b) {
+        internal::GemmTA(a.data() + i * m * k, g, gb + i * k * n, k, m, n, true);
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace dot

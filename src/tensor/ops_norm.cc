@@ -1,0 +1,235 @@
+// Softmax and normalization layers (layer norm, group norm).
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/ops_internal.h"
+
+namespace dot {
+
+using internal::AttachNode;
+using internal::NeedsGrad;
+
+Tensor Softmax(const Tensor& a) {
+  DOT_CHECK(a.dim() >= 1) << "Softmax needs at least 1-D input";
+  int64_t d = a.size(-1);
+  int64_t rows = a.numel() / d;
+  Tensor out = Tensor::Empty(a.shape());
+  const float* ap = a.data();
+  float* op = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = ap + r * d;
+    float* o = op + r * d;
+    float mx = in[0];
+    for (int64_t i = 1; i < d; ++i) mx = std::max(mx, in[i]);
+    float sum = 0;
+    for (int64_t i = 0; i < d; ++i) {
+      o[i] = std::exp(in[i] - mx);
+      sum += o[i];
+    }
+    float inv = 1.0f / sum;
+    for (int64_t i = 0; i < d; ++i) o[i] *= inv;
+  }
+  Tensor a_cap = a;
+  AttachNode(&out, "softmax", {a}, [a_cap, rows, d](const Tensor& o) {
+    Tensor a = a_cap;
+    float* ga = a.grad();
+    const float* gout = o.grad_vec().data();
+    const float* y = o.data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* yr = y + r * d;
+      const float* gr = gout + r * d;
+      float dot = 0;
+      for (int64_t i = 0; i < d; ++i) dot += gr[i] * yr[i];
+      float* gar = ga + r * d;
+      for (int64_t i = 0; i < d; ++i) gar[i] += yr[i] * (gr[i] - dot);
+    }
+  });
+  return out;
+}
+
+Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   float eps) {
+  int64_t d = x.size(-1);
+  DOT_CHECK(gamma.numel() == d && beta.numel() == d) << "LayerNorm affine size";
+  int64_t rows = x.numel() / d;
+  Tensor out = Tensor::Empty(x.shape());
+  // Cache per-row inv-std and normalized values for backward.
+  auto xhat = std::make_shared<std::vector<float>>(static_cast<size_t>(x.numel()));
+  auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));
+  const float* xp = x.data();
+  const float* g = gamma.data();
+  const float* b = beta.data();
+  float* op = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = xp + r * d;
+    float mean = 0;
+    for (int64_t i = 0; i < d; ++i) mean += in[i];
+    mean /= static_cast<float>(d);
+    float var = 0;
+    for (int64_t i = 0; i < d; ++i) {
+      float c = in[i] - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[static_cast<size_t>(r)] = istd;
+    float* xh = xhat->data() + r * d;
+    float* o = op + r * d;
+    for (int64_t i = 0; i < d; ++i) {
+      xh[i] = (in[i] - mean) * istd;
+      o[i] = g[i] * xh[i] + b[i];
+    }
+  }
+  Tensor x_cap = x, g_cap = gamma, b_cap = beta;
+  AttachNode(&out, "layer_norm", {x, gamma, beta},
+             [x_cap, g_cap, b_cap, xhat, inv_std, rows, d](const Tensor& o) {
+               Tensor x = x_cap, gamma = g_cap, beta = b_cap;
+               const float* gout = o.grad_vec().data();
+               const float* g = gamma.data();
+               bool need_x = NeedsGrad(x);
+               float* gx = need_x ? x.grad() : nullptr;
+               float* gg = NeedsGrad(gamma) ? gamma.grad() : nullptr;
+               float* gb = NeedsGrad(beta) ? beta.grad() : nullptr;
+               for (int64_t r = 0; r < rows; ++r) {
+                 const float* go = gout + r * d;
+                 const float* xh = xhat->data() + r * d;
+                 if (gg || gb) {
+                   for (int64_t i = 0; i < d; ++i) {
+                     if (gg) gg[i] += go[i] * xh[i];
+                     if (gb) gb[i] += go[i];
+                   }
+                 }
+                 if (need_x) {
+                   // dxhat = go * gamma; dx = istd*(dxhat - mean(dxhat)
+                   //        - xhat * mean(dxhat*xhat))
+                   float m1 = 0, m2 = 0;
+                   for (int64_t i = 0; i < d; ++i) {
+                     float dxh = go[i] * g[i];
+                     m1 += dxh;
+                     m2 += dxh * xh[i];
+                   }
+                   m1 /= static_cast<float>(d);
+                   m2 /= static_cast<float>(d);
+                   float istd = (*inv_std)[static_cast<size_t>(r)];
+                   float* gxr = gx + r * d;
+                   for (int64_t i = 0; i < d; ++i) {
+                     float dxh = go[i] * g[i];
+                     gxr[i] += istd * (dxh - m1 - xh[i] * m2);
+                   }
+                 }
+               }
+             });
+  return out;
+}
+
+Tensor GroupNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                   int64_t groups, float eps) {
+  DOT_CHECK(x.dim() == 4) << "GroupNorm needs NCHW";
+  int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  DOT_CHECK(c % groups == 0) << "GroupNorm: channels not divisible by groups";
+  DOT_CHECK(gamma.numel() == c && beta.numel() == c) << "GroupNorm affine size";
+  int64_t cg = c / groups;         // channels per group
+  int64_t glen = cg * h * w;       // elements per (sample, group)
+  Tensor out = Tensor::Empty(x.shape());
+  auto xhat = std::make_shared<std::vector<float>>(static_cast<size_t>(x.numel()));
+  auto inv_std =
+      std::make_shared<std::vector<float>>(static_cast<size_t>(n * groups));
+  const float* xp = x.data();
+  const float* g = gamma.data();
+  const float* b = beta.data();
+  float* op = out.data();
+  for (int64_t s = 0; s < n; ++s) {
+    for (int64_t gr = 0; gr < groups; ++gr) {
+      const float* in = xp + (s * c + gr * cg) * h * w;
+      float mean = 0;
+      for (int64_t i = 0; i < glen; ++i) mean += in[i];
+      mean /= static_cast<float>(glen);
+      float var = 0;
+      for (int64_t i = 0; i < glen; ++i) {
+        float d = in[i] - mean;
+        var += d * d;
+      }
+      var /= static_cast<float>(glen);
+      float istd = 1.0f / std::sqrt(var + eps);
+      (*inv_std)[static_cast<size_t>(s * groups + gr)] = istd;
+      float* xh = xhat->data() + (s * c + gr * cg) * h * w;
+      float* o = op + (s * c + gr * cg) * h * w;
+      for (int64_t cc = 0; cc < cg; ++cc) {
+        int64_t ch = gr * cg + cc;
+        const float* ic = in + cc * h * w;
+        float* xc = xh + cc * h * w;
+        float* oc = o + cc * h * w;
+        for (int64_t i = 0; i < h * w; ++i) {
+          xc[i] = (ic[i] - mean) * istd;
+          oc[i] = g[ch] * xc[i] + b[ch];
+        }
+      }
+    }
+  }
+  Tensor x_cap = x, g_cap = gamma, b_cap = beta;
+  AttachNode(
+      &out, "group_norm", {x, gamma, beta},
+      [x_cap, g_cap, b_cap, xhat, inv_std, n, c, h, w, groups, cg,
+       glen](const Tensor& o) {
+        Tensor x = x_cap, gamma = g_cap, beta = b_cap;
+        const float* gout = o.grad_vec().data();
+        const float* g = gamma.data();
+        bool need_x = NeedsGrad(x);
+        float* gx = need_x ? x.grad() : nullptr;
+        float* gg = NeedsGrad(gamma) ? gamma.grad() : nullptr;
+        float* gb = NeedsGrad(beta) ? beta.grad() : nullptr;
+        int64_t hw = h * w;
+        for (int64_t s = 0; s < n; ++s) {
+          for (int64_t gr = 0; gr < groups; ++gr) {
+            int64_t base = (s * c + gr * cg) * hw;
+            const float* go = gout + base;
+            const float* xh = xhat->data() + base;
+            if (gg || gb) {
+              for (int64_t cc = 0; cc < cg; ++cc) {
+                int64_t ch = gr * cg + cc;
+                const float* goc = go + cc * hw;
+                const float* xhc = xh + cc * hw;
+                float sg = 0, sb = 0;
+                for (int64_t i = 0; i < hw; ++i) {
+                  sg += goc[i] * xhc[i];
+                  sb += goc[i];
+                }
+                if (gg) gg[ch] += sg;
+                if (gb) gb[ch] += sb;
+              }
+            }
+            if (need_x) {
+              float m1 = 0, m2 = 0;
+              for (int64_t cc = 0; cc < cg; ++cc) {
+                int64_t ch = gr * cg + cc;
+                const float* goc = go + cc * hw;
+                const float* xhc = xh + cc * hw;
+                for (int64_t i = 0; i < hw; ++i) {
+                  float dxh = goc[i] * g[ch];
+                  m1 += dxh;
+                  m2 += dxh * xhc[i];
+                }
+              }
+              m1 /= static_cast<float>(glen);
+              m2 /= static_cast<float>(glen);
+              float istd = (*inv_std)[static_cast<size_t>(s * groups + gr)];
+              float* gxg = gx + base;
+              for (int64_t cc = 0; cc < cg; ++cc) {
+                int64_t ch = gr * cg + cc;
+                const float* goc = go + cc * hw;
+                const float* xhc = xh + cc * hw;
+                float* gxc = gxg + cc * hw;
+                for (int64_t i = 0; i < hw; ++i) {
+                  float dxh = goc[i] * g[ch];
+                  gxc[i] += istd * (dxh - m1 - xhc[i] * m2);
+                }
+              }
+            }
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace dot

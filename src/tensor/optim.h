@@ -1,0 +1,54 @@
+// First-order optimizers for training the DOT models.
+
+#ifndef DOT_TENSOR_OPTIM_H_
+#define DOT_TENSOR_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace dot::optim {
+
+/// \brief Adam (Kingma & Ba) with bias correction — the optimizer the paper
+/// uses for both stages (Sec. 6.3, lr = 0.001).
+class Adam {
+ public:
+  explicit Adam(std::vector<Tensor> params, float lr = 1e-3f, float beta1 = 0.9f,
+                float beta2 = 0.999f, float eps = 1e-8f);
+
+  /// Applies one update using the gradients currently stored on parameters.
+  void Step();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  int64_t step_count() const { return t_; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> m_, v_;
+  float lr_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+};
+
+/// \brief Plain SGD with optional momentum (used by small baselines).
+class SGD {
+ public:
+  explicit SGD(std::vector<Tensor> params, float lr = 1e-2f, float momentum = 0.0f);
+
+  void Step();
+  void ZeroGrad();
+
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<float>> vel_;
+  float lr_, momentum_;
+};
+
+}  // namespace dot::optim
+
+#endif  // DOT_TENSOR_OPTIM_H_

@@ -1,0 +1,180 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dot {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}
+
+bool GradModeEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+Tensor Tensor::Empty(std::vector<int64_t> shape) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  int64_t n = ShapeNumel(shape);
+  DOT_CHECK(n >= 0) << "negative shape";
+  impl->shape = std::move(shape);
+  impl->data.resize(static_cast<size_t>(n));
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Empty(std::move(shape));  // vector default-initializes to 0
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t = Empty(std::move(shape));
+  std::fill(t.vec().begin(), t.vec().end(), value);
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng) {
+  Tensor t = Empty(std::move(shape));
+  for (auto& v : t.vec()) v = static_cast<float>(rng->Normal());
+  return t;
+}
+
+Tensor Tensor::Rand(std::vector<int64_t> shape, Rng* rng, float lo, float hi) {
+  Tensor t = Empty(std::move(shape));
+  for (auto& v : t.vec()) v = static_cast<float>(rng->Uniform(lo, hi));
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> values) {
+  DOT_CHECK(ShapeNumel(shape) == static_cast<int64_t>(values.size()))
+      << "FromVector: shape/value size mismatch";
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(values);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Arange(int64_t n) {
+  Tensor t = Empty({n});
+  for (int64_t i = 0; i < n; ++i) t.at(i) = static_cast<float>(i);
+  return t;
+}
+
+int64_t Tensor::size(int64_t d) const {
+  if (d < 0) d += dim();
+  DOT_CHECK(d >= 0 && d < dim()) << "size(): dim out of range";
+  return impl_->shape[static_cast<size_t>(d)];
+}
+
+float Tensor::item() const {
+  DOT_CHECK(numel() == 1) << "item() on tensor with " << numel() << " elements";
+  return impl_->data[0];
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t = Empty(impl_->shape);
+  t.vec() = impl_->data;
+  return t;
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // copy: keeps semantics simple & safe
+  return Tensor(std::move(impl));
+}
+
+float* Tensor::grad() {
+  if (impl_->grad.empty()) impl_->grad.assign(impl_->data.size(), 0.0f);
+  return impl_->grad.data();
+}
+
+void Tensor::ZeroGrad() {
+  std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+}
+
+void Tensor::AccumulateGrad(const float* delta, int64_t n) {
+  DOT_CHECK(n == numel()) << "AccumulateGrad size mismatch";
+  float* g = grad();
+  for (int64_t i = 0; i < n; ++i) g[i] += delta[i];
+}
+
+void Tensor::Backward() {
+  DOT_CHECK(defined()) << "Backward() on undefined tensor";
+  DOT_CHECK(numel() == 1) << "Backward() requires a scalar output";
+
+  // Topological order over the GradFn DAG (identity = TensorImpl*).
+  std::vector<Tensor> topo;
+  std::unordered_set<internal::TensorImpl*> visited;
+  // Iterative DFS to avoid deep recursion on long graphs.
+  struct Frame {
+    Tensor t;
+    size_t next_child = 0;
+  };
+  std::vector<Frame> stack;
+  if (grad_fn()) stack.push_back({*this, 0});
+  visited.insert(impl());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    auto& fn = f.t.grad_fn();
+    if (!fn || f.next_child >= fn->inputs.size()) {
+      topo.push_back(f.t);
+      stack.pop_back();
+      continue;
+    }
+    Tensor child = fn->inputs[f.next_child++];
+    if (child.grad_fn() && !visited.count(child.impl())) {
+      visited.insert(child.impl());
+      stack.push_back({child, 0});
+    }
+  }
+
+  // Seed and sweep in reverse topological order.
+  grad()[0] = 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    auto& fn = it->grad_fn();
+    if (fn && fn->backward) fn->backward(*it);
+  }
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (int64_t i = 0; i < dim(); ++i) {
+    if (i) os << ", ";
+    os << impl_->shape[static_cast<size_t>(i)];
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream os;
+  os << "Tensor" << ShapeString() << " {";
+  int64_t n = std::min<int64_t>(numel(), 32);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << impl_->data[static_cast<size_t>(i)];
+  }
+  if (numel() > n) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dot

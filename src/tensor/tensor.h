@@ -1,0 +1,172 @@
+// A minimal float32 tensor with reverse-mode automatic differentiation.
+//
+// This is the training substrate for the DOT reproduction: the conditioned
+// PiT denoiser (UNet), the MViT estimator, and all neural baselines are
+// trained with it. Design notes:
+//   * Row-major, always-contiguous storage. Views copy (shapes here are
+//     small; simplicity beats aliasing bugs).
+//   * Define-by-run autograd: each op may attach a GradFn node holding its
+//     inputs and a backward closure; Tensor::Backward() runs a topological
+//     sweep and accumulates gradients into leaf tensors.
+//   * A global grad-mode flag (NoGradGuard) disables graph construction
+//     during inference (e.g. the 1000-step diffusion sampling loop).
+
+#ifndef DOT_TENSOR_TENSOR_H_
+#define DOT_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace dot {
+
+class Tensor;
+
+namespace internal {
+
+/// Backward-graph node: knows its input tensors and how to push the output
+/// gradient back into them.
+struct GradFn {
+  std::string name;
+  std::vector<Tensor> inputs;
+  // Called with the output tensor (whose grad is fully accumulated).
+  std::function<void(const Tensor& out)> backward;
+};
+
+struct TensorImpl {
+  std::vector<int64_t> shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // same size as data once touched; empty otherwise
+  bool requires_grad = false;
+  std::shared_ptr<GradFn> grad_fn;  // non-null only for non-leaf outputs
+};
+
+}  // namespace internal
+
+/// True when autograd graph construction is enabled (default).
+bool GradModeEnabled();
+
+/// \brief RAII guard that disables autograd within its scope.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// \brief Shared-ownership handle to a float32 n-dimensional array.
+///
+/// Copying a Tensor copies the handle, not the data (PyTorch semantics).
+/// Use Clone() for a deep copy.
+class Tensor {
+ public:
+  /// An empty (null) tensor. defined() is false.
+  Tensor() = default;
+
+  bool defined() const { return impl_ != nullptr; }
+
+  // ---- Creation -----------------------------------------------------------
+
+  /// Uninitialized tensor of the given shape.
+  static Tensor Empty(std::vector<int64_t> shape);
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  /// Standard-normal entries drawn from `rng`.
+  static Tensor Randn(std::vector<int64_t> shape, Rng* rng);
+  /// Uniform entries in [lo, hi).
+  static Tensor Rand(std::vector<int64_t> shape, Rng* rng, float lo = 0.f,
+                     float hi = 1.f);
+  /// Copies `values` (size must match the shape's element count).
+  static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> values);
+  /// 1-D tensor [0, 1, ..., n-1].
+  static Tensor Arange(int64_t n);
+
+  // ---- Shape --------------------------------------------------------------
+
+  const std::vector<int64_t>& shape() const { return impl_->shape; }
+  int64_t dim() const { return static_cast<int64_t>(impl_->shape.size()); }
+  int64_t size(int64_t d) const;
+  int64_t numel() const { return static_cast<int64_t>(impl_->data.size()); }
+
+  // ---- Data access --------------------------------------------------------
+
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+  std::vector<float>& vec() { return impl_->data; }
+  const std::vector<float>& vec() const { return impl_->data; }
+
+  /// Element access by flat index.
+  float& at(int64_t i) { return impl_->data[static_cast<size_t>(i)]; }
+  float at(int64_t i) const { return impl_->data[static_cast<size_t>(i)]; }
+
+  /// Value of a 0-d or 1-element tensor.
+  float item() const;
+
+  /// Deep copy (detached from the autograd graph).
+  Tensor Clone() const;
+  /// Same data, detached from the graph (shares storage).
+  Tensor Detach() const;
+
+  // ---- Autograd -----------------------------------------------------------
+
+  bool requires_grad() const { return impl_->requires_grad; }
+  Tensor& set_requires_grad(bool v) {
+    impl_->requires_grad = v;
+    return *this;
+  }
+
+  /// Gradient buffer; allocated (zero-filled) on first access.
+  float* grad();
+  const std::vector<float>& grad_vec() const { return impl_->grad; }
+  bool has_grad() const { return !impl_->grad.empty(); }
+  /// Zeroes the gradient buffer if allocated.
+  void ZeroGrad();
+
+  /// Runs reverse-mode differentiation from this (scalar) tensor.
+  /// Seeds d(this)/d(this) = 1.
+  void Backward();
+
+  // ---- Introspection ------------------------------------------------------
+
+  std::string ShapeString() const;
+  /// Debug rendering (small tensors only).
+  std::string ToString() const;
+
+  // ---- Internal (used by ops.cc / nn.cc) ----------------------------------
+
+  internal::TensorImpl* impl() const { return impl_.get(); }
+  void set_grad_fn(std::shared_ptr<internal::GradFn> fn) {
+    impl_->grad_fn = std::move(fn);
+  }
+  const std::shared_ptr<internal::GradFn>& grad_fn() const {
+    return impl_->grad_fn;
+  }
+  /// Accumulates `delta` (size numel()) into the grad buffer.
+  void AccumulateGrad(const float* delta, int64_t n);
+
+ private:
+  explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+/// Number of elements implied by a shape.
+int64_t ShapeNumel(const std::vector<int64_t>& shape);
+
+/// True if two shapes are identical.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+}  // namespace dot
+
+#endif  // DOT_TENSOR_TENSOR_H_

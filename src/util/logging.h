@@ -1,0 +1,73 @@
+// Minimal leveled logging used by training loops and benches.
+
+#ifndef DOT_UTIL_LOGGING_H_
+#define DOT_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dot {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+// Fatal variant aborts in its destructor.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace dot
+
+#define DOT_LOG_INTERNAL(level)                                            \
+  (::dot::GetLogLevel() > (level))                                         \
+      ? (void)0                                                            \
+      : ::dot::internal::Voidify() &                                       \
+            ::dot::internal::LogMessage((level), __FILE__, __LINE__).stream()
+
+#define DOT_LOG_DEBUG DOT_LOG_INTERNAL(::dot::LogLevel::kDebug)
+#define DOT_LOG_INFO DOT_LOG_INTERNAL(::dot::LogLevel::kInfo)
+#define DOT_LOG_WARN DOT_LOG_INTERNAL(::dot::LogLevel::kWarn)
+#define DOT_LOG_ERROR DOT_LOG_INTERNAL(::dot::LogLevel::kError)
+
+/// Aborts with a message when `cond` is false. Active in all build types —
+/// used for programmer errors that must never ship (RocksDB assert idiom).
+#define DOT_CHECK(cond)                                            \
+  (cond) ? (void)0                                                 \
+         : ::dot::internal::Voidify() &                            \
+               ::dot::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
+                   << "Check failed: " #cond " "
+
+#endif  // DOT_UTIL_LOGGING_H_

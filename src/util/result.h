@@ -1,0 +1,70 @@
+// Result<T>: value-or-Status, the Arrow idiom for fallible producers.
+
+#ifndef DOT_UTIL_RESULT_H_
+#define DOT_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace dot {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// \code
+///   Result<Grid> r = Grid::Make(bounds, 20);
+///   if (!r.ok()) return r.status();
+///   Grid grid = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from non-OK status (failure). OK status is a bug.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the value; undefined if !ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;  // OK when value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace dot
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define DOT_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  auto DOT_CONCAT_(_res_, __LINE__) = (rexpr);       \
+  if (!DOT_CONCAT_(_res_, __LINE__).ok())            \
+    return DOT_CONCAT_(_res_, __LINE__).status();    \
+  lhs = std::move(DOT_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define DOT_CONCAT_IMPL_(a, b) a##b
+#define DOT_CONCAT_(a, b) DOT_CONCAT_IMPL_(a, b)
+
+#endif  // DOT_UTIL_RESULT_H_

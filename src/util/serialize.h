@@ -1,0 +1,114 @@
+// Little binary reader/writer for model checkpoints and dataset caches.
+
+#ifndef DOT_UTIL_SERIALIZE_H_
+#define DOT_UTIL_SERIALIZE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dot {
+
+/// \brief Buffered binary writer with length-prefixed strings/vectors.
+class BinaryWriter {
+ public:
+  /// Opens `path` for writing; check Ok() before use.
+  explicit BinaryWriter(const std::string& path) : out_(path, std::ios::binary) {}
+
+  bool Ok() const { return static_cast<bool>(out_); }
+
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteString(const std::string& s) {
+    WriteU64(s.size());
+    WriteRaw(s.data(), s.size());
+  }
+  void WriteF32Vector(const std::vector<float>& v) {
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(float));
+  }
+  void WriteI64Vector(const std::vector<int64_t>& v) {
+    WriteU64(v.size());
+    WriteRaw(v.data(), v.size() * sizeof(int64_t));
+  }
+
+  /// Flushes and reports any stream error.
+  Status Close() {
+    out_.flush();
+    if (!out_) return Status::IOError("binary write failed");
+    out_.close();
+    return Status::OK();
+  }
+
+ private:
+  void WriteRaw(const void* data, size_t bytes) {
+    out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+  }
+  std::ofstream out_;
+};
+
+/// \brief Counterpart reader. All reads report failure via ok().
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path) : in_(path, std::ios::binary) {}
+
+  bool Ok() const { return static_cast<bool>(in_); }
+
+  uint64_t ReadU64() { return ReadPod<uint64_t>(); }
+  int64_t ReadI64() { return ReadPod<int64_t>(); }
+  double ReadF64() { return ReadPod<double>(); }
+  float ReadF32() { return ReadPod<float>(); }
+  std::string ReadString() {
+    uint64_t n = ReadU64();
+    if (!SaneLength(n)) return {};
+    std::string s(n, '\0');
+    ReadRaw(s.data(), n);
+    return s;
+  }
+  std::vector<float> ReadF32Vector() {
+    uint64_t n = ReadU64();
+    if (!SaneLength(n)) return {};
+    std::vector<float> v(n);
+    ReadRaw(v.data(), n * sizeof(float));
+    return v;
+  }
+  std::vector<int64_t> ReadI64Vector() {
+    uint64_t n = ReadU64();
+    if (!SaneLength(n)) return {};
+    std::vector<int64_t> v(n);
+    ReadRaw(v.data(), n * sizeof(int64_t));
+    return v;
+  }
+
+ private:
+  template <typename T>
+  T ReadPod() {
+    T v{};
+    ReadRaw(&v, sizeof(v));
+    if (!Ok()) return T{};
+    return v;
+  }
+  void ReadRaw(void* data, size_t bytes) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  }
+  /// Guards length prefixes from corrupt/truncated files: a bad stream or
+  /// an absurd length flips the stream into the failed state.
+  bool SaneLength(uint64_t n) {
+    constexpr uint64_t kMaxElements = 1ull << 33;  // 8G elements
+    if (!Ok() || n > kMaxElements) {
+      in_.setstate(std::ios::failbit);
+      return false;
+    }
+    return true;
+  }
+  std::ifstream in_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_UTIL_SERIALIZE_H_

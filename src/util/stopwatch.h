@@ -1,0 +1,33 @@
+// Wall-clock stopwatch used by the efficiency benchmarks (Table 5, Figure 8).
+
+#ifndef DOT_UTIL_STOPWATCH_H_
+#define DOT_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dot {
+
+/// \brief Monotonic wall-clock timer.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_UTIL_STOPWATCH_H_

@@ -1,0 +1,76 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dot {
+
+std::string Table::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::ToString() const {
+  // Column widths over header + rows.
+  size_t ncol = header_.size();
+  for (const auto& r : rows_) ncol = std::max(ncol, r.size());
+  std::vector<size_t> width(ncol, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) width[i] = std::max(width[i], r[i].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < ncol; ++i) {
+      const std::string cell = i < r.size() ? r[i] : "";
+      os << cell << std::string(width[i] - cell.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    size_t total = 0;
+    for (size_t w : width) total += w + 2;
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+namespace {
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open " + path);
+  auto line = [&](const std::vector<std::string>& r) {
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (i) f << ",";
+      f << CsvEscape(r[i]);
+    }
+    f << "\n";
+  };
+  if (!header_.empty()) line(header_);
+  for (const auto& r : rows_) line(r);
+  if (!f) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace dot

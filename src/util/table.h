@@ -1,0 +1,49 @@
+// Console table printer used by the benchmark harness to render the
+// paper's tables, plus CSV export for downstream plotting.
+
+#ifndef DOT_UTIL_TABLE_H_
+#define DOT_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dot {
+
+/// \brief A simple row/column table with aligned console rendering.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header) { header_ = std::move(header); }
+
+  /// Appends a data row. Row lengths may differ from the header; short rows
+  /// are padded when printing.
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Formats a double with fixed precision (helper for callers).
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Prints ToString() to stdout.
+  void Print() const;
+
+  /// Writes the table as CSV (header + rows).
+  Status WriteCsv(const std::string& path) const;
+
+  const std::string& title() const { return title_; }
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_UTIL_TABLE_H_

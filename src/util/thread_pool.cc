@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dot {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return &pool;
+}
+
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk) {
+  if (n <= 0) return;
+  if (pool == nullptr || n <= min_chunk || pool->num_threads() == 1) {
+    fn(0, n);
+    return;
+  }
+  int64_t chunks = std::min<int64_t>(pool->num_threads(), (n + min_chunk - 1) / min_chunk);
+  int64_t per = (n + chunks - 1) / chunks;
+  for (int64_t c = 0; c < chunks; ++c) {
+    int64_t begin = c * per;
+    int64_t end = std::min(n, begin + per);
+    if (begin >= end) break;
+    pool->Submit([=, &fn] { fn(begin, end); });
+  }
+  pool->Wait();
+}
+
+}  // namespace dot

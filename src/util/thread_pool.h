@@ -1,0 +1,58 @@
+// Fixed-size thread pool with a ParallelFor helper. Used to parallelize
+// im2col/matmul in the tensor library and dataset generation.
+
+#ifndef DOT_UTIL_THREAD_POOL_H_
+#define DOT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dot {
+
+/// \brief A minimal fixed-size worker pool.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (>= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Process-wide pool sized to the hardware concurrency.
+  static ThreadPool* Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;   // signals workers
+  std::condition_variable done_cv_;   // signals Wait()
+  int64_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+/// \brief Splits [0, n) into contiguous chunks and runs `fn(begin, end)` on
+/// the pool; falls back to inline execution for small n or null pool.
+void ParallelFor(ThreadPool* pool, int64_t n,
+                 const std::function<void(int64_t, int64_t)>& fn,
+                 int64_t min_chunk = 1024);
+
+}  // namespace dot
+
+#endif  // DOT_UTIL_THREAD_POOL_H_

@@ -1,0 +1,339 @@
+// Tests for the baseline methods of Sec. 6.2: correctness of each method's
+// mechanics plus learning sanity checks on a small simulated city.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "baselines/cell_history.h"
+#include "baselines/deepod.h"
+#include "baselines/embedding.h"
+#include "baselines/outlier.h"
+#include "baselines/path_tte.h"
+#include "baselines/regression.h"
+#include "baselines/routers.h"
+#include "baselines/temp.h"
+#include "eval/metrics.h"
+
+namespace dot {
+namespace {
+
+/// Small shared dataset for the learning checks.
+class BaselineFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CityConfig cc = CityConfig::ChengduLike();
+    cc.grid_nodes = 12;
+    cc.rush_hour_strength = 0.65;
+    cc.spacing_meters = 900;
+    city_ = new City(cc, 5);
+    TripConfig tc = TripConfig::ChengduLike();
+    tc.num_trips = 1500;
+    tc.max_od_meters = 7000;
+    dataset_ = new BenchmarkDataset(BuildDataset(*city_, tc, 55, "test-city"));
+    grid_ = new Grid(dataset_->MakeGrid(16).ValueOrDie());
+  }
+  static void TearDownTestSuite() {
+    delete grid_;
+    delete dataset_;
+    delete city_;
+    grid_ = nullptr;
+    dataset_ = nullptr;
+    city_ = nullptr;
+  }
+
+  /// MAE of always predicting the training mean — the bar every learning
+  /// method must beat.
+  static double MeanPredictorMae() {
+    double mean = 0;
+    for (const auto& s : dataset_->split.train) mean += s.travel_time_minutes;
+    mean /= static_cast<double>(dataset_->split.train.size());
+    MetricsAccumulator acc;
+    for (const auto& s : dataset_->split.test) acc.Add(mean, s.travel_time_minutes);
+    return acc.Finalize().mae;
+  }
+
+  static double TestMae(const OdtOracle& oracle) {
+    MetricsAccumulator acc;
+    for (const auto& s : dataset_->split.test) {
+      acc.Add(oracle.EstimateMinutes(s.odt), s.travel_time_minutes);
+    }
+    return acc.Finalize().mae;
+  }
+
+  static City* city_;
+  static BenchmarkDataset* dataset_;
+  static Grid* grid_;
+};
+
+City* BaselineFixture::city_ = nullptr;
+BenchmarkDataset* BaselineFixture::dataset_ = nullptr;
+Grid* BaselineFixture::grid_ = nullptr;
+
+// ---- TEMP -------------------------------------------------------------------------
+
+TEST(TempUnitTest, AveragesNeighborsIncludingOutlier) {
+  // The Fig. 1 example: three 15-minute trips and one 35-minute outlier with
+  // the same OD and departure window. TEMP must return 20 — the failure mode
+  // motivating DOT.
+  std::vector<TripSample> train;
+  for (double minutes : {15.0, 15.0, 15.0, 35.0}) {
+    TripSample s;
+    s.odt = {{104.00, 30.60}, {104.02, 30.62}, 8 * 3600};
+    s.travel_time_minutes = minutes;
+    train.push_back(s);
+  }
+  TempOracle temp;
+  ASSERT_TRUE(temp.Train(train, {}).ok());
+  OdtInput q{{104.0001, 30.6001}, {104.0201, 30.6199}, 8 * 3600 + 600};
+  EXPECT_NEAR(temp.EstimateMinutes(q), 20.0, 0.01);
+}
+
+TEST(TempUnitTest, WidensSearchWhenNoCloseNeighbors) {
+  std::vector<TripSample> train;
+  TripSample far;
+  far.odt = {{104.00, 30.60}, {104.05, 30.65}, 12 * 3600};
+  far.travel_time_minutes = 25.0;
+  train.push_back(far);
+  train.push_back(far);
+  train.push_back(far);
+  TempOracle temp;
+  ASSERT_TRUE(temp.Train(train, {}).ok());
+  // Query ~2 km away and 3 hours off: only reachable after widening.
+  OdtInput q{{104.02, 30.60}, {104.07, 30.65}, 15 * 3600};
+  EXPECT_NEAR(temp.EstimateMinutes(q), 25.0, 0.01);
+}
+
+TEST(TempUnitTest, FallsBackToGlobalMean) {
+  std::vector<TripSample> train;
+  TripSample a;
+  a.odt = {{104.00, 30.60}, {104.05, 30.65}, 6 * 3600};
+  a.travel_time_minutes = 10.0;
+  train.push_back(a);
+  TempOracle temp;
+  ASSERT_TRUE(temp.Train(train, {}).ok());
+  OdtInput q{{105.5, 31.5}, {105.9, 31.9}, 20 * 3600};
+  EXPECT_NEAR(temp.EstimateMinutes(q), 10.0, 1e-9);  // global mean of 1 trip
+}
+
+// ---- LR / GBM ----------------------------------------------------------------------
+
+TEST_F(BaselineFixture, LinearRegressionRecoversLinearSignal) {
+  // Craft targets that are exactly linear in the distance feature.
+  std::vector<TripSample> train = dataset_->split.train;
+  for (auto& s : train) {
+    s.travel_time_minutes =
+        3.0 + 2.5 * (DistanceMeters(s.odt.origin, s.odt.destination) / 1000.0);
+  }
+  LinearRegressionOracle lr(*grid_);
+  ASSERT_TRUE(lr.Train(train, {}).ok());
+  for (size_t i = 0; i < 10; ++i) {
+    const auto& s = dataset_->split.test[i];
+    double want =
+        3.0 + 2.5 * (DistanceMeters(s.odt.origin, s.odt.destination) / 1000.0);
+    EXPECT_NEAR(lr.EstimateMinutes(s.odt), want, 0.05);
+  }
+}
+
+TEST_F(BaselineFixture, LrBeatsMeanPredictor) {
+  LinearRegressionOracle lr(*grid_);
+  ASSERT_TRUE(lr.Train(dataset_->split.train, dataset_->split.val).ok());
+  EXPECT_LT(TestMae(lr), MeanPredictorMae());
+}
+
+TEST(RegressionTreeUnitTest, PredictFollowsSplits) {
+  RegressionTree tree;
+  tree.nodes.push_back({0, 0.5, 0.0, 1, 2});   // root: split on f0 <= 0.5
+  tree.nodes.push_back({-1, 0, 10.0, -1, -1});  // left leaf
+  tree.nodes.push_back({-1, 0, 20.0, -1, -1});  // right leaf
+  EXPECT_DOUBLE_EQ(tree.Predict({0.2}), 10.0);
+  EXPECT_DOUBLE_EQ(tree.Predict({0.7}), 20.0);
+}
+
+TEST_F(BaselineFixture, GbmFitsNonlinearSignalBetterThanLr) {
+  // Target nonlinear in the features: LR cannot represent it, GBM can.
+  std::vector<TripSample> train = dataset_->split.train;
+  std::vector<TripSample> test = dataset_->split.test;
+  auto target = [&](const TripSample& s) {
+    double km = DistanceMeters(s.odt.origin, s.odt.destination) / 1000.0;
+    return km > 3.0 ? 30.0 : 8.0;  // step function of distance
+  };
+  for (auto& s : train) s.travel_time_minutes = target(s);
+  for (auto& s : test) s.travel_time_minutes = target(s);
+  LinearRegressionOracle lr(*grid_);
+  GbmOracle gbm(*grid_);
+  ASSERT_TRUE(lr.Train(train, {}).ok());
+  ASSERT_TRUE(gbm.Train(train, {}).ok());
+  MetricsAccumulator lr_acc, gbm_acc;
+  for (const auto& s : test) {
+    lr_acc.Add(lr.EstimateMinutes(s.odt), s.travel_time_minutes);
+    gbm_acc.Add(gbm.EstimateMinutes(s.odt), s.travel_time_minutes);
+  }
+  EXPECT_LT(gbm_acc.Finalize().mae, lr_acc.Finalize().mae * 0.7);
+}
+
+TEST_F(BaselineFixture, GbmBeatsMeanPredictor) {
+  GbmOracle gbm(*grid_);
+  ASSERT_TRUE(gbm.Train(dataset_->split.train, dataset_->split.val).ok());
+  EXPECT_LT(TestMae(gbm), MeanPredictorMae());
+  EXPECT_GT(gbm.num_trees(), 10);
+}
+
+// ---- Neural ODT baselines ------------------------------------------------------------
+
+TEST_F(BaselineFixture, StnnBeatsMeanPredictor) {
+  StnnOracle stnn(*grid_);
+  ASSERT_TRUE(stnn.Train(dataset_->split.train, dataset_->split.val).ok());
+  EXPECT_LT(TestMae(stnn), MeanPredictorMae());
+}
+
+TEST_F(BaselineFixture, MuratBeatsMeanPredictor) {
+  MuratOracle murat(*grid_);
+  ASSERT_TRUE(murat.Train(dataset_->split.train, dataset_->split.val).ok());
+  EXPECT_LT(TestMae(murat), MeanPredictorMae());
+}
+
+TEST_F(BaselineFixture, RneBeatsMeanPredictor) {
+  RneOracle rne(*grid_);
+  ASSERT_TRUE(rne.Train(dataset_->split.train, dataset_->split.val).ok());
+  EXPECT_LT(TestMae(rne), MeanPredictorMae());
+}
+
+TEST_F(BaselineFixture, DeepOdBeatsMeanPredictor) {
+  DeepOdConfig cfg;
+  cfg.epochs = 6;  // keep the unit test quick
+  DeepOdOracle deepod(*grid_, cfg);
+  ASSERT_TRUE(deepod.Train(dataset_->split.train, dataset_->split.val).ok());
+  EXPECT_LT(TestMae(deepod), MeanPredictorMae());
+}
+
+// ---- CellHistory ----------------------------------------------------------------------
+
+TEST_F(BaselineFixture, CellHistoryLearnsTransitions) {
+  CellHistory history = CellHistory::Learn(dataset_->split.train, *grid_);
+  EXPECT_GT(history.global_mean_seconds(), 5);
+  EXPECT_LT(history.global_mean_seconds(), 600);
+  // Some transitions must have been observed, and successors must be
+  // consistent with counts.
+  int64_t observed = 0;
+  for (int64_t c = 0; c < grid_->num_cells(); ++c) {
+    for (int64_t to : history.Successors(c)) {
+      EXPECT_GT(history.TransitionCount(c, to), 0);
+      ++observed;
+    }
+  }
+  EXPECT_GT(observed, 50);
+}
+
+TEST_F(BaselineFixture, RouteToPitProducesValidChannels) {
+  CellHistory history = CellHistory::Learn(dataset_->split.train, *grid_);
+  const auto& sample = dataset_->split.test[0];
+  std::vector<int64_t> path = CellPathOf(sample.trajectory, *grid_, true);
+  Pit pit = history.RouteToPit(path, sample.odt.departure_time);
+  EXPECT_EQ(pit.NumVisited(), static_cast<int64_t>(
+      std::unordered_set<int64_t>(path.begin(), path.end()).size()));
+  // Offsets of first/last route cells must be -1 / +1.
+  int64_t l = grid_->grid_size();
+  EXPECT_NEAR(pit.At(kPitTimeOffset, path.front() / l, path.front() % l), -1.0f,
+              1e-5);
+}
+
+// ---- Routers ----------------------------------------------------------------------------
+
+TEST_F(BaselineFixture, DijkstraRouteConnectsEndpoints) {
+  DijkstraRouter router(&city_->network(), *grid_);
+  ASSERT_TRUE(router.Train(dataset_->split.train).ok());
+  const auto& s = dataset_->split.test[0];
+  std::vector<int64_t> route = router.Route(s.odt);
+  ASSERT_GE(route.size(), 2u);
+  EXPECT_EQ(route.front(), grid_->CellIndex(grid_->Locate(s.odt.origin)));
+  EXPECT_EQ(route.back(), grid_->CellIndex(grid_->Locate(s.odt.destination)));
+  EXPECT_GT(router.EstimateMinutes(s.odt), 0);
+}
+
+TEST_F(BaselineFixture, DeepStReachesDestinationOnMostQueries) {
+  DeepStRouter router(*grid_);
+  ASSERT_TRUE(router.Train(dataset_->split.train).ok());
+  int64_t reached = 0, total = 0;
+  for (size_t i = 0; i < std::min<size_t>(dataset_->split.test.size(), 30); ++i) {
+    const auto& s = dataset_->split.test[i];
+    std::vector<int64_t> route = router.Route(s.odt);
+    int64_t dest = grid_->CellIndex(grid_->Locate(s.odt.destination));
+    if (!route.empty() && route.back() == dest) ++reached;
+    ++total;
+  }
+  EXPECT_GT(reached, total * 7 / 10);
+}
+
+TEST_F(BaselineFixture, DeepStBeatsDijkstraOnTravelTime) {
+  // The paper's Table 3 ordering: the learned router's times are closer to
+  // reality than shortest-path times.
+  DijkstraRouter dijkstra(&city_->network(), *grid_);
+  DeepStRouter deepst(*grid_);
+  ASSERT_TRUE(dijkstra.Train(dataset_->split.train).ok());
+  ASSERT_TRUE(deepst.Train(dataset_->split.train).ok());
+  MetricsAccumulator dj, ds;
+  for (size_t i = 0; i < std::min<size_t>(dataset_->split.test.size(), 60); ++i) {
+    const auto& s = dataset_->split.test[i];
+    dj.Add(dijkstra.EstimateMinutes(s.odt), s.travel_time_minutes);
+    ds.Add(deepst.EstimateMinutes(s.odt), s.travel_time_minutes);
+  }
+  EXPECT_LT(ds.Finalize().mae, dj.Finalize().mae);
+}
+
+// ---- Path-based TTE ----------------------------------------------------------------------
+
+TEST_F(BaselineFixture, WddraWithTruePathsBeatsMeanPredictor) {
+  PathTteConfig cfg;
+  cfg.epochs = 5;
+  RecurrentPathEstimator wddra(*grid_, /*deep=*/false, cfg);
+  ASSERT_TRUE(wddra.Train(dataset_->split.train, dataset_->split.val).ok());
+  MetricsAccumulator acc;
+  for (const auto& s : dataset_->split.test) {
+    std::vector<int64_t> path = CellPathOf(s.trajectory, *grid_, true);
+    acc.Add(wddra.EstimateMinutes(path, s.odt), s.travel_time_minutes);
+  }
+  EXPECT_LT(acc.Finalize().mae, MeanPredictorMae());
+}
+
+TEST_F(BaselineFixture, StdgcnSearchReturnsTrainedModel) {
+  PathTteConfig cfg;
+  cfg.epochs = 3;
+  auto model = SearchStdgcn(*grid_, dataset_->split.train, dataset_->split.val, cfg);
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name(), "STDGCN");
+  const auto& s = dataset_->split.test[0];
+  std::vector<int64_t> path = CellPathOf(s.trajectory, *grid_, true);
+  double est = model->EstimateMinutes(path, s.odt);
+  EXPECT_GT(est, 0);
+  EXPECT_LT(est, 120);
+}
+
+// ---- Outlier detection -----------------------------------------------------------------
+
+TEST_F(BaselineFixture, OutlierDetectorFindsInjectedDetours) {
+  OutlierReport report = DetectOutliers(dataset_->split.train, *grid_);
+  // Recall on simulator-injected outliers should beat the base rate clearly.
+  int64_t true_outliers = 0, caught = 0;
+  for (size_t i = 0; i < dataset_->split.train.size(); ++i) {
+    if (dataset_->split.train[i].is_outlier) {
+      ++true_outliers;
+      if (report.is_outlier[i]) ++caught;
+    }
+  }
+  ASSERT_GT(true_outliers, 0);
+  double recall = static_cast<double>(caught) / static_cast<double>(true_outliers);
+  double flag_rate = static_cast<double>(report.num_flagged) /
+                     static_cast<double>(dataset_->split.train.size());
+  EXPECT_GT(recall, flag_rate);  // better than random flagging
+  EXPECT_LT(flag_rate, 0.5);     // doesn't throw away half the data
+}
+
+TEST_F(BaselineFixture, RemoveOutliersKeepsMajority) {
+  auto kept = RemoveOutliers(dataset_->split.train, *grid_);
+  EXPECT_GT(kept.size(), dataset_->split.train.size() / 2);
+  EXPECT_LE(kept.size(), dataset_->split.train.size());
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,126 @@
+// Tests for the eval module: metrics and dataset splitting.
+
+#include <gtest/gtest.h>
+
+#include "eval/dataset.h"
+#include "geo/pit.h"
+#include "eval/metrics.h"
+
+namespace dot {
+namespace {
+
+TEST(MetricsTest, EmptyAccumulatorIsZero) {
+  MetricsAccumulator acc;
+  RegressionMetrics m = acc.Finalize();
+  EXPECT_EQ(m.count, 0);
+  EXPECT_EQ(m.rmse, 0);
+  EXPECT_EQ(m.mae, 0);
+  EXPECT_EQ(m.mape, 0);
+}
+
+TEST(MetricsTest, KnownValues) {
+  MetricsAccumulator acc;
+  acc.Add(12, 10);  // err 2
+  acc.Add(9, 10);   // err -1
+  RegressionMetrics m = acc.Finalize();
+  EXPECT_EQ(m.count, 2);
+  EXPECT_NEAR(m.rmse, std::sqrt((4.0 + 1.0) / 2.0), 1e-9);
+  EXPECT_NEAR(m.mae, 1.5, 1e-9);
+  EXPECT_NEAR(m.mape, 100.0 * (0.2 + 0.1) / 2.0, 1e-9);
+}
+
+TEST(MetricsTest, ZeroTruthExcludedFromMape) {
+  MetricsAccumulator acc;
+  acc.Add(5, 0);    // excluded from MAPE, included in RMSE/MAE
+  acc.Add(11, 10);  // 10% error
+  RegressionMetrics m = acc.Finalize();
+  EXPECT_EQ(m.count, 2);
+  EXPECT_NEAR(m.mape, 10.0, 1e-9);
+}
+
+TEST(MetricsTest, PerfectPredictions) {
+  MetricsAccumulator acc;
+  for (int i = 1; i <= 5; ++i) acc.Add(i, i);
+  RegressionMetrics m = acc.Finalize();
+  EXPECT_EQ(m.rmse, 0);
+  EXPECT_EQ(m.mae, 0);
+  EXPECT_EQ(m.mape, 0);
+}
+
+Trajectory TrajAt(int64_t depart, int64_t duration) {
+  Trajectory t;
+  t.points.push_back({{104.0, 30.0}, depart});
+  t.points.push_back({{104.02, 30.0}, depart + duration});
+  return t;
+}
+
+TEST(DatasetTest, ChronologicalSplitOrdersAndSizes) {
+  std::vector<TripSample> samples;
+  // Departures deliberately out of order.
+  for (int64_t depart : {500, 100, 900, 300, 700, 200, 800, 400, 600, 1000}) {
+    TripSample s;
+    s.trajectory = TrajAt(depart, 600);
+    s.odt = OdtFromTrajectory(s.trajectory);
+    s.travel_time_minutes = 10;
+    samples.push_back(s);
+  }
+  DatasetSplit split = ChronologicalSplit(samples, 0.8, 0.1);
+  EXPECT_EQ(split.train.size(), 8u);
+  EXPECT_EQ(split.val.size(), 1u);
+  EXPECT_EQ(split.test.size(), 1u);
+  // All training departures precede validation, which precedes test.
+  for (const auto& s : split.train) {
+    EXPECT_LE(s.odt.departure_time, split.val.front().odt.departure_time);
+  }
+  EXPECT_LE(split.val.front().odt.departure_time,
+            split.test.front().odt.departure_time);
+}
+
+TEST(DatasetTest, ToSamplesAppliesFilterAndComputesMinutes) {
+  std::vector<SimulatedTrip> trips(2);
+  // Valid trip: 10 minutes, dense sampling, > 500 m.
+  Trajectory& good = trips[0].trajectory;
+  for (int64_t i = 0; i <= 10; ++i) {
+    good.points.push_back({{104.0 + 0.002 * static_cast<double>(i), 30.0}, i * 60});
+  }
+  trips[0].odt = OdtFromTrajectory(good);
+  trips[0].is_outlier = true;
+  // Invalid: too short.
+  trips[1].trajectory = TrajAt(0, 60);
+  trips[1].odt = OdtFromTrajectory(trips[1].trajectory);
+
+  auto samples = ToSamples(trips, TrajectoryFilter{});
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_NEAR(samples[0].travel_time_minutes, 10.0, 1e-9);
+  EXPECT_TRUE(samples[0].is_outlier);
+}
+
+TEST(DatasetTest, TrajectoriesOfExtracts) {
+  std::vector<TripSample> samples(3);
+  for (auto& s : samples) s.trajectory = TrajAt(0, 600);
+  EXPECT_EQ(TrajectoriesOf(samples).size(), 3u);
+}
+
+TEST(PitSequenceTest, OrderedByOffset) {
+  Pit pit(4);
+  auto set = [&](int64_t r, int64_t c, float offset) {
+    pit.Set(kPitMask, r, c, 1.0f);
+    pit.Set(kPitTimeOffset, r, c, offset);
+  };
+  set(3, 3, 1.0f);   // last
+  set(0, 0, -1.0f);  // first
+  set(1, 2, 0.0f);   // middle
+  auto seq = PitToCellSequence(pit);
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0], 0);
+  EXPECT_EQ(seq[1], 1 * 4 + 2);
+  EXPECT_EQ(seq[2], 3 * 4 + 3);
+}
+
+TEST(PitSequenceTest, EmptyPitGivesEmptySequence) {
+  Pit pit(4);
+  EXPECT_TRUE(PitToCellSequence(pit).empty());
+}
+
+}  // namespace
+}  // namespace dot

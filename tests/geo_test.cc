@@ -1,0 +1,334 @@
+// Tests for the geo substrate: distances, projections, grids, trajectories,
+// and PiT construction semantics (paper Definition 2 / Example 2).
+
+#include <gtest/gtest.h>
+
+#include "geo/geo.h"
+#include "geo/grid.h"
+#include "geo/pit.h"
+#include "geo/trajectory.h"
+
+namespace dot {
+namespace {
+
+TEST(GeoTest, DistanceZeroForSamePoint) {
+  GpsPoint p{104.0, 30.6};
+  EXPECT_DOUBLE_EQ(DistanceMeters(p, p), 0.0);
+}
+
+TEST(GeoTest, DistanceOneDegreeLatitude) {
+  // One degree of latitude is ~111.2 km anywhere.
+  double d = DistanceMeters({104.0, 30.0}, {104.0, 31.0});
+  EXPECT_NEAR(d, 111200, 500);
+}
+
+TEST(GeoTest, DistanceLongitudeShrinksWithLatitude) {
+  double at_equator = DistanceMeters({10.0, 0.0}, {11.0, 0.0});
+  double at_60 = DistanceMeters({10.0, 60.0}, {11.0, 60.0});
+  EXPECT_NEAR(at_60 / at_equator, 0.5, 0.01);
+}
+
+TEST(GeoTest, ProjectionRoundTrip) {
+  Projection proj({104.06, 30.67});
+  GpsPoint p = proj.ToGps(1500.0, -800.0);
+  double x, y;
+  proj.ToMeters(p, &x, &y);
+  EXPECT_NEAR(x, 1500.0, 1e-6);
+  EXPECT_NEAR(y, -800.0, 1e-6);
+}
+
+TEST(GeoTest, ProjectionDistancesConsistent) {
+  Projection proj({126.5, 45.7});
+  GpsPoint a = proj.ToGps(0, 0);
+  GpsPoint b = proj.ToGps(3000, 4000);
+  EXPECT_NEAR(DistanceMeters(a, b), 5000, 10);
+}
+
+TEST(GeoTest, BoundingBoxCoverAndContains) {
+  BoundingBox box = BoundingBox::Cover({{1, 1}, {3, 2}, {2, 5}});
+  EXPECT_DOUBLE_EQ(box.min_lng, 1);
+  EXPECT_DOUBLE_EQ(box.max_lng, 3);
+  EXPECT_DOUBLE_EQ(box.max_lat, 5);
+  EXPECT_TRUE(box.Contains({2, 3}));
+  EXPECT_FALSE(box.Contains({0, 3}));
+  BoundingBox big = box.Inflated(0.5);
+  EXPECT_TRUE(big.Contains({0.5, 0.5}));
+}
+
+TEST(GridTest, MakeRejectsBadInput) {
+  BoundingBox box{0, 0, 1, 1};
+  EXPECT_FALSE(Grid::Make(box, 0).ok());
+  EXPECT_FALSE(Grid::Make(BoundingBox{0, 0, 0, 1}, 10).ok());
+  EXPECT_TRUE(Grid::Make(box, 10).ok());
+}
+
+TEST(GridTest, LocateCornersAndCenter) {
+  Grid grid = Grid::Make(BoundingBox{0, 0, 10, 10}, 5).ValueOrDie();
+  EXPECT_EQ(grid.Locate({0.1, 0.1}), (Cell{0, 0}));
+  EXPECT_EQ(grid.Locate({9.9, 9.9}), (Cell{4, 4}));
+  EXPECT_EQ(grid.Locate({5.1, 3.1}), (Cell{1, 2}));
+}
+
+TEST(GridTest, LocateClampsOutsidePoints) {
+  Grid grid = Grid::Make(BoundingBox{0, 0, 10, 10}, 5).ValueOrDie();
+  EXPECT_EQ(grid.Locate({-5, 50}), (Cell{4, 0}));
+}
+
+TEST(GridTest, CellIndexRoundTrip) {
+  Grid grid = Grid::Make(BoundingBox{0, 0, 1, 1}, 7).ValueOrDie();
+  for (int64_t i = 0; i < grid.num_cells(); ++i) {
+    EXPECT_EQ(grid.CellIndex(grid.CellAt(i)), i);
+  }
+}
+
+TEST(GridTest, CellCenterLocatesToSameCell) {
+  Grid grid = Grid::Make(BoundingBox{3, 4, 13, 24}, 9).ValueOrDie();
+  for (int64_t i = 0; i < grid.num_cells(); ++i) {
+    Cell c = grid.CellAt(i);
+    EXPECT_EQ(grid.Locate(grid.CellCenter(c)), c);
+  }
+}
+
+TEST(GridTest, NormalizedRange) {
+  Grid grid = Grid::Make(BoundingBox{0, 0, 10, 10}, 5).ValueOrDie();
+  double nx, ny;
+  grid.Normalized({0, 0}, &nx, &ny);
+  EXPECT_DOUBLE_EQ(nx, -1);
+  EXPECT_DOUBLE_EQ(ny, -1);
+  grid.Normalized({10, 5}, &nx, &ny);
+  EXPECT_DOUBLE_EQ(nx, 1);
+  EXPECT_DOUBLE_EQ(ny, 0);
+  grid.Normalized({100, -100}, &nx, &ny);  // clamped
+  EXPECT_DOUBLE_EQ(nx, 1);
+  EXPECT_DOUBLE_EQ(ny, -1);
+}
+
+Trajectory MakeTraj(std::vector<std::tuple<double, double, int64_t>> pts) {
+  Trajectory t;
+  for (auto [lng, lat, time] : pts) t.points.push_back({{lng, lat}, time});
+  return t;
+}
+
+TEST(TrajectoryTest, DurationLengthInterval) {
+  Trajectory t = MakeTraj({{104.0, 30.0, 100}, {104.01, 30.0, 160}, {104.02, 30.0, 250}});
+  EXPECT_EQ(t.DurationSeconds(), 150);
+  EXPECT_NEAR(t.LengthMeters(), 2 * 963, 20);  // ~963 m per 0.01 deg at lat 30
+  EXPECT_DOUBLE_EQ(t.MeanSampleIntervalSeconds(), 75.0);
+  EXPECT_EQ(t.MaxSampleIntervalSeconds(), 90);
+}
+
+TEST(TrajectoryTest, OdtExtraction) {
+  Trajectory t = MakeTraj({{104.0, 30.0, 100}, {104.02, 30.01, 400}});
+  OdtInput odt = OdtFromTrajectory(t);
+  EXPECT_EQ(odt.departure_time, 100);
+  EXPECT_EQ(odt.origin, (GpsPoint{104.0, 30.0}));
+  EXPECT_EQ(odt.destination, (GpsPoint{104.02, 30.01}));
+}
+
+TEST(TrajectoryTest, NormalizedTimeOfDayRange) {
+  EXPECT_DOUBLE_EQ(NormalizedTimeOfDay(0), -1.0);
+  EXPECT_DOUBLE_EQ(NormalizedTimeOfDay(43200), 0.0);  // noon
+  EXPECT_NEAR(NormalizedTimeOfDay(86399), 1.0, 1e-4);
+  EXPECT_DOUBLE_EQ(NormalizedTimeOfDay(86400), -1.0);  // wraps
+}
+
+TEST(TrajectoryTest, FilterRules) {
+  TrajectoryFilter f;
+  // Too short in distance.
+  Trajectory short_dist = MakeTraj({{104.0, 30.0, 0}, {104.001, 30.0, 400}});
+  EXPECT_FALSE(f.Keep(short_dist));
+  // Too short in time.
+  Trajectory short_time = MakeTraj({{104.0, 30.0, 0}, {104.02, 30.0, 100}});
+  EXPECT_FALSE(f.Keep(short_time));
+  // Too long in time.
+  Trajectory long_time = MakeTraj({{104.0, 30.0, 0}, {104.02, 30.0, 4000}});
+  EXPECT_FALSE(f.Keep(long_time));
+  // Sparse sampling (gap > 80 s).
+  Trajectory sparse = MakeTraj(
+      {{104.0, 30.0, 0}, {104.01, 30.0, 100}, {104.02, 30.0, 400}});
+  EXPECT_FALSE(f.Keep(sparse));
+  // Valid.
+  Trajectory ok = MakeTraj({{104.0, 30.0, 0},
+                            {104.005, 30.0, 75},
+                            {104.01, 30.0, 150},
+                            {104.015, 30.0, 225},
+                            {104.02, 30.0, 305}});
+  EXPECT_TRUE(f.Keep(ok));
+}
+
+TEST(TrajectoryTest, FilterTrajectoriesRemovesAndCounts) {
+  TrajectoryFilter f;
+  std::vector<Trajectory> ts;
+  ts.push_back(MakeTraj({{104.0, 30.0, 0}, {104.001, 30.0, 400}}));  // reject
+  ts.push_back(MakeTraj({{104.0, 30.0, 0},
+                         {104.005, 30.0, 75},
+                         {104.01, 30.0, 150},
+                         {104.015, 30.0, 225},
+                         {104.02, 30.0, 305}}));  // keep
+  EXPECT_EQ(FilterTrajectories(&ts, f), 1);
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(TrajectoryTest, StatsComputation) {
+  std::vector<Trajectory> ts;
+  ts.push_back(MakeTraj({{104.0, 30.0, 0}, {104.01, 30.0, 600}}));
+  ts.push_back(MakeTraj({{104.0, 30.0, 0}, {104.02, 30.0, 1200}}));
+  DatasetStats s = ComputeStats(ts);
+  EXPECT_EQ(s.num_trajectories, 2);
+  EXPECT_DOUBLE_EQ(s.mean_travel_time_minutes, 15.0);
+  EXPECT_GT(s.mean_travel_distance_meters, 900);
+  EXPECT_GT(s.area_width_km, 1.0);
+}
+
+// ---- PiT construction -------------------------------------------------------
+
+TEST(PitTest, EmptyPitAllMinusOne) {
+  Pit pit(4);
+  EXPECT_EQ(pit.NumVisited(), 0);
+  for (int64_t c = 0; c < kPitChannels; ++c) {
+    for (int64_t r = 0; r < 4; ++r) {
+      for (int64_t col = 0; col < 4; ++col) EXPECT_EQ(pit.At(c, r, col), -1.0f);
+    }
+  }
+}
+
+TEST(PitTest, PaperExample2Channels) {
+  // Example 2 of the paper: 3x3 grid, points at 9:00, 9:36, 12:00 in cells
+  // (3,1), (2,2), (1,3) using the paper's 1-based (row from top?) — we place
+  // them by GPS so the semantics (first-visit, ToD, offset) are what matters.
+  Grid grid = Grid::Make(BoundingBox{0, 0, 3, 3}, 3).ValueOrDie();
+  Trajectory t;
+  t.points.push_back({{0.5, 0.5}, 9 * 3600});       // cell (0,0)
+  t.points.push_back({{1.5, 1.5}, 9 * 3600 + 2160});  // cell (1,1) at 9:36
+  t.points.push_back({{2.5, 2.5}, 12 * 3600});      // cell (2,2)
+  Pit pit = Pit::Build(t, grid);
+  EXPECT_EQ(pit.NumVisited(), 3);
+  // ToD: 2*(9*3600)/86400 - 1 = -0.25 for the 9:00 point.
+  EXPECT_NEAR(pit.At(kPitTimeOfDay, 0, 0), -0.25f, 1e-5);
+  // ToD for 9:36 = 2*(9.6*3600)/86400 - 1 = -0.2.
+  EXPECT_NEAR(pit.At(kPitTimeOfDay, 1, 1), -0.2f, 1e-5);
+  // ToD for 12:00 = 0.
+  EXPECT_NEAR(pit.At(kPitTimeOfDay, 2, 2), 0.0f, 1e-5);
+  // Offsets: first point -1, midpoint 2*(36/180)-1 = -0.6, last +1.
+  EXPECT_NEAR(pit.At(kPitTimeOffset, 0, 0), -1.0f, 1e-5);
+  EXPECT_NEAR(pit.At(kPitTimeOffset, 1, 1), -0.6f, 1e-5);
+  EXPECT_NEAR(pit.At(kPitTimeOffset, 2, 2), 1.0f, 1e-5);
+  // Mask values.
+  EXPECT_EQ(pit.At(kPitMask, 0, 0), 1.0f);
+  EXPECT_EQ(pit.At(kPitMask, 0, 1), -1.0f);
+}
+
+TEST(PitTest, EarliestVisitWins) {
+  Grid grid = Grid::Make(BoundingBox{0, 0, 2, 2}, 2).ValueOrDie();
+  Trajectory t;
+  t.points.push_back({{0.5, 0.5}, 1000});
+  t.points.push_back({{1.5, 0.5}, 1100});
+  t.points.push_back({{0.5, 0.5}, 1200});  // revisit of cell (0,0)
+  Pit pit = Pit::Build(t, grid);
+  // ToD of cell (0,0) must correspond to t=1000, not 1200.
+  EXPECT_NEAR(pit.At(kPitTimeOfDay, 0, 0),
+              static_cast<float>(NormalizedTimeOfDay(1000)), 1e-6);
+  EXPECT_NEAR(pit.At(kPitTimeOffset, 0, 0), -1.0f, 1e-6);
+}
+
+TEST(PitTest, InterpolationFillsSkippedCells) {
+  Grid grid = Grid::Make(BoundingBox{0, 0, 10, 1}, 10).ValueOrDie();
+  Trajectory t;  // jumps across the whole row in one sample gap
+  t.points.push_back({{0.5, 0.5}, 0});
+  t.points.push_back({{9.5, 0.5}, 900});
+  Pit sparse = Pit::Build(t, grid, /*interpolate=*/false);
+  Pit dense = Pit::Build(t, grid, /*interpolate=*/true);
+  EXPECT_EQ(sparse.NumVisited(), 2);
+  EXPECT_EQ(dense.NumVisited(), 10);
+}
+
+TEST(PitTest, VisitedIndicesMatchesMask) {
+  Grid grid = Grid::Make(BoundingBox{0, 0, 4, 4}, 4).ValueOrDie();
+  Trajectory t;
+  t.points.push_back({{0.5, 0.5}, 0});
+  t.points.push_back({{2.5, 1.5}, 300});
+  Pit pit = Pit::Build(t, grid);
+  auto idx = pit.VisitedIndices();
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0);       // row 0, col 0
+  EXPECT_EQ(idx[1], 1 * 4 + 2);  // row 1, col 2
+}
+
+TEST(PitTest, CanonicalizeSnapsMaskAndClamps) {
+  Pit pit(2);
+  pit.Set(kPitMask, 0, 0, 0.3f);       // -> 1
+  pit.Set(kPitTimeOfDay, 0, 0, 1.7f);  // -> clamp to 1
+  pit.Set(kPitMask, 1, 1, -0.2f);      // -> -1
+  pit.Set(kPitTimeOfDay, 1, 1, 0.5f);  // -> forced to -1 (mask off)
+  pit.Canonicalize();
+  EXPECT_EQ(pit.At(kPitMask, 0, 0), 1.0f);
+  EXPECT_EQ(pit.At(kPitTimeOfDay, 0, 0), 1.0f);
+  EXPECT_EQ(pit.At(kPitMask, 1, 1), -1.0f);
+  EXPECT_EQ(pit.At(kPitTimeOfDay, 1, 1), -1.0f);
+}
+
+TEST(PitTest, FromTensorValidation) {
+  EXPECT_FALSE(Pit::FromTensor(Tensor::Zeros({2, 4, 4})).ok());
+  EXPECT_FALSE(Pit::FromTensor(Tensor::Zeros({3, 4, 5})).ok());
+  EXPECT_TRUE(Pit::FromTensor(Tensor::Zeros({3, 4, 4})).ok());
+}
+
+TEST(PitTest, ComparePitsIdenticalIsZero) {
+  Grid grid = Grid::Make(BoundingBox{0, 0, 4, 4}, 4).ValueOrDie();
+  Trajectory t;
+  t.points.push_back({{0.5, 0.5}, 0});
+  t.points.push_back({{3.5, 3.5}, 600});
+  Pit pit = Pit::Build(t, grid);
+  PitError e = ComparePits(pit, pit);
+  EXPECT_DOUBLE_EQ(e.overall_rmse, 0.0);
+  EXPECT_DOUBLE_EQ(e.overall_mae, 0.0);
+}
+
+TEST(PitTest, ComparePitsKnownDifference) {
+  Pit a(2), b(2);
+  a.Set(kPitMask, 0, 0, 1.0f);  // one cell differs by 2 in one channel
+  PitError e = ComparePits(a, b);
+  // overall: sq = 4 over 12 values -> rmse = sqrt(1/3)
+  EXPECT_NEAR(e.overall_rmse, std::sqrt(4.0 / 12.0), 1e-9);
+  EXPECT_NEAR(e.channel_rmse[kPitMask], 1.0, 1e-9);  // sqrt(4/4)
+  EXPECT_NEAR(e.channel_mae[kPitMask], 0.5, 1e-9);
+}
+
+TEST(PitTest, RouteAccuracyPerfectAndPartial) {
+  Pit truth(3);
+  truth.Set(kPitMask, 0, 0, 1.0f);
+  truth.Set(kPitMask, 1, 1, 1.0f);
+  RouteAccuracy perfect = CompareRoutes(truth, truth);
+  EXPECT_DOUBLE_EQ(perfect.f1, 1.0);
+
+  Pit pred(3);
+  pred.Set(kPitMask, 0, 0, 1.0f);   // true positive
+  pred.Set(kPitMask, 2, 2, 1.0f);   // false positive
+  RouteAccuracy a = CompareRoutes(pred, truth);
+  EXPECT_DOUBLE_EQ(a.precision, 0.5);
+  EXPECT_DOUBLE_EQ(a.recall, 0.5);
+  EXPECT_DOUBLE_EQ(a.f1, 0.5);
+}
+
+TEST(PitTest, EncodeOdtRangeAndTime) {
+  Grid grid = Grid::Make(BoundingBox{0, 0, 10, 10}, 5).ValueOrDie();
+  OdtInput odt{{0, 0}, {10, 10}, 43200};
+  auto v = EncodeOdt(odt, grid);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_FLOAT_EQ(v[0], -1.0f);
+  EXPECT_FLOAT_EQ(v[1], -1.0f);
+  EXPECT_FLOAT_EQ(v[2], 1.0f);
+  EXPECT_FLOAT_EQ(v[3], 1.0f);
+  EXPECT_FLOAT_EQ(v[4], 0.0f);  // noon
+}
+
+TEST(PitTest, RenderMaskShape) {
+  Pit pit(3);
+  pit.Set(kPitMask, 0, 1, 1.0f);
+  std::string s = pit.RenderMask();
+  // 3 rows of 3 chars + newlines; row 0 rendered last (south at bottom).
+  EXPECT_EQ(s, "...\n...\n.#.\n");
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,131 @@
+// Tests for trajectory dataset I/O (CSV import/export, binary cache).
+
+#include "geo/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace dot {
+namespace {
+
+std::vector<Trajectory> SampleTrajectories() {
+  std::vector<Trajectory> ts(2);
+  ts[0].points = {{{104.01, 30.62}, 1000},
+                  {{104.02, 30.63}, 1060},
+                  {{104.03, 30.64}, 1125}};
+  ts[1].points = {{{126.51, 45.71}, 2000}, {{126.52, 45.72}, 2090}};
+  return ts;
+}
+
+TEST(IoTest, CsvRoundTrip) {
+  std::string path = ::testing::TempDir() + "/traj.csv";
+  auto original = SampleTrajectories();
+  ASSERT_TRUE(SaveTrajectoriesCsv(path, original).ok());
+  auto loaded = LoadTrajectoriesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  for (size_t t = 0; t < 2; ++t) {
+    ASSERT_EQ((*loaded)[t].points.size(), original[t].points.size());
+    for (size_t i = 0; i < original[t].points.size(); ++i) {
+      EXPECT_NEAR((*loaded)[t].points[i].gps.lng, original[t].points[i].gps.lng,
+                  1e-6);
+      EXPECT_NEAR((*loaded)[t].points[i].gps.lat, original[t].points[i].gps.lat,
+                  1e-6);
+      EXPECT_EQ((*loaded)[t].points[i].time, original[t].points[i].time);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CsvSkipsCommentsAndHeader) {
+  std::string path = ::testing::TempDir() + "/traj2.csv";
+  {
+    std::ofstream f(path);
+    f << "# exported from somewhere\n";
+    f << "trip_id,lng,lat,unix_time\n";
+    f << "a,104.0,30.6,100\n";
+    f << "a,104.1,30.7,160\n";
+    f << "b,126.5,45.7,500\n";
+  }
+  auto loaded = LoadTrajectoriesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].points.size(), 2u);
+  EXPECT_EQ((*loaded)[1].points.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CsvSortsWithinTrip) {
+  std::string path = ::testing::TempDir() + "/traj3.csv";
+  {
+    std::ofstream f(path);
+    f << "x,104.0,30.6,300\n";
+    f << "x,104.1,30.7,100\n";  // out of order
+  }
+  auto loaded = LoadTrajectoriesCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)[0].points[0].time, 100);
+  EXPECT_EQ((*loaded)[0].points[1].time, 300);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CsvRejectsMalformedRows) {
+  std::string path = ::testing::TempDir() + "/traj4.csv";
+  {
+    std::ofstream f(path);
+    f << "a,104.0,30.6,100\n";
+    f << "a,104.0\n";  // too few fields
+  }
+  auto loaded = LoadTrajectoriesCsv(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, CsvRejectsBadNumbers) {
+  std::string path = ::testing::TempDir() + "/traj5.csv";
+  {
+    std::ofstream f(path);
+    f << "a,104.0,30.6,100\n";
+    f << "a,not_a_number,30.6,160\n";
+  }
+  EXPECT_FALSE(LoadTrajectoriesCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, MissingFileIsIOError) {
+  auto r = LoadTrajectoriesCsv("/nonexistent/path.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(IoTest, BinaryRoundTripExact) {
+  std::string path = ::testing::TempDir() + "/traj.bin";
+  auto original = SampleTrajectories();
+  ASSERT_TRUE(SaveTrajectoriesBinary(path, original).ok());
+  auto loaded = LoadTrajectoriesBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  for (size_t t = 0; t < 2; ++t) {
+    for (size_t i = 0; i < original[t].points.size(); ++i) {
+      EXPECT_EQ((*loaded)[t].points[i].gps.lng, original[t].points[i].gps.lng);
+      EXPECT_EQ((*loaded)[t].points[i].time, original[t].points[i].time);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, BinaryRejectsWrongMagic) {
+  std::string path = ::testing::TempDir() + "/notatraj.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "garbage";
+  }
+  EXPECT_FALSE(LoadTrajectoriesBinary(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,129 @@
+// Property tests for the raw linear-algebra kernels against a naive
+// reference implementation, plus broadcast-shape rules.
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace dot {
+namespace {
+
+struct GemmCase {
+  int64_t m, k, n;
+};
+
+class GemmProperty : public ::testing::TestWithParam<GemmCase> {
+ protected:
+  static std::vector<float> RandomVec(size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(rng.Uniform(-1, 1));
+    return v;
+  }
+
+  static std::vector<float> NaiveGemm(const std::vector<float>& a,
+                                      const std::vector<float>& b, int64_t m,
+                                      int64_t k, int64_t n) {
+    std::vector<float> c(static_cast<size_t>(m * n), 0.0f);
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        double acc = 0;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          acc += static_cast<double>(a[static_cast<size_t>(i * k + kk)]) *
+                 static_cast<double>(b[static_cast<size_t>(kk * n + j)]);
+        }
+        c[static_cast<size_t>(i * n + j)] = static_cast<float>(acc);
+      }
+    }
+    return c;
+  }
+};
+
+TEST_P(GemmProperty, MatchesNaiveReference) {
+  auto [m, k, n] = GetParam();
+  auto a = RandomVec(static_cast<size_t>(m * k), 1);
+  auto b = RandomVec(static_cast<size_t>(k * n), 2);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  internal::Gemm(a.data(), b.data(), c.data(), m, k, n, false);
+  auto want = NaiveGemm(a, b, m, k, n);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], want[i], 1e-3);
+}
+
+TEST_P(GemmProperty, AccumulateAddsOntoExisting) {
+  auto [m, k, n] = GetParam();
+  auto a = RandomVec(static_cast<size_t>(m * k), 3);
+  auto b = RandomVec(static_cast<size_t>(k * n), 4);
+  std::vector<float> c(static_cast<size_t>(m * n), 2.0f);
+  internal::Gemm(a.data(), b.data(), c.data(), m, k, n, /*accumulate=*/true);
+  auto want = NaiveGemm(a, b, m, k, n);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], want[i] + 2.0f, 1e-3);
+}
+
+TEST_P(GemmProperty, TransposedAMatchesExplicitTranspose) {
+  auto [m, k, n] = GetParam();
+  // A stored [k, m]; GemmTA computes A^T * B.
+  auto a_t = RandomVec(static_cast<size_t>(k * m), 5);
+  auto b = RandomVec(static_cast<size_t>(k * n), 6);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  internal::GemmTA(a_t.data(), b.data(), c.data(), m, k, n, false);
+  // Build A = transpose(a_t) and compare with plain GEMM.
+  std::vector<float> a(static_cast<size_t>(m * k));
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      a[static_cast<size_t>(i * k + kk)] = a_t[static_cast<size_t>(kk * m + i)];
+    }
+  }
+  auto want = NaiveGemm(a, b, m, k, n);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], want[i], 1e-3);
+}
+
+TEST_P(GemmProperty, TransposedBMatchesExplicitTranspose) {
+  auto [m, k, n] = GetParam();
+  auto a = RandomVec(static_cast<size_t>(m * k), 7);
+  // B stored [n, k]; GemmTB computes A * B^T.
+  auto b_t = RandomVec(static_cast<size_t>(n * k), 8);
+  std::vector<float> c(static_cast<size_t>(m * n));
+  internal::GemmTB(a.data(), b_t.data(), c.data(), m, k, n, false);
+  std::vector<float> b(static_cast<size_t>(k * n));
+  for (int64_t kk = 0; kk < k; ++kk) {
+    for (int64_t j = 0; j < n; ++j) {
+      b[static_cast<size_t>(kk * n + j)] = b_t[static_cast<size_t>(j * k + kk)];
+    }
+  }
+  auto want = NaiveGemm(a, b, m, k, n);
+  for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], want[i], 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmProperty,
+                         ::testing::Values(GemmCase{1, 1, 1}, GemmCase{3, 5, 2},
+                                           GemmCase{16, 144, 32},
+                                           GemmCase{64, 7, 65},
+                                           GemmCase{5, 1, 9}));
+
+TEST(BroadcastShapeTest, Rules) {
+  using internal::BroadcastShape;
+  EXPECT_EQ(BroadcastShape({2, 3}, {2, 3}), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(BroadcastShape({2, 3}, {3}), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(BroadcastShape({2, 1}, {1, 4}), (std::vector<int64_t>{2, 4}));
+  EXPECT_EQ(BroadcastShape({1}, {5, 5}), (std::vector<int64_t>{5, 5}));
+  EXPECT_EQ(BroadcastShape({4, 1, 6}, {2, 6}), (std::vector<int64_t>{4, 2, 6}));
+}
+
+TEST(BatchMatMulVsLoop, Consistency) {
+  Rng rng(9);
+  Tensor a = Tensor::Randn({3, 4, 5}, &rng);
+  Tensor b = Tensor::Randn({3, 5, 2}, &rng);
+  NoGradGuard guard;
+  Tensor c = BatchMatMul(a, b);
+  for (int64_t i = 0; i < 3; ++i) {
+    Tensor ai = Slice(a, 0, i, 1);
+    Tensor bi = Slice(b, 0, i, 1);
+    Tensor ci = MatMul(Reshape(ai, {4, 5}), Reshape(bi, {5, 2}));
+    for (int64_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(c.at(i * 8 + j), ci.at(j), 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,119 @@
+// Edge-case tests across small utilities that the main suites do not cover:
+// serializer failure paths, table internals, nn initialization statistics,
+// and optimizer corner cases.
+
+#include <gtest/gtest.h>
+
+#include "tensor/nn.h"
+#include "tensor/optim.h"
+#include "util/serialize.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace dot {
+namespace {
+
+TEST(SerializeEdge, ReaderOnMissingFileNotOk) {
+  BinaryReader r("/nonexistent/file.bin");
+  EXPECT_FALSE(r.Ok());
+}
+
+TEST(SerializeEdge, WriterToBadPathNotOk) {
+  BinaryWriter w("/nonexistent_dir/file.bin");
+  EXPECT_FALSE(w.Ok());
+}
+
+TEST(SerializeEdge, TruncatedReadTurnsNotOk) {
+  std::string path = ::testing::TempDir() + "/trunc.bin";
+  {
+    BinaryWriter w(path);
+    w.WriteU64(7);
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  EXPECT_EQ(r.ReadU64(), 7u);
+  EXPECT_TRUE(r.Ok());
+  r.ReadF32Vector();  // nothing left: must flip the stream state
+  EXPECT_FALSE(r.Ok());
+  std::remove(path.c_str());
+}
+
+TEST(TableEdge, RowsShorterThanHeaderArePadded) {
+  Table t("pad");
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("only-one"), std::string::npos);
+}
+
+TEST(TableEdge, EmptyTableRendersTitleOnly) {
+  Table t("empty");
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("empty"), std::string::npos);
+}
+
+TEST(NnInit, KaimingUniformBounds) {
+  Rng rng(1);
+  Tensor w = nn::KaimingUniform({64, 64}, 64, &rng);
+  float bound = std::sqrt(3.0f / 64.0f);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(std::fabs(w.at(i)), bound + 1e-6f);
+  }
+  // Roughly centered.
+  double mean = 0;
+  for (int64_t i = 0; i < w.numel(); ++i) mean += w.at(i);
+  EXPECT_NEAR(mean / static_cast<double>(w.numel()), 0.0, bound / 5);
+}
+
+TEST(NnModule, NamedParametersQualifyNestedNames) {
+  Rng rng(2);
+  nn::MultiheadAttention att(8, 2, &rng);
+  bool found = false;
+  for (auto& [name, p] : att.NamedParameters()) {
+    (void)p;
+    if (name == "wq.weight") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(OptimEdge, AdamSkipsParamsWithoutGrad) {
+  Tensor a = Tensor::Full({2}, 1.0f).set_requires_grad(true);
+  Tensor b = Tensor::Full({2}, 1.0f).set_requires_grad(true);
+  optim::Adam opt({a, b}, 0.1f);
+  // Only a gets a gradient.
+  MseLoss(a, Tensor::Zeros({2})).Backward();
+  opt.Step();
+  EXPECT_NE(a.at(0), 1.0f);
+  EXPECT_EQ(b.at(0), 1.0f);
+}
+
+TEST(OptimEdge, StepCountAdvances) {
+  Tensor a = Tensor::Full({1}, 1.0f).set_requires_grad(true);
+  optim::Adam opt({a});
+  EXPECT_EQ(opt.step_count(), 0);
+  MseLoss(a, Tensor::Zeros({1})).Backward();
+  opt.Step();
+  opt.Step();
+  EXPECT_EQ(opt.step_count(), 2);
+}
+
+TEST(ThreadPoolEdge, GlobalPoolSingleton) {
+  ThreadPool* a = ThreadPool::Global();
+  ThreadPool* b = ThreadPool::Global();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a->num_threads(), 1);
+}
+
+TEST(ThreadPoolEdge, ZeroIterationsParallelForIsNoop) {
+  ParallelFor(ThreadPool::Global(), 0,
+              [](int64_t, int64_t) { FAIL() << "must not run"; });
+}
+
+TEST(RngEdge, ExponentialIsPositive) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(rng.Exponential(2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,237 @@
+// Tests for nn modules: shapes, gradients, save/load, and optimizer behaviour.
+
+#include "tensor/nn.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace dot {
+namespace {
+
+TEST(NnLinear, ShapeAndBias) {
+  Rng rng(1);
+  nn::Linear lin(4, 3, &rng);
+  Tensor x = Tensor::Randn({5, 4}, &rng);
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{5, 3}));
+}
+
+TEST(NnLinear, HighRankInputKeepsLeadingDims) {
+  Rng rng(2);
+  nn::Linear lin(4, 6, &rng);
+  Tensor x = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor y = lin.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 3, 6}));
+}
+
+TEST(NnLinear, GradFlowsToParameters) {
+  Rng rng(3);
+  nn::Linear lin(3, 2, &rng);
+  Tensor x = Tensor::Randn({4, 3}, &rng);
+  Tensor loss = Mean(Square(lin.Forward(x)));
+  loss.Backward();
+  for (auto& p : lin.Parameters()) {
+    EXPECT_TRUE(p.has_grad());
+    bool nonzero = false;
+    for (float g : p.grad_vec()) nonzero = nonzero || g != 0.0f;
+    EXPECT_TRUE(nonzero);
+  }
+}
+
+TEST(NnConv, OutputShape) {
+  Rng rng(4);
+  nn::Conv2dLayer conv(3, 8, 3, 1, 1, &rng);
+  Tensor x = Tensor::Randn({2, 3, 10, 10}, &rng);
+  Tensor y = conv.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 8, 10, 10}));
+}
+
+TEST(NnEmbedding, LookupMatchesTableRows) {
+  Rng rng(5);
+  nn::Embedding emb(10, 4, &rng);
+  Tensor y = emb.Forward({3, 3, 7});
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 4}));
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y.at(i), y.at(4 + i));
+}
+
+TEST(NnNorms, LayerNormAndGroupNormShapes) {
+  Rng rng(6);
+  nn::LayerNorm ln(8);
+  Tensor x = Tensor::Randn({3, 8}, &rng);
+  EXPECT_EQ(ln.Forward(x).shape(), x.shape());
+  nn::GroupNorm gn(8, 4);
+  Tensor img = Tensor::Randn({2, 8, 5, 5}, &rng);
+  EXPECT_EQ(gn.Forward(img).shape(), img.shape());
+}
+
+TEST(NnAttention, ShapePreservedAndRowsMix) {
+  Rng rng(7);
+  nn::MultiheadAttention att(8, 2, &rng);
+  Tensor x = Tensor::Randn({2, 5, 8}, &rng);
+  Tensor y = att.Forward(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 5, 8}));
+}
+
+TEST(NnAttention, GradientsReachAllProjections) {
+  Rng rng(8);
+  nn::MultiheadAttention att(4, 2, &rng);
+  Tensor x = Tensor::Randn({1, 3, 4}, &rng);
+  Mean(Square(att.Forward(x))).Backward();
+  for (auto& [name, p] : att.NamedParameters()) {
+    bool nonzero = false;
+    if (p.has_grad()) {
+      for (float g : p.grad_vec()) nonzero = nonzero || g != 0.0f;
+    }
+    EXPECT_TRUE(nonzero) << name;
+  }
+}
+
+TEST(NnAttention, NumericalGradThroughAttention) {
+  Rng rng(9);
+  Tensor x = Tensor::Rand({1, 3, 4}, &rng, -0.5f, 0.5f);
+  auto att = std::make_shared<nn::MultiheadAttention>(4, 2, &rng);
+  dot::testing::ExpectGradientsMatch(
+      {x},
+      [att](const std::vector<Tensor>& in) {
+        return Mean(Square(att->Forward(in[0])));
+      },
+      /*h=*/1e-2f, /*rtol=*/0.1f, /*atol=*/2e-3f);
+}
+
+TEST(NnGRU, StepChangesHiddenState) {
+  Rng rng(10);
+  nn::GRUCell gru(3, 5, &rng);
+  Tensor x = Tensor::Randn({2, 3}, &rng);
+  Tensor h = Tensor::Zeros({2, 5});
+  Tensor h1 = gru.Forward(x, h);
+  EXPECT_EQ(h1.shape(), (std::vector<int64_t>{2, 5}));
+  bool changed = false;
+  for (int64_t i = 0; i < h1.numel(); ++i) changed = changed || h1.at(i) != 0.0f;
+  EXPECT_TRUE(changed);
+}
+
+TEST(NnGRU, HiddenStaysBounded) {
+  Rng rng(11);
+  nn::GRUCell gru(2, 4, &rng);
+  Tensor h = Tensor::Zeros({1, 4});
+  NoGradGuard guard;
+  for (int step = 0; step < 50; ++step) {
+    Tensor x = Tensor::Randn({1, 2}, &rng);
+    h = gru.Forward(x, h);
+  }
+  for (int64_t i = 0; i < h.numel(); ++i) {
+    EXPECT_LT(std::fabs(h.at(i)), 1.0f + 1e-5f);  // tanh-bounded
+  }
+}
+
+TEST(NnFeedForward, Shape) {
+  Rng rng(12);
+  nn::FeedForward ffn(6, 24, &rng);
+  Tensor x = Tensor::Randn({4, 6}, &rng);
+  EXPECT_EQ(ffn.Forward(x).shape(), x.shape());
+}
+
+TEST(NnModule, ParameterCountsAreExact) {
+  Rng rng(13);
+  nn::Linear lin(4, 3, &rng);
+  EXPECT_EQ(lin.NumParams(), 4 * 3 + 3);
+  nn::Conv2dLayer conv(2, 5, 3, 1, 1, &rng);
+  EXPECT_EQ(conv.NumParams(), 5 * 2 * 3 * 3 + 5);
+  EXPECT_EQ(conv.SizeBytes(), conv.NumParams() * 4);
+}
+
+TEST(NnModule, SaveLoadRoundTrip) {
+  Rng rng(14);
+  nn::MultiheadAttention a(8, 2, &rng);
+  nn::MultiheadAttention b(8, 2, &rng);
+  std::string path = ::testing::TempDir() + "/att_ckpt.bin";
+  ASSERT_TRUE(a.SaveFile(path).ok());
+  ASSERT_TRUE(b.LoadFile(path).ok());
+  Tensor x = Tensor::Randn({1, 4, 8}, &rng);
+  NoGradGuard guard;
+  Tensor ya = a.Forward(x);
+  Tensor yb = b.Forward(x);
+  for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_FLOAT_EQ(ya.at(i), yb.at(i));
+  std::remove(path.c_str());
+}
+
+TEST(NnModule, LoadRejectsWrongArchitecture) {
+  Rng rng(15);
+  nn::Linear a(4, 3, &rng);
+  nn::Linear b(4, 5, &rng);
+  std::string path = ::testing::TempDir() + "/lin_ckpt.bin";
+  ASSERT_TRUE(a.SaveFile(path).ok());
+  Status s = b.LoadFile(path);
+  EXPECT_FALSE(s.ok());
+  std::remove(path.c_str());
+}
+
+TEST(NnEncoding, SinusoidalBoundedAndDistinct) {
+  Tensor pe = nn::SinusoidalEncoding(20, 16);
+  EXPECT_EQ(pe.shape(), (std::vector<int64_t>{20, 16}));
+  for (int64_t i = 0; i < pe.numel(); ++i) {
+    EXPECT_LE(std::fabs(pe.at(i)), 1.0f + 1e-6f);
+  }
+  // Row 0 differs from row 7.
+  bool distinct = false;
+  for (int64_t i = 0; i < 16; ++i) {
+    distinct = distinct || std::fabs(pe.at(i) - pe.at(7 * 16 + i)) > 1e-3f;
+  }
+  EXPECT_TRUE(distinct);
+}
+
+TEST(Optim, AdamMinimizesQuadratic) {
+  Tensor x = Tensor::Full({3}, 5.0f).set_requires_grad(true);
+  optim::Adam opt({x}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    Tensor target = Tensor::FromVector({3}, {1, -2, 3});
+    MseLoss(x, target).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.at(0), 1.0f, 1e-2);
+  EXPECT_NEAR(x.at(1), -2.0f, 1e-2);
+  EXPECT_NEAR(x.at(2), 3.0f, 1e-2);
+}
+
+TEST(Optim, SgdMinimizesQuadratic) {
+  Tensor x = Tensor::Full({2}, 4.0f).set_requires_grad(true);
+  optim::SGD opt({x}, 0.2f, 0.5f);
+  for (int i = 0; i < 200; ++i) {
+    opt.ZeroGrad();
+    Tensor target = Tensor::Zeros({2});
+    MseLoss(x, target).Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(x.at(0), 0.0f, 1e-3);
+}
+
+TEST(Optim, AdamTrainsSmallRegressorBelowInitialLoss) {
+  // y = 2*x0 - x1 on random data; a 1-layer net should fit well.
+  Rng rng(16);
+  nn::Linear lin(2, 1, &rng);
+  optim::Adam opt(lin.Parameters(), 0.05f);
+  Tensor x = Tensor::Rand({64, 2}, &rng, -1, 1);
+  std::vector<float> yv;
+  for (int64_t i = 0; i < 64; ++i) yv.push_back(2 * x.at(2 * i) - x.at(2 * i + 1));
+  Tensor y = Tensor::FromVector({64, 1}, yv);
+  float first = 0, last = 0;
+  for (int i = 0; i < 150; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = MseLoss(lin.Forward(x), y);
+    if (i == 0) first = loss.item();
+    last = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, first * 0.01f);
+  EXPECT_LT(last, 1e-3f);
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,455 @@
+// Forward-value and gradient-check tests for every differentiable op.
+
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/tensor.h"
+
+namespace dot {
+namespace {
+
+using dot::testing::ExpectGradientsMatch;
+
+Tensor SmallRand(std::vector<int64_t> shape, uint64_t seed, float lo = -1.f,
+                 float hi = 1.f) {
+  Rng rng(seed);
+  return Tensor::Rand(std::move(shape), &rng, lo, hi);
+}
+
+// ---- Forward values -----------------------------------------------------------
+
+TEST(OpsForward, AddSubMulDiv) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6});
+  EXPECT_FLOAT_EQ(Add(a, b).at(1), 7.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b).at(1), -3.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b).at(2), 18.0f);
+  EXPECT_FLOAT_EQ(Div(b, a).at(2), 2.0f);
+}
+
+TEST(OpsForward, BroadcastBiasAdd) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3}, {10, 20, 30});
+  Tensor y = Add(x, b);
+  EXPECT_FLOAT_EQ(y.at(0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(5), 36.0f);
+}
+
+TEST(OpsForward, BroadcastScalarLike) {
+  Tensor x = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::FromVector({1}, {5});
+  Tensor y = Mul(x, s);
+  EXPECT_FLOAT_EQ(y.at(3), 20.0f);
+}
+
+TEST(OpsForward, BroadcastColumnAgainstRow) {
+  Tensor col = Tensor::FromVector({3, 1}, {1, 2, 3});
+  Tensor row = Tensor::FromVector({1, 4}, {10, 20, 30, 40});
+  Tensor y = Add(col, row);  // outer sum, [3, 4]
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 4}));
+  EXPECT_FLOAT_EQ(y.at(0), 11.0f);
+  EXPECT_FLOAT_EQ(y.at(11), 43.0f);
+}
+
+TEST(OpsForward, UnaryValues) {
+  Tensor x = Tensor::FromVector({2}, {0.0f, 1.0f});
+  EXPECT_FLOAT_EQ(Exp(x).at(1), std::exp(1.0f));
+  EXPECT_FLOAT_EQ(Sigmoid(x).at(0), 0.5f);
+  EXPECT_FLOAT_EQ(Tanh(x).at(0), 0.0f);
+  EXPECT_FLOAT_EQ(Relu(Tensor::FromVector({2}, {-1, 2})).at(0), 0.0f);
+  EXPECT_NEAR(Gelu(x).at(1), 0.8412f, 1e-3);
+  EXPECT_FLOAT_EQ(Abs(Tensor::FromVector({1}, {-3})).at(0), 3.0f);
+}
+
+TEST(OpsForward, ReshapeInfersDim) {
+  Tensor x = Tensor::Arange(12);
+  Tensor y = Reshape(x, {3, -1});
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 4}));
+  EXPECT_FLOAT_EQ(y.at(11), 11.0f);
+}
+
+TEST(OpsForward, PermuteMatchesManualTranspose) {
+  Tensor x = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = Transpose2D(x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 2}));
+  // y[i][j] == x[j][i]
+  EXPECT_FLOAT_EQ(y.at(0 * 2 + 1), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(2 * 2 + 0), 3.0f);
+}
+
+TEST(OpsForward, Permute3D) {
+  Tensor x = Tensor::Arange(24);
+  x = Reshape(x, {2, 3, 4});
+  Tensor y = Permute(x, {2, 0, 1});
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{4, 2, 3}));
+  // y[k][i][j] = x[i][j][k]; check y[1][1][2] == x[1][2][1] = 1*12+2*4+1 = 21
+  EXPECT_FLOAT_EQ(y.at((1 * 2 + 1) * 3 + 2), 21.0f);
+}
+
+TEST(OpsForward, ConcatAxis0And1) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  Tensor c0 = Concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (std::vector<int64_t>{2, 2}));
+  EXPECT_FLOAT_EQ(c0.at(3), 4.0f);
+  Tensor c1 = Concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (std::vector<int64_t>{1, 4}));
+  EXPECT_FLOAT_EQ(c1.at(2), 3.0f);
+}
+
+TEST(OpsForward, SliceMiddle) {
+  Tensor x = Tensor::Arange(10);
+  Tensor y = Slice(x, 0, 3, 4);
+  EXPECT_EQ(y.numel(), 4);
+  EXPECT_FLOAT_EQ(y.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(3), 6.0f);
+}
+
+TEST(OpsForward, SliceAlongLastAxis) {
+  Tensor x = Reshape(Tensor::Arange(12), {3, 4});
+  Tensor y = Slice(x, 1, 1, 2);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(y.at(5), 10.0f);
+}
+
+TEST(OpsForward, RowsGather) {
+  Tensor table = Reshape(Tensor::Arange(6), {3, 2});
+  Tensor y = Rows(table, {2, 0, 2});
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{3, 2}));
+  EXPECT_FLOAT_EQ(y.at(0), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(2), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(5), 5.0f);
+}
+
+TEST(OpsForward, Reductions) {
+  Tensor x = Reshape(Tensor::Arange(6), {2, 3});  // [[0,1,2],[3,4,5]]
+  EXPECT_FLOAT_EQ(Sum(x).item(), 15.0f);
+  EXPECT_FLOAT_EQ(Mean(x).item(), 2.5f);
+  Tensor s0 = SumAxis(x, 0);
+  EXPECT_EQ(s0.shape(), (std::vector<int64_t>{3}));
+  EXPECT_FLOAT_EQ(s0.at(0), 3.0f);
+  Tensor m1 = MeanAxis(x, 1);
+  EXPECT_EQ(m1.shape(), (std::vector<int64_t>{2}));
+  EXPECT_FLOAT_EQ(m1.at(1), 4.0f);
+  Tensor k = SumAxis(x, 1, /*keepdim=*/true);
+  EXPECT_EQ(k.shape(), (std::vector<int64_t>{2, 1}));
+}
+
+TEST(OpsForward, MatMulKnownValues) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at(2), 43.0f);
+  EXPECT_FLOAT_EQ(c.at(3), 50.0f);
+}
+
+TEST(OpsForward, BatchMatMulIsPerBatch) {
+  Tensor a = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2, 1}, {1, 1, 2, 2});
+  Tensor c = BatchMatMul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int64_t>{2, 1, 1}));
+  EXPECT_FLOAT_EQ(c.at(0), 3.0f);
+  EXPECT_FLOAT_EQ(c.at(1), 14.0f);
+}
+
+TEST(OpsForward, SoftmaxRowsSumToOne) {
+  Tensor x = SmallRand({4, 7}, 1);
+  Tensor y = Softmax(x);
+  for (int64_t r = 0; r < 4; ++r) {
+    float sum = 0;
+    for (int64_t i = 0; i < 7; ++i) {
+      float v = y.at(r * 7 + i);
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(OpsForward, SoftmaxStableForLargeInputs) {
+  Tensor x = Tensor::FromVector({1, 2}, {1000.0f, 1001.0f});
+  Tensor y = Softmax(x);
+  EXPECT_NEAR(y.at(0) + y.at(1), 1.0f, 1e-5);
+  EXPECT_GT(y.at(1), y.at(0));
+}
+
+TEST(OpsForward, LayerNormNormalizes) {
+  Tensor x = SmallRand({3, 8}, 2, -5, 5);
+  Tensor gamma = Tensor::Ones({8});
+  Tensor beta = Tensor::Zeros({8});
+  Tensor y = LayerNormOp(x, gamma, beta);
+  for (int64_t r = 0; r < 3; ++r) {
+    float mean = 0, var = 0;
+    for (int64_t i = 0; i < 8; ++i) mean += y.at(r * 8 + i);
+    mean /= 8;
+    for (int64_t i = 0; i < 8; ++i) {
+      float d = y.at(r * 8 + i) - mean;
+      var += d * d;
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(OpsForward, GroupNormNormalizesPerGroup) {
+  Tensor x = SmallRand({2, 4, 3, 3}, 3, -4, 4);
+  Tensor gamma = Tensor::Ones({4});
+  Tensor beta = Tensor::Zeros({4});
+  Tensor y = GroupNormOp(x, gamma, beta, /*groups=*/2);
+  // Each (sample, group) slab should be ~standardized.
+  for (int64_t s = 0; s < 2; ++s) {
+    for (int64_t g = 0; g < 2; ++g) {
+      float mean = 0;
+      int64_t base = (s * 4 + g * 2) * 9;
+      for (int64_t i = 0; i < 18; ++i) mean += y.at(base + i);
+      mean /= 18;
+      EXPECT_NEAR(mean, 0.0f, 1e-4);
+    }
+  }
+}
+
+TEST(OpsForward, Conv2dIdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  Tensor x = SmallRand({1, 1, 4, 4}, 4);
+  Tensor w = Tensor::Ones({1, 1, 1, 1});
+  Tensor y = Conv2d(x, w, Tensor(), 1, 0);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(y.at(i), x.at(i));
+}
+
+TEST(OpsForward, Conv2dSumKernelWithPadding) {
+  Tensor x = Tensor::Ones({1, 1, 3, 3});
+  Tensor w = Tensor::Ones({1, 1, 3, 3});
+  Tensor y = Conv2d(x, w, Tensor(), 1, 1);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{1, 1, 3, 3}));
+  EXPECT_FLOAT_EQ(y.at(4), 9.0f);  // center sees all 9 ones
+  EXPECT_FLOAT_EQ(y.at(0), 4.0f);  // corner sees 4
+}
+
+TEST(OpsForward, Conv2dStrideHalvesResolution) {
+  Tensor x = Tensor::Ones({2, 3, 8, 8});
+  Rng rng(5);
+  Tensor w = Tensor::Randn({4, 3, 3, 3}, &rng);
+  Tensor y = Conv2d(x, w, Tensor(), 2, 1);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 4, 4, 4}));
+}
+
+TEST(OpsForward, Conv2dBiasApplied) {
+  Tensor x = Tensor::Zeros({1, 1, 2, 2});
+  Tensor w = Tensor::Ones({2, 1, 1, 1});
+  Tensor b = Tensor::FromVector({2}, {1.5f, -2.0f});
+  Tensor y = Conv2d(x, w, b, 1, 0);
+  EXPECT_FLOAT_EQ(y.at(0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(4), -2.0f);
+}
+
+TEST(OpsForward, AvgPoolAndUpsample) {
+  Tensor x = Tensor::FromVector({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor p = AvgPool2d(x);
+  EXPECT_EQ(p.numel(), 1);
+  EXPECT_FLOAT_EQ(p.at(0), 2.5f);
+  Tensor u = UpsampleNearest2x(p);
+  EXPECT_EQ(u.shape(), (std::vector<int64_t>{1, 1, 2, 2}));
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(u.at(i), 2.5f);
+}
+
+TEST(OpsForward, MseLossValue) {
+  Tensor a = Tensor::FromVector({2}, {1, 2});
+  Tensor b = Tensor::FromVector({2}, {3, 2});
+  EXPECT_FLOAT_EQ(MseLoss(a, b).item(), 2.0f);  // (4 + 0) / 2
+}
+
+// ---- Gradient checks ------------------------------------------------------------
+
+TEST(OpsGrad, BinaryOpsSameShape) {
+  auto a = SmallRand({2, 3}, 10);
+  auto b = SmallRand({2, 3}, 11, 0.5f, 2.0f);
+  ExpectGradientsMatch({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(Mul(Add(in[0], in[1]), Sub(in[0], in[1])));
+  });
+  ExpectGradientsMatch({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(Div(in[0], in[1]));
+  });
+}
+
+TEST(OpsGrad, BroadcastGradReducesCorrectly) {
+  auto x = SmallRand({2, 3}, 12);
+  auto b = SmallRand({3}, 13);
+  ExpectGradientsMatch({x, b}, [](const std::vector<Tensor>& in) {
+    return Sum(Mul(in[0], in[1]));
+  });
+  auto col = SmallRand({3, 1}, 14);
+  auto row = SmallRand({1, 4}, 15);
+  ExpectGradientsMatch({col, row}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(Add(in[0], in[1])));
+  });
+}
+
+TEST(OpsGrad, UnaryChain) {
+  auto x = SmallRand({6}, 16, 0.2f, 1.5f);
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Log(AddScalar(Square(in[0]), 1.0f)));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Mul(Sigmoid(in[0]), Tanh(in[0])));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Gelu(in[0]));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Silu(in[0]));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Sqrt(AddScalar(in[0], 2.0f)));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Exp(MulScalar(in[0], 0.5f)));
+  });
+}
+
+TEST(OpsGrad, ShapeOps) {
+  auto x = SmallRand({2, 6}, 17);
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(Reshape(in[0], {3, 4})));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(Transpose2D(in[0])));
+  });
+  auto y = SmallRand({2, 3, 4}, 18);
+  ExpectGradientsMatch({y}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(Permute(in[0], {2, 0, 1})));
+  });
+}
+
+TEST(OpsGrad, ConcatSliceRows) {
+  auto a = SmallRand({2, 3}, 19);
+  auto b = SmallRand({2, 3}, 20);
+  ExpectGradientsMatch({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(Concat({in[0], in[1]}, 0)));
+  });
+  ExpectGradientsMatch({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(Concat({in[0], in[1]}, 1)));
+  });
+  auto x = SmallRand({5, 4}, 21);
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(Slice(in[0], 0, 1, 3)));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(Slice(in[0], 1, 1, 2)));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(Rows(in[0], {0, 2, 2, 4})));
+  });
+}
+
+TEST(OpsGrad, Reductions) {
+  auto x = SmallRand({3, 4}, 22);
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Mean(Square(in[0]));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(SumAxis(in[0], 0)));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(MeanAxis(in[0], 1)));
+  });
+}
+
+TEST(OpsGrad, MatMul) {
+  auto a = SmallRand({3, 4}, 23);
+  auto b = SmallRand({4, 2}, 24);
+  ExpectGradientsMatch({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(MatMul(in[0], in[1])));
+  });
+}
+
+TEST(OpsGrad, BatchMatMul) {
+  auto a = SmallRand({2, 3, 4}, 25);
+  auto b = SmallRand({2, 4, 2}, 26);
+  ExpectGradientsMatch({a, b}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(BatchMatMul(in[0], in[1])));
+  });
+}
+
+TEST(OpsGrad, Softmax) {
+  auto x = SmallRand({2, 5}, 27);
+  auto w = SmallRand({2, 5}, 28);  // weights to make loss non-trivial
+  ExpectGradientsMatch({x, w}, [](const std::vector<Tensor>& in) {
+    return Sum(Mul(Softmax(in[0]), Square(in[1])));
+  });
+}
+
+TEST(OpsGrad, LayerNorm) {
+  auto x = SmallRand({3, 6}, 29, -2, 2);
+  auto g = SmallRand({6}, 30, 0.5f, 1.5f);
+  auto b = SmallRand({6}, 31);
+  ExpectGradientsMatch(
+      {x, g, b},
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(LayerNormOp(in[0], in[1], in[2])));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+TEST(OpsGrad, GroupNorm) {
+  auto x = SmallRand({2, 4, 2, 2}, 32, -2, 2);
+  auto g = SmallRand({4}, 33, 0.5f, 1.5f);
+  auto b = SmallRand({4}, 34);
+  ExpectGradientsMatch(
+      {x, g, b},
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(GroupNormOp(in[0], in[1], in[2], 2)));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+TEST(OpsGrad, Conv2dFull) {
+  auto x = SmallRand({2, 2, 5, 5}, 35);
+  auto w = SmallRand({3, 2, 3, 3}, 36);
+  auto b = SmallRand({3}, 37);
+  ExpectGradientsMatch(
+      {x, w, b},
+      [](const std::vector<Tensor>& in) {
+        return Mean(Square(Conv2d(in[0], in[1], in[2], 1, 1)));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+TEST(OpsGrad, Conv2dStride2NoBias) {
+  auto x = SmallRand({1, 2, 6, 6}, 38);
+  auto w = SmallRand({2, 2, 3, 3}, 39);
+  ExpectGradientsMatch(
+      {x, w},
+      [](const std::vector<Tensor>& in) {
+        return Mean(Square(Conv2d(in[0], in[1], Tensor(), 2, 1)));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+TEST(OpsGrad, PoolingAndUpsample) {
+  auto x = SmallRand({1, 2, 4, 4}, 40);
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(AvgPool2d(in[0])));
+  });
+  ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {
+    return Sum(Square(UpsampleNearest2x(in[0])));
+  });
+}
+
+TEST(OpsGrad, MseLoss) {
+  auto p = SmallRand({4}, 41);
+  auto t = SmallRand({4}, 42);
+  ExpectGradientsMatch({p, t}, [](const std::vector<Tensor>& in) {
+    return MseLoss(in[0], in[1]);
+  });
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,140 @@
+// Tests for the OracleService caching layer.
+
+#include "core/oracle_service.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stopwatch.h"
+
+namespace dot {
+namespace {
+
+class OracleServiceFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CityConfig cc = CityConfig::ChengduLike();
+    cc.grid_nodes = 8;
+    cc.spacing_meters = 1300;
+    city_ = new City(cc, 4);
+    TripConfig tc = TripConfig::ChengduLike();
+    tc.num_trips = 300;
+    dataset_ = new BenchmarkDataset(BuildDataset(*city_, tc, 11, "svc"));
+    grid_ = new Grid(dataset_->MakeGrid(8).ValueOrDie());
+    DotConfig cfg;
+    cfg.grid_size = 8;
+    cfg.diffusion_steps = 30;
+    cfg.sample_steps = 6;
+    cfg.unet.base_channels = 8;
+    cfg.unet.levels = 2;
+    cfg.unet.cond_dim = 32;
+    cfg.estimator.embed_dim = 32;
+    cfg.estimator.layers = 1;
+    cfg.stage1_epochs = 1;
+    cfg.stage2_epochs = 2;
+    cfg.val_samples = 0;
+    cfg.stage2_inferred_fraction = 0.0;  // cheap per-process fixture setup
+    oracle_ = new DotOracle(cfg, *grid_);
+    ASSERT_TRUE(oracle_->TrainStage1(dataset_->split.train).ok());
+    ASSERT_TRUE(
+        oracle_->TrainStage2(dataset_->split.train, dataset_->split.val).ok());
+  }
+  static void TearDownTestSuite() {
+    delete oracle_;
+    delete grid_;
+    delete dataset_;
+    delete city_;
+    oracle_ = nullptr;
+    grid_ = nullptr;
+    dataset_ = nullptr;
+    city_ = nullptr;
+  }
+
+  static City* city_;
+  static BenchmarkDataset* dataset_;
+  static Grid* grid_;
+  static DotOracle* oracle_;
+};
+
+City* OracleServiceFixture::city_ = nullptr;
+BenchmarkDataset* OracleServiceFixture::dataset_ = nullptr;
+Grid* OracleServiceFixture::grid_ = nullptr;
+DotOracle* OracleServiceFixture::oracle_ = nullptr;
+
+TEST_F(OracleServiceFixture, RepeatQueryHitsCache) {
+  OracleService service(oracle_);
+  const OdtInput& odt = dataset_->split.test[0].odt;
+  Result<DotEstimate> first = service.Query(odt);
+  ASSERT_TRUE(first.ok());
+  Result<DotEstimate> second = service.Query(odt);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(service.stats().queries, 2);
+  EXPECT_EQ(service.stats().cache_hits, 1);
+  // Cached estimate comes from the cached PiT — identical value.
+  EXPECT_DOUBLE_EQ(first->minutes, second->minutes);
+}
+
+TEST_F(OracleServiceFixture, CacheHitIsMuchFaster) {
+  OracleService service(oracle_);
+  const OdtInput& odt = dataset_->split.test[1].odt;
+  Stopwatch sw;
+  ASSERT_TRUE(service.Query(odt).ok());
+  double cold = sw.ElapsedSeconds();
+  sw.Restart();
+  ASSERT_TRUE(service.Query(odt).ok());
+  double warm = sw.ElapsedSeconds();
+  EXPECT_LT(warm, cold * 0.5);
+}
+
+TEST_F(OracleServiceFixture, NearbyQueriesShareBuckets) {
+  OracleService service(oracle_);
+  OdtInput a = dataset_->split.test[2].odt;
+  OdtInput b = a;
+  // A few meters and seconds away: same cells, same slot.
+  b.origin.lng += 1e-5;
+  b.departure_time += 30;
+  ASSERT_TRUE(service.Query(a).ok());
+  ASSERT_TRUE(service.Query(b).ok());
+  EXPECT_EQ(service.stats().cache_hits, 1);
+}
+
+TEST_F(OracleServiceFixture, DifferentSlotsMissCache) {
+  OracleService service(oracle_);
+  OdtInput a = dataset_->split.test[3].odt;
+  OdtInput b = a;
+  b.departure_time += 6 * 3600;  // different slot
+  ASSERT_TRUE(service.Query(a).ok());
+  ASSERT_TRUE(service.Query(b).ok());
+  EXPECT_EQ(service.stats().cache_hits, 0);
+  EXPECT_EQ(service.cache_size(), 2);
+}
+
+TEST_F(OracleServiceFixture, WarmPrecomputesBuckets) {
+  OracleService service(oracle_);
+  std::vector<OdtInput> odts;
+  for (size_t i = 0; i < 5; ++i) odts.push_back(dataset_->split.test[i].odt);
+  ASSERT_TRUE(service.Warm(odts).ok());
+  EXPECT_GT(service.cache_size(), 0);
+  for (const auto& odt : odts) ASSERT_TRUE(service.Query(odt).ok());
+  EXPECT_EQ(service.stats().cache_hits, service.stats().queries);
+}
+
+TEST_F(OracleServiceFixture, ClearCacheResets) {
+  OracleService service(oracle_);
+  ASSERT_TRUE(service.Query(dataset_->split.test[0].odt).ok());
+  EXPECT_GT(service.cache_size(), 0);
+  service.ClearCache();
+  EXPECT_EQ(service.cache_size(), 0);
+}
+
+TEST_F(OracleServiceFixture, HitRateStatistics) {
+  OracleService service(oracle_);
+  EXPECT_EQ(service.stats().hit_rate(), 0.0);
+  const OdtInput& odt = dataset_->split.test[0].odt;
+  ASSERT_TRUE(service.Query(odt).ok());
+  ASSERT_TRUE(service.Query(odt).ok());
+  ASSERT_TRUE(service.Query(odt).ok());
+  EXPECT_NEAR(service.stats().hit_rate(), 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,226 @@
+// Parameterized property tests (TEST_P sweeps) over the core invariants:
+// convolution shapes/gradients across geometry combinations, diffusion
+// schedule laws across N, grid round-trips across sizes, PiT invariants
+// across resolutions, and Yen's algorithm properties across k.
+
+#include <gtest/gtest.h>
+
+#include "core/diffusion.h"
+#include "geo/pit.h"
+#include "gradcheck.h"
+#include "road/road_network.h"
+#include "tensor/ops.h"
+
+namespace dot {
+namespace {
+
+// ---- Conv2d geometry sweep ---------------------------------------------------
+
+struct ConvCase {
+  int64_t size, kernel, stride, pad;
+};
+
+class ConvProperty : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvProperty, OutputShapeFormula) {
+  ConvCase p = GetParam();
+  Rng rng(1);
+  Tensor x = Tensor::Randn({2, 3, p.size, p.size}, &rng);
+  Tensor w = Tensor::Randn({4, 3, p.kernel, p.kernel}, &rng);
+  NoGradGuard guard;
+  Tensor y = Conv2d(x, w, Tensor(), p.stride, p.pad);
+  int64_t expect = (p.size + 2 * p.pad - p.kernel) / p.stride + 1;
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 4, expect, expect}));
+}
+
+TEST_P(ConvProperty, GradientMatchesFiniteDifferences) {
+  ConvCase p = GetParam();
+  Rng rng(2);
+  Tensor x = Tensor::Rand({1, 2, p.size, p.size}, &rng, -1, 1);
+  Tensor w = Tensor::Rand({2, 2, p.kernel, p.kernel}, &rng, -1, 1);
+  dot::testing::ExpectGradientsMatch(
+      {x, w},
+      [p](const std::vector<Tensor>& in) {
+        return Mean(Square(Conv2d(in[0], in[1], Tensor(), p.stride, p.pad)));
+      },
+      /*h=*/1e-2f, /*rtol=*/0.1f, /*atol=*/2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, ConvProperty,
+                         ::testing::Values(ConvCase{6, 3, 1, 1},
+                                           ConvCase{6, 3, 2, 1},
+                                           ConvCase{7, 3, 2, 1},
+                                           ConvCase{5, 1, 1, 0},
+                                           ConvCase{8, 5, 1, 2},
+                                           ConvCase{9, 3, 3, 0}));
+
+// ---- Diffusion schedule laws ---------------------------------------------------
+
+class ScheduleProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ScheduleProperty, AlphaBarDecaysToNoiseForAnyN) {
+  int64_t n = GetParam();
+  DiffusionSchedule s(n);
+  // Laws that must hold for every N: monotone decay, product identity,
+  // near-total signal destruction at the end.
+  double prod = 1;
+  for (int64_t i = 0; i < n; ++i) {
+    prod *= s.alpha(i);
+    EXPECT_NEAR(s.alpha_bar(i), prod, 1e-12);
+    if (i > 0) EXPECT_LT(s.alpha_bar(i), s.alpha_bar(i - 1));
+    EXPECT_GT(s.beta(i), 0);
+    EXPECT_LT(s.beta(i), 1);
+  }
+  EXPECT_LT(s.alpha_bar(n - 1), 0.05);
+  EXPECT_GT(s.alpha_bar(0), 0.9);
+}
+
+TEST_P(ScheduleProperty, QSamplePreservesVarianceBudget) {
+  int64_t n = GetParam();
+  Diffusion d{DiffusionSchedule(n)};
+  Rng rng(static_cast<uint64_t>(n));
+  // For x0 with unit values, E[x_n^2] = ab + (1 - ab) = 1 (variance budget).
+  Tensor x0 = Tensor::Ones({1, 3, 8, 8});
+  Tensor eps = Tensor::Randn(x0.shape(), &rng);
+  Tensor xn = d.QSample(x0, {n / 2}, eps);
+  double second_moment = 0;
+  for (int64_t i = 0; i < xn.numel(); ++i) second_moment += xn.at(i) * xn.at(i);
+  second_moment /= static_cast<double>(xn.numel());
+  EXPECT_NEAR(second_moment, 1.0, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, ScheduleProperty,
+                         ::testing::Values(10, 50, 200, 1000));
+
+// ---- Grid round-trips across sizes ----------------------------------------------
+
+class GridProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(GridProperty, CellIndexBijective) {
+  int64_t l = GetParam();
+  Grid grid = Grid::Make(BoundingBox{104.0, 30.0, 104.2, 30.2}, l).ValueOrDie();
+  for (int64_t i = 0; i < grid.num_cells(); ++i) {
+    Cell c = grid.CellAt(i);
+    EXPECT_EQ(grid.CellIndex(c), i);
+    EXPECT_EQ(grid.Locate(grid.CellCenter(c)), c);
+  }
+}
+
+TEST_P(GridProperty, RandomPointsLocateInBounds) {
+  int64_t l = GetParam();
+  Grid grid = Grid::Make(BoundingBox{104.0, 30.0, 104.2, 30.2}, l).ValueOrDie();
+  Rng rng(static_cast<uint64_t>(l));
+  for (int i = 0; i < 200; ++i) {
+    GpsPoint p{rng.Uniform(103.9, 104.3), rng.Uniform(29.9, 30.3)};
+    Cell c = grid.Locate(p);
+    EXPECT_GE(c.row, 0);
+    EXPECT_LT(c.row, l);
+    EXPECT_GE(c.col, 0);
+    EXPECT_LT(c.col, l);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridProperty, ::testing::Values(1, 5, 16, 30));
+
+// ---- PiT invariants across resolutions -------------------------------------------
+
+class PitProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PitProperty, BuildInvariants) {
+  int64_t l = GetParam();
+  Grid grid = Grid::Make(BoundingBox{0, 0, 1, 1}, l).ValueOrDie();
+  Rng rng(static_cast<uint64_t>(l) + 7);
+  Trajectory t;
+  int64_t now = 1541030400;
+  for (int i = 0; i < 12; ++i) {
+    t.points.push_back({{rng.Uniform(0, 1), rng.Uniform(0, 1)}, now});
+    now += 60;
+  }
+  Pit pit = Pit::Build(t, grid);
+  // Invariants: visited count within [1, points]; channels of visited cells
+  // within [-1, 1]; unvisited cells all -1; endpoints' offsets are -1/+1.
+  EXPECT_GE(pit.NumVisited(), 1);
+  EXPECT_LE(pit.NumVisited(), 12);
+  for (int64_t r = 0; r < l; ++r) {
+    for (int64_t c = 0; c < l; ++c) {
+      for (int64_t ch = 0; ch < kPitChannels; ++ch) {
+        float v = pit.At(ch, r, c);
+        EXPECT_GE(v, -1.0f);
+        EXPECT_LE(v, 1.0f);
+        if (!pit.Visited(r, c)) EXPECT_EQ(v, -1.0f);
+      }
+    }
+  }
+  Cell first = grid.Locate(t.points.front().gps);
+  EXPECT_NEAR(pit.At(kPitTimeOffset, first.row, first.col), -1.0f, 1e-6);
+  // Sequence recovery is sorted by offset.
+  auto seq = PitToCellSequence(pit);
+  EXPECT_EQ(static_cast<int64_t>(seq.size()), pit.NumVisited());
+  float prev = -2;
+  for (int64_t idx : seq) {
+    float off = pit.At(kPitTimeOffset, idx / l, idx % l);
+    EXPECT_GE(off, prev);
+    prev = off;
+  }
+}
+
+TEST_P(PitProperty, CompareRoutesSelfIsPerfect) {
+  int64_t l = GetParam();
+  Grid grid = Grid::Make(BoundingBox{0, 0, 1, 1}, l).ValueOrDie();
+  Trajectory t;
+  t.points.push_back({{0.1, 0.1}, 0});
+  t.points.push_back({{0.9, 0.9}, 300});
+  Pit pit = Pit::Build(t, grid, true);
+  RouteAccuracy a = CompareRoutes(pit, pit);
+  EXPECT_DOUBLE_EQ(a.precision, 1.0);
+  EXPECT_DOUBLE_EQ(a.recall, 1.0);
+  EXPECT_DOUBLE_EQ(a.f1, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, PitProperty,
+                         ::testing::Values(4, 10, 20, 32));
+
+// ---- Yen k-shortest-paths properties ----------------------------------------------
+
+class YenProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(YenProperty, PathsSortedDistinctAndValid) {
+  int64_t k = GetParam();
+  // 4x4 lattice.
+  RoadNetwork net;
+  for (int64_t y = 0; y < 4; ++y) {
+    for (int64_t x = 0; x < 4; ++x) {
+      net.AddNode({0.01 * static_cast<double>(x), 0.01 * static_cast<double>(y)});
+    }
+  }
+  for (int64_t y = 0; y < 4; ++y) {
+    for (int64_t x = 0; x + 1 < 4; ++x) net.AddBidirectional(y * 4 + x, y * 4 + x + 1);
+  }
+  for (int64_t x = 0; x < 4; ++x) {
+    for (int64_t y = 0; y + 1 < 4; ++y) net.AddBidirectional(y * 4 + x, (y + 1) * 4 + x);
+  }
+  auto paths = net.KShortestPaths(0, 15, k);
+  EXPECT_LE(static_cast<int64_t>(paths.size()), k);
+  EXPECT_GE(paths.size(), 1u);
+  for (size_t i = 0; i < paths.size(); ++i) {
+    // Valid chain from 0 to 15.
+    EXPECT_EQ(paths[i].node_path.front(), 0);
+    EXPECT_EQ(paths[i].node_path.back(), 15);
+    for (size_t e = 0; e < paths[i].edge_path.size(); ++e) {
+      EXPECT_EQ(net.edge(paths[i].edge_path[e]).from, paths[i].node_path[e]);
+      EXPECT_EQ(net.edge(paths[i].edge_path[e]).to, paths[i].node_path[e + 1]);
+    }
+    if (i > 0) {
+      EXPECT_GE(paths[i].cost, paths[i - 1].cost - 1e-9);
+      EXPECT_NE(paths[i].node_path, paths[i - 1].node_path);
+    }
+    // Loopless.
+    std::set<int64_t> seen(paths[i].node_path.begin(), paths[i].node_path.end());
+    EXPECT_EQ(seen.size(), paths[i].node_path.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, YenProperty, ::testing::Values(1, 2, 5, 10));
+
+}  // namespace
+}  // namespace dot

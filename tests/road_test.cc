@@ -1,0 +1,183 @@
+// Tests for the road-network substrate: graph construction, nearest-node
+// queries, Dijkstra, Yen k-shortest paths, and segment statistics.
+
+#include <gtest/gtest.h>
+
+#include "road/road_network.h"
+#include "road/segment_stats.h"
+
+namespace dot {
+namespace {
+
+/// A 3x3 lattice with unit spacing (in degrees for simplicity; speeds are
+/// set so free-flow weights are easy to reason about).
+RoadNetwork MakeLattice(int64_t n = 3, double spacing = 0.01) {
+  RoadNetwork net;
+  for (int64_t y = 0; y < n; ++y) {
+    for (int64_t x = 0; x < n; ++x) {
+      net.AddNode({static_cast<double>(x) * spacing, static_cast<double>(y) * spacing});
+    }
+  }
+  for (int64_t y = 0; y < n; ++y) {
+    for (int64_t x = 0; x + 1 < n; ++x) {
+      net.AddBidirectional(y * n + x, y * n + x + 1, 10.0);
+    }
+  }
+  for (int64_t x = 0; x < n; ++x) {
+    for (int64_t y = 0; y + 1 < n; ++y) {
+      net.AddBidirectional(y * n + x, (y + 1) * n + x, 10.0);
+    }
+  }
+  net.BuildIndex(8);
+  return net;
+}
+
+TEST(RoadNetworkTest, CountsAndAccessors) {
+  RoadNetwork net = MakeLattice(3);
+  EXPECT_EQ(net.num_nodes(), 9);
+  EXPECT_EQ(net.num_edges(), 24);  // 12 undirected segments
+  EXPECT_GT(net.edge(0).length_meters, 0);
+}
+
+TEST(RoadNetworkTest, EdgeLengthDefaultsToNodeDistance) {
+  RoadNetwork net;
+  int64_t a = net.AddNode({0, 0});
+  int64_t b = net.AddNode({0.01, 0});
+  int64_t e = net.AddEdge(a, b, 10.0);
+  EXPECT_NEAR(net.edge(e).length_meters, DistanceMeters({0, 0}, {0.01, 0}), 1e-6);
+}
+
+TEST(RoadNetworkTest, FreeFlowSeconds) {
+  RoadNetwork net;
+  int64_t a = net.AddNode({0, 0});
+  int64_t b = net.AddNode({0.01, 0});
+  int64_t e = net.AddEdge(a, b, 10.0);
+  EXPECT_NEAR(net.FreeFlowSeconds(e), net.edge(e).length_meters / 10.0, 1e-9);
+}
+
+TEST(RoadNetworkTest, NearestNodeExactAndNear) {
+  RoadNetwork net = MakeLattice(3);
+  EXPECT_EQ(net.NearestNode({0.0, 0.0}), 0);
+  EXPECT_EQ(net.NearestNode({0.021, 0.011}), 1 * 3 + 2);
+}
+
+TEST(RoadNetworkTest, NearestNodeWithoutIndexFallsBack) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({1, 1});
+  EXPECT_EQ(net.NearestNode({0.9, 0.9}), 1);
+}
+
+TEST(RoadNetworkTest, ShortestPathStraightLine) {
+  RoadNetwork net = MakeLattice(3);
+  RoutingResult r = net.ShortestPath(0, 2);
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.node_path, (std::vector<int64_t>{0, 1, 2}));
+  EXPECT_EQ(r.edge_path.size(), 2u);
+}
+
+TEST(RoadNetworkTest, ShortestPathManhattanCost) {
+  RoadNetwork net = MakeLattice(3);
+  RoutingResult r = net.ShortestPath(0, 8);  // corner to corner
+  ASSERT_TRUE(r.found());
+  EXPECT_EQ(r.node_path.size(), 5u);  // 4 hops
+  // All edges ~111.2 km * 0.01 = ~1112 m at 10 m/s -> ~111 s each.
+  EXPECT_NEAR(r.cost, 4 * 111.2, 5.0);
+}
+
+TEST(RoadNetworkTest, ShortestPathUsesCustomWeights) {
+  RoadNetwork net = MakeLattice(3);
+  // Make every edge incident to the center node 4 expensive.
+  std::vector<double> w(static_cast<size_t>(net.num_edges()), 1.0);
+  for (int64_t e = 0; e < net.num_edges(); ++e) {
+    if (net.edge(e).from == 4 || net.edge(e).to == 4) {
+      w[static_cast<size_t>(e)] = 100.0;
+    }
+  }
+  RoutingResult r = net.ShortestPath(0, 8, w);
+  ASSERT_TRUE(r.found());
+  for (int64_t node : r.node_path) EXPECT_NE(node, 4);
+  EXPECT_DOUBLE_EQ(r.cost, 4.0);
+}
+
+TEST(RoadNetworkTest, UnreachableReturnsEmpty) {
+  RoadNetwork net;
+  net.AddNode({0, 0});
+  net.AddNode({1, 1});  // no edges
+  RoutingResult r = net.ShortestPath(0, 1);
+  EXPECT_FALSE(r.found());
+}
+
+TEST(RoadNetworkTest, KShortestPathsDistinctAndSorted) {
+  RoadNetwork net = MakeLattice(3);
+  auto paths = net.KShortestPaths(0, 8, 4);
+  ASSERT_GE(paths.size(), 3u);
+  for (size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].cost, paths[i - 1].cost);
+    EXPECT_NE(paths[i].node_path, paths[i - 1].node_path);
+  }
+  // Corner-to-corner on a lattice: several equal-cost 4-hop routes exist.
+  EXPECT_NEAR(paths[0].cost, paths[1].cost, 1.0);
+}
+
+TEST(RoadNetworkTest, KShortestPathsKOneMatchesDijkstra) {
+  RoadNetwork net = MakeLattice(3);
+  auto paths = net.KShortestPaths(0, 7, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].node_path, net.ShortestPath(0, 7).node_path);
+}
+
+TEST(RoadNetworkTest, KShortestPathsValidEdgeSequences) {
+  RoadNetwork net = MakeLattice(4);
+  auto paths = net.KShortestPaths(0, 15, 5);
+  for (const auto& p : paths) {
+    ASSERT_EQ(p.edge_path.size() + 1, p.node_path.size());
+    for (size_t i = 0; i < p.edge_path.size(); ++i) {
+      EXPECT_EQ(net.edge(p.edge_path[i]).from, p.node_path[i]);
+      EXPECT_EQ(net.edge(p.edge_path[i]).to, p.node_path[i + 1]);
+    }
+  }
+}
+
+TEST(MapMatcherTest, SnapsAndDeduplicates) {
+  RoadNetwork net = MakeLattice(3);
+  MapMatcher matcher(&net);
+  Trajectory t;
+  t.points.push_back({{0.0001, 0.0001}, 0});    // node 0
+  t.points.push_back({{0.0002, -0.0001}, 30});  // still node 0
+  t.points.push_back({{0.0101, 0.0001}, 60});   // node 1
+  auto nodes = matcher.MatchNodes(t);
+  EXPECT_EQ(nodes, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(SegmentStatsTest, LearnsSlowdownFromTrajectories) {
+  RoadNetwork net = MakeLattice(3);
+  // Synthetic trajectory moving along the bottom row at half free-flow speed:
+  // edge free-flow ~111 s, observed 222 s.
+  Trajectory t;
+  t.points.push_back({{0.0, 0.0}, 0});
+  t.points.push_back({{0.01, 0.0}, 222});
+  t.points.push_back({{0.02, 0.0}, 444});
+  SegmentStats stats = SegmentStats::Learn(net, {t});
+  EXPECT_GT(stats.num_observed(), 0);
+  // Find the bottom-row forward edges and check their learned time.
+  for (int64_t e = 0; e < net.num_edges(); ++e) {
+    const RoadEdge& edge = net.edge(e);
+    if (edge.from == 0 && edge.to == 1) {
+      EXPECT_NEAR(stats.edge_seconds()[static_cast<size_t>(e)], 222, 15);
+    }
+  }
+}
+
+TEST(SegmentStatsTest, UnobservedEdgesFallBackToFreeFlow) {
+  RoadNetwork net = MakeLattice(3);
+  SegmentStats stats = SegmentStats::Learn(net, {});
+  EXPECT_EQ(stats.num_observed(), 0);
+  for (int64_t e = 0; e < net.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(stats.edge_seconds()[static_cast<size_t>(e)],
+                     net.FreeFlowSeconds(e));
+  }
+}
+
+}  // namespace
+}  // namespace dot

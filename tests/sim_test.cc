@@ -1,0 +1,242 @@
+// Tests for the synthetic-city simulator: network shape, congestion model,
+// trip generation phenomena (outliers, time-of-day effects), and Table-1
+// style dataset statistics.
+
+#include <gtest/gtest.h>
+
+#include "geo/pit.h"
+#include "sim/city.h"
+#include "sim/trips.h"
+
+namespace dot {
+namespace {
+
+TEST(CityTest, NetworkIsReasonablyDenseAndConnected) {
+  City city(CityConfig::ChengduLike(), 1);
+  const RoadNetwork& net = city.network();
+  int64_t n = city.config().grid_nodes;
+  EXPECT_EQ(net.num_nodes(), n * n);
+  EXPECT_GT(net.num_edges(), 2 * n * n);  // most segments survive removal
+  // Corner-to-corner must be routable.
+  RoutingResult r = net.ShortestPath(0, net.num_nodes() - 1);
+  EXPECT_TRUE(r.found());
+}
+
+TEST(CityTest, DeterministicUnderSeed) {
+  City a(CityConfig::ChengduLike(), 7);
+  City b(CityConfig::ChengduLike(), 7);
+  EXPECT_EQ(a.network().num_edges(), b.network().num_edges());
+  EXPECT_EQ(a.network().node(5).gps, b.network().node(5).gps);
+}
+
+TEST(CityTest, ExtentMatchesTableOne) {
+  City city(CityConfig::ChengduLike(), 1);
+  BoundingBox box = city.network().Bounds();
+  // Paper Table 1: Chengdu area ~15.3 x 15.2 km.
+  EXPECT_NEAR(box.WidthMeters() / 1000.0, 15.3, 1.5);
+  EXPECT_NEAR(box.HeightMeters() / 1000.0, 15.2, 1.5);
+  City harbin(CityConfig::HarbinLike(), 1);
+  EXPECT_NEAR(harbin.network().Bounds().WidthMeters() / 1000.0, 18.7, 2.0);
+}
+
+TEST(CityTest, RushHourSlowsTraffic) {
+  City city(CityConfig::ChengduLike(), 2);
+  // Find one arterial and one street edge.
+  int64_t arterial = -1, street = -1;
+  for (int64_t e = 0; e < city.network().num_edges(); ++e) {
+    if (city.IsArterial(e) && arterial < 0) arterial = e;
+    if (!city.IsArterial(e) && street < 0) street = e;
+  }
+  ASSERT_GE(arterial, 0);
+  ASSERT_GE(street, 0);
+  // 3 AM free-flow vs 6 PM rush.
+  EXPECT_GT(city.SpeedFactor(arterial, 3 * 3600),
+            city.SpeedFactor(arterial, 18 * 3600));
+  // Arterials are hit harder than side streets at rush hour.
+  double arterial_drop = city.SpeedFactor(arterial, 3 * 3600) -
+                         city.SpeedFactor(arterial, 18 * 3600);
+  double street_drop =
+      city.SpeedFactor(street, 3 * 3600) - city.SpeedFactor(street, 18 * 3600);
+  EXPECT_GT(arterial_drop, street_drop);
+}
+
+TEST(CityTest, ExpectedEdgeSecondsIncreasesAtRush) {
+  City city(CityConfig::HarbinLike(), 3);
+  for (int64_t e = 0; e < 10; ++e) {
+    EXPECT_GT(city.ExpectedEdgeSeconds(e, 18 * 3600),
+              city.ExpectedEdgeSeconds(e, 3 * 3600));
+  }
+}
+
+class TripGenerationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    city_ = new City(CityConfig::ChengduLike(), 11);
+    gen_ = new TripGenerator(city_, 12);
+    TripConfig cfg = TripConfig::ChengduLike();
+    cfg.num_trips = 300;
+    trips_ = new std::vector<SimulatedTrip>(gen_->Generate(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete trips_;
+    delete gen_;
+    delete city_;
+    trips_ = nullptr;
+    gen_ = nullptr;
+    city_ = nullptr;
+  }
+
+  static City* city_;
+  static TripGenerator* gen_;
+  static std::vector<SimulatedTrip>* trips_;
+};
+
+City* TripGenerationTest::city_ = nullptr;
+TripGenerator* TripGenerationTest::gen_ = nullptr;
+std::vector<SimulatedTrip>* TripGenerationTest::trips_ = nullptr;
+
+TEST_F(TripGenerationTest, GeneratesRequestedCount) {
+  EXPECT_EQ(trips_->size(), 300u);
+}
+
+TEST_F(TripGenerationTest, TrajectoriesAreTimeOrdered) {
+  for (const auto& trip : *trips_) {
+    for (size_t i = 1; i < trip.trajectory.points.size(); ++i) {
+      EXPECT_GE(trip.trajectory.points[i].time,
+                trip.trajectory.points[i - 1].time);
+    }
+  }
+}
+
+TEST_F(TripGenerationTest, OutlierRateNearConfigured) {
+  int64_t outliers = 0;
+  for (const auto& trip : *trips_) outliers += trip.is_outlier ? 1 : 0;
+  double rate = static_cast<double>(outliers) / static_cast<double>(trips_->size());
+  EXPECT_GT(rate, 0.02);
+  EXPECT_LT(rate, 0.16);
+}
+
+TEST_F(TripGenerationTest, OutliersAreSlowerThanNormalTripsSameOd) {
+  // Aggregate: mean travel time of outliers should clearly exceed normals.
+  double out_sum = 0, out_n = 0, norm_sum = 0, norm_n = 0;
+  for (const auto& trip : *trips_) {
+    double per_meter = static_cast<double>(trip.trajectory.DurationSeconds()) /
+                       std::max(1.0, trip.trajectory.LengthMeters());
+    if (trip.is_outlier) {
+      out_sum += per_meter;
+      out_n += 1;
+    } else {
+      norm_sum += per_meter;
+      norm_n += 1;
+    }
+  }
+  ASSERT_GT(out_n, 0);
+  ASSERT_GT(norm_n, 0);
+  // Outliers drive longer paths for the same OD; per straight-line meter of
+  // displacement they spend more time. Compare duration per OD displacement.
+  double out_ratio = 0, norm_ratio = 0;
+  out_n = norm_n = 0;
+  for (const auto& trip : *trips_) {
+    double direct = DistanceMeters(trip.odt.origin, trip.odt.destination);
+    double r = static_cast<double>(trip.trajectory.DurationSeconds()) /
+               std::max(1.0, direct);
+    if (trip.is_outlier) {
+      out_ratio += r;
+      out_n += 1;
+    } else {
+      norm_ratio += r;
+      norm_n += 1;
+    }
+  }
+  EXPECT_GT(out_ratio / out_n, 1.3 * (norm_ratio / norm_n));
+}
+
+TEST_F(TripGenerationTest, EdgePathsAreConnected) {
+  const RoadNetwork& net = city_->network();
+  for (const auto& trip : *trips_) {
+    for (size_t i = 1; i < trip.edge_path.size(); ++i) {
+      EXPECT_EQ(net.edge(trip.edge_path[i - 1]).to, net.edge(trip.edge_path[i]).from);
+    }
+  }
+}
+
+TEST_F(TripGenerationTest, GpsPointsStayNearDrivenPath) {
+  const RoadNetwork& net = city_->network();
+  const auto& trip = (*trips_)[0];
+  for (const auto& p : trip.trajectory.points) {
+    double best = 1e18;
+    for (int64_t eid : trip.edge_path) {
+      best = std::min(best, DistanceMeters(p.gps, net.node(net.edge(eid).from).gps));
+      best = std::min(best, DistanceMeters(p.gps, net.node(net.edge(eid).to).gps));
+    }
+    // Within an edge length plus noise of some path node.
+    EXPECT_LT(best, 1200);
+  }
+}
+
+TEST_F(TripGenerationTest, FilteredStatsRoughlyMatchTableOne) {
+  std::vector<Trajectory> trajs;
+  for (const auto& t : *trips_) trajs.push_back(t.trajectory);
+  TrajectoryFilter filter;
+  filter.max_sample_interval_seconds = 80;
+  FilterTrajectories(&trajs, filter);
+  ASSERT_GT(trajs.size(), 150u);  // most trips survive
+  DatasetStats s = ComputeStats(trajs);
+  // Paper Chengdu: 13.7 min mean travel time, 3283 m distance, 29 s interval.
+  // Wide tolerances: we check the order of magnitude, not the digits.
+  EXPECT_GT(s.mean_travel_time_minutes, 6);
+  EXPECT_LT(s.mean_travel_time_minutes, 30);
+  EXPECT_GT(s.mean_travel_distance_meters, 1500);
+  EXPECT_LT(s.mean_travel_distance_meters, 9500);
+  EXPECT_NEAR(s.mean_sample_interval_seconds, 29, 12);
+}
+
+TEST_F(TripGenerationTest, DepartureProfileHasPeaks) {
+  TripGenerator gen(city_, 99);
+  int64_t rush = 0, night = 0;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t sod = gen.SampleSecondsOfDay();
+    int64_t hour = sod / 3600;
+    if (hour >= 7 && hour <= 9) ++rush;
+    if (hour >= 1 && hour <= 4) ++night;
+  }
+  EXPECT_GT(rush, 3 * night);
+}
+
+TEST_F(TripGenerationTest, SameOdPitsMoreSimilarThanOutlierPit) {
+  // The Fig. 1 phenomenon: two normal trips between the same endpoints have
+  // closer PiTs than a normal trip and an outlier detour.
+  const RoadNetwork& net = city_->network();
+  Grid grid = Grid::Make(net.Bounds().Inflated(0.02), 20).ValueOrDie();
+  // Scan generated trips for pairs sharing (approximately) the same OD and
+  // compare PiT overlap between normal/normal and normal/outlier pairs.
+  double normal_pair_f1 = 0;
+  int64_t pairs = 0;
+  double outlier_pair_f1 = 0;
+  int64_t outlier_pairs = 0;
+  for (size_t i = 0; i < trips_->size(); ++i) {
+    for (size_t j = i + 1; j < trips_->size(); ++j) {
+      const auto& a = (*trips_)[i];
+      const auto& b = (*trips_)[j];
+      if (DistanceMeters(a.odt.origin, b.odt.origin) > 500) continue;
+      if (DistanceMeters(a.odt.destination, b.odt.destination) > 500) continue;
+      Pit pa = Pit::Build(a.trajectory, grid, true);
+      Pit pb = Pit::Build(b.trajectory, grid, true);
+      double f1 = CompareRoutes(pa, pb).f1;
+      if (!a.is_outlier && !b.is_outlier) {
+        normal_pair_f1 += f1;
+        ++pairs;
+      } else if (a.is_outlier != b.is_outlier) {
+        outlier_pair_f1 += f1;
+        ++outlier_pairs;
+      }
+    }
+  }
+  if (pairs > 3 && outlier_pairs > 0) {
+    EXPECT_GT(normal_pair_f1 / static_cast<double>(pairs),
+              outlier_pair_f1 / static_cast<double>(outlier_pairs));
+  }
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,128 @@
+// Unit tests for the Tensor core: creation, shapes, autograd plumbing.
+
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace dot {
+namespace {
+
+TEST(TensorTest, CreationShapes) {
+  Tensor t = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(t.dim(), 3);
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(1), 3);
+  EXPECT_EQ(t.size(2), 4);
+  EXPECT_EQ(t.size(-1), 4);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(TensorTest, OnesAndFull) {
+  Tensor ones = Tensor::Ones({3});
+  Tensor full = Tensor::Full({3}, 2.5f);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(ones.at(i), 1.0f);
+    EXPECT_EQ(full.at(i), 2.5f);
+  }
+}
+
+TEST(TensorTest, FromVectorRoundTrip) {
+  Tensor t = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at(0), 1.0f);
+  EXPECT_EQ(t.at(3), 4.0f);
+  EXPECT_EQ(t.ShapeString(), "[2, 2]");
+}
+
+TEST(TensorTest, ArangeValues) {
+  Tensor t = Tensor::Arange(5);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(t.at(i), static_cast<float>(i));
+}
+
+TEST(TensorTest, RandnDeterministicUnderSeed) {
+  Rng rng1(42), rng2(42);
+  Tensor a = Tensor::Randn({16}, &rng1);
+  Tensor b = Tensor::Randn({16}, &rng2);
+  for (int64_t i = 0; i < 16; ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(TensorTest, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor shallow = a;
+  Tensor deep = a.Clone();
+  a.at(0) = 7.0f;
+  EXPECT_EQ(shallow.at(0), 7.0f);
+  EXPECT_EQ(deep.at(0), 0.0f);
+}
+
+TEST(TensorTest, ItemRequiresScalar) {
+  Tensor t = Tensor::Full({1}, 3.0f);
+  EXPECT_EQ(t.item(), 3.0f);
+}
+
+TEST(TensorTest, BackwardThroughChain) {
+  Tensor x = Tensor::Full({1}, 2.0f).set_requires_grad(true);
+  // y = (3x)^2 -> dy/dx = 18x = 36
+  Tensor y = Square(MulScalar(x, 3.0f));
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad_vec()[0], 36.0f);
+}
+
+TEST(TensorTest, BackwardAccumulatesOverSharedInput) {
+  Tensor x = Tensor::Full({1}, 3.0f).set_requires_grad(true);
+  // y = x*x + x -> dy/dx = 2x + 1 = 7
+  Tensor y = Add(Mul(x, x), x);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad_vec()[0], 7.0f);
+}
+
+TEST(TensorTest, DiamondGraphGradient) {
+  Tensor x = Tensor::Full({1}, 2.0f).set_requires_grad(true);
+  Tensor a = MulScalar(x, 2.0f);   // 2x
+  Tensor b = Square(x);            // x^2
+  Tensor y = Mul(a, b);            // 2x^3 -> dy/dx = 6x^2 = 24
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad_vec()[0], 24.0f);
+}
+
+TEST(TensorTest, NoGradGuardDisablesGraph) {
+  Tensor x = Tensor::Full({1}, 2.0f).set_requires_grad(true);
+  NoGradGuard guard;
+  Tensor y = Square(x);
+  EXPECT_EQ(y.grad_fn(), nullptr);
+}
+
+TEST(TensorTest, GradModeRestoredAfterGuard) {
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+TEST(TensorTest, ZeroGradClears) {
+  Tensor x = Tensor::Full({1}, 2.0f).set_requires_grad(true);
+  Square(x).Backward();
+  EXPECT_NE(x.grad_vec()[0], 0.0f);
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad_vec()[0], 0.0f);
+}
+
+TEST(TensorTest, DetachBlocksGradient) {
+  Tensor x = Tensor::Full({1}, 2.0f).set_requires_grad(true);
+  Tensor d = Square(x).Detach();
+  EXPECT_EQ(d.grad_fn(), nullptr);
+  EXPECT_FLOAT_EQ(d.at(0), 4.0f);
+}
+
+TEST(TensorTest, ShapeNumelHelper) {
+  EXPECT_EQ(ShapeNumel({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeNumel({}), 1);
+  EXPECT_EQ(ShapeNumel({0, 5}), 0);
+}
+
+}  // namespace
+}  // namespace dot

@@ -1,0 +1,166 @@
+// Tests for the conditioned PiT denoiser (OCConv UNet).
+
+#include "core/unet.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace dot {
+namespace {
+
+UnetConfig SmallConfig() {
+  UnetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.levels = 2;
+  cfg.cond_dim = 16;
+  cfg.heads = 2;
+  cfg.max_steps = 50;
+  return cfg;
+}
+
+TEST(OCConvTest, PreservesSpatialDimsChangesChannels) {
+  Rng rng(1);
+  internal::OCConv block(4, 8, 16, &rng);
+  Tensor x = Tensor::Randn({2, 4, 6, 6}, &rng);
+  Tensor cond = Tensor::Randn({2, 16}, &rng);
+  Tensor y = block.Forward(x, cond);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2, 8, 6, 6}));
+}
+
+TEST(OCConvTest, ConditionActuallyChangesOutput) {
+  Rng rng(2);
+  internal::OCConv block(4, 4, 16, &rng);
+  Tensor x = Tensor::Randn({1, 4, 5, 5}, &rng);
+  Tensor c1 = Tensor::Zeros({1, 16});
+  Tensor c2 = Tensor::Ones({1, 16});
+  NoGradGuard guard;
+  Tensor y1 = block.Forward(x, c1);
+  Tensor y2 = block.Forward(x, c2);
+  double diff = 0;
+  for (int64_t i = 0; i < y1.numel(); ++i) diff += std::fabs(y1.at(i) - y2.at(i));
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(SpatialAttentionTest, ResidualShapePreserved) {
+  Rng rng(3);
+  internal::SpatialAttention att(8, 2, &rng);
+  Tensor x = Tensor::Randn({2, 8, 4, 4}, &rng);
+  Tensor y = att.Forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(UnetTest, OutputShapeMatchesInputEvenSize) {
+  Rng rng(4);
+  UnetDenoiser unet(SmallConfig(), &rng);
+  Tensor x = Tensor::Randn({2, 3, 16, 16}, &rng);
+  Tensor cond = Tensor::Zeros({2, 5});
+  NoGradGuard guard;
+  Tensor y = unet.PredictNoise(x, {3, 7}, cond);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(UnetTest, OutputShapeMatchesInputOddSizes) {
+  Rng rng(5);
+  UnetDenoiser unet(SmallConfig(), &rng);
+  NoGradGuard guard;
+  for (int64_t l : {10, 15, 20, 25}) {
+    Tensor x = Tensor::Randn({1, 3, l, l}, &rng);
+    Tensor cond = Tensor::Zeros({1, 5});
+    Tensor y = unet.PredictNoise(x, {0}, cond);
+    EXPECT_EQ(y.shape(), x.shape()) << "L=" << l;
+  }
+}
+
+TEST(UnetTest, StepIndexChangesOutput) {
+  Rng rng(6);
+  UnetDenoiser unet(SmallConfig(), &rng);
+  Tensor x = Tensor::Randn({1, 3, 12, 12}, &rng);
+  Tensor cond = Tensor::Zeros({1, 5});
+  NoGradGuard guard;
+  Tensor y0 = unet.PredictNoise(x, {0}, cond);
+  Tensor y9 = unet.PredictNoise(x, {40}, cond);
+  double diff = 0;
+  for (int64_t i = 0; i < y0.numel(); ++i) diff += std::fabs(y0.at(i) - y9.at(i));
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(UnetTest, OdtConditionChangesOutput) {
+  Rng rng(7);
+  UnetDenoiser unet(SmallConfig(), &rng);
+  Tensor x = Tensor::Randn({1, 3, 12, 12}, &rng);
+  NoGradGuard guard;
+  Tensor c1 = Tensor::Zeros({1, 5});
+  Tensor c2 = Tensor::FromVector({1, 5}, {0.5f, -0.5f, 0.8f, -0.2f, 0.1f});
+  Tensor y1 = unet.PredictNoise(x, {5}, c1);
+  Tensor y2 = unet.PredictNoise(x, {5}, c2);
+  double diff = 0;
+  for (int64_t i = 0; i < y1.numel(); ++i) diff += std::fabs(y1.at(i) - y2.at(i));
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(UnetTest, GradientsReachEveryParameter) {
+  Rng rng(8);
+  UnetConfig cfg = SmallConfig();
+  cfg.attention_max_hw = 1000;  // make sure attention layers participate
+  UnetDenoiser unet(cfg, &rng);
+  Tensor x = Tensor::Randn({2, 3, 12, 12}, &rng);
+  Tensor cond = Tensor::Randn({2, 5}, &rng);
+  Tensor y = unet.PredictNoise(x, {1, 2}, cond);
+  Mean(Square(y)).Backward();
+  int64_t with_grad = 0, total = 0;
+  for (auto& [name, p] : unet.NamedParameters()) {
+    ++total;
+    bool nonzero = false;
+    if (p.has_grad()) {
+      for (float g : p.grad_vec()) nonzero = nonzero || g != 0.0f;
+    }
+    if (nonzero) ++with_grad;
+  }
+  // All parameters should receive gradient signal.
+  EXPECT_EQ(with_grad, total);
+}
+
+TEST(UnetTest, TrainingStepReducesNoiseLoss) {
+  // A couple of Adam steps on a fixed batch must reduce the loss — the
+  // end-to-end sanity check for Algorithm 2's inner loop.
+  Rng rng(9);
+  UnetConfig cfg = SmallConfig();
+  UnetDenoiser unet(cfg, &rng);
+  optim::Adam opt(unet.Parameters(), 2e-3f);
+  Tensor x = Tensor::Randn({4, 3, 12, 12}, &rng);
+  Tensor cond = Tensor::Randn({4, 5}, &rng);
+  Tensor eps = Tensor::Randn(x.shape(), &rng);
+  std::vector<int64_t> steps = {1, 5, 9, 13};
+  double first = 0, last = 0;
+  for (int it = 0; it < 12; ++it) {
+    unet.ZeroGrad();
+    Tensor pred = unet.PredictNoise(x, steps, cond);
+    Tensor loss = MseLoss(pred, eps);
+    if (it == 0) first = loss.item();
+    last = loss.item();
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_LT(last, first * 0.8);
+}
+
+TEST(UnetTest, SaveLoadReproducesOutputs) {
+  Rng rng(10);
+  UnetDenoiser a(SmallConfig(), &rng);
+  UnetDenoiser b(SmallConfig(), &rng);
+  std::string path = ::testing::TempDir() + "/unet_ckpt.bin";
+  ASSERT_TRUE(a.SaveFile(path).ok());
+  ASSERT_TRUE(b.LoadFile(path).ok());
+  Tensor x = Tensor::Randn({1, 3, 12, 12}, &rng);
+  Tensor cond = Tensor::Zeros({1, 5});
+  NoGradGuard guard;
+  Tensor ya = a.PredictNoise(x, {2}, cond);
+  Tensor yb = b.PredictNoise(x, {2}, cond);
+  for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_FLOAT_EQ(ya.at(i), yb.at(i));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dot

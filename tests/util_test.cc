@@ -1,0 +1,242 @@
+// Tests for the util substrate: Status/Result, RNG, tables, thread pool,
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <set>
+
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace dot {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad grid size");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad grid size");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad grid size");
+}
+
+TEST(StatusTest, AllConstructorsMapToPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+}
+
+Status Fails() { return Status::NotFound("inner"); }
+Status Propagates() {
+  DOT_RETURN_NOT_OK(Fails());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  Status s = Propagates();
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = ParsePositive(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(RngTest, DeterministicWithSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Uniform(), b.Uniform());
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(10);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) {
+    int64_t k = rng.Categorical({1.0, 0.0, 3.0});
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, 3);
+    counts[k]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, CategoricalDegenerateCases) {
+  Rng rng(11);
+  EXPECT_EQ(rng.Categorical({}), -1);
+  EXPECT_EQ(rng.Categorical({0.0, 0.0}), -1);
+}
+
+TEST(RngTest, NormalMomentsRoughlyStandard) {
+  Rng rng(12);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(14);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1000) == b.UniformInt(0, 1000)) ++equal;
+  }
+  EXPECT_LT(equal, 10);
+}
+
+TEST(TableTest, AlignedRendering) {
+  Table t("Demo");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22.5"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.5"), std::string::npos);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+}
+
+TEST(TableTest, CsvRoundTripAndEscaping) {
+  Table t("csv");
+  t.SetHeader({"a", "b"});
+  t.AddRow({"plain", "with,comma"});
+  t.AddRow({"quote\"inside", "x"});
+  std::string path = ::testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::string all((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(all.find("\"quote\"\"inside\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&count] { count++; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5000);
+  ParallelFor(
+      &pool, 5000,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+      },
+      /*min_chunk=*/128);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForInlineForSmallN) {
+  std::vector<int> hits(10, 0);
+  ParallelFor(nullptr, 10, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  (void)x;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1000 - 1e-6);
+}
+
+TEST(SerializeTest, RoundTripAllTypes) {
+  std::string path = ::testing::TempDir() + "/ser_test.bin";
+  {
+    BinaryWriter w(path);
+    ASSERT_TRUE(w.Ok());
+    w.WriteU64(42);
+    w.WriteI64(-7);
+    w.WriteF64(3.25);
+    w.WriteF32(1.5f);
+    w.WriteString("hello");
+    w.WriteF32Vector({1.0f, 2.0f});
+    w.WriteI64Vector({10, 20, 30});
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  ASSERT_TRUE(r.Ok());
+  EXPECT_EQ(r.ReadU64(), 42u);
+  EXPECT_EQ(r.ReadI64(), -7);
+  EXPECT_EQ(r.ReadF64(), 3.25);
+  EXPECT_EQ(r.ReadF32(), 1.5f);
+  EXPECT_EQ(r.ReadString(), "hello");
+  EXPECT_EQ(r.ReadF32Vector(), (std::vector<float>{1.0f, 2.0f}));
+  EXPECT_EQ(r.ReadI64Vector(), (std::vector<int64_t>{10, 20, 30}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dot
