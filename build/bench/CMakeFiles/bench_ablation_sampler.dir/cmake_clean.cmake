@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sampler.dir/bench_ablation_sampler.cc.o"
+  "CMakeFiles/bench_ablation_sampler.dir/bench_ablation_sampler.cc.o.d"
+  "bench_ablation_sampler"
+  "bench_ablation_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_hparams.dir/bench_fig9_hparams.cc.o"
+  "CMakeFiles/bench_fig9_hparams.dir/bench_fig9_hparams.cc.o.d"
+  "bench_fig9_hparams"
+  "bench_fig9_hparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_hparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

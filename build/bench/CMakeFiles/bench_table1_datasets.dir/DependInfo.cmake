@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_datasets.cc" "bench/CMakeFiles/bench_table1_datasets.dir/bench_table1_datasets.cc.o" "gcc" "bench/CMakeFiles/bench_table1_datasets.dir/bench_table1_datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dot_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dot_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dot_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/dot_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/dot_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dot_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

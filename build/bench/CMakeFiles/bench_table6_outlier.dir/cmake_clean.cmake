@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_outlier.dir/bench_table6_outlier.cc.o"
+  "CMakeFiles/bench_table6_outlier.dir/bench_table6_outlier.cc.o.d"
+  "bench_table6_outlier"
+  "bench_table6_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_bench_common.dir/common.cc.o"
+  "CMakeFiles/dot_bench_common.dir/common.cc.o.d"
+  "libdot_bench_common.a"
+  "libdot_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdot_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_pricing.dir/fleet_pricing.cpp.o"
+  "CMakeFiles/fleet_pricing.dir/fleet_pricing.cpp.o.d"
+  "fleet_pricing"
+  "fleet_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_robustness.dir/outlier_robustness.cpp.o"
+  "CMakeFiles/outlier_robustness.dir/outlier_robustness.cpp.o.d"
+  "outlier_robustness"
+  "outlier_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

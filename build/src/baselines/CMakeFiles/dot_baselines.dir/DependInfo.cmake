@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cell_history.cc" "src/baselines/CMakeFiles/dot_baselines.dir/cell_history.cc.o" "gcc" "src/baselines/CMakeFiles/dot_baselines.dir/cell_history.cc.o.d"
+  "/root/repo/src/baselines/deepod.cc" "src/baselines/CMakeFiles/dot_baselines.dir/deepod.cc.o" "gcc" "src/baselines/CMakeFiles/dot_baselines.dir/deepod.cc.o.d"
+  "/root/repo/src/baselines/embedding.cc" "src/baselines/CMakeFiles/dot_baselines.dir/embedding.cc.o" "gcc" "src/baselines/CMakeFiles/dot_baselines.dir/embedding.cc.o.d"
+  "/root/repo/src/baselines/oracle.cc" "src/baselines/CMakeFiles/dot_baselines.dir/oracle.cc.o" "gcc" "src/baselines/CMakeFiles/dot_baselines.dir/oracle.cc.o.d"
+  "/root/repo/src/baselines/outlier.cc" "src/baselines/CMakeFiles/dot_baselines.dir/outlier.cc.o" "gcc" "src/baselines/CMakeFiles/dot_baselines.dir/outlier.cc.o.d"
+  "/root/repo/src/baselines/path_tte.cc" "src/baselines/CMakeFiles/dot_baselines.dir/path_tte.cc.o" "gcc" "src/baselines/CMakeFiles/dot_baselines.dir/path_tte.cc.o.d"
+  "/root/repo/src/baselines/regression.cc" "src/baselines/CMakeFiles/dot_baselines.dir/regression.cc.o" "gcc" "src/baselines/CMakeFiles/dot_baselines.dir/regression.cc.o.d"
+  "/root/repo/src/baselines/routers.cc" "src/baselines/CMakeFiles/dot_baselines.dir/routers.cc.o" "gcc" "src/baselines/CMakeFiles/dot_baselines.dir/routers.cc.o.d"
+  "/root/repo/src/baselines/temp.cc" "src/baselines/CMakeFiles/dot_baselines.dir/temp.cc.o" "gcc" "src/baselines/CMakeFiles/dot_baselines.dir/temp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/dot_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/dot_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dot_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dot_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/dot_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

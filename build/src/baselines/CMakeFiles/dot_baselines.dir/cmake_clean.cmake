@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_baselines.dir/cell_history.cc.o"
+  "CMakeFiles/dot_baselines.dir/cell_history.cc.o.d"
+  "CMakeFiles/dot_baselines.dir/deepod.cc.o"
+  "CMakeFiles/dot_baselines.dir/deepod.cc.o.d"
+  "CMakeFiles/dot_baselines.dir/embedding.cc.o"
+  "CMakeFiles/dot_baselines.dir/embedding.cc.o.d"
+  "CMakeFiles/dot_baselines.dir/oracle.cc.o"
+  "CMakeFiles/dot_baselines.dir/oracle.cc.o.d"
+  "CMakeFiles/dot_baselines.dir/outlier.cc.o"
+  "CMakeFiles/dot_baselines.dir/outlier.cc.o.d"
+  "CMakeFiles/dot_baselines.dir/path_tte.cc.o"
+  "CMakeFiles/dot_baselines.dir/path_tte.cc.o.d"
+  "CMakeFiles/dot_baselines.dir/regression.cc.o"
+  "CMakeFiles/dot_baselines.dir/regression.cc.o.d"
+  "CMakeFiles/dot_baselines.dir/routers.cc.o"
+  "CMakeFiles/dot_baselines.dir/routers.cc.o.d"
+  "CMakeFiles/dot_baselines.dir/temp.cc.o"
+  "CMakeFiles/dot_baselines.dir/temp.cc.o.d"
+  "libdot_baselines.a"
+  "libdot_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_core.dir/diffusion.cc.o"
+  "CMakeFiles/dot_core.dir/diffusion.cc.o.d"
+  "CMakeFiles/dot_core.dir/dot_oracle.cc.o"
+  "CMakeFiles/dot_core.dir/dot_oracle.cc.o.d"
+  "CMakeFiles/dot_core.dir/estimator.cc.o"
+  "CMakeFiles/dot_core.dir/estimator.cc.o.d"
+  "CMakeFiles/dot_core.dir/oracle_service.cc.o"
+  "CMakeFiles/dot_core.dir/oracle_service.cc.o.d"
+  "CMakeFiles/dot_core.dir/unet.cc.o"
+  "CMakeFiles/dot_core.dir/unet.cc.o.d"
+  "libdot_core.a"
+  "libdot_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_eval.dir/dataset.cc.o"
+  "CMakeFiles/dot_eval.dir/dataset.cc.o.d"
+  "CMakeFiles/dot_eval.dir/metrics.cc.o"
+  "CMakeFiles/dot_eval.dir/metrics.cc.o.d"
+  "libdot_eval.a"
+  "libdot_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geo.cc" "src/geo/CMakeFiles/dot_geo.dir/geo.cc.o" "gcc" "src/geo/CMakeFiles/dot_geo.dir/geo.cc.o.d"
+  "/root/repo/src/geo/grid.cc" "src/geo/CMakeFiles/dot_geo.dir/grid.cc.o" "gcc" "src/geo/CMakeFiles/dot_geo.dir/grid.cc.o.d"
+  "/root/repo/src/geo/io.cc" "src/geo/CMakeFiles/dot_geo.dir/io.cc.o" "gcc" "src/geo/CMakeFiles/dot_geo.dir/io.cc.o.d"
+  "/root/repo/src/geo/pit.cc" "src/geo/CMakeFiles/dot_geo.dir/pit.cc.o" "gcc" "src/geo/CMakeFiles/dot_geo.dir/pit.cc.o.d"
+  "/root/repo/src/geo/trajectory.cc" "src/geo/CMakeFiles/dot_geo.dir/trajectory.cc.o" "gcc" "src/geo/CMakeFiles/dot_geo.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dot_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

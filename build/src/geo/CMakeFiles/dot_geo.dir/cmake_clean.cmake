@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_geo.dir/geo.cc.o"
+  "CMakeFiles/dot_geo.dir/geo.cc.o.d"
+  "CMakeFiles/dot_geo.dir/grid.cc.o"
+  "CMakeFiles/dot_geo.dir/grid.cc.o.d"
+  "CMakeFiles/dot_geo.dir/io.cc.o"
+  "CMakeFiles/dot_geo.dir/io.cc.o.d"
+  "CMakeFiles/dot_geo.dir/pit.cc.o"
+  "CMakeFiles/dot_geo.dir/pit.cc.o.d"
+  "CMakeFiles/dot_geo.dir/trajectory.cc.o"
+  "CMakeFiles/dot_geo.dir/trajectory.cc.o.d"
+  "libdot_geo.a"
+  "libdot_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_road.dir/road_network.cc.o"
+  "CMakeFiles/dot_road.dir/road_network.cc.o.d"
+  "CMakeFiles/dot_road.dir/segment_stats.cc.o"
+  "CMakeFiles/dot_road.dir/segment_stats.cc.o.d"
+  "libdot_road.a"
+  "libdot_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_sim.dir/city.cc.o"
+  "CMakeFiles/dot_sim.dir/city.cc.o.d"
+  "CMakeFiles/dot_sim.dir/trips.cc.o"
+  "CMakeFiles/dot_sim.dir/trips.cc.o.d"
+  "libdot_sim.a"
+  "libdot_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/nn.cc" "src/tensor/CMakeFiles/dot_tensor.dir/nn.cc.o" "gcc" "src/tensor/CMakeFiles/dot_tensor.dir/nn.cc.o.d"
+  "/root/repo/src/tensor/ops_basic.cc" "src/tensor/CMakeFiles/dot_tensor.dir/ops_basic.cc.o" "gcc" "src/tensor/CMakeFiles/dot_tensor.dir/ops_basic.cc.o.d"
+  "/root/repo/src/tensor/ops_conv.cc" "src/tensor/CMakeFiles/dot_tensor.dir/ops_conv.cc.o" "gcc" "src/tensor/CMakeFiles/dot_tensor.dir/ops_conv.cc.o.d"
+  "/root/repo/src/tensor/ops_linalg.cc" "src/tensor/CMakeFiles/dot_tensor.dir/ops_linalg.cc.o" "gcc" "src/tensor/CMakeFiles/dot_tensor.dir/ops_linalg.cc.o.d"
+  "/root/repo/src/tensor/ops_norm.cc" "src/tensor/CMakeFiles/dot_tensor.dir/ops_norm.cc.o" "gcc" "src/tensor/CMakeFiles/dot_tensor.dir/ops_norm.cc.o.d"
+  "/root/repo/src/tensor/optim.cc" "src/tensor/CMakeFiles/dot_tensor.dir/optim.cc.o" "gcc" "src/tensor/CMakeFiles/dot_tensor.dir/optim.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/dot_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/dot_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dot_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_tensor.dir/nn.cc.o"
+  "CMakeFiles/dot_tensor.dir/nn.cc.o.d"
+  "CMakeFiles/dot_tensor.dir/ops_basic.cc.o"
+  "CMakeFiles/dot_tensor.dir/ops_basic.cc.o.d"
+  "CMakeFiles/dot_tensor.dir/ops_conv.cc.o"
+  "CMakeFiles/dot_tensor.dir/ops_conv.cc.o.d"
+  "CMakeFiles/dot_tensor.dir/ops_linalg.cc.o"
+  "CMakeFiles/dot_tensor.dir/ops_linalg.cc.o.d"
+  "CMakeFiles/dot_tensor.dir/ops_norm.cc.o"
+  "CMakeFiles/dot_tensor.dir/ops_norm.cc.o.d"
+  "CMakeFiles/dot_tensor.dir/optim.cc.o"
+  "CMakeFiles/dot_tensor.dir/optim.cc.o.d"
+  "CMakeFiles/dot_tensor.dir/tensor.cc.o"
+  "CMakeFiles/dot_tensor.dir/tensor.cc.o.d"
+  "libdot_tensor.a"
+  "libdot_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

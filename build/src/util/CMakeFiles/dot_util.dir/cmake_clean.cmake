@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_util.dir/logging.cc.o"
+  "CMakeFiles/dot_util.dir/logging.cc.o.d"
+  "CMakeFiles/dot_util.dir/status.cc.o"
+  "CMakeFiles/dot_util.dir/status.cc.o.d"
+  "CMakeFiles/dot_util.dir/table.cc.o"
+  "CMakeFiles/dot_util.dir/table.cc.o.d"
+  "CMakeFiles/dot_util.dir/thread_pool.cc.o"
+  "CMakeFiles/dot_util.dir/thread_pool.cc.o.d"
+  "libdot_util.a"
+  "libdot_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

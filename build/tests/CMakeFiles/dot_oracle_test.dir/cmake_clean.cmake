@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dot_oracle_test.dir/dot_oracle_test.cc.o"
+  "CMakeFiles/dot_oracle_test.dir/dot_oracle_test.cc.o.d"
+  "dot_oracle_test"
+  "dot_oracle_test.pdb"
+  "dot_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dot_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_service_test.dir/oracle_service_test.cc.o"
+  "CMakeFiles/oracle_service_test.dir/oracle_service_test.cc.o.d"
+  "oracle_service_test"
+  "oracle_service_test.pdb"
+  "oracle_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unet_test.dir/unet_test.cc.o"
+  "CMakeFiles/unet_test.dir/unet_test.cc.o.d"
+  "unet_test"
+  "unet_test.pdb"
+  "unet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
