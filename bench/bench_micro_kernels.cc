@@ -39,6 +39,26 @@ void BM_Conv2dForward(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dForward)->Arg(16)->Arg(24);
 
+void BM_Conv2dForwardBatched(benchmark::State& state) {
+  // Per-sample amortization of the batched im2col + one-GEMM lowering:
+  // compare items_per_second across B at a fixed spatial size.
+  NoGradGuard guard;
+  Rng rng(5);
+  int64_t b = state.range(0), l = state.range(1);
+  Tensor x = Tensor::Randn({b, 16, l, l}, &rng);
+  Tensor w = Tensor::Randn({16, 16, 3, 3}, &rng);
+  for (auto _ : state) {
+    Tensor y = Conv2d(x, w, Tensor(), 1, 1);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * b);
+}
+// arg0: batch size; arg1: L_G.
+BENCHMARK(BM_Conv2dForwardBatched)
+    ->Args({1, 16})
+    ->Args({4, 16})
+    ->Args({16, 16});
+
 void BM_UnetForward(benchmark::State& state) {
   NoGradGuard guard;
   Rng rng(2);

@@ -6,12 +6,17 @@
 // slowest (two stages) while its estimation speed is on par with the other
 // neural methods.
 
+#include <cstdlib>
+#include <fstream>
+
 #include "baselines/deepod.h"
 #include "baselines/embedding.h"
 #include "baselines/path_tte.h"
 #include "baselines/regression.h"
 #include "common.h"
+#include "core/oracle_service.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 using namespace dot;
 using namespace dot::bench;
@@ -171,5 +176,56 @@ int main() {
                 Table::Num(dot_stage1_min, 3) + "/" + Table::Num(dot_stage2_min, 3),
                 Table::Num(dot_est_s_per_k, 2)});
   table.Print();
+
+  // Batched serving path: a cold-cache request wave answered one Query at a
+  // time vs one QueryBatch call (single batched reverse-diffusion pass).
+  // Both sides compute identical results (see batch_serving_test); the gap
+  // is pure batching + thread-pool parallelism, so it scales with cores.
+  {
+    constexpr int64_t kBatch = 16;
+    int64_t n = std::min<int64_t>(
+        kBatch, static_cast<int64_t>(ds.data.split.test.size()));
+    std::vector<OdtInput> wave;
+    for (int64_t i = 0; i < n; ++i) {
+      wave.push_back(ds.data.split.test[static_cast<size_t>(i)].odt);
+    }
+    OracleService seq_service(dot_oracle.get());
+    Stopwatch sw;
+    for (const auto& odt : wave) DOT_CHECK(seq_service.Query(odt).ok());
+    double seq_s = sw.ElapsedSeconds();
+    OracleService batch_service(dot_oracle.get());
+    sw.Restart();
+    DOT_CHECK(batch_service.QueryBatch(wave).ok());
+    double batch_s = sw.ElapsedSeconds();
+    double speedup = seq_s / batch_s;
+    int threads = ThreadPool::Global()->num_threads();
+
+    Table bt("Batched serving, cold cache (B=" + std::to_string(n) +
+             ", pool threads=" + std::to_string(threads) + ")");
+    bt.SetHeader({"Path", "Total (s)", "s/query", "Throughput (q/s)"});
+    bt.AddRow({"Sequential Query", Table::Num(seq_s, 3),
+               Table::Num(seq_s / static_cast<double>(n), 4),
+               Table::Num(static_cast<double>(n) / seq_s, 2)});
+    bt.AddRow({"QueryBatch", Table::Num(batch_s, 3),
+               Table::Num(batch_s / static_cast<double>(n), 4),
+               Table::Num(static_cast<double>(n) / batch_s, 2)});
+    bt.AddRow({"Speedup", "", "", Table::Num(speedup, 2) + "x"});
+    bt.Print();
+
+    if (const char* path = std::getenv("DOT_BENCH_BATCHED_JSON")) {
+      std::ofstream out(path);
+      out << "{\n"
+          << "  \"batch_size\": " << n << ",\n"
+          << "  \"pool_threads\": " << threads << ",\n"
+          << "  \"sequential_s_per_query\": "
+          << seq_s / static_cast<double>(n) << ",\n"
+          << "  \"batched_s_per_query\": "
+          << batch_s / static_cast<double>(n) << ",\n"
+          << "  \"sequential_qps\": " << static_cast<double>(n) / seq_s << ",\n"
+          << "  \"batched_qps\": " << static_cast<double>(n) / batch_s << ",\n"
+          << "  \"speedup\": " << speedup << "\n"
+          << "}\n";
+    }
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 # Usage: ./run_benches.sh [output_file]
 OUT=${1:-bench_output.txt}
 : > "$OUT"
+# bench_table5_efficiency dumps the single-vs-batched serving comparison here.
+export DOT_BENCH_BATCHED_JSON=${DOT_BENCH_BATCHED_JSON:-BENCH_batched.json}
 for b in build/bench/bench_*; do
   echo "===== $b =====" | tee -a "$OUT"
   if [ "$(basename $b)" = "bench_micro_kernels" ]; then

@@ -73,11 +73,38 @@ void Diffusion::SplitPrediction(float x_t, float model_out, double ab_t,
   *eps_hat = snt > 1e-8f ? (x_t - sab * *x0_hat) / snt : model_out;
 }
 
+std::vector<Rng> Diffusion::ForkSampleStreams(Rng* rng, int64_t b) {
+  std::vector<Rng> streams;
+  streams.reserve(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) streams.push_back(rng->Fork());
+  return streams;
+}
+
+Tensor Diffusion::InitialNoise(const std::vector<int64_t>& out_shape,
+                               std::vector<Rng>* streams) {
+  Tensor x = Tensor::Empty(out_shape);
+  int64_t b = out_shape[0];
+  int64_t per = x.numel() / b;
+  for (int64_t i = 0; i < b; ++i) {
+    Rng& s = (*streams)[static_cast<size_t>(i)];
+    float* p = x.data() + i * per;
+    for (int64_t j = 0; j < per; ++j) p[j] = static_cast<float>(s.Normal());
+  }
+  return x;
+}
+
 Tensor Diffusion::Sample(const NoisePredictor& model, const Tensor& cond,
                          const std::vector<int64_t>& out_shape, Rng* rng) const {
   NoGradGuard guard;
   int64_t b = out_shape[0];
-  Tensor x = Tensor::Randn(out_shape, rng);
+  // One decorrelated noise stream per sample, forked in batch order. A batch
+  // of B consumes exactly B forks from `rng`, so sampling is batch-size
+  // invariant: Sample(B=4) is bitwise identical to four Sample(B=1) calls
+  // against the same parent generator (the serving-path equivalence the
+  // batched oracle relies on).
+  std::vector<Rng> streams = ForkSampleStreams(rng, b);
+  Tensor x = InitialNoise(out_shape, &streams);
+  int64_t per = x.numel() / b;
   std::vector<int64_t> steps(static_cast<size_t>(b));
   for (int64_t n = schedule_.num_steps() - 1; n >= 0; --n) {
     std::fill(steps.begin(), steps.end(), n);
@@ -95,14 +122,18 @@ Tensor Diffusion::Sample(const NoisePredictor& model, const Tensor& cond,
     float c0 = static_cast<float>(std::sqrt(ab_prev) * beta / (1.0 - ab));
     float ct = static_cast<float>(std::sqrt(alpha) * (1.0 - ab_prev) / (1.0 - ab));
     float sigma = n > 0 ? static_cast<float>(std::sqrt(beta)) : 0.0f;
-    float* xp = x.data();
     const float* pp = pred.data();
-    for (int64_t i = 0; i < x.numel(); ++i) {
-      float x0_hat, eps_hat;
-      SplitPrediction(xp[i], pp[i], ab, &x0_hat, &eps_hat);
-      float mean = c0 * x0_hat + ct * xp[i];
-      float z = sigma > 0 ? static_cast<float>(rng->Normal()) : 0.0f;
-      xp[i] = mean + sigma * z;
+    for (int64_t s = 0; s < b; ++s) {
+      Rng& stream = streams[static_cast<size_t>(s)];
+      float* xp = x.data() + s * per;
+      const float* ps = pp + s * per;
+      for (int64_t i = 0; i < per; ++i) {
+        float x0_hat, eps_hat;
+        SplitPrediction(xp[i], ps[i], ab, &x0_hat, &eps_hat);
+        float mean = c0 * x0_hat + ct * xp[i];
+        float z = sigma > 0 ? static_cast<float>(stream.Normal()) : 0.0f;
+        xp[i] = mean + sigma * z;
+      }
     }
   }
   return x;
@@ -125,7 +156,10 @@ Tensor Diffusion::SampleStrided(const NoisePredictor& model, const Tensor& cond,
   if (num_eval_steps == 1) timeline = {n_total - 1};
 
   int64_t b = out_shape[0];
-  Tensor x = Tensor::Randn(out_shape, rng);
+  // Per-sample streams as in Sample(): DDIM only needs the initial noise,
+  // but drawing it per sample keeps the sampler batch-size invariant.
+  std::vector<Rng> streams = ForkSampleStreams(rng, b);
+  Tensor x = InitialNoise(out_shape, &streams);
   std::vector<int64_t> steps(static_cast<size_t>(b));
   for (size_t k = 0; k < timeline.size(); ++k) {
     int64_t t = timeline[k];

@@ -76,6 +76,13 @@ class Diffusion {
 
   /// Ancestral sampling (Algorithm 1 / Eq. 10): starts from N(0, I) and
   /// denoises step by step under the condition. Runs under NoGrad.
+  ///
+  /// Noise is drawn from one decorrelated stream per batch sample, each
+  /// forked from `rng` in batch order (exactly one fork per sample). A
+  /// batched call is therefore bitwise identical to the corresponding
+  /// sequence of single-sample calls against the same parent generator —
+  /// the property the batched serving path (DotOracle::EstimateBatch,
+  /// OracleService::QueryBatch) relies on.
   Tensor Sample(const NoisePredictor& model, const Tensor& cond,
                 const std::vector<int64_t>& out_shape, Rng* rng) const;
 
@@ -97,6 +104,12 @@ class Diffusion {
   /// Converts the network output at step `t` into (clipped x0_hat, eps_hat).
   void SplitPrediction(float x_t, float model_out, double ab_t, float* x0_hat,
                        float* eps_hat) const;
+
+  /// Forks one noise stream per batch sample (batch-size invariance above).
+  static std::vector<Rng> ForkSampleStreams(Rng* rng, int64_t b);
+  /// Draws x_N from N(0, I), sample i from stream i.
+  static Tensor InitialNoise(const std::vector<int64_t>& out_shape,
+                             std::vector<Rng>* streams);
 
   DiffusionSchedule schedule_;
   Parameterization param_;

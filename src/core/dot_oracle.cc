@@ -392,12 +392,25 @@ Status DotOracle::LoadFile(const std::string& path) {
 }
 
 Result<DotEstimate> DotOracle::Estimate(const OdtInput& odt) {
+  Result<std::vector<DotEstimate>> batch = EstimateBatch({odt});
+  if (!batch.ok()) return batch.status();
+  return std::move((*batch)[0]);
+}
+
+Result<std::vector<DotEstimate>> DotOracle::EstimateBatch(
+    const std::vector<OdtInput>& odts) {
   if (!stage1_trained_ || !stage2_trained_) {
     return Status::FailedPrecondition("oracle not trained");
   }
-  std::vector<Pit> pits = InferPits({odt});
-  DotEstimate est{EstimateFromPits(pits, {odt})[0], pits[0]};
-  return est;
+  if (odts.empty()) return std::vector<DotEstimate>{};
+  std::vector<Pit> pits = InferPits(odts);
+  std::vector<double> minutes = EstimateFromPits(pits, odts);
+  std::vector<DotEstimate> out;
+  out.reserve(odts.size());
+  for (size_t i = 0; i < odts.size(); ++i) {
+    out.push_back(DotEstimate{minutes[i], std::move(pits[i])});
+  }
+  return out;
 }
 
 }  // namespace dot

@@ -96,6 +96,14 @@ class DotOracle {
   /// Full oracle query (Eq. 1): odt -> (travel time, inferred PiT).
   Result<DotEstimate> Estimate(const OdtInput& odt);
 
+  /// Batched oracle query: one reverse-diffusion process denoises all B
+  /// PiTs together and one stage-2 pass estimates their travel times. The
+  /// results are bitwise identical to calling Estimate sequentially on the
+  /// same oracle state (the samplers fork one noise stream per query, in
+  /// query order), so batching is purely a throughput optimization.
+  Result<std::vector<DotEstimate>> EstimateBatch(
+      const std::vector<OdtInput>& odts);
+
   /// Stage-1 only: infers PiTs for a batch of queries.
   std::vector<Pit> InferPits(const std::vector<OdtInput>& odts);
 
@@ -114,6 +122,9 @@ class DotOracle {
   int64_t Stage1NumParams() const { return denoiser_->NumParams(); }
   int64_t Stage2NumParams() const { return estimator_->module()->NumParams(); }
   int64_t NumParams() const { return Stage1NumParams() + Stage2NumParams(); }
+
+  /// True once both stages are trained (or loaded) and Estimate* may run.
+  bool trained() const { return stage1_trained_ && stage2_trained_; }
 
   const DotConfig& config() const { return config_; }
   const Grid& grid() const { return grid_; }

@@ -1,5 +1,7 @@
 #include "core/oracle_service.h"
 
+#include <unordered_set>
+
 namespace dot {
 
 OracleService::OracleService(DotOracle* oracle, OracleServiceConfig config)
@@ -13,41 +15,174 @@ int64_t OracleService::BucketOf(const OdtInput& odt) const {
   return (o * grid.num_cells() + d) * config_.tod_slots + slot;
 }
 
-Result<DotEstimate> OracleService::Query(const OdtInput& odt) {
-  ++stats_.queries;
-  int64_t bucket = BucketOf(odt);
+void OracleService::Touch(
+    std::unordered_map<int64_t, CacheEntry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  it->second.lru_it = lru_.begin();
+}
+
+void OracleService::InsertLocked(int64_t bucket, Pit pit) {
   auto it = cache_.find(bucket);
-  if (it != cache_.end()) {
-    ++stats_.cache_hits;
-    DotEstimate est{oracle_->EstimateFromPits({it->second}, {odt})[0],
-                    it->second};
-    return est;
+  if (it != cache_.end()) {  // another thread filled it first: refresh
+    it->second.pit = std::move(pit);
+    Touch(it);
+    return;
   }
+  if (config_.max_entries <= 0) return;
+  while (static_cast<int64_t>(cache_.size()) >= config_.max_entries &&
+         !lru_.empty()) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(bucket);
+  cache_.emplace(bucket, CacheEntry{std::move(pit), lru_.begin()});
+}
+
+OracleServiceStats OracleService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t OracleService::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(cache_.size());
+}
+
+void OracleService::ClearCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+  lru_.clear();
+}
+
+Result<DotEstimate> OracleService::Query(const OdtInput& odt) {
+  int64_t bucket = BucketOf(odt);
+  bool hit = false;
+  Pit pit{1};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries;
+    auto it = cache_.find(bucket);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      Touch(it);
+      pit = it->second.pit;  // copy: the entry may be evicted after unlock
+      hit = true;
+    }
+  }
+  if (hit) {
+    std::lock_guard<std::mutex> olock(oracle_mu_);
+    double minutes = oracle_->EstimateFromPits({pit}, {odt})[0];
+    return DotEstimate{minutes, std::move(pit)};
+  }
+  std::unique_lock<std::mutex> olock(oracle_mu_);
   Result<DotEstimate> est = oracle_->Estimate(odt);
+  olock.unlock();
   if (!est.ok()) return est;
-  if (static_cast<int64_t>(cache_.size()) >= config_.max_entries) cache_.clear();
-  cache_.emplace(bucket, est->pit);
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(bucket, est->pit);
   return est;
+}
+
+Result<std::vector<DotEstimate>> OracleService::QueryBatch(
+    const std::vector<OdtInput>& odts) {
+  if (odts.empty()) return std::vector<DotEstimate>{};
+  if (!oracle_->trained()) {
+    return Status::FailedPrecondition("oracle not trained");
+  }
+  size_t n = odts.size();
+  std::vector<int64_t> buckets(n);
+  for (size_t i = 0; i < n; ++i) buckets[i] = BucketOf(odts[i]);
+
+  // Partition the wave into cache hits and deduplicated misses. Duplicate
+  // missing buckets within the wave count as hits: they reuse the single
+  // miss-fill exactly as sequential queries would reuse the fresh cache
+  // entry.
+  std::vector<Pit> pits(n, Pit{1});
+  std::vector<char> resolved(n, 0);
+  std::vector<size_t> miss_rep;  // wave index of each unique missing bucket
+  std::unordered_map<int64_t, size_t> miss_slot;  // bucket -> miss_rep index
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.queries += static_cast<int64_t>(n);
+    ++stats_.batch_queries;
+    for (size_t i = 0; i < n; ++i) {
+      auto it = cache_.find(buckets[i]);
+      if (it != cache_.end()) {
+        ++stats_.cache_hits;
+        Touch(it);
+        pits[i] = it->second.pit;
+        resolved[i] = 1;
+      } else if (miss_slot.count(buckets[i])) {
+        ++stats_.cache_hits;  // shared-bucket reuse within the wave
+      } else {
+        miss_slot.emplace(buckets[i], miss_rep.size());
+        miss_rep.push_back(i);
+      }
+    }
+  }
+
+  // Single batched miss-fill: one reverse-diffusion pass denoises every
+  // missing bucket's PiT.
+  if (!miss_rep.empty()) {
+    std::vector<OdtInput> miss_odts;
+    miss_odts.reserve(miss_rep.size());
+    for (size_t idx : miss_rep) miss_odts.push_back(odts[idx]);
+    std::vector<Pit> inferred;
+    {
+      std::lock_guard<std::mutex> olock(oracle_mu_);
+      inferred = oracle_->InferPits(miss_odts);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t k = 0; k < miss_rep.size(); ++k) {
+        InsertLocked(buckets[miss_rep[k]], inferred[k]);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (resolved[i]) continue;
+      pits[i] = inferred[miss_slot.at(buckets[i])];
+      resolved[i] = 1;
+    }
+  }
+
+  // One batched stage-2 pass over the whole wave.
+  std::vector<double> minutes;
+  {
+    std::lock_guard<std::mutex> olock(oracle_mu_);
+    minutes = oracle_->EstimateFromPits(pits, odts);
+  }
+  std::vector<DotEstimate> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(DotEstimate{minutes[i], std::move(pits[i])});
+  }
+  return out;
 }
 
 Status OracleService::Warm(const std::vector<OdtInput>& odts) {
   // Deduplicate buckets, then batch-infer the missing ones.
   std::vector<OdtInput> missing;
   std::vector<int64_t> buckets;
-  for (const auto& odt : odts) {
-    int64_t bucket = BucketOf(odt);
-    if (cache_.count(bucket)) continue;
-    bool queued = false;
-    for (int64_t b : buckets) queued = queued || b == bucket;
-    if (queued) continue;
-    missing.push_back(odt);
-    buckets.push_back(bucket);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::unordered_set<int64_t> queued;
+    for (const auto& odt : odts) {
+      int64_t bucket = BucketOf(odt);
+      if (cache_.count(bucket) || !queued.insert(bucket).second) continue;
+      missing.push_back(odt);
+      buckets.push_back(bucket);
+    }
   }
   if (missing.empty()) return Status::OK();
-  std::vector<Pit> pits = oracle_->InferPits(missing);
+  std::vector<Pit> pits;
+  {
+    std::lock_guard<std::mutex> olock(oracle_mu_);
+    pits = oracle_->InferPits(missing);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < pits.size(); ++i) {
-    if (static_cast<int64_t>(cache_.size()) >= config_.max_entries) break;
-    cache_.emplace(buckets[i], std::move(pits[i]));
+    InsertLocked(buckets[i], std::move(pits[i]));
   }
   return Status::OK();
 }

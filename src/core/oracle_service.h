@@ -1,14 +1,28 @@
-// A thin serving layer over DotOracle for map-based services: queries are
+// A serving layer over DotOracle for map-based services: queries are
 // bucketed by (origin cell, destination cell, time-of-day slot) and the
-// inferred PiT of a bucket is cached, so repeated queries for the same OD
-// neighborhood skip the diffusion sampling entirely (the expensive part of
-// Table 5's estimation cost).
+// inferred PiT of a bucket is cached with LRU eviction, so repeated
+// queries for the same OD neighborhood skip the diffusion sampling
+// entirely (the expensive part of Table 5's estimation cost).
+//
+// QueryBatch is the high-throughput entry point: a request wave is
+// partitioned into cache hits and misses, the misses are deduplicated by
+// bucket and denoised in a single batched reverse-diffusion pass, and all
+// travel times come from one batched stage-2 pass. Results are bitwise
+// identical to issuing the same queries sequentially (the diffusion
+// samplers fork one noise stream per query, in query order).
+//
+// The service is thread-safe: the cache and statistics are guarded by one
+// mutex and calls into the underlying DotOracle (which is stateful and not
+// thread-safe — it owns the sampling RNG) are serialized by another.
 
 #ifndef DOT_CORE_ORACLE_SERVICE_H_
 #define DOT_CORE_ORACLE_SERVICE_H_
 
 #include <cstdint>
+#include <list>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/dot_oracle.h"
 
@@ -18,15 +32,17 @@ namespace dot {
 struct OracleServiceConfig {
   /// Time-of-day slots per day used in the cache key (48 = 30-minute bins).
   int64_t tod_slots = 48;
-  /// Maximum cached buckets; the cache is cleared wholesale when exceeded
-  /// (simple and allocation-friendly; typical working sets fit easily).
+  /// Maximum cached buckets; the least-recently-used bucket is evicted when
+  /// an insert would exceed this.
   int64_t max_entries = 200000;
 };
 
 /// \brief Query statistics of an OracleService.
 struct OracleServiceStats {
-  int64_t queries = 0;
+  int64_t queries = 0;        ///< individual queries (batch members count)
+  int64_t batch_queries = 0;  ///< QueryBatch invocations
   int64_t cache_hits = 0;
+  int64_t evictions = 0;      ///< LRU evictions
   double hit_rate() const {
     return queries > 0 ? static_cast<double>(cache_hits) /
                              static_cast<double>(queries)
@@ -34,7 +50,7 @@ struct OracleServiceStats {
   }
 };
 
-/// \brief Bucketed-cache front end for a trained DotOracle.
+/// \brief Bucketed LRU-cache front end for a trained DotOracle.
 class OracleService {
  public:
   /// `oracle` must be trained and outlive the service.
@@ -43,21 +59,43 @@ class OracleService {
   /// Answers a query, reusing the bucket's cached PiT when available.
   Result<DotEstimate> Query(const OdtInput& odt);
 
+  /// Answers a wave of queries: cache hits are served from their buckets,
+  /// the remaining buckets are deduplicated and filled by one batched
+  /// stage-1 sampling pass, and stage 2 runs once over the whole wave.
+  /// Returns one estimate per input, in input order.
+  Result<std::vector<DotEstimate>> QueryBatch(const std::vector<OdtInput>& odts);
+
   /// Pre-computes the buckets for a set of expected queries (e.g. a
   /// morning's dispatch plan) so later Query calls are cache hits.
   Status Warm(const std::vector<OdtInput>& odts);
 
-  const OracleServiceStats& stats() const { return stats_; }
-  int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
-  void ClearCache() { cache_.clear(); }
+  /// Snapshot of the running statistics.
+  OracleServiceStats stats() const;
+  int64_t cache_size() const;
+  void ClearCache();
 
  private:
+  struct CacheEntry {
+    Pit pit;
+    std::list<int64_t>::iterator lru_it;  // position in lru_ (front = MRU)
+  };
+
   int64_t BucketOf(const OdtInput& odt) const;
+  /// Moves `it`'s bucket to the MRU position. Caller holds mu_.
+  void Touch(std::unordered_map<int64_t, CacheEntry>::iterator it);
+  /// Inserts (or refreshes) a bucket, evicting LRU entries as needed.
+  /// Caller holds mu_.
+  void InsertLocked(int64_t bucket, Pit pit);
 
   DotOracle* oracle_;
   OracleServiceConfig config_;
-  std::unordered_map<int64_t, Pit> cache_;
+
+  mutable std::mutex mu_;  // guards cache_, lru_, stats_
+  std::unordered_map<int64_t, CacheEntry> cache_;
+  std::list<int64_t> lru_;  // front = most recently used
   OracleServiceStats stats_;
+
+  std::mutex oracle_mu_;  // serializes calls into the stateful oracle
 };
 
 }  // namespace dot

@@ -6,11 +6,18 @@
 // throughput on one core than per-sample GEMMs). The backward pass
 // recomputes the column buffer (memory-for-time trade-off appropriate to
 // the small PiT images this library trains on).
+//
+// The im2col / col2im / output-scatter loops are partitioned over
+// ThreadPool::Global() by (sample, channel) — each work item writes a
+// disjoint region of the destination buffer and performs no cross-item
+// reduction, so results are bitwise identical for any thread count (the
+// determinism the batched serving path and determinism_test rely on).
 
 #include <algorithm>
 
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
+#include "util/thread_pool.h"
 
 namespace dot {
 
@@ -28,64 +35,94 @@ struct ConvDims {
   int64_t ohw() const { return oh * ow; }
 };
 
-/// Expands one sample into the batch column buffer: row r of the patch
-/// matrix lands at col + r * row_stride + col_offset.
-void Im2Col(const float* x, const ConvDims& d, float* col, int64_t row_stride,
-            int64_t col_offset) {
-  for (int64_t c = 0; c < d.c; ++c) {
-    const float* xc = x + c * d.h * d.w;
-    for (int64_t kh = 0; kh < d.kh; ++kh) {
-      for (int64_t kw = 0; kw < d.kw; ++kw) {
-        float* crow = col + ((c * d.kh + kh) * d.kw + kw) * row_stride + col_offset;
-        for (int64_t oh = 0; oh < d.oh; ++oh) {
-          int64_t ih = oh * d.stride + kh - d.pad;
-          float* dst = crow + oh * d.ow;
-          if (ih < 0 || ih >= d.h) {
-            std::fill(dst, dst + d.ow, 0.0f);
-            continue;
-          }
-          const float* src = xc + ih * d.w;
-          for (int64_t ow = 0; ow < d.ow; ++ow) {
-            int64_t iw = ow * d.stride + kw - d.pad;
-            dst[ow] = (iw >= 0 && iw < d.w) ? src[iw] : 0.0f;
-          }
+/// Picks a ParallelFor chunk size so each task covers at least
+/// `kMinParallelElems` written elements (`per_item` = elements per item).
+int64_t ChunkFor(int64_t per_item) {
+  constexpr int64_t kMinParallelElems = 4096;
+  return std::max<int64_t>(1, kMinParallelElems / std::max<int64_t>(1, per_item));
+}
+
+/// Expands one (sample, channel) plane into the batch column buffer: row r
+/// of the patch matrix lands at col + r * row_stride + col_offset.
+void Im2ColChannel(const float* xc, const ConvDims& d, int64_t c, float* col,
+                   int64_t row_stride, int64_t col_offset) {
+  for (int64_t kh = 0; kh < d.kh; ++kh) {
+    for (int64_t kw = 0; kw < d.kw; ++kw) {
+      float* crow = col + ((c * d.kh + kh) * d.kw + kw) * row_stride + col_offset;
+      for (int64_t oh = 0; oh < d.oh; ++oh) {
+        int64_t ih = oh * d.stride + kh - d.pad;
+        float* dst = crow + oh * d.ow;
+        if (ih < 0 || ih >= d.h) {
+          std::fill(dst, dst + d.ow, 0.0f);
+          continue;
+        }
+        const float* src = xc + ih * d.w;
+        for (int64_t ow = 0; ow < d.ow; ++ow) {
+          int64_t iw = ow * d.stride + kw - d.pad;
+          dst[ow] = (iw >= 0 && iw < d.w) ? src[iw] : 0.0f;
         }
       }
     }
   }
 }
 
-/// Scatter-adds one sample's column gradients (strided layout) back into
-/// that sample's input gradient.
-void Col2Im(const float* col, const ConvDims& d, int64_t row_stride,
-            int64_t col_offset, float* gx) {
-  for (int64_t c = 0; c < d.c; ++c) {
-    float* gc = gx + c * d.h * d.w;
-    for (int64_t kh = 0; kh < d.kh; ++kh) {
-      for (int64_t kw = 0; kw < d.kw; ++kw) {
-        const float* crow =
-            col + ((c * d.kh + kh) * d.kw + kw) * row_stride + col_offset;
-        for (int64_t oh = 0; oh < d.oh; ++oh) {
-          int64_t ih = oh * d.stride + kh - d.pad;
-          if (ih < 0 || ih >= d.h) continue;
-          const float* src = crow + oh * d.ow;
-          float* dst = gc + ih * d.w;
-          for (int64_t ow = 0; ow < d.ow; ++ow) {
-            int64_t iw = ow * d.stride + kw - d.pad;
-            if (iw >= 0 && iw < d.w) dst[iw] += src[ow];
-          }
+/// Scatter-adds one (sample, channel) plane's column gradients (strided
+/// layout) back into that plane's input gradient.
+void Col2ImChannel(const float* col, const ConvDims& d, int64_t c,
+                   int64_t row_stride, int64_t col_offset, float* gc) {
+  for (int64_t kh = 0; kh < d.kh; ++kh) {
+    for (int64_t kw = 0; kw < d.kw; ++kw) {
+      const float* crow =
+          col + ((c * d.kh + kh) * d.kw + kw) * row_stride + col_offset;
+      for (int64_t oh = 0; oh < d.oh; ++oh) {
+        int64_t ih = oh * d.stride + kh - d.pad;
+        if (ih < 0 || ih >= d.h) continue;
+        const float* src = crow + oh * d.ow;
+        float* dst = gc + ih * d.w;
+        for (int64_t ow = 0; ow < d.ow; ++ow) {
+          int64_t iw = ow * d.stride + kw - d.pad;
+          if (iw >= 0 && iw < d.w) dst[iw] += src[ow];
         }
       }
     }
   }
 }
 
-/// Fills the batch column buffer [CKK, B*OHW] from an NCHW input.
+/// Fills the batch column buffer [CKK, B*OHW] from an NCHW input,
+/// partitioned over the pool by (sample, channel) plane. Each plane writes
+/// a disjoint set of column-buffer rows/columns, so the result does not
+/// depend on the partitioning.
 void BatchIm2Col(const float* x, const ConvDims& d, float* col) {
   int64_t total = d.n * d.ohw();
-  for (int64_t b = 0; b < d.n; ++b) {
-    Im2Col(x + b * d.c * d.h * d.w, d, col, total, b * d.ohw());
-  }
+  int64_t items = d.n * d.c;
+  ParallelFor(
+      ThreadPool::Global(), items,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          int64_t b = i / d.c, c = i % d.c;
+          Im2ColChannel(x + (b * d.c + c) * d.h * d.w, d, c, col, total,
+                        b * d.ohw());
+        }
+      },
+      ChunkFor(d.kh * d.kw * d.ohw()));
+}
+
+/// Scatters the whole batch's column gradients back into the input
+/// gradient, partitioned like BatchIm2Col. Each (sample, channel) plane
+/// accumulates only into its own gx slice in a fixed loop order.
+void BatchCol2Im(const float* col, const ConvDims& d, float* gx) {
+  int64_t total = d.n * d.ohw();
+  int64_t items = d.n * d.c;
+  ParallelFor(
+      ThreadPool::Global(), items,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          int64_t b = i / d.c, c = i % d.c;
+          Col2ImChannel(col, d, c, total, b * d.ohw(),
+                        gx + (b * d.c + c) * d.h * d.w);
+        }
+      },
+      ChunkFor(d.kh * d.kw * d.ohw()));
 }
 
 }  // namespace
@@ -118,15 +155,23 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int64_t stri
     BatchIm2Col(x.data(), d, col.data());
     // One GEMM for the whole batch: [OC, CKK] x [CKK, B*OHW].
     internal::Gemm(w.data(), col.data(), tmp.data(), d.oc, d.ckk(), cols, false);
-    // Scatter [OC, B*OHW] -> [B, OC, OHW], fusing the bias.
-    for (int64_t b = 0; b < d.n; ++b) {
-      for (int64_t oc = 0; oc < d.oc; ++oc) {
-        const float* src = tmp.data() + oc * cols + b * d.ohw();
-        float* dst = out.data() + (b * d.oc + oc) * d.ohw();
-        float bv = has_bias ? bias.at(oc) : 0.0f;
-        for (int64_t i = 0; i < d.ohw(); ++i) dst[i] = src[i] + bv;
-      }
-    }
+    // Scatter [OC, B*OHW] -> [B, OC, OHW], fusing the bias. Each
+    // (sample, out-channel) row is written by exactly one task.
+    const float* bias_ptr = has_bias ? bias.data() : nullptr;
+    float* out_ptr = out.data();
+    const float* tmp_ptr = tmp.data();
+    ParallelFor(
+        ThreadPool::Global(), d.n * d.oc,
+        [&](int64_t begin, int64_t end) {
+          for (int64_t i = begin; i < end; ++i) {
+            int64_t b = i / d.oc, oc = i % d.oc;
+            const float* src = tmp_ptr + oc * cols + b * d.ohw();
+            float* dst = out_ptr + i * d.ohw();
+            float bv = bias_ptr ? bias_ptr[oc] : 0.0f;
+            for (int64_t j = 0; j < d.ohw(); ++j) dst[j] = src[j] + bv;
+          }
+        },
+        ChunkFor(d.ohw()));
   }
 
   std::vector<Tensor> inputs = {x, w};
@@ -140,15 +185,21 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int64_t stri
                bool need_w = NeedsGrad(w);
                bool need_b = has_bias && NeedsGrad(b);
 
-               // Gather dOut into [OC, B*OHW] once.
+               // Gather dOut into [OC, B*OHW] once (disjoint row segments
+               // per task, deterministic for any partitioning).
                std::vector<float> gall(static_cast<size_t>(d.oc * cols));
-               for (int64_t bb = 0; bb < d.n; ++bb) {
-                 for (int64_t oc = 0; oc < d.oc; ++oc) {
-                   const float* src = gout + (bb * d.oc + oc) * d.ohw();
-                   float* dst = gall.data() + oc * cols + bb * d.ohw();
-                   std::copy(src, src + d.ohw(), dst);
-                 }
-               }
+               float* gall_ptr = gall.data();
+               ParallelFor(
+                   ThreadPool::Global(), d.n * d.oc,
+                   [&](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       int64_t bb = i / d.oc, oc = i % d.oc;
+                       const float* src = gout + i * d.ohw();
+                       float* dst = gall_ptr + oc * cols + bb * d.ohw();
+                       std::copy(src, src + d.ohw(), dst);
+                     }
+                   },
+                   ChunkFor(d.ohw()));
                if (need_b) {
                  float* gb = b.grad();
                  for (int64_t oc = 0; oc < d.oc; ++oc) {
@@ -170,11 +221,7 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int64_t stri
                  // dcol = W^T * dOut_all : [CKK, OC] x [OC, B*OHW].
                  internal::GemmTA(w.data(), gall.data(), gcol.data(), d.ckk(),
                                   d.oc, cols, false);
-                 float* gx = x.grad();
-                 for (int64_t bb = 0; bb < d.n; ++bb) {
-                   Col2Im(gcol.data(), d, cols, bb * d.ohw(),
-                          gx + bb * d.c * d.h * d.w);
-                 }
+                 BatchCol2Im(gcol.data(), d, x.grad());
                }
              });
   return out;

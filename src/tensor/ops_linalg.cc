@@ -34,6 +34,32 @@ void ForEachRow(int64_t m, RowFn fn) {
 
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool accumulate) {
+  // Short-and-wide GEMMs — the batched-conv shape [OC, CKK] x [CKK, B*OHW]
+  // with few rows but a long streaming dimension — parallelize over column
+  // blocks instead of rows. Every output element keeps the same
+  // k-accumulation order as the serial kernel, so the result is bitwise
+  // identical for any thread count or block partitioning.
+  constexpr int64_t kParallelColThreshold = 2048;
+  if (m < kParallelRowThreshold && n >= kParallelColThreshold &&
+      ThreadPool::Global()->num_threads() > 1) {
+    ParallelFor(
+        ThreadPool::Global(), n,
+        [&](int64_t jb, int64_t je) {
+          for (int64_t i = 0; i < m; ++i) {
+            float* crow = c + i * n;
+            if (!accumulate) std::fill(crow + jb, crow + je, 0.0f);
+            const float* arow = a + i * k;
+            for (int64_t kk = 0; kk < k; ++kk) {
+              float av = arow[kk];
+              if (av == 0.0f) continue;
+              const float* brow = b + kk * n;
+              for (int64_t j = jb; j < je; ++j) crow[j] += av * brow[j];
+            }
+          }
+        },
+        /*min_chunk=*/512);
+    return;
+  }
   // i-k-j loop order: unit-stride access on B and C.
   ForEachRow(m, [&](int64_t i) {
     float* crow = c + i * n;

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace dot {
 
@@ -54,8 +55,16 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool* ThreadPool::Global() {
-  static ThreadPool pool(
-      std::max(1u, std::thread::hardware_concurrency()));
+  // DOT_NUM_THREADS overrides the hardware concurrency — smaller to bound a
+  // shared machine, larger to exercise the parallel partitioning paths on
+  // boxes with few cores (the kernels are deterministic either way).
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("DOT_NUM_THREADS")) {
+      int n = std::atoi(env);
+      if (n >= 1) return std::min(n, 256);
+    }
+    return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }());
   return &pool;
 }
 

@@ -32,7 +32,8 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Process-wide pool sized to the hardware concurrency.
+  /// Process-wide pool sized to the hardware concurrency, or to the
+  /// DOT_NUM_THREADS environment variable when set (clamped to [1, 256]).
   static ThreadPool* Global();
 
  private:

@@ -135,6 +135,73 @@ TEST(DiffusionTest, StridedWithZeroNoisePredictionRecoversScaledStart) {
   for (int64_t i = 0; i < x.numel(); ++i) EXPECT_TRUE(std::isfinite(x.at(i)));
 }
 
+/// A nontrivial batch-invariant predictor: per-sample elementwise scaling
+/// plus a per-sample condition shift, so batched and single-sample calls
+/// exercise the condition routing as well as the noise streams.
+class AffinePredictor : public NoisePredictor {
+ public:
+  Tensor PredictNoise(const Tensor& x, const std::vector<int64_t>&,
+                      const Tensor& cond) const override {
+    Tensor out = Tensor::Empty(x.shape());
+    int64_t b = x.size(0);
+    int64_t per = x.numel() / b;
+    for (int64_t i = 0; i < b; ++i) {
+      float shift = 0.1f * cond.at(i * cond.size(1));
+      for (int64_t j = 0; j < per; ++j) {
+        out.data()[i * per + j] = 0.5f * x.data()[i * per + j] + shift;
+      }
+    }
+    return out;
+  }
+};
+
+/// Batch-vs-single equivalence: sampling B=4 in one call must be bitwise
+/// identical to four B=1 calls drawn from the same parent RNG (the
+/// serving-path property EstimateBatch/QueryBatch rely on).
+TEST(DiffusionTest, AncestralBatchMatchesSingleSlices) {
+  Diffusion d{DiffusionSchedule(15)};
+  AffinePredictor model;
+  Tensor cond = Tensor::Empty({4, 5});
+  Rng cond_rng(11);
+  for (int64_t i = 0; i < cond.numel(); ++i) {
+    cond.at(i) = static_cast<float>(cond_rng.Uniform(-1, 1));
+  }
+  Rng rng_batch(21), rng_single(21);
+  Tensor batched = d.Sample(model, cond, {4, 3, 5, 5}, &rng_batch);
+  int64_t per = batched.numel() / 4;
+  for (int64_t i = 0; i < 4; ++i) {
+    Tensor ci = Tensor::Empty({1, 5});
+    for (int64_t j = 0; j < 5; ++j) ci.at(j) = cond.at(i * 5 + j);
+    Tensor single = d.Sample(model, ci, {1, 3, 5, 5}, &rng_single);
+    for (int64_t j = 0; j < per; ++j) {
+      ASSERT_EQ(batched.at(i * per + j), single.at(j))
+          << "sample " << i << " element " << j;
+    }
+  }
+}
+
+TEST(DiffusionTest, StridedBatchMatchesSingleSlices) {
+  Diffusion d{DiffusionSchedule(60)};
+  AffinePredictor model;
+  Tensor cond = Tensor::Empty({4, 5});
+  Rng cond_rng(12);
+  for (int64_t i = 0; i < cond.numel(); ++i) {
+    cond.at(i) = static_cast<float>(cond_rng.Uniform(-1, 1));
+  }
+  Rng rng_batch(22), rng_single(22);
+  Tensor batched = d.SampleStrided(model, cond, {4, 3, 5, 5}, 8, &rng_batch);
+  int64_t per = batched.numel() / 4;
+  for (int64_t i = 0; i < 4; ++i) {
+    Tensor ci = Tensor::Empty({1, 5});
+    for (int64_t j = 0; j < 5; ++j) ci.at(j) = cond.at(i * 5 + j);
+    Tensor single = d.SampleStrided(model, ci, {1, 3, 5, 5}, 8, &rng_single);
+    for (int64_t j = 0; j < per; ++j) {
+      ASSERT_EQ(batched.at(i * per + j), single.at(j))
+          << "sample " << i << " element " << j;
+    }
+  }
+}
+
 TEST(DiffusionTest, SamplersRunWithoutBuildingGraphs) {
   Diffusion d{DiffusionSchedule(10)};
   ZeroPredictor model;

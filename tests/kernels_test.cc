@@ -1,12 +1,23 @@
 // Property tests for the raw linear-algebra kernels against a naive
 // reference implementation, plus broadcast-shape rules.
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 #include "tensor/ops.h"
 
 namespace dot {
 namespace {
+
+// Force a multi-worker pool before the lazily-constructed global pool is
+// first touched, so the parallel GEMM/conv partitioning paths are exercised
+// even on single-core CI boxes. The kernels are deterministic by
+// construction, so every tolerance below is unaffected.
+const bool kForceThreads = [] {
+  setenv("DOT_NUM_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
 
 struct GemmCase {
   int64_t m, k, n;
@@ -94,11 +105,93 @@ TEST_P(GemmProperty, TransposedBMatchesExplicitTranspose) {
   for (size_t i = 0; i < c.size(); ++i) EXPECT_NEAR(c[i], want[i], 1e-3);
 }
 
+// The short-and-wide shapes (m < 64, n >= 2048) route through the
+// column-parallel GEMM path used by batched conv2d.
 INSTANTIATE_TEST_SUITE_P(Shapes, GemmProperty,
                          ::testing::Values(GemmCase{1, 1, 1}, GemmCase{3, 5, 2},
                                            GemmCase{16, 144, 32},
                                            GemmCase{64, 7, 65},
-                                           GemmCase{5, 1, 9}));
+                                           GemmCase{5, 1, 9},
+                                           GemmCase{4, 9, 2500},
+                                           GemmCase{2, 33, 4096}));
+
+struct ConvCase {
+  int64_t n, c, oc, h, w, kernel, stride, pad;
+  bool with_bias;
+};
+
+class ConvProperty : public ::testing::TestWithParam<ConvCase> {
+ protected:
+  static Tensor RandomTensor(std::vector<int64_t> shape, uint64_t seed) {
+    Rng rng(seed);
+    Tensor t = Tensor::Empty(std::move(shape));
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      t.at(i) = static_cast<float>(rng.Uniform(-1, 1));
+    }
+    return t;
+  }
+
+  /// Direct convolution with double accumulation — no im2col, no GEMM, so
+  /// a shared bug in the production lowering cannot hide here.
+  static std::vector<float> NaiveConv(const Tensor& x, const Tensor& w,
+                                      const Tensor& bias, const ConvCase& p,
+                                      int64_t oh, int64_t ow) {
+    std::vector<float> out(static_cast<size_t>(p.n * p.oc * oh * ow), 0.0f);
+    for (int64_t n = 0; n < p.n; ++n) {
+      for (int64_t o = 0; o < p.oc; ++o) {
+        for (int64_t y = 0; y < oh; ++y) {
+          for (int64_t xo = 0; xo < ow; ++xo) {
+            double acc = p.with_bias ? bias.at(o) : 0.0;
+            for (int64_t ci = 0; ci < p.c; ++ci) {
+              for (int64_t ky = 0; ky < p.kernel; ++ky) {
+                for (int64_t kx = 0; kx < p.kernel; ++kx) {
+                  int64_t iy = y * p.stride + ky - p.pad;
+                  int64_t ix = xo * p.stride + kx - p.pad;
+                  if (iy < 0 || iy >= p.h || ix < 0 || ix >= p.w) continue;
+                  acc += static_cast<double>(
+                             x.at(((n * p.c + ci) * p.h + iy) * p.w + ix)) *
+                         static_cast<double>(w.at(
+                             ((o * p.c + ci) * p.kernel + ky) * p.kernel + kx));
+                }
+              }
+            }
+            out[static_cast<size_t>(((n * p.oc + o) * oh + y) * ow + xo)] =
+                static_cast<float>(acc);
+          }
+        }
+      }
+    }
+    return out;
+  }
+};
+
+TEST_P(ConvProperty, MatchesNaiveDirectConvolution) {
+  const ConvCase p = GetParam();
+  Tensor x = RandomTensor({p.n, p.c, p.h, p.w}, 11);
+  Tensor w = RandomTensor({p.oc, p.c, p.kernel, p.kernel}, 12);
+  Tensor bias = p.with_bias ? RandomTensor({p.oc}, 13) : Tensor();
+  NoGradGuard guard;
+  Tensor y = Conv2d(x, w, bias, p.stride, p.pad);
+  int64_t oh = (p.h + 2 * p.pad - p.kernel) / p.stride + 1;
+  int64_t ow = (p.w + 2 * p.pad - p.kernel) / p.stride + 1;
+  ASSERT_EQ(y.shape(), (std::vector<int64_t>{p.n, p.oc, oh, ow}));
+  auto want = NaiveConv(x, w, bias, p, oh, ow);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    ASSERT_NEAR(y.at(i), want[static_cast<size_t>(i)], 1e-4)
+        << "flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvProperty,
+    ::testing::Values(ConvCase{1, 1, 1, 5, 5, 3, 1, 1, false},
+                      ConvCase{3, 2, 4, 6, 6, 3, 1, 1, true},
+                      ConvCase{1, 3, 2, 7, 7, 3, 2, 1, true},
+                      ConvCase{3, 2, 3, 5, 8, 3, 2, 0, false},
+                      ConvCase{2, 4, 3, 4, 4, 1, 1, 0, true},
+                      ConvCase{1, 2, 2, 6, 5, 1, 2, 0, false},
+                      ConvCase{2, 3, 2, 4, 4, 3, 1, 2, true},
+                      ConvCase{3, 8, 8, 12, 12, 3, 1, 1, true}));
 
 TEST(BroadcastShapeTest, Rules) {
   using internal::BroadcastShape;

@@ -433,6 +433,84 @@ TEST(OpsGrad, Conv2dStride2NoBias) {
       /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
 }
 
+// The stride/padding variants below gradient-check the parallel im2col /
+// col2im partitioning across the index arithmetic it has to get right:
+// strided output stepping, padding clamps, 1x1 kernels (row_stride indexing
+// without spatial offsets) and rectangular inputs (h != w).
+
+TEST(OpsGrad, Conv2dStride2PaddedWithBias) {
+  auto x = SmallRand({2, 2, 5, 5}, 50);
+  auto w = SmallRand({3, 2, 3, 3}, 51);
+  auto b = SmallRand({3}, 52);
+  ExpectGradientsMatch(
+      {x, w, b},
+      [](const std::vector<Tensor>& in) {
+        return Mean(Square(Conv2d(in[0], in[1], in[2], 2, 1)));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+TEST(OpsGrad, Conv2dOneByOneKernel) {
+  auto x = SmallRand({2, 3, 4, 4}, 53);
+  auto w = SmallRand({2, 3, 1, 1}, 54);
+  ExpectGradientsMatch(
+      {x, w},
+      [](const std::vector<Tensor>& in) {
+        return Mean(Square(Conv2d(in[0], in[1], Tensor(), 1, 0)));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+TEST(OpsGrad, Conv2dWidePadding) {
+  // Padding of 2 with a 3x3 kernel: output larger than input, boundary
+  // rows/cols read entirely from the zero pad.
+  auto x = SmallRand({1, 2, 4, 4}, 55);
+  auto w = SmallRand({2, 2, 3, 3}, 56);
+  ExpectGradientsMatch(
+      {x, w},
+      [](const std::vector<Tensor>& in) {
+        return Mean(Square(Conv2d(in[0], in[1], Tensor(), 1, 2)));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+TEST(OpsGrad, Conv2dRectangularInput) {
+  auto x = SmallRand({2, 2, 4, 6}, 57);
+  auto w = SmallRand({2, 2, 3, 3}, 58);
+  auto b = SmallRand({2}, 59);
+  ExpectGradientsMatch(
+      {x, w, b},
+      [](const std::vector<Tensor>& in) {
+        return Mean(Square(Conv2d(in[0], in[1], in[2], 1, 1)));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+TEST(OpsGrad, GroupNormSingleGroup) {
+  auto x = SmallRand({2, 4, 2, 2}, 60, -2, 2);
+  auto g = SmallRand({4}, 61, 0.5f, 1.5f);
+  auto b = SmallRand({4}, 62);
+  ExpectGradientsMatch(
+      {x, g, b},
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(GroupNormOp(in[0], in[1], in[2], 1)));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+TEST(OpsGrad, GroupNormPerChannelGroups) {
+  // groups == channels (instance-norm limit): per-channel statistics.
+  auto x = SmallRand({2, 4, 3, 3}, 63, -2, 2);
+  auto g = SmallRand({4}, 64, 0.5f, 1.5f);
+  auto b = SmallRand({4}, 65);
+  ExpectGradientsMatch(
+      {x, g, b},
+      [](const std::vector<Tensor>& in) {
+        return Sum(Square(GroupNormOp(in[0], in[1], in[2], 4)));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
 TEST(OpsGrad, PoolingAndUpsample) {
   auto x = SmallRand({1, 2, 4, 4}, 40);
   ExpectGradientsMatch({x}, [](const std::vector<Tensor>& in) {

@@ -2,6 +2,9 @@
 
 #include "core/oracle_service.h"
 
+#include <atomic>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "util/stopwatch.h"
@@ -134,6 +137,102 @@ TEST_F(OracleServiceFixture, HitRateStatistics) {
   ASSERT_TRUE(service.Query(odt).ok());
   ASSERT_TRUE(service.Query(odt).ok());
   EXPECT_NEAR(service.stats().hit_rate(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(OracleServiceFixture, EvictsLeastRecentlyUsedBucket) {
+  OracleServiceConfig cfg;
+  cfg.max_entries = 2;
+  OracleService service(oracle_, cfg);
+  OdtInput base = dataset_->split.test[0].odt;
+  auto at_hour = [&](int64_t k) {
+    OdtInput odt = base;
+    odt.departure_time += k * 3600;  // one bucket per hour with 30-min slots
+    return odt;
+  };
+  ASSERT_TRUE(service.Query(at_hour(0)).ok());
+  ASSERT_TRUE(service.Query(at_hour(1)).ok());
+  EXPECT_EQ(service.cache_size(), 2);
+  EXPECT_EQ(service.stats().evictions, 0);
+  // Third distinct bucket evicts the oldest (hour 0), never the whole cache.
+  ASSERT_TRUE(service.Query(at_hour(2)).ok());
+  EXPECT_EQ(service.cache_size(), 2);
+  EXPECT_EQ(service.stats().evictions, 1);
+  // Hour 1 and 2 survived; hour 0 is gone.
+  ASSERT_TRUE(service.Query(at_hour(1)).ok());
+  ASSERT_TRUE(service.Query(at_hour(2)).ok());
+  EXPECT_EQ(service.stats().cache_hits, 2);
+  ASSERT_TRUE(service.Query(at_hour(0)).ok());
+  EXPECT_EQ(service.stats().cache_hits, 2);
+  EXPECT_EQ(service.stats().evictions, 2);
+}
+
+TEST_F(OracleServiceFixture, CacheHitRefreshesRecency) {
+  OracleServiceConfig cfg;
+  cfg.max_entries = 2;
+  OracleService service(oracle_, cfg);
+  OdtInput base = dataset_->split.test[1].odt;
+  auto at_hour = [&](int64_t k) {
+    OdtInput odt = base;
+    odt.departure_time += k * 3600;
+    return odt;
+  };
+  ASSERT_TRUE(service.Query(at_hour(0)).ok());
+  ASSERT_TRUE(service.Query(at_hour(1)).ok());
+  // Touching hour 0 makes hour 1 the LRU victim for the next insert.
+  ASSERT_TRUE(service.Query(at_hour(0)).ok());
+  ASSERT_TRUE(service.Query(at_hour(2)).ok());
+  ASSERT_TRUE(service.Query(at_hour(0)).ok());
+  EXPECT_EQ(service.stats().cache_hits, 2);
+  EXPECT_EQ(service.stats().evictions, 1);
+}
+
+TEST_F(OracleServiceFixture, WarmEvictsWhenOverCapacity) {
+  OracleServiceConfig cfg;
+  cfg.max_entries = 3;
+  OracleService service(oracle_, cfg);
+  std::vector<OdtInput> odts;
+  OdtInput base = dataset_->split.test[2].odt;
+  for (int64_t k = 0; k < 6; ++k) {
+    OdtInput odt = base;
+    odt.departure_time += k * 3600;
+    odts.push_back(odt);
+  }
+  ASSERT_TRUE(service.Warm(odts).ok());
+  EXPECT_EQ(service.cache_size(), 3);
+  EXPECT_EQ(service.stats().evictions, 3);
+}
+
+TEST_F(OracleServiceFixture, ConcurrentQueriesKeepStatsConsistent) {
+  OracleServiceConfig cfg;
+  cfg.max_entries = 4;  // small enough to force concurrent evictions
+  OracleService service(oracle_, cfg);
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 3;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        OdtInput odt = dataset_->split.test[(t + i) % 6].odt;
+        odt.departure_time += t * 3600;
+        if (t % 2 == 0) {
+          if (!service.Query(odt).ok()) ++failures;
+        } else {
+          OdtInput other = dataset_->split.test[(t + i + 1) % 6].odt;
+          Result<std::vector<DotEstimate>> r = service.QueryBatch({odt, other});
+          if (!r.ok() || r->size() != 2) ++failures;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  OracleServiceStats stats = service.stats();
+  // Half the threads issue 1 query per iteration, half issue 2.
+  EXPECT_EQ(stats.queries, kThreads / 2 * kItersPerThread * 3);
+  EXPECT_EQ(stats.batch_queries, kThreads / 2 * kItersPerThread);
+  EXPECT_LE(stats.cache_hits, stats.queries);
+  EXPECT_LE(service.cache_size(), cfg.max_entries);
 }
 
 }  // namespace
