@@ -6,6 +6,7 @@
 // slowest (two stages) while its estimation speed is on par with the other
 // neural methods.
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 
@@ -15,6 +16,7 @@
 #include "baselines/regression.h"
 #include "common.h"
 #include "core/oracle_service.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -225,6 +227,14 @@ int main() {
           << "  \"batched_qps\": " << static_cast<double>(n) / batch_s << ",\n"
           << "  \"speedup\": " << speedup << "\n"
           << "}\n";
+    }
+    // Full metrics + op-profile snapshot of the serving section: latency
+    // histograms, hit/miss/dedup counters, and (under DOT_OP_PROFILE=1)
+    // per-op FLOPs.
+    if (const char* path = std::getenv("DOT_BENCH_SERVING_METRICS_JSON")) {
+      if (!obs::DumpMetrics(path)) {
+        std::fprintf(stderr, "failed to write %s\n", path);
+      }
     }
   }
   return 0;

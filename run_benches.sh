@@ -5,6 +5,8 @@ OUT=${1:-bench_output.txt}
 : > "$OUT"
 # bench_table5_efficiency dumps the single-vs-batched serving comparison here.
 export DOT_BENCH_BATCHED_JSON=${DOT_BENCH_BATCHED_JSON:-BENCH_batched.json}
+# ... and a metrics + op-profile snapshot of its serving section here.
+export DOT_BENCH_SERVING_METRICS_JSON=${DOT_BENCH_SERVING_METRICS_JSON:-BENCH_serving_metrics.json}
 for b in build/bench/bench_*; do
   echo "===== $b =====" | tee -a "$OUT"
   if [ "$(basename $b)" = "bench_micro_kernels" ]; then

@@ -1,0 +1,56 @@
+#!/bin/bash
+# Observability / concurrency gate:
+#   1. builds the tree with ThreadSanitizer (-DDOT_SANITIZE=thread) — the
+#      sharded counters, trace recorder and service cache are all hit from
+#      multiple threads in the tier-1 suite, so data races surface here;
+#   2. runs the fast (tier1) ctest suite under that build;
+#   3. re-runs obs_test with DOT_METRICS_TEXT set and lints the Prometheus
+#      text export: every line must be a comment (# HELP / # TYPE) or a
+#      `name{labels} value` sample with a legal metric name and a finite
+#      or +Inf number.
+# Usage: scripts/check.sh [build_dir]   (default: build-tsan)
+set -u
+cd "$(dirname "$0")/.."
+BUILD=${1:-build-tsan}
+FAILED=0
+
+echo "== configure + build ($BUILD, -DDOT_SANITIZE=thread) =="
+cmake -B "$BUILD" -S . -DDOT_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  || exit 1
+cmake --build "$BUILD" -j || exit 1
+
+echo "== tier1 tests under tsan =="
+if ! ctest --test-dir "$BUILD" -L tier1 --output-on-failure -j; then
+  echo "CHECK FAILED: tier1 tests"
+  FAILED=1
+fi
+
+echo "== metrics text export lint =="
+METRICS_TXT=$(mktemp)
+trap 'rm -f "$METRICS_TXT"' EXIT
+if ! DOT_METRICS_TEXT="$METRICS_TXT" "$BUILD"/tests/obs_test \
+    --gtest_filter='MetricsRegistryTest.PrometheusExportIsWellFormed' \
+    > /dev/null; then
+  echo "CHECK FAILED: obs_test export run"
+  FAILED=1
+fi
+if [ ! -s "$METRICS_TXT" ]; then
+  echo "CHECK FAILED: metrics text export is empty"
+  FAILED=1
+fi
+# A line is well-formed iff it is a '#' comment or: a metric name in
+# [a-zA-Z_:][a-zA-Z0-9_:]* with an optional {label="..."} set, one space,
+# and one numeric value (scientific notation, +Inf and NaN allowed).
+BAD=$(grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN))$' \
+  "$METRICS_TXT")
+if [ -n "$BAD" ]; then
+  echo "CHECK FAILED: malformed metrics export lines:"
+  echo "$BAD"
+  FAILED=1
+fi
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "CHECK FAILED"
+  exit 1
+fi
+echo "CHECK OK"

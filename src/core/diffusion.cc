@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace dot {
@@ -73,6 +75,16 @@ void Diffusion::SplitPrediction(float x_t, float model_out, double ab_t,
   *eps_hat = snt > 1e-8f ? (x_t - sab * *x0_hat) / snt : model_out;
 }
 
+namespace {
+
+/// Span args for one reverse step; built only while tracing (the string
+/// construction would otherwise run once per step in the sampling loop).
+std::string StepArgs(int64_t step) {
+  return "\"step\": " + std::to_string(step);
+}
+
+}  // namespace
+
 std::vector<Rng> Diffusion::ForkSampleStreams(Rng* rng, int64_t b) {
   std::vector<Rng> streams;
   streams.reserve(static_cast<size_t>(b));
@@ -96,6 +108,7 @@ Tensor Diffusion::InitialNoise(const std::vector<int64_t>& out_shape,
 Tensor Diffusion::Sample(const NoisePredictor& model, const Tensor& cond,
                          const std::vector<int64_t>& out_shape, Rng* rng) const {
   NoGradGuard guard;
+  obs::TraceSpan sample_span("Diffusion::Sample");
   int64_t b = out_shape[0];
   // One decorrelated noise stream per sample, forked in batch order. A batch
   // of B consumes exactly B forks from `rng`, so sampling is batch-size
@@ -107,6 +120,8 @@ Tensor Diffusion::Sample(const NoisePredictor& model, const Tensor& cond,
   int64_t per = x.numel() / b;
   std::vector<int64_t> steps(static_cast<size_t>(b));
   for (int64_t n = schedule_.num_steps() - 1; n >= 0; --n) {
+    obs::TraceSpan step_span("reverse_step",
+                             obs::TracingEnabled() ? StepArgs(n) : std::string());
     std::fill(steps.begin(), steps.end(), n);
     Tensor pred = model.PredictNoise(x, steps, cond);
     // Eq. 10 via the x0 parameterization with the standard clamp: recover
@@ -143,6 +158,7 @@ Tensor Diffusion::SampleStrided(const NoisePredictor& model, const Tensor& cond,
                                 const std::vector<int64_t>& out_shape,
                                 int64_t num_eval_steps, Rng* rng) const {
   NoGradGuard guard;
+  obs::TraceSpan sample_span("Diffusion::SampleStrided");
   int64_t n_total = schedule_.num_steps();
   num_eval_steps = std::min(num_eval_steps, n_total);
   DOT_CHECK(num_eval_steps >= 1) << "need at least one eval step";
@@ -164,6 +180,8 @@ Tensor Diffusion::SampleStrided(const NoisePredictor& model, const Tensor& cond,
   for (size_t k = 0; k < timeline.size(); ++k) {
     int64_t t = timeline[k];
     int64_t t_prev = (k + 1 < timeline.size()) ? timeline[k + 1] : -1;
+    obs::TraceSpan step_span("reverse_step",
+                             obs::TracingEnabled() ? StepArgs(t) : std::string());
     std::fill(steps.begin(), steps.end(), t);
     Tensor pred = model.PredictNoise(x, steps, cond);
     double ab_t = schedule_.alpha_bar(t);

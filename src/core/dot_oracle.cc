@@ -4,9 +4,12 @@
 #include <cmath>
 
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/optim.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace dot {
 
@@ -18,6 +21,34 @@ void CopyPitInto(const Pit& pit, Tensor* batch, int64_t i) {
   std::copy(pit.tensor().data(), pit.tensor().data() + per,
             batch->data() + i * per);
 }
+
+/// L2 norm of the accumulated gradients of `params` (training telemetry).
+double GradNorm(const std::vector<Tensor>& params) {
+  double sq = 0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    for (float g : p.grad_vec()) sq += static_cast<double>(g) * g;
+  }
+  return std::sqrt(sq);
+}
+
+/// Per-epoch training gauges for one stage ("stage1" / "stage2").
+struct StageMetrics {
+  explicit StageMetrics(const char* stage) {
+    auto& reg = obs::MetricsRegistry::Get();
+    std::string prefix = std::string("dot_train_") + stage;
+    epoch_loss = reg.GetGauge(prefix + "_epoch_loss");
+    epoch_time_s = reg.GetGauge(prefix + "_epoch_time_seconds");
+    grad_norm = reg.GetGauge(prefix + "_grad_norm");
+    epochs_total = reg.GetCounter(prefix + "_epochs");
+    steps_total = reg.GetCounter(prefix + "_steps");
+  }
+  obs::Gauge* epoch_loss;
+  obs::Gauge* epoch_time_s;
+  obs::Gauge* grad_norm;
+  obs::Counter* epochs_total;
+  obs::Counter* steps_total;
+};
 
 }  // namespace
 
@@ -70,7 +101,10 @@ Status DotOracle::TrainStage1(const std::vector<TripSample>& train) {
   std::vector<int64_t> order(train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
 
+  StageMetrics sm("stage1");
   for (int64_t epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
+    obs::TraceSpan epoch_span("DotOracle::TrainStage1::epoch");
+    Stopwatch epoch_sw;
     // Cosine learning-rate decay to 10% over the training run.
     double progress = config_.stage1_epochs > 1
                           ? static_cast<double>(epoch) /
@@ -108,6 +142,14 @@ Status DotOracle::TrainStage1(const std::vector<TripSample>& train) {
       ++batches;
     }
     last_stage1_loss_ = batches > 0 ? loss_sum / static_cast<double>(batches) : 0;
+    sm.epoch_loss->Set(last_stage1_loss_);
+    sm.epoch_time_s->Set(epoch_sw.ElapsedSeconds());
+    sm.epochs_total->Increment();
+    sm.steps_total->Increment(batches);
+    // Grad norm walks every parameter; skip the walk when metrics are off.
+    if (obs::MetricsEnabled()) {
+      sm.grad_norm->Set(GradNorm(denoiser_->Parameters()));
+    }
     if (config_.verbose) {
       DOT_LOG_INFO << "[stage1] epoch " << epoch + 1 << "/"
                    << config_.stage1_epochs << " target MSE "
@@ -120,6 +162,11 @@ Status DotOracle::TrainStage1(const std::vector<TripSample>& train) {
 
 std::vector<Pit> DotOracle::InferPits(const std::vector<OdtInput>& odts) {
   DOT_CHECK(stage1_trained_) << "InferPits before TrainStage1";
+  // Stage-1 half of the estimation cost (Table 5: diffusion sampling
+  // dominates) — kept as a separate span + histogram so the split stays
+  // visible in traces and metrics.
+  obs::TraceSpan span("DotOracle::InferPits");
+  Stopwatch sw;
   std::vector<Pit> out;
   out.reserve(odts.size());
   int64_t l = config_.grid_size;
@@ -164,6 +211,9 @@ std::vector<Pit> DotOracle::InferPits(const std::vector<OdtInput>& odts) {
       out.push_back(std::move(pit));
     }
   }
+  static obs::Histogram* latency =
+      obs::MetricsRegistry::Get().GetHistogram("dot_oracle_stage1_latency_us");
+  latency->Observe(sw.ElapsedSeconds() * 1e6);
   return out;
 }
 
@@ -238,7 +288,12 @@ Status DotOracle::TrainStage2(const std::vector<TripSample>& train,
   int64_t bad_epochs = 0;
   stage2_trained_ = true;  // EstimateFromPits is used for validation below
 
+  StageMetrics sm("stage2");
+  obs::Gauge* val_mae_gauge =
+      obs::MetricsRegistry::Get().GetGauge("dot_train_stage2_val_mae");
   for (int64_t epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
+    obs::TraceSpan epoch_span("DotOracle::TrainStage2::epoch");
+    Stopwatch epoch_sw;
     rng_.Shuffle(&order);
     double loss_sum = 0;
     int64_t batches = 0;
@@ -263,6 +318,13 @@ Status DotOracle::TrainStage2(const std::vector<TripSample>& train,
       loss_sum += loss.item();
       ++batches;
     }
+    sm.epoch_loss->Set(batches ? loss_sum / static_cast<double>(batches) : 0);
+    sm.epoch_time_s->Set(epoch_sw.ElapsedSeconds());
+    sm.epochs_total->Increment();
+    sm.steps_total->Increment(batches);
+    if (obs::MetricsEnabled()) {
+      sm.grad_norm->Set(GradNorm(estimator_->module()->Parameters()));
+    }
     if (config_.verbose) {
       DOT_LOG_INFO << "[stage2] epoch " << epoch + 1 << "/"
                    << config_.stage2_epochs << " MSE "
@@ -273,6 +335,7 @@ Status DotOracle::TrainStage2(const std::vector<TripSample>& train,
       MetricsAccumulator acc;
       for (size_t i = 0; i < preds.size(); ++i) acc.Add(preds[i], val_truth[i]);
       double mae = acc.Finalize().mae;
+      val_mae_gauge->Set(mae);
       if (mae < best_val) {
         best_val = mae;
         bad_epochs = 0;
@@ -300,6 +363,8 @@ std::vector<double> DotOracle::EstimateFromPits(
   DOT_CHECK(stage2_trained_) << "EstimateFromPits before TrainStage2";
   DOT_CHECK(odts.size() == pits.size()) << "odts must parallel pits";
   NoGradGuard guard;
+  obs::TraceSpan span("DotOracle::EstimateFromPits");
+  Stopwatch sw;
   std::vector<double> out;
   out.reserve(pits.size());
   int64_t bs = std::max<int64_t>(1, config_.batch_size);
@@ -316,6 +381,9 @@ std::vector<double> DotOracle::EstimateFromPits(
       out.push_back(static_cast<double>(pred.at(i)) * target_std_ + target_mean_);
     }
   }
+  static obs::Histogram* latency =
+      obs::MetricsRegistry::Get().GetHistogram("dot_oracle_stage2_latency_us");
+  latency->Observe(sw.ElapsedSeconds() * 1e6);
   return out;
 }
 
@@ -403,6 +471,7 @@ Result<std::vector<DotEstimate>> DotOracle::EstimateBatch(
     return Status::FailedPrecondition("oracle not trained");
   }
   if (odts.empty()) return std::vector<DotEstimate>{};
+  obs::TraceSpan span("DotOracle::EstimateBatch");
   std::vector<Pit> pits = InferPits(odts);
   std::vector<double> minutes = EstimateFromPits(pits, odts);
   std::vector<DotEstimate> out;

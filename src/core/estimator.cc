@@ -1,5 +1,6 @@
 #include "core/estimator.h"
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -124,6 +125,7 @@ Tensor TransformerEstimator::ForwardBatch(
   DOT_CHECK(!pits.empty()) << "empty PiT batch";
   DOT_CHECK(odt_features.empty() || odt_features.size() == pits.size())
       << "odt_features must be empty or parallel to pits";
+  obs::TraceSpan span(masked_ ? "MVit::ForwardBatch" : "Vit::ForwardBatch");
   std::vector<Tensor> outs;
   outs.reserve(pits.size());
   for (size_t i = 0; i < pits.size(); ++i) {

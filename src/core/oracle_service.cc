@@ -2,7 +2,23 @@
 
 #include <unordered_set>
 
+#include "obs/trace.h"
+#include "util/stopwatch.h"
+
 namespace dot {
+
+OracleService::Metrics::Metrics() {
+  auto& reg = obs::MetricsRegistry::Get();
+  query_latency_us = reg.GetHistogram("dot_service_query_latency_us");
+  batch_latency_us = reg.GetHistogram("dot_service_batch_latency_us");
+  batch_size = reg.GetHistogram("dot_service_batch_size",
+                                obs::Histogram::LinearBounds(1, 1, 64));
+  queries = reg.GetCounter("dot_service_queries_total");
+  cache_hits = reg.GetCounter("dot_service_cache_hits_total");
+  dedup_hits = reg.GetCounter("dot_service_dedup_hits_total");
+  cache_misses = reg.GetCounter("dot_service_cache_misses_total");
+  evictions = reg.GetCounter("dot_service_evictions_total");
+}
 
 OracleService::OracleService(DotOracle* oracle, OracleServiceConfig config)
     : oracle_(oracle), config_(config) {}
@@ -34,6 +50,7 @@ void OracleService::InsertLocked(int64_t bucket, Pit pit) {
     cache_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
+    metrics_.evictions->Increment();
   }
   lru_.push_front(bucket);
   cache_.emplace(bucket, CacheEntry{std::move(pit), lru_.begin()});
@@ -56,6 +73,9 @@ void OracleService::ClearCache() {
 }
 
 Result<DotEstimate> OracleService::Query(const OdtInput& odt) {
+  obs::TraceSpan span("OracleService::Query");
+  Stopwatch sw;
+  metrics_.queries->Increment();
   int64_t bucket = BucketOf(odt);
   bool hit = false;
   Pit pit{1};
@@ -68,19 +88,25 @@ Result<DotEstimate> OracleService::Query(const OdtInput& odt) {
       Touch(it);
       pit = it->second.pit;  // copy: the entry may be evicted after unlock
       hit = true;
+    } else {
+      ++stats_.cache_misses;
     }
   }
   if (hit) {
+    metrics_.cache_hits->Increment();
     std::lock_guard<std::mutex> olock(oracle_mu_);
     double minutes = oracle_->EstimateFromPits({pit}, {odt})[0];
+    metrics_.query_latency_us->Observe(sw.ElapsedSeconds() * 1e6);
     return DotEstimate{minutes, std::move(pit)};
   }
+  metrics_.cache_misses->Increment();
   std::unique_lock<std::mutex> olock(oracle_mu_);
   Result<DotEstimate> est = oracle_->Estimate(odt);
   olock.unlock();
   if (!est.ok()) return est;
   std::lock_guard<std::mutex> lock(mu_);
   InsertLocked(bucket, est->pit);
+  metrics_.query_latency_us->Observe(sw.ElapsedSeconds() * 1e6);
   return est;
 }
 
@@ -90,18 +116,24 @@ Result<std::vector<DotEstimate>> OracleService::QueryBatch(
   if (!oracle_->trained()) {
     return Status::FailedPrecondition("oracle not trained");
   }
+  obs::TraceSpan span("OracleService::QueryBatch");
+  Stopwatch sw;
   size_t n = odts.size();
+  metrics_.queries->Increment(static_cast<int64_t>(n));
+  metrics_.batch_size->Observe(static_cast<double>(n));
   std::vector<int64_t> buckets(n);
   for (size_t i = 0; i < n; ++i) buckets[i] = BucketOf(odts[i]);
 
   // Partition the wave into cache hits and deduplicated misses. Duplicate
-  // missing buckets within the wave count as hits: they reuse the single
-  // miss-fill exactly as sequential queries would reuse the fresh cache
-  // entry.
+  // missing buckets within the wave ride along on the single miss-fill
+  // exactly as sequential queries would reuse the fresh cache entry; they
+  // are accounted as dedup_hits, not cache_hits — the cache was cold for
+  // them, the wave itself was redundant.
   std::vector<Pit> pits(n, Pit{1});
   std::vector<char> resolved(n, 0);
   std::vector<size_t> miss_rep;  // wave index of each unique missing bucket
   std::unordered_map<int64_t, size_t> miss_slot;  // bucket -> miss_rep index
+  int64_t wave_hits = 0, wave_dedup = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.queries += static_cast<int64_t>(n);
@@ -110,17 +142,23 @@ Result<std::vector<DotEstimate>> OracleService::QueryBatch(
       auto it = cache_.find(buckets[i]);
       if (it != cache_.end()) {
         ++stats_.cache_hits;
+        ++wave_hits;
         Touch(it);
         pits[i] = it->second.pit;
         resolved[i] = 1;
       } else if (miss_slot.count(buckets[i])) {
-        ++stats_.cache_hits;  // shared-bucket reuse within the wave
+        ++stats_.dedup_hits;  // free rider on this wave's miss-fill
+        ++wave_dedup;
       } else {
+        ++stats_.cache_misses;
         miss_slot.emplace(buckets[i], miss_rep.size());
         miss_rep.push_back(i);
       }
     }
   }
+  metrics_.cache_hits->Increment(wave_hits);
+  metrics_.dedup_hits->Increment(wave_dedup);
+  metrics_.cache_misses->Increment(static_cast<int64_t>(miss_rep.size()));
 
   // Single batched miss-fill: one reverse-diffusion pass denoises every
   // missing bucket's PiT.
@@ -157,6 +195,7 @@ Result<std::vector<DotEstimate>> OracleService::QueryBatch(
   for (size_t i = 0; i < n; ++i) {
     out.push_back(DotEstimate{minutes[i], std::move(pits[i])});
   }
+  metrics_.batch_latency_us->Observe(sw.ElapsedSeconds() * 1e6);
   return out;
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/dot_oracle.h"
+#include "obs/metrics.h"
 
 namespace dot {
 
@@ -41,10 +42,17 @@ struct OracleServiceConfig {
 struct OracleServiceStats {
   int64_t queries = 0;        ///< individual queries (batch members count)
   int64_t batch_queries = 0;  ///< QueryBatch invocations
-  int64_t cache_hits = 0;
+  int64_t cache_hits = 0;     ///< answered from a pre-existing cache entry
+  /// Batch "free riders": queries whose bucket missed the cache but was
+  /// filled by another query of the same wave, so they cost no extra
+  /// diffusion pass. Counted separately from cache_hits — a dedup hit says
+  /// the *wave* was redundant, not that the cache was warm.
+  int64_t dedup_hits = 0;
+  int64_t cache_misses = 0;   ///< bucket absent: paid a stage-1 inference
   int64_t evictions = 0;      ///< LRU evictions
+  /// Fraction of queries that skipped stage-1 sampling (cache + dedup).
   double hit_rate() const {
-    return queries > 0 ? static_cast<double>(cache_hits) /
+    return queries > 0 ? static_cast<double>(cache_hits + dedup_hits) /
                              static_cast<double>(queries)
                        : 0.0;
   }
@@ -89,6 +97,21 @@ class OracleService {
 
   DotOracle* oracle_;
   OracleServiceConfig config_;
+
+  // Registry metrics (process-wide, shared across service instances);
+  // resolved once here so the hot path never touches the registry map.
+  struct Metrics {
+    Metrics();
+    obs::Histogram* query_latency_us;   // per-Query wall time
+    obs::Histogram* batch_latency_us;   // per-QueryBatch wall time
+    obs::Histogram* batch_size;         // QueryBatch wave sizes
+    obs::Counter* queries;
+    obs::Counter* cache_hits;
+    obs::Counter* dedup_hits;
+    obs::Counter* cache_misses;
+    obs::Counter* evictions;
+  };
+  Metrics metrics_;
 
   mutable std::mutex mu_;  // guards cache_, lru_, stats_
   std::unordered_map<int64_t, CacheEntry> cache_;

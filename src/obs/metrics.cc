@@ -1,0 +1,280 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/profile.h"
+
+namespace dot {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{[] {
+  const char* env = std::getenv("DOT_METRICS");
+  return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+}()};
+
+std::string SanitizeName(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+/// Prometheus/JSON-safe number rendering (no locale, no trailing garbage).
+std::string Num(double v) {
+  if (std::isnan(v)) return "0";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+void AtomicAddDouble(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint32_t Counter::ShardIndex() {
+  // Threads take sequential shard slots on first use; with kShards a power
+  // of two the mask spreads any thread count across all shards.
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+  return shard;
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      bucket_counts_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (bounds_.size() + 1 != bucket_counts_.size()) {
+    // Duplicates were dropped; reallocate to the deduplicated size.
+    std::vector<std::atomic<int64_t>> fresh(bounds_.size() + 1);
+    bucket_counts_.swap(fresh);
+  }
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose inclusive upper bound admits v; past-the-end is the
+  // +inf overflow bucket.
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  bucket_counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_, v);
+}
+
+double Histogram::Quantile(double q) const {
+  int64_t total = Count();
+  if (total <= 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(total);
+  int64_t seen = 0;
+  for (size_t i = 0; i < bucket_counts_.size(); ++i) {
+    int64_t in_bucket = bucket_counts_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      // The overflow bucket has no finite upper edge; report its lower one.
+      double hi = i < bounds_.size() ? bounds_[i] : lo;
+      double frac = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    seen += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot s;
+  s.count = Count();
+  s.sum = Sum();
+  s.p50 = Quantile(0.50);
+  s.p95 = Quantile(0.95);
+  s.p99 = Quantile(0.99);
+  int64_t cum = 0;
+  s.cumulative_buckets.reserve(bucket_counts_.size());
+  for (size_t i = 0; i < bucket_counts_.size(); ++i) {
+    cum += bucket_counts_[i].load(std::memory_order_relaxed);
+    double bound = i < bounds_.size()
+                       ? bounds_[i]
+                       : std::numeric_limits<double>::infinity();
+    s.cumulative_buckets.emplace_back(bound, cum);
+  }
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : bucket_counts_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::LatencyBoundsUs() {
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e7; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  bounds.push_back(1e8);  // 100 s
+  return bounds;
+}
+
+std::vector<double> Histogram::LinearBounds(double start, double step, int n) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(0, n)));
+  for (int i = 0; i < n; ++i) bounds.push_back(start + step * i);
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[SanitizeName(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[SanitizeName(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[SanitizeName(name)];
+  if (!slot) {
+    if (bounds.empty()) bounds = Histogram::LatencyBoundsUs();
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->Value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->Snapshot();
+  return s;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  MetricsSnapshot s = Snapshot();
+  std::ostringstream out;
+  for (const auto& [name, v] : s.counters) {
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << v << "\n";
+  }
+  for (const auto& [name, v] : s.gauges) {
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << Num(v) << "\n";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    out << "# TYPE " << name << " histogram\n";
+    for (const auto& [bound, cum] : h.cumulative_buckets) {
+      out << name << "_bucket{le=\"" << Num(bound) << "\"} " << cum << "\n";
+    }
+    out << name << "_sum " << Num(h.sum) << "\n";
+    out << name << "_count " << h.count << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  MetricsSnapshot s = Snapshot();
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    first = false;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << Num(v);
+    first = false;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": {"
+        << "\"count\": " << h.count << ", \"sum\": " << Num(h.sum)
+        << ", \"p50\": " << Num(h.p50) << ", \"p95\": " << Num(h.p95)
+        << ", \"p99\": " << Num(h.p99) << ", \"buckets\": [";
+    for (size_t i = 0; i < h.cumulative_buckets.size(); ++i) {
+      const auto& [bound, cum] = h.cumulative_buckets[i];
+      out << (i ? ", " : "") << "{\"le\": "
+          << (std::isinf(bound) ? "\"+Inf\"" : Num(bound))
+          << ", \"count\": " << cum << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "\n  }\n}";
+  return out.str();
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsSnapshot SnapshotMetrics() { return MetricsRegistry::Get().Snapshot(); }
+std::string MetricsToPrometheusText() {
+  return MetricsRegistry::Get().ToPrometheusText();
+}
+std::string MetricsToJson() { return MetricsRegistry::Get().ToJson(); }
+
+bool DumpMetrics(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  // One top-level object: the registry dump plus the op-profiler section,
+  // so benches get the whole picture from one file.
+  std::string registry = MetricsToJson();
+  // Replace the final "\n}" with the ops section.
+  if (registry.size() >= 2 && registry.back() == '}') {
+    registry.resize(registry.size() - 1);
+    registry += ",\n  \"ops\": " + OpProfiler::ToJson() + "\n}";
+  }
+  out << registry << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace obs
+}  // namespace dot

@@ -1,0 +1,84 @@
+#include "obs/profile.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace dot {
+namespace obs {
+
+namespace {
+
+bool EnvEnabled() {
+  const char* env = std::getenv("DOT_OP_PROFILE");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+void AtomicAddDouble(std::atomic<double>* a, double delta) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + delta,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::atomic<bool> OpProfiler::enabled_{EnvEnabled()};
+OpProfiler::Slot OpProfiler::slots_[static_cast<int>(OpKind::kNumKinds)];
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConv2d:
+      return "conv2d";
+    case OpKind::kGemm:
+      return "gemm";
+    case OpKind::kAttention:
+      return "attention";
+    case OpKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+void OpProfiler::Enable(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+void OpProfiler::Record(OpKind kind, int64_t ns, double flops) {
+  Slot& s = slots_[static_cast<int>(kind)];
+  s.calls.fetch_add(1, std::memory_order_relaxed);
+  s.total_ns.fetch_add(ns, std::memory_order_relaxed);
+  AtomicAddDouble(&s.flops, flops);
+}
+
+OpStats OpProfiler::Get(OpKind kind) {
+  const Slot& s = slots_[static_cast<int>(kind)];
+  OpStats out;
+  out.calls = s.calls.load(std::memory_order_relaxed);
+  out.total_ns = s.total_ns.load(std::memory_order_relaxed);
+  out.flops = s.flops.load(std::memory_order_relaxed);
+  return out;
+}
+
+void OpProfiler::Reset() {
+  for (auto& s : slots_) {
+    s.calls.store(0, std::memory_order_relaxed);
+    s.total_ns.store(0, std::memory_order_relaxed);
+    s.flops.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string OpProfiler::ToJson() {
+  std::ostringstream out;
+  out << "{";
+  for (int k = 0; k < static_cast<int>(OpKind::kNumKinds); ++k) {
+    OpStats s = Get(static_cast<OpKind>(k));
+    out << (k ? ", " : "") << "\"" << OpKindName(static_cast<OpKind>(k))
+        << "\": {\"calls\": " << s.calls << ", \"total_ms\": " << s.total_ms()
+        << ", \"flops\": " << s.flops << ", \"gflops\": " << s.gflops() << "}";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace dot

@@ -1,0 +1,106 @@
+// Op-level profiling for the tensor library: cumulative wall time, call
+// count, and estimated FLOPs per op kind (conv2d / GEMM / attention / ...).
+//
+// The hooks are designed to vanish from hot paths: an OpTimer constructed
+// while profiling is disabled performs exactly one relaxed atomic load and
+// never reads the clock, so instrumented kernels stay bitwise and speed
+// identical to the uninstrumented build (the acceptance bar for the
+// batched serving bench). Enable with DOT_OP_PROFILE=1 or
+// OpProfiler::Enable(true).
+//
+// Timings are inclusive: the attention entry contains the GEMMs it issues
+// (which are counted again under kGemm), while Conv2d calls the raw GEMM
+// kernel directly and is counted only under kConv2d.
+
+#ifndef DOT_OBS_PROFILE_H_
+#define DOT_OBS_PROFILE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dot {
+namespace obs {
+
+enum class OpKind : int {
+  kConv2d = 0,
+  kGemm,       // MatMul / BatchMatMul wrappers
+  kAttention,  // MultiheadAttention::Forward
+  kNumKinds,
+};
+
+const char* OpKindName(OpKind kind);
+
+/// \brief Cumulative statistics of one op kind.
+struct OpStats {
+  int64_t calls = 0;
+  int64_t total_ns = 0;
+  double flops = 0;  ///< estimated, forward pass only
+  double total_ms() const { return static_cast<double>(total_ns) * 1e-6; }
+  /// Achieved GFLOP/s over the accumulated time (0 when unused).
+  double gflops() const {
+    return total_ns > 0 ? flops / static_cast<double>(total_ns) : 0;
+  }
+};
+
+/// \brief Process-wide per-op accumulators.
+class OpProfiler {
+ public:
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  static void Enable(bool on);
+
+  static void Record(OpKind kind, int64_t ns, double flops);
+  static OpStats Get(OpKind kind);
+  static void Reset();
+
+  /// JSON object {"conv2d": {"calls": .., "total_ms": .., "flops": ..,
+  /// "gflops": ..}, ...} — embedded in obs::DumpMetrics output.
+  static std::string ToJson();
+
+ private:
+  struct Slot {
+    std::atomic<int64_t> calls{0};
+    std::atomic<int64_t> total_ns{0};
+    std::atomic<double> flops{0};
+  };
+  static std::atomic<bool> enabled_;
+  static Slot slots_[static_cast<int>(OpKind::kNumKinds)];
+};
+
+/// \brief RAII timer: records into OpProfiler on destruction when profiling
+/// was enabled at construction.
+class OpTimer {
+ public:
+  OpTimer(OpKind kind, double flops) {
+    if (OpProfiler::Enabled()) {
+      active_ = true;
+      kind_ = kind;
+      flops_ = flops;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~OpTimer() {
+    if (active_) {
+      int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+      OpProfiler::Record(kind_, ns, flops_);
+    }
+  }
+  OpTimer(const OpTimer&) = delete;
+  OpTimer& operator=(const OpTimer&) = delete;
+
+ private:
+  bool active_ = false;
+  OpKind kind_ = OpKind::kConv2d;
+  double flops_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace dot
+
+#endif  // DOT_OBS_PROFILE_H_

@@ -1,0 +1,203 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dot {
+namespace obs {
+
+namespace {
+
+/// Global recorder state. Events from all threads funnel through one mutex;
+/// spans are opened/closed at millisecond-ish granularity in practice
+/// (service calls, reverse steps, convs), so contention is negligible
+/// compared to the work inside them.
+struct Recorder {
+  std::atomic<bool> enabled{false};
+  std::atomic<uint64_t> next_id{1};
+  std::chrono::steady_clock::time_point origin;
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::string path;
+  // Hard cap so a forgotten recording can't grow without bound; overflow
+  // is counted and reported in the export.
+  static constexpr size_t kMaxEvents = 1 << 20;
+  size_t dropped = 0;
+};
+
+Recorder& Rec() {
+  static Recorder* r = new Recorder();  // never destroyed
+  return *r;
+}
+
+void FlushAtExit() {
+  if (Rec().enabled.load(std::memory_order_relaxed)) StopTracing();
+}
+
+/// DOT_TRACE=<path> starts a process-lifetime recording flushed at exit.
+/// The returned bool only forces one-time evaluation.
+const bool g_env_init = [] {
+  if (const char* path = std::getenv("DOT_TRACE")) {
+    if (path[0] != '\0') {
+      StartTracing(path);
+      std::atexit(FlushAtExit);
+    }
+  }
+  return true;
+}();
+
+// Thread-local span context.
+thread_local std::vector<uint64_t> t_span_stack;
+thread_local uint64_t t_inherited_parent = 0;
+
+int ThisThreadTid() {
+  static std::atomic<int> next_tid{1};
+  thread_local int tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Rec().origin)
+      .count();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return Rec().enabled.load(std::memory_order_relaxed);
+}
+
+void StartTracing(const std::string& path) {
+  Recorder& r = Rec();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.events.clear();
+  r.dropped = 0;
+  r.path = path;
+  r.origin = std::chrono::steady_clock::now();
+  r.next_id.store(1, std::memory_order_relaxed);
+  r.enabled.store(true, std::memory_order_release);
+}
+
+std::vector<TraceEvent> StopTracing() {
+  Recorder& r = Rec();
+  r.enabled.store(false, std::memory_order_release);
+  std::vector<TraceEvent> events;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    events.swap(r.events);
+    path.swap(r.path);
+    if (r.dropped > 0) {
+      std::fprintf(stderr, "[obs] trace buffer overflow: dropped %zu events\n",
+                   r.dropped);
+      r.dropped = 0;
+    }
+  }
+  if (!path.empty()) {
+    std::ofstream out(path);
+    if (out) {
+      out << ToChromeJson(events);
+    } else {
+      std::fprintf(stderr, "[obs] cannot write trace to %s\n", path.c_str());
+    }
+  }
+  return events;
+}
+
+std::vector<TraceEvent> TraceEvents() {
+  Recorder& r = Rec();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.events;
+}
+
+std::string ToChromeJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out << (i ? ",\n" : "\n") << "  {\"name\": \"" << JsonEscape(e.name)
+        << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+        << ", \"ts\": " << e.ts_us << ", \"dur\": " << e.dur_us
+        << ", \"args\": {\"id\": " << e.id << ", \"parent\": " << e.parent_id;
+    if (!e.args.empty()) out << ", " << e.args;
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+uint64_t CurrentSpanId() {
+  if (!t_span_stack.empty()) return t_span_stack.back();
+  return t_inherited_parent;
+}
+
+InheritedParent::InheritedParent(uint64_t parent) : saved_(t_inherited_parent) {
+  t_inherited_parent = parent;
+}
+
+InheritedParent::~InheritedParent() { t_inherited_parent = saved_; }
+
+TraceSpan::TraceSpan(const char* name, std::string args) {
+  if (!TracingEnabled()) return;
+  active_ = true;
+  name_ = name;
+  args_ = std::move(args);
+  parent_id_ = CurrentSpanId();
+  id_ = Rec().next_id.fetch_add(1, std::memory_order_relaxed);
+  t_span_stack.push_back(id_);
+  start_us_ = NowUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  int64_t end_us = NowUs();
+  // Unwind to this span even if an inner span leaked past its scope.
+  while (!t_span_stack.empty() && t_span_stack.back() != id_) {
+    t_span_stack.pop_back();
+  }
+  if (!t_span_stack.empty()) t_span_stack.pop_back();
+
+  TraceEvent e;
+  e.name = name_;
+  e.args = std::move(args_);
+  e.ts_us = start_us_;
+  e.dur_us = end_us - start_us_;
+  e.tid = ThisThreadTid();
+  e.id = id_;
+  e.parent_id = parent_id_;
+
+  Recorder& r = Rec();
+  std::lock_guard<std::mutex> lock(r.mu);
+  // A Stop between construction and destruction discards the span: its
+  // interval would be clipped and its parent already flushed.
+  if (!r.enabled.load(std::memory_order_relaxed)) return;
+  if (r.events.size() >= Recorder::kMaxEvents) {
+    ++r.dropped;
+    return;
+  }
+  r.events.push_back(std::move(e));
+}
+
+}  // namespace obs
+}  // namespace dot

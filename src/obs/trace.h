@@ -1,0 +1,104 @@
+// Scoped-span tracing with chrome://tracing JSON export.
+//
+// Usage: wrap a region in `obs::TraceSpan span("name");`. When tracing is
+// enabled (DOT_TRACE=<out.json> in the environment, or StartTracing()),
+// each span records a complete event with its thread, wall-clock interval,
+// and parent span; when disabled, constructing a span is one relaxed
+// atomic load and nothing else, so instrumentation can stay in hot paths.
+//
+// Nesting is tracked with a thread-local span stack. Work shipped to the
+// thread pool keeps its logical parent: ThreadPool::Submit captures the
+// submitting thread's current span id and re-installs it (via
+// InheritedParent) around the task, so spans opened inside pool tasks
+// report the submitting span as their parent even though they run on a
+// different thread.
+//
+// The export (WriteChromeTrace / StopTracing) is the Trace Event Format's
+// "X" (complete) events; load the file at chrome://tracing or
+// https://ui.perfetto.dev. Parent ids are also embedded in each event's
+// args for programmatic checks.
+
+#ifndef DOT_OBS_TRACE_H_
+#define DOT_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dot {
+namespace obs {
+
+/// \brief One finished span (a chrome "X" event).
+struct TraceEvent {
+  std::string name;
+  std::string args;     ///< extra JSON key-values, e.g. "\"step\": 7" (may be empty)
+  int64_t ts_us = 0;    ///< start, microseconds since tracing started
+  int64_t dur_us = 0;
+  int tid = 0;          ///< small sequential thread id
+  uint64_t id = 0;      ///< span id, unique within the recording
+  uint64_t parent_id = 0;  ///< 0 = top-level
+};
+
+/// True while a recording is active (relaxed load; safe in hot paths).
+bool TracingEnabled();
+
+/// Starts recording. `path` is where StopTracing / process exit writes the
+/// chrome trace JSON; empty keeps the recording in memory only (tests).
+/// Recording restarts from an empty buffer and a fresh time origin.
+void StartTracing(const std::string& path = "");
+
+/// Stops recording, writes the JSON file when a path was given, and
+/// returns the finished events.
+std::vector<TraceEvent> StopTracing();
+
+/// Snapshot of the events recorded so far (recording keeps running).
+std::vector<TraceEvent> TraceEvents();
+
+/// Serializes `events` in Trace Event Format.
+std::string ToChromeJson(const std::vector<TraceEvent>& events);
+
+/// Id of the innermost span open on this thread (0 = none). Includes a
+/// parent inherited from ThreadPool::Submit when the local stack is empty.
+uint64_t CurrentSpanId();
+
+/// \brief RAII: installs `parent` as this thread's inherited span parent.
+/// Used by the thread pool to bridge spans across Submit; tasks nested in
+/// tasks restore the previous value on destruction.
+class InheritedParent {
+ public:
+  explicit InheritedParent(uint64_t parent);
+  ~InheritedParent();
+  InheritedParent(const InheritedParent&) = delete;
+  InheritedParent& operator=(const InheritedParent&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+/// \brief RAII scoped span; see file comment.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) : TraceSpan(name, std::string()) {}
+  /// `args` is injected verbatim into the event's JSON args object, e.g.
+  /// "\"step\": 12" — build it only when TracingEnabled().
+  TraceSpan(const char* name, std::string args);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_ = false;
+  const char* name_ = nullptr;
+  std::string args_;
+  int64_t start_us_ = 0;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+};
+
+}  // namespace obs
+}  // namespace dot
+
+#endif  // DOT_OBS_TRACE_H_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/profile.h"
+
 namespace dot::nn {
 
 // ---- Module -------------------------------------------------------------------
@@ -202,6 +204,14 @@ Tensor MultiheadAttention::Forward(const Tensor& x,
   DOT_CHECK(x.dim() == 3) << "attention expects [B, L, d]";
   int64_t b = x.size(0), l = x.size(1);
   int64_t dh = dim_ / heads_;
+  // FLOPs: four [B*L, d] x [d, d] projections plus the two [L, L] score /
+  // context batched products per head. Inclusive of the GEMMs below (which
+  // are also counted under kGemm — see obs/profile.h).
+  obs::OpTimer op_timer(
+      obs::OpKind::kAttention,
+      2.0 * static_cast<double>(b * l) *
+          (4.0 * static_cast<double>(dim_ * dim_) +
+           2.0 * static_cast<double>(l * dim_)));
   auto split = [&](const Tensor& t) {
     // [B, L, d] -> [B*h, L, dh]
     Tensor r = Reshape(t, {b, l, heads_, dh});

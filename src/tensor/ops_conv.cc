@@ -15,6 +15,8 @@
 
 #include <algorithm>
 
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
 #include "util/thread_pool.h"
@@ -146,6 +148,14 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int64_t stri
   DOT_CHECK(d.oh > 0 && d.ow > 0) << "Conv2d output collapsed to zero";
   bool has_bias = bias.defined();
   if (has_bias) DOT_CHECK(bias.numel() == d.oc) << "Conv2d bias size";
+
+  // Observability hooks; both collapse to one relaxed load when disabled.
+  // FLOPs: the lowered GEMM's 2 * OC * CKK multiply-adds per output pixel.
+  obs::OpTimer op_timer(obs::OpKind::kConv2d,
+                        2.0 * static_cast<double>(d.oc) *
+                            static_cast<double>(d.ckk()) *
+                            static_cast<double>(d.n * d.ohw()));
+  obs::TraceSpan span("conv2d");
 
   int64_t cols = d.n * d.ohw();
   Tensor out = Tensor::Empty({d.n, d.oc, d.oh, d.ow});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.h"
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
 #include "util/thread_pool.h"
@@ -115,6 +116,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   int64_t m = a.size(0), k = a.size(1), n = b.size(1);
   DOT_CHECK(b.size(0) == k) << "MatMul inner-dim mismatch: " << a.ShapeString()
                             << " x " << b.ShapeString();
+  obs::OpTimer op_timer(obs::OpKind::kGemm,
+                        2.0 * static_cast<double>(m) * static_cast<double>(k) *
+                            static_cast<double>(n));
   Tensor out = Tensor::Empty({m, n});
   internal::Gemm(a.data(), b.data(), out.data(), m, k, n, /*accumulate=*/false);
   Tensor a_cap = a, b_cap = b;
@@ -139,6 +143,9 @@ Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   DOT_CHECK(b.size(0) == bs && b.size(1) == k)
       << "BatchMatMul shape mismatch: " << a.ShapeString() << " x "
       << b.ShapeString();
+  obs::OpTimer op_timer(obs::OpKind::kGemm,
+                        2.0 * static_cast<double>(bs) * static_cast<double>(m) *
+                            static_cast<double>(k) * static_cast<double>(n));
   Tensor out = Tensor::Empty({bs, m, n});
   for (int64_t i = 0; i < bs; ++i) {
     internal::Gemm(a.data() + i * m * k, b.data() + i * k * n,

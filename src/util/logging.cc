@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <ctime>
+#include <mutex>
 
 namespace dot {
 
@@ -28,14 +29,26 @@ void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
+  // One mutex around the write: stderr is unbuffered but POSIX does not
+  // guarantee a single fprintf is atomic, and thread-pool workers log
+  // concurrently — without this, lines can tear into each other.
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
   std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
                msg.c_str());
 }
 
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+// Relaxed is enough: the threshold is advisory (a racing SetLogLevel may
+// drop or admit one in-flight message, never corrupt state), and the DOT_LOG
+// macros load it on every statement, so it must stay a plain atomic read.
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
 namespace internal {
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <utility>
+
+#include "obs/trace.h"
 
 namespace dot {
 
@@ -23,6 +26,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Keep trace-span nesting intact across the pool: spans opened inside the
+  // task report the submitting thread's innermost span as their parent.
+  // Only pay for the wrapper while a recording is active.
+  if (obs::TracingEnabled()) {
+    uint64_t parent = obs::CurrentSpanId();
+    task = [parent, inner = std::move(task)] {
+      obs::InheritedParent scope(parent);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));

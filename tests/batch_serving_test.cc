@@ -167,8 +167,14 @@ TEST_F(BatchServingFixture, QueryBatchMatchesSequentialQueriesOnColdCache) {
     ExpectSamePit((*batched)[i].pit, single->pit, i);
   }
   EXPECT_EQ(batched_service.stats().queries, single_service.stats().queries);
-  EXPECT_EQ(batched_service.stats().cache_hits,
-            single_service.stats().cache_hits);
+  // Sequentially the duplicate is a warm cache hit; batched it rides along
+  // on the wave's single miss-fill and is accounted as a dedup hit. Either
+  // way exactly one query skipped stage-1 sampling.
+  EXPECT_EQ(single_service.stats().cache_hits, 1);
+  EXPECT_EQ(batched_service.stats().cache_hits, 0);
+  EXPECT_EQ(batched_service.stats().dedup_hits, 1);
+  EXPECT_DOUBLE_EQ(batched_service.stats().hit_rate(),
+                   single_service.stats().hit_rate());
 }
 
 TEST_F(BatchServingFixture, QueryBatchPartitionsHitsAndMisses) {
@@ -183,9 +189,11 @@ TEST_F(BatchServingFixture, QueryBatchPartitionsHitsAndMisses) {
   OracleServiceStats stats = service.stats();
   EXPECT_EQ(stats.queries, 5);        // 1 single + 4 batch members
   EXPECT_EQ(stats.batch_queries, 1);
-  // The pre-filled bucket plus the in-wave duplicate are hits; the two new
-  // buckets are the batched miss-fill.
-  EXPECT_EQ(stats.cache_hits, 2);
+  // The pre-filled bucket is a cache hit, the in-wave duplicate is a dedup
+  // hit on the wave's miss-fill, and the two new buckets are batched misses.
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.dedup_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 3);  // the pre-fill miss + the two new buckets
   EXPECT_EQ(service.cache_size(), 3);
 }
 

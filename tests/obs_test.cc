@@ -1,0 +1,337 @@
+// Tests for the observability subsystem: metrics registry, trace spans
+// (including nesting across thread-pool tasks), and op-level profiling.
+
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
+
+namespace dot {
+namespace {
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.Value(), static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, IncrementByDelta) {
+  obs::Counter counter;
+  counter.Increment(5);
+  counter.Increment(-2);
+  EXPECT_EQ(counter.Value(), 3);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST(GaugeTest, SetAndRead) {
+  obs::Gauge gauge;
+  gauge.Set(3.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.25);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  obs::Histogram h({10.0, 20.0, 50.0});
+  h.Observe(10.0);   // le=10 (inclusive)
+  h.Observe(10.5);   // le=20
+  h.Observe(20.0);   // le=20
+  h.Observe(49.0);   // le=50
+  h.Observe(50.01);  // overflow (+inf)
+  obs::HistogramSnapshot s = h.Snapshot();
+  ASSERT_EQ(s.cumulative_buckets.size(), 4u);
+  EXPECT_EQ(s.cumulative_buckets[0].second, 1);  // <= 10
+  EXPECT_EQ(s.cumulative_buckets[1].second, 3);  // <= 20
+  EXPECT_EQ(s.cumulative_buckets[2].second, 4);  // <= 50
+  EXPECT_EQ(s.cumulative_buckets[3].second, 5);  // <= +inf
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0 + 10.5 + 20.0 + 49.0 + 50.01);
+}
+
+TEST(HistogramTest, QuantileInterpolatesInsideBuckets) {
+  // 100 observations spread one per unit across (0, 100] with bounds every
+  // 10: each bucket holds exactly 10, so quantiles are exact up to the
+  // linear interpolation inside one bucket.
+  obs::Histogram h(obs::Histogram::LinearBounds(10, 10, 10));
+  for (int i = 1; i <= 100; ++i) h.Observe(static_cast<double>(i));
+  EXPECT_NEAR(h.Quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.Quantile(1.00), 100.0, 1e-9);
+  // Degenerate cases.
+  obs::Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileOfOverflowBucketReportsLastBound) {
+  obs::Histogram h({10.0});
+  h.Observe(1e9);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsKeepTotalCount) {
+  obs::Histogram h(obs::Histogram::LatencyBoundsUs());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(static_cast<double>(t * 17 + i % 997));
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.Count(), static_cast<int64_t>(kThreads) * kPerThread);
+  obs::HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.cumulative_buckets.back().second, h.Count());
+}
+
+bool IsValidPrometheusLine(const std::string& line) {
+  if (line.empty()) return true;
+  if (line.rfind("# TYPE ", 0) == 0) return true;
+  // metric_name{labels} value | metric_name value
+  size_t space = line.rfind(' ');
+  if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+    return false;
+  }
+  std::string name = line.substr(0, space);
+  size_t brace = name.find('{');
+  if (brace != std::string::npos) {
+    if (name.back() != '}') return false;
+    name = name.substr(0, brace);
+  }
+  if (name.empty()) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) return false;
+  }
+  if (name[0] >= '0' && name[0] <= '9') return false;
+  std::string value = line.substr(space + 1);
+  return !value.empty();
+}
+
+TEST(MetricsRegistryTest, PrometheusExportIsWellFormed) {
+  auto& reg = obs::MetricsRegistry::Get();
+  reg.GetCounter("test_export_counter")->Increment(7);
+  reg.GetGauge("test export gauge!")->Set(1.5);  // name gets sanitized
+  reg.GetHistogram("test_export_hist", {1.0, 2.0})->Observe(1.5);
+  std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("test_export_counter 7"), std::string::npos);
+  EXPECT_NE(text.find("test_export_gauge_ 1.5"), std::string::npos);
+  EXPECT_NE(text.find("test_export_hist_bucket{le=\"2\"}"), std::string::npos);
+  EXPECT_NE(text.find("test_export_hist_count 1"), std::string::npos);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(IsValidPrometheusLine(line)) << "malformed line: " << line;
+  }
+  // scripts/check.sh greps this dump for malformed lines.
+  if (const char* path = std::getenv("DOT_METRICS_TEXT")) {
+    std::ofstream out(path);
+    out << text;
+  }
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  auto& reg = obs::MetricsRegistry::Get();
+  obs::Counter* a = reg.GetCounter("test_same_counter");
+  obs::Counter* b = reg.GetCounter("test_same_counter");
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetricsRegistryTest, JsonExportContainsAllSections) {
+  auto& reg = obs::MetricsRegistry::Get();
+  reg.GetCounter("test_json_counter")->Increment();
+  reg.GetHistogram("test_json_hist")->Observe(123.0);
+  std::string json = obs::MetricsToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_counter\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Balanced braces (cheap structural sanity; no JSON parser in-tree).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndResetValues) {
+  auto& reg = obs::MetricsRegistry::Get();
+  obs::Counter* c = reg.GetCounter("test_reset_counter");
+  c->Increment(3);
+  obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("test_reset_counter"), 3);
+  reg.ResetValues();
+  EXPECT_EQ(c->Value(), 0);
+  // The registration survives the reset.
+  EXPECT_EQ(reg.GetCounter("test_reset_counter"), c);
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  { obs::TraceSpan span("ignored"); }
+  EXPECT_TRUE(obs::TraceEvents().empty());
+  EXPECT_EQ(obs::CurrentSpanId(), 0u);
+}
+
+TEST(TraceTest, SpanNestingOnOneThread) {
+  obs::StartTracing();
+  {
+    obs::TraceSpan outer("outer");
+    uint64_t outer_id = obs::CurrentSpanId();
+    EXPECT_NE(outer_id, 0u);
+    {
+      obs::TraceSpan inner("inner", "\"step\": 3");
+      EXPECT_NE(obs::CurrentSpanId(), outer_id);
+    }
+    EXPECT_EQ(obs::CurrentSpanId(), outer_id);
+  }
+  std::vector<obs::TraceEvent> events = obs::StopTracing();
+  ASSERT_EQ(events.size(), 2u);  // inner closes first
+  const obs::TraceEvent& inner = events[0];
+  const obs::TraceEvent& outer = events[1];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(inner.parent_id, outer.id);
+  EXPECT_EQ(outer.parent_id, 0u);
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+  EXPECT_EQ(inner.args, "\"step\": 3");
+}
+
+TEST(TraceTest, NestingPropagatesAcrossThreadPoolTasks) {
+  obs::StartTracing();
+  uint64_t outer_id = 0;
+  {
+    obs::TraceSpan outer("submit_site");
+    outer_id = obs::CurrentSpanId();
+    ThreadPool* pool = ThreadPool::Global();
+    for (int i = 0; i < 4; ++i) {
+      pool->Submit([] { obs::TraceSpan task("pool_task"); });
+    }
+    pool->Wait();
+  }
+  std::vector<obs::TraceEvent> events = obs::StopTracing();
+  int task_spans = 0;
+  for (const auto& e : events) {
+    if (e.name == "pool_task") {
+      ++task_spans;
+      EXPECT_EQ(e.parent_id, outer_id)
+          << "pool task span must report the submitting span as parent";
+    }
+  }
+  EXPECT_EQ(task_spans, 4);
+}
+
+TEST(TraceTest, ChromeJsonExportIsLoadable) {
+  obs::StartTracing();
+  {
+    obs::TraceSpan a("alpha");
+    obs::TraceSpan b("beta \"quoted\"");
+  }
+  std::vector<obs::TraceEvent> events = obs::StopTracing();
+  std::string json = obs::ToChromeJson(events);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("beta \\\"quoted\\\""), std::string::npos);
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceTest, StopWritesFile) {
+  std::string path = ::testing::TempDir() + "/dot_trace_test.json";
+  obs::StartTracing(path);
+  { obs::TraceSpan span("file_span"); }
+  obs::StopTracing();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("file_span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(OpProfilerTest, DisabledRecordsNothingAndKeepsResultsIdentical) {
+  obs::OpProfiler::Enable(false);
+  obs::OpProfiler::Reset();
+  Rng rng(7);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, &rng);
+  Tensor w = Tensor::Randn({4, 3, 3, 3}, &rng);
+  Tensor baseline = Conv2d(x, w, Tensor(), 1, 1);
+  EXPECT_EQ(obs::OpProfiler::Get(obs::OpKind::kConv2d).calls, 0);
+
+  obs::OpProfiler::Enable(true);
+  Tensor profiled = Conv2d(x, w, Tensor(), 1, 1);
+  obs::OpProfiler::Enable(false);
+  ASSERT_EQ(baseline.numel(), profiled.numel());
+  for (int64_t i = 0; i < baseline.numel(); ++i) {
+    EXPECT_EQ(baseline.at(i), profiled.at(i)) << "profiling altered op output";
+  }
+}
+
+TEST(OpProfilerTest, RecordsConvAndGemmCallsWithFlops) {
+  obs::OpProfiler::Reset();
+  obs::OpProfiler::Enable(true);
+  Rng rng(13);
+  Tensor x = Tensor::Randn({1, 2, 6, 6}, &rng);
+  Tensor w = Tensor::Randn({3, 2, 3, 3}, &rng);
+  Conv2d(x, w, Tensor(), 1, 1);
+  Tensor a = Tensor::Randn({4, 5}, &rng);
+  Tensor b = Tensor::Randn({5, 6}, &rng);
+  MatMul(a, b);
+  obs::OpProfiler::Enable(false);
+
+  obs::OpStats conv = obs::OpProfiler::Get(obs::OpKind::kConv2d);
+  EXPECT_EQ(conv.calls, 1);
+  // 2 * OC * C*KH*KW * N*OH*OW = 2 * 3 * 18 * 36
+  EXPECT_DOUBLE_EQ(conv.flops, 2.0 * 3 * 2 * 3 * 3 * 6 * 6);
+  EXPECT_GT(conv.total_ns, 0);
+
+  obs::OpStats gemm = obs::OpProfiler::Get(obs::OpKind::kGemm);
+  EXPECT_EQ(gemm.calls, 1);
+  EXPECT_DOUBLE_EQ(gemm.flops, 2.0 * 4 * 5 * 6);
+
+  std::string json = obs::OpProfiler::ToJson();
+  EXPECT_NE(json.find("\"conv2d\""), std::string::npos);
+  EXPECT_NE(json.find("\"gemm\""), std::string::npos);
+  EXPECT_NE(json.find("\"attention\""), std::string::npos);
+  obs::OpProfiler::Reset();
+}
+
+TEST(DumpMetricsTest, WritesCombinedJsonFile) {
+  obs::MetricsRegistry::Get().GetCounter("test_dump_counter")->Increment();
+  std::string path = ::testing::TempDir() + "/dot_metrics_dump.json";
+  ASSERT_TRUE(obs::DumpMetrics(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"test_dump_counter\""), std::string::npos);
+  EXPECT_NE(content.find("\"ops\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dot

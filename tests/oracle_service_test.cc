@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.h"
 #include "util/stopwatch.h"
 
 namespace dot {
@@ -200,6 +201,136 @@ TEST_F(OracleServiceFixture, WarmEvictsWhenOverCapacity) {
   ASSERT_TRUE(service.Warm(odts).ok());
   EXPECT_EQ(service.cache_size(), 3);
   EXPECT_EQ(service.stats().evictions, 3);
+}
+
+TEST_F(OracleServiceFixture, ScriptedWorkloadAccountsHitsMissesDedup) {
+  OracleService service(oracle_);
+  OdtInput q0 = dataset_->split.test[0].odt;
+  OdtInput q1 = dataset_->split.test[0].odt;
+  q1.departure_time += 6 * 3600;  // distinct slot -> distinct bucket
+  OdtInput q2 = dataset_->split.test[0].odt;
+  q2.departure_time += 12 * 3600;
+
+  // Wave 1, cold cache: q0 misses, its duplicate free-rides on the same
+  // miss-fill (dedup hit, NOT a cache hit), q1 misses.
+  Result<std::vector<DotEstimate>> wave1 = service.QueryBatch({q0, q0, q1});
+  ASSERT_TRUE(wave1.ok());
+  OracleServiceStats stats = service.stats();
+  EXPECT_EQ(stats.queries, 3);
+  EXPECT_EQ(stats.batch_queries, 1);
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.dedup_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 2);
+  // Both duplicates resolved to the same miss-fill.
+  EXPECT_DOUBLE_EQ((*wave1)[0].minutes, (*wave1)[1].minutes);
+
+  // Wave 2: q0 and q1 are now cached; q2 is a fresh miss.
+  ASSERT_TRUE(service.QueryBatch({q0, q1, q2}).ok());
+  stats = service.stats();
+  EXPECT_EQ(stats.queries, 6);
+  EXPECT_EQ(stats.cache_hits, 2);
+  EXPECT_EQ(stats.dedup_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 3);
+
+  // Single-query path: one warm hit, one cold miss on a fourth bucket.
+  ASSERT_TRUE(service.Query(q2).ok());
+  OdtInput q3 = dataset_->split.test[0].odt;
+  q3.departure_time += 18 * 3600;
+  ASSERT_TRUE(service.Query(q3).ok());
+  stats = service.stats();
+  EXPECT_EQ(stats.queries, 8);
+  EXPECT_EQ(stats.cache_hits, 3);
+  EXPECT_EQ(stats.cache_misses, 4);
+  EXPECT_EQ(stats.evictions, 0);
+  // hit_rate counts dedup free-riders: (3 + 1) / 8.
+  EXPECT_NEAR(stats.hit_rate(), 0.5, 1e-12);
+
+  // The same workload shows up in the process-wide metrics export.
+  std::string text = obs::MetricsToPrometheusText();
+  EXPECT_NE(text.find("dot_service_queries_total"), std::string::npos);
+  EXPECT_NE(text.find("dot_service_dedup_hits_total"), std::string::npos);
+  EXPECT_NE(text.find("dot_service_batch_latency_us_count"), std::string::npos);
+  obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+  EXPECT_GE(snap.counters.at("dot_service_queries_total"), 8);
+  EXPECT_GE(snap.counters.at("dot_service_dedup_hits_total"), 1);
+  EXPECT_GE(snap.histograms.at("dot_service_query_latency_us").count, 2);
+  EXPECT_GT(snap.histograms.at("dot_service_query_latency_us").p50, 0.0);
+  EXPECT_GE(snap.histograms.at("dot_service_batch_size").count, 2);
+}
+
+TEST_F(OracleServiceFixture, QueryBatchTraceHasNestedSpans) {
+  OracleService service(oracle_);
+  std::vector<OdtInput> wave;
+  for (size_t i = 0; i < 3; ++i) wave.push_back(dataset_->split.test[i].odt);
+  obs::StartTracing();
+  ASSERT_TRUE(service.QueryBatch(wave).ok());
+  std::vector<obs::TraceEvent> events = obs::StopTracing();
+
+  auto find = [&](const std::string& name) -> const obs::TraceEvent* {
+    for (const auto& e : events) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  };
+  const obs::TraceEvent* batch = find("OracleService::QueryBatch");
+  const obs::TraceEvent* infer = find("DotOracle::InferPits");
+  const obs::TraceEvent* stage2 = find("DotOracle::EstimateFromPits");
+  const obs::TraceEvent* step = find("reverse_step");
+  const obs::TraceEvent* conv = find("conv2d");
+  ASSERT_NE(batch, nullptr);
+  ASSERT_NE(infer, nullptr);
+  ASSERT_NE(stage2, nullptr);
+  ASSERT_NE(step, nullptr);
+  ASSERT_NE(conv, nullptr);
+
+  // The acceptance chain: service -> oracle stage 1 -> per-reverse-step ->
+  // conv ops, plus the stage-2 pass under the same service span.
+  EXPECT_EQ(infer->parent_id, batch->id);
+  EXPECT_EQ(stage2->parent_id, batch->id);
+  auto by_id = [&](uint64_t id) -> const obs::TraceEvent* {
+    for (const auto& e : events) {
+      if (e.id == id) return &e;
+    }
+    return nullptr;
+  };
+  // reverse_step sits under the sampler span, which sits under InferPits.
+  const obs::TraceEvent* sampler = by_id(step->parent_id);
+  ASSERT_NE(sampler, nullptr);
+  EXPECT_EQ(sampler->parent_id, infer->id);
+  EXPECT_FALSE(step->args.empty()) << "reverse_step must carry its step index";
+  // At least one conv span is a child of a reverse step.
+  bool conv_under_step = false;
+  for (const auto& e : events) {
+    if (e.name != "conv2d") continue;
+    const obs::TraceEvent* parent = by_id(e.parent_id);
+    if (parent != nullptr && parent->name == "reverse_step") {
+      conv_under_step = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(conv_under_step);
+
+  // And the export is a loadable chrome trace.
+  std::string json = obs::ToChromeJson(events);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("OracleService::QueryBatch"), std::string::npos);
+}
+
+TEST_F(OracleServiceFixture, TracingDoesNotChangeBatchResults) {
+  // Tracing must not perturb the serving path: a wave answered under
+  // tracing and its cached re-issue (tracing off) agree exactly.
+  OracleService service(oracle_);
+  std::vector<OdtInput> wave;
+  for (size_t i = 0; i < 2; ++i) wave.push_back(dataset_->split.test[i].odt);
+  obs::StartTracing();
+  Result<std::vector<DotEstimate>> traced = service.QueryBatch(wave);
+  obs::StopTracing();
+  ASSERT_TRUE(traced.ok());
+  Result<std::vector<DotEstimate>> cached = service.QueryBatch(wave);
+  ASSERT_TRUE(cached.ok());
+  for (size_t i = 0; i < wave.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*traced)[i].minutes, (*cached)[i].minutes);
+  }
 }
 
 TEST_F(OracleServiceFixture, ConcurrentQueriesKeepStatsConsistent) {
