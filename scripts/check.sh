@@ -1,5 +1,5 @@
 #!/bin/bash
-# Observability / concurrency gate:
+# Observability / concurrency / robustness gate:
 #   1. builds the tree with ThreadSanitizer (-DDOT_SANITIZE=thread) — the
 #      sharded counters, trace recorder and service cache are all hit from
 #      multiple threads in the tier-1 suite, so data races surface here;
@@ -7,11 +7,19 @@
 #   3. re-runs obs_test with DOT_METRICS_TEXT set and lints the Prometheus
 #      text export: every line must be a comment (# HELP / # TYPE) or a
 #      `name{labels} value` sample with a legal metric name and a finite
-#      or +Inf number.
-# Usage: scripts/check.sh [build_dir]   (default: build-tsan)
+#      or +Inf number; the fault-tolerance counters (serving degradation,
+#      retries, training rollbacks) must be present in the dump;
+#   4. builds again with ASan+UBSan (-DDOT_SANITIZE=address,undefined) and
+#      runs tier1 plus the robustness suite — the failpoint-driven failure
+#      paths (torn writes, NaN losses, degraded serving) run under both
+#      sanitizers so the error paths themselves are memory/UB clean;
+#   5. smoke-tests DOT_FAILPOINTS environment arming end to end.
+# Usage: scripts/check.sh [build_dir] [asan_build_dir]
+#   (defaults: build-tsan build-asan)
 set -u
 cd "$(dirname "$0")/.."
 BUILD=${1:-build-tsan}
+BUILD_ASAN=${2:-build-asan}
 FAILED=0
 
 echo "== configure + build ($BUILD, -DDOT_SANITIZE=thread) =="
@@ -46,6 +54,43 @@ BAD=$(grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?(
 if [ -n "$BAD" ]; then
   echo "CHECK FAILED: malformed metrics export lines:"
   echo "$BAD"
+  FAILED=1
+fi
+# The fault-tolerance counters must make it through the registry and into the
+# export (satellite of the degradation-ladder work): one labeled series per
+# degradation level plus the retry and training-rollback totals.
+for METRIC in 'dot_serving_degraded_total\{level="[a-z_]+"\}' \
+              dot_serving_retries_total dot_train_rollbacks_total; do
+  if ! grep -qE "^${METRIC} " "$METRICS_TXT"; then
+    echo "CHECK FAILED: metrics export is missing ${METRIC}"
+    FAILED=1
+  fi
+done
+
+echo "== configure + build ($BUILD_ASAN, -DDOT_SANITIZE=address,undefined) =="
+cmake -B "$BUILD_ASAN" -S . -DDOT_SANITIZE=address,undefined \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo || exit 1
+cmake --build "$BUILD_ASAN" -j || exit 1
+
+echo "== tier1 tests under asan+ubsan =="
+if ! ctest --test-dir "$BUILD_ASAN" -L tier1 --output-on-failure -j; then
+  echo "CHECK FAILED: tier1 tests (asan+ubsan)"
+  FAILED=1
+fi
+
+echo "== robustness suite under asan+ubsan =="
+if ! "$BUILD_ASAN"/tests/robustness_test > /dev/null; then
+  echo "CHECK FAILED: robustness_test (asan+ubsan)"
+  FAILED=1
+fi
+
+echo "== DOT_FAILPOINTS env arming smoke =="
+# Arms a named failpoint purely through the environment; the EnvArmingSmoke
+# test asserts the spec was parsed and the point fires (it skips itself when
+# the variable is absent, so plain test runs are unaffected).
+if ! DOT_FAILPOINTS="check.smoke=error" "$BUILD_ASAN"/tests/util_test \
+    --gtest_filter='FailpointTest.*' > /dev/null; then
+  echo "CHECK FAILED: failpoint env smoke run"
   FAILED=1
 fi
 

@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace dot {
+
+namespace {
+
+/// Failpoint hook shared by both samplers: `diffusion.sample = nan`
+/// overwrites the denoised batch with NaNs (a numerically-diverged reverse
+/// pass); `delay` injects latency inside Fire() itself.
+void MaybeInjectSampleFault(Tensor* x) {
+  if (DOT_FAILPOINT("diffusion.sample") == fail::Action::kNan) {
+    float nan = std::numeric_limits<float>::quiet_NaN();
+    for (int64_t i = 0; i < x->numel(); ++i) x->at(i) = nan;
+  }
+}
+
+}  // namespace
 
 DiffusionSchedule::DiffusionSchedule(int64_t num_steps, double beta_start,
                                      double beta_end)
@@ -151,6 +167,7 @@ Tensor Diffusion::Sample(const NoisePredictor& model, const Tensor& cond,
       }
     }
   }
+  MaybeInjectSampleFault(&x);
   return x;
 }
 
@@ -200,6 +217,7 @@ Tensor Diffusion::SampleStrided(const NoisePredictor& model, const Tensor& cond,
       xp[i] = sab_prev * x0_hat + sn_prev * eps_hat;
     }
   }
+  MaybeInjectSampleFault(&x);
   return x;
 }
 

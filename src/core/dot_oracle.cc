@@ -2,16 +2,29 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "eval/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/optim.h"
+#include "util/checkpoint.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace dot {
+
+const char* ServedQualityName(ServedQuality q) {
+  switch (q) {
+    case ServedQuality::kFull: return "full";
+    case ServedQuality::kReducedSteps: return "reduced_steps";
+    case ServedQuality::kCachedNeighbor: return "cached_neighbor";
+    case ServedQuality::kFallback: return "fallback";
+  }
+  return "unknown";
+}
 
 namespace {
 
@@ -31,6 +44,92 @@ double GradNorm(const std::vector<Tensor>& params) {
   }
   return std::sqrt(sq);
 }
+
+/// Scales every gradient so the global L2 norm is at most `max_norm`
+/// (0 = off). Returns the pre-clip norm; a non-finite norm is returned
+/// unscaled so callers can treat the step as poisoned.
+double ClipGradNorm(std::vector<Tensor> params, float max_norm) {
+  double norm = GradNorm(params);
+  if (max_norm > 0 && std::isfinite(norm) &&
+      norm > static_cast<double>(max_norm)) {
+    float scale = static_cast<float>(static_cast<double>(max_norm) / norm);
+    for (auto& p : params) {
+      if (!p.has_grad()) continue;
+      float* g = p.grad();
+      for (int64_t i = 0; i < p.numel(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+/// Fault tolerance for one training stage's step loop (DESIGN.md §5d): a
+/// step whose loss or gradient norm is non-finite never reaches the
+/// optimizer; after `rollback_after` *consecutive* poisoned steps the
+/// parameters are restored from the last-good snapshot, which is refreshed
+/// at every epoch boundary that saw no poisoned step.
+class TrainingGuard {
+ public:
+  TrainingGuard(const char* stage, std::vector<Tensor> params,
+                int64_t rollback_after)
+      : stage_(stage),
+        params_(std::move(params)),
+        rollback_after_(rollback_after),
+        skipped_(obs::MetricsRegistry::Get().GetCounter(
+            "dot_train_skipped_steps_total")),
+        rollbacks_(obs::MetricsRegistry::Get().GetCounter(
+            "dot_train_rollbacks_total")) {
+    TakeSnapshot();
+  }
+
+  void StepOk() { consecutive_bad_ = 0; }
+
+  /// Records a poisoned (skipped) step; rolls back and returns true once
+  /// the consecutive-bad budget is exhausted.
+  bool StepBad(const char* what) {
+    skipped_->Increment();
+    epoch_had_bad_ = true;
+    ++consecutive_bad_;
+    DOT_LOG_WARN << "[" << stage_ << "] skipping step: non-finite " << what
+                 << " (" << consecutive_bad_ << " consecutive)";
+    if (rollback_after_ > 0 && consecutive_bad_ >= rollback_after_) {
+      for (size_t i = 0; i < params_.size(); ++i) {
+        params_[i].vec() = snapshot_[i];
+      }
+      rollbacks_->Increment();
+      ++rollback_count_;
+      consecutive_bad_ = 0;
+      DOT_LOG_WARN << "[" << stage_ << "] rolled back to last-good weights";
+      return true;
+    }
+    return false;
+  }
+
+  /// Call once per epoch: refreshes the snapshot only if the whole epoch
+  /// was healthy (a poisoned epoch must not become the rollback target).
+  void EndEpoch() {
+    if (!epoch_had_bad_) TakeSnapshot();
+    epoch_had_bad_ = false;
+  }
+
+  int64_t rollback_count() const { return rollback_count_; }
+
+ private:
+  void TakeSnapshot() {
+    snapshot_.clear();
+    snapshot_.reserve(params_.size());
+    for (const auto& p : params_) snapshot_.push_back(p.vec());
+  }
+
+  const char* stage_;
+  std::vector<Tensor> params_;
+  int64_t rollback_after_;
+  int64_t consecutive_bad_ = 0;
+  int64_t rollback_count_ = 0;
+  bool epoch_had_bad_ = false;
+  std::vector<std::vector<float>> snapshot_;
+  obs::Counter* skipped_;
+  obs::Counter* rollbacks_;
+};
 
 /// Per-epoch training gauges for one stage ("stage1" / "stage2").
 struct StageMetrics {
@@ -102,6 +201,8 @@ Status DotOracle::TrainStage1(const std::vector<TripSample>& train) {
   for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
 
   StageMetrics sm("stage1");
+  TrainingGuard guard("stage1", denoiser_->Parameters(),
+                      config_.rollback_after_bad_steps);
   for (int64_t epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
     obs::TraceSpan epoch_span("DotOracle::TrainStage1::epoch");
     Stopwatch epoch_sw;
@@ -136,11 +237,27 @@ Status DotOracle::TrainStage1(const std::vector<TripSample>& train) {
       Tensor target =
           config_.parameterization == Parameterization::kX0 ? x0 : eps;
       Tensor loss = MseLoss(pred, target);
+      double loss_val = static_cast<double>(loss.item());
+      if (DOT_FAILPOINT("train.stage1.nan_loss") == fail::Action::kNan) {
+        loss_val = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(loss_val)) {
+        guard.StepBad("loss");
+        continue;
+      }
       loss.Backward();
+      double gnorm =
+          ClipGradNorm(denoiser_->Parameters(), config_.grad_clip_norm);
+      if (!std::isfinite(gnorm)) {
+        guard.StepBad("gradient norm");
+        continue;
+      }
       opt.Step();
-      loss_sum += loss.item();
+      guard.StepOk();
+      loss_sum += loss_val;
       ++batches;
     }
+    guard.EndEpoch();
     last_stage1_loss_ = batches > 0 ? loss_sum / static_cast<double>(batches) : 0;
     sm.epoch_loss->Set(last_stage1_loss_);
     sm.epoch_time_s->Set(epoch_sw.ElapsedSeconds());
@@ -161,6 +278,27 @@ Status DotOracle::TrainStage1(const std::vector<TripSample>& train) {
 }
 
 std::vector<Pit> DotOracle::InferPits(const std::vector<OdtInput>& odts) {
+  return InferPitsImpl(odts, 0, nullptr);
+}
+
+Result<std::vector<Pit>> DotOracle::TryInferPits(
+    const std::vector<OdtInput>& odts, int64_t sample_steps) {
+  if (!stage1_trained_) {
+    return Status::FailedPrecondition("stage 1 untrained");
+  }
+  if (DOT_FAILPOINT("dot_oracle.infer_pits") == fail::Action::kError) {
+    return Status::Internal("failpoint 'dot_oracle.infer_pits' fired");
+  }
+  bool sane = true;
+  std::vector<Pit> pits = InferPitsImpl(odts, sample_steps, &sane);
+  if (!sane) {
+    return Status::Internal("stage 1 sampler produced non-finite PiT values");
+  }
+  return pits;
+}
+
+std::vector<Pit> DotOracle::InferPitsImpl(const std::vector<OdtInput>& odts,
+                                          int64_t sample_steps, bool* sane) {
   DOT_CHECK(stage1_trained_) << "InferPits before TrainStage1";
   // Stage-1 half of the estimation cost (Table 5: diffusion sampling
   // dominates) — kept as a separate span + histogram so the split stays
@@ -171,6 +309,7 @@ std::vector<Pit> DotOracle::InferPits(const std::vector<OdtInput>& odts) {
   out.reserve(odts.size());
   int64_t l = config_.grid_size;
   int64_t bs = std::max<int64_t>(1, config_.batch_size);
+  int64_t steps = sample_steps > 0 ? sample_steps : config_.sample_steps;
   for (size_t start = 0; start < odts.size(); start += static_cast<size_t>(bs)) {
     int64_t b = std::min<int64_t>(bs, static_cast<int64_t>(odts.size() - start));
     Tensor cond = Tensor::Empty({b, 5});
@@ -180,11 +319,20 @@ std::vector<Pit> DotOracle::InferPits(const std::vector<OdtInput>& odts) {
     }
     Tensor x;
     std::vector<int64_t> shape = {b, kPitChannels, l, l};
-    if (config_.ancestral_sampling) {
+    if (config_.ancestral_sampling && sample_steps <= 0) {
       x = diffusion_.Sample(*denoiser_, cond, shape, &rng_);
     } else {
-      x = diffusion_.SampleStrided(*denoiser_, cond, shape,
-                                   config_.sample_steps, &rng_);
+      x = diffusion_.SampleStrided(*denoiser_, cond, shape, steps, &rng_);
+    }
+    if (sane != nullptr && *sane) {
+      // Scan the raw sampler output: Canonicalize would clamp values and
+      // could mask a diverged pass.
+      for (int64_t i = 0; i < x.numel(); ++i) {
+        if (!std::isfinite(x.at(i))) {
+          *sane = false;
+          break;
+        }
+      }
     }
     for (int64_t i = 0; i < b; ++i) {
       Tensor one = Tensor::Empty({kPitChannels, l, l});
@@ -289,6 +437,8 @@ Status DotOracle::TrainStage2(const std::vector<TripSample>& train,
   stage2_trained_ = true;  // EstimateFromPits is used for validation below
 
   StageMetrics sm("stage2");
+  TrainingGuard guard("stage2", estimator_->module()->Parameters(),
+                      config_.rollback_after_bad_steps);
   obs::Gauge* val_mae_gauge =
       obs::MetricsRegistry::Get().GetGauge("dot_train_stage2_val_mae");
   for (int64_t epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
@@ -313,11 +463,27 @@ Status DotOracle::TrainStage2(const std::vector<TripSample>& train,
       estimator_->module()->ZeroGrad();
       Tensor pred = estimator_->ForwardBatch(batch, batch_feats);
       Tensor loss = MseLoss(pred, Tensor::FromVector({b, 1}, targets));
+      double loss_val = static_cast<double>(loss.item());
+      if (DOT_FAILPOINT("train.stage2.nan_loss") == fail::Action::kNan) {
+        loss_val = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(loss_val)) {
+        guard.StepBad("loss");
+        continue;
+      }
       loss.Backward();
+      double gnorm = ClipGradNorm(estimator_->module()->Parameters(),
+                                  config_.grad_clip_norm);
+      if (!std::isfinite(gnorm)) {
+        guard.StepBad("gradient norm");
+        continue;
+      }
       opt.Step();
-      loss_sum += loss.item();
+      guard.StepOk();
+      loss_sum += loss_val;
       ++batches;
     }
+    guard.EndEpoch();
     sm.epoch_loss->Set(batches ? loss_sum / static_cast<double>(batches) : 0);
     sm.epoch_time_s->Set(epoch_sw.ElapsedSeconds());
     sm.epochs_total->Increment();
@@ -408,24 +574,33 @@ Status DotOracle::AdoptStage1(const DotOracle& other) {
   return Status::OK();
 }
 
+namespace {
+// Sealed-container magics (util/checkpoint.h). The pre-hardening formats
+// ("DOT1"/"DOTS1", no CRC footer) are no longer readable; stale caches
+// fail Load and are simply retrained and overwritten.
+constexpr char kOracleMagic[] = "DOTCKPT";
+constexpr char kStage1Magic[] = "DOTS1CKPT";
+constexpr uint64_t kCheckpointVersion = 1;
+}  // namespace
+
 Status DotOracle::SaveStage1(const std::string& path) const {
   if (!stage1_trained_) {
     return Status::FailedPrecondition("stage 1 untrained");
   }
-  BinaryWriter w(path);
+  CheckpointWriter w(path, kStage1Magic, kCheckpointVersion);
   if (!w.Ok()) return Status::IOError("cannot open " + path);
-  w.WriteString("DOTS1");
-  DOT_RETURN_NOT_OK(denoiser_->Save(&w));
-  return w.Close();
+  DOT_RETURN_NOT_OK(denoiser_->Save(w.writer()));
+  return w.Commit();
 }
 
 Status DotOracle::LoadStage1(const std::string& path) {
-  BinaryReader r(path);
-  if (!r.Ok()) return Status::IOError("cannot open " + path);
-  if (r.ReadString() != "DOTS1") {
-    return Status::InvalidArgument("bad stage-1 checkpoint magic");
+  if (DOT_FAILPOINT("dot_oracle.load") == fail::Action::kError) {
+    return Status::IOError("failpoint 'dot_oracle.load' fired for " + path);
   }
-  DOT_RETURN_NOT_OK(denoiser_->Load(&r));
+  DOT_ASSIGN_OR_RETURN(CheckpointReader r, CheckpointReader::Open(
+                                               path, kStage1Magic,
+                                               kCheckpointVersion));
+  DOT_RETURN_NOT_OK(denoiser_->Load(&r.reader()));
   stage1_trained_ = true;
   return Status::OK();
 }
@@ -434,26 +609,33 @@ Status DotOracle::SaveFile(const std::string& path) const {
   if (!stage1_trained_ || !stage2_trained_) {
     return Status::FailedPrecondition("cannot save an untrained oracle");
   }
-  BinaryWriter w(path);
+  CheckpointWriter w(path, kOracleMagic, kCheckpointVersion);
   if (!w.Ok()) return Status::IOError("cannot open " + path);
-  w.WriteString("DOT1");
-  w.WriteF64(target_mean_);
-  w.WriteF64(target_std_);
-  DOT_RETURN_NOT_OK(denoiser_->Save(&w));
-  DOT_RETURN_NOT_OK(estimator_->module()->Save(&w));
-  return w.Close();
+  w.writer()->WriteF64(target_mean_);
+  w.writer()->WriteF64(target_std_);
+  DOT_RETURN_NOT_OK(denoiser_->Save(w.writer()));
+  DOT_RETURN_NOT_OK(estimator_->module()->Save(w.writer()));
+  return w.Commit();
 }
 
 Status DotOracle::LoadFile(const std::string& path) {
-  BinaryReader r(path);
-  if (!r.Ok()) return Status::IOError("cannot open " + path);
-  if (r.ReadString() != "DOT1") {
-    return Status::InvalidArgument("bad oracle checkpoint magic");
+  if (DOT_FAILPOINT("dot_oracle.load") == fail::Action::kError) {
+    return Status::IOError("failpoint 'dot_oracle.load' fired for " + path);
   }
-  target_mean_ = r.ReadF64();
-  target_std_ = r.ReadF64();
-  DOT_RETURN_NOT_OK(denoiser_->Load(&r));
-  DOT_RETURN_NOT_OK(estimator_->module()->Load(&r));
+  DOT_ASSIGN_OR_RETURN(CheckpointReader r, CheckpointReader::Open(
+                                               path, kOracleMagic,
+                                               kCheckpointVersion));
+  double mean = r.reader().ReadF64();
+  double std = r.reader().ReadF64();
+  if (!r.reader().Ok() || !std::isfinite(mean) || !std::isfinite(std) ||
+      std <= 0) {
+    return Status::InvalidArgument("oracle checkpoint: bad target stats in " +
+                                   path);
+  }
+  DOT_RETURN_NOT_OK(denoiser_->Load(&r.reader()));
+  DOT_RETURN_NOT_OK(estimator_->module()->Load(&r.reader()));
+  target_mean_ = mean;
+  target_std_ = std;
   stage1_trained_ = true;
   stage2_trained_ = true;
   return Status::OK();

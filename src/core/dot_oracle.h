@@ -66,15 +66,39 @@ struct DotConfig {
   bool use_time_condition = true;
   bool use_od_condition = true;
 
+  /// L2 gradient-norm clip applied before every optimizer step (0 = off).
+  float grad_clip_norm = 0.0f;
+  /// Training fault tolerance: a step whose loss or gradient norm is
+  /// non-finite is skipped (the optimizer never sees it); after this many
+  /// *consecutive* poisoned steps the stage rolls back to its last-good
+  /// weights (snapshot refreshed at every healthy epoch boundary). 0
+  /// disables rollback (poisoned steps are still skipped).
+  int64_t rollback_after_bad_steps = 3;
+
   uint64_t seed = 1;
   bool verbose = false;
 };
 
+/// \brief How a serving answer was produced — the degradation ladder level
+/// (DESIGN.md §5d). Ordered best-first: quality a > quality b iff a's enum
+/// value is smaller.
+enum class ServedQuality : int {
+  kFull = 0,            ///< full reverse-diffusion pass at configured steps
+  kReducedSteps = 1,    ///< DDIM pass with fewer steps (deadline pressure)
+  kCachedNeighbor = 2,  ///< PiT borrowed from a neighboring ToD bucket
+  kFallback = 3,        ///< cheap fallback estimator (or prior mean); no PiT
+};
+
+/// Short name for logs/metric labels ("full", "reduced_steps", ...).
+const char* ServedQualityName(ServedQuality q);
+
 /// \brief An oracle answer: the travel time and the inferred PiT
-/// (the explainability output, Sec. 6.6).
+/// (the explainability output, Sec. 6.6), tagged with the ladder level
+/// that produced it.
 struct DotEstimate {
   double minutes = 0;
   Pit pit{1};
+  ServedQuality quality = ServedQuality::kFull;
 };
 
 /// \brief Two-stage DOT model.
@@ -107,6 +131,15 @@ class DotOracle {
   /// Stage-1 only: infers PiTs for a batch of queries.
   std::vector<Pit> InferPits(const std::vector<OdtInput>& odts);
 
+  /// Failure-aware stage 1 for the serving path: honors the
+  /// `dot_oracle.infer_pits` failpoint, runs the reverse pass with
+  /// `sample_steps` DDIM steps (0 = the configured count; the degradation
+  /// ladder passes fewer under deadline pressure), and rejects non-finite
+  /// sampler output with Internal instead of handing poisoned PiTs to
+  /// stage 2.
+  Result<std::vector<Pit>> TryInferPits(const std::vector<OdtInput>& odts,
+                                        int64_t sample_steps = 0);
+
   /// Stage-2 only: estimates minutes from already-inferred PiTs. `odts`
   /// must be parallel to `pits` (the estimator's wide component reads the
   /// query features; see EstimatorConfig::use_odt_features).
@@ -133,6 +166,11 @@ class DotOracle {
   /// Mean stage-1 training loss of the last epoch (diagnostics).
   double last_stage1_loss() const { return last_stage1_loss_; }
 
+  /// Mean travel time of the stage-2 training distribution, minutes — the
+  /// serving layer's estimate of last resort when the whole ladder is
+  /// exhausted.
+  double prior_mean_minutes() const { return target_mean_; }
+
   /// Persists both stages plus target normalization. The loading oracle
   /// must be constructed with an identical architecture config.
   Status SaveFile(const std::string& path) const;
@@ -150,6 +188,11 @@ class DotOracle {
   Status AdoptStage1(const DotOracle& other);
 
  private:
+  /// Shared stage-1 body; `sane` (when non-null) is cleared if the sampler
+  /// emitted any non-finite value.
+  std::vector<Pit> InferPitsImpl(const std::vector<OdtInput>& odts,
+                                 int64_t sample_steps, bool* sane);
+
   DotConfig config_;
   Grid grid_;
   Diffusion diffusion_;

@@ -1,9 +1,11 @@
 #include "core/oracle_service.h"
 
+#include <chrono>
+#include <cmath>
+#include <thread>
 #include <unordered_set>
 
 #include "obs/trace.h"
-#include "util/stopwatch.h"
 
 namespace dot {
 
@@ -18,6 +20,17 @@ OracleService::Metrics::Metrics() {
   dedup_hits = reg.GetCounter("dot_service_dedup_hits_total");
   cache_misses = reg.GetCounter("dot_service_cache_misses_total");
   evictions = reg.GetCounter("dot_service_evictions_total");
+  stage1_latency_us = reg.GetHistogram("dot_oracle_stage1_latency_us");
+  retries = reg.GetCounter("dot_serving_retries_total");
+  degraded_reduced_steps = reg.GetCounter(
+      "dot_serving_degraded_total",
+      {{"level", ServedQualityName(ServedQuality::kReducedSteps)}});
+  degraded_cached_neighbor = reg.GetCounter(
+      "dot_serving_degraded_total",
+      {{"level", ServedQualityName(ServedQuality::kCachedNeighbor)}});
+  degraded_fallback = reg.GetCounter(
+      "dot_serving_degraded_total",
+      {{"level", ServedQualityName(ServedQuality::kFallback)}});
 }
 
 OracleService::OracleService(DotOracle* oracle, OracleServiceConfig config)
@@ -72,7 +85,169 @@ void OracleService::ClearCache() {
   lru_.clear();
 }
 
-Result<DotEstimate> OracleService::Query(const OdtInput& odt) {
+Status OracleService::ValidateQuery(const OdtInput& odt) const {
+  auto finite = [](const GpsPoint& p) {
+    return std::isfinite(p.lng) && std::isfinite(p.lat);
+  };
+  if (!finite(odt.origin) || !finite(odt.destination)) {
+    return Status::InvalidArgument("query: non-finite coordinates");
+  }
+  BoundingBox area = oracle_->grid().box().Inflated(0.01);
+  if (!area.Contains(odt.origin)) {
+    return Status::InvalidArgument("query: origin outside the service area");
+  }
+  if (!area.Contains(odt.destination)) {
+    return Status::InvalidArgument(
+        "query: destination outside the service area");
+  }
+  if (odt.departure_time < 0) {
+    return Status::InvalidArgument("query: negative departure time");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Pit>> OracleService::TryInferWithRetry(
+    const std::vector<OdtInput>& odts, int64_t sample_steps,
+    const QueryOptions& opts, const Stopwatch& sw) {
+  int64_t attempts = 1 + std::max<int64_t>(0, config_.max_retries);
+  Status last = Status::Internal("stage 1: no attempt made");
+  for (int64_t a = 0; a < attempts; ++a) {
+    if (a > 0) {
+      int64_t backoff_ms = config_.retry_backoff_ms << (a - 1);
+      if (opts.deadline_ms > 0 &&
+          opts.deadline_ms - sw.ElapsedSeconds() * 1e3 <=
+              static_cast<double>(backoff_ms)) {
+        break;  // the backoff alone would bust the deadline: stop retrying
+      }
+      metrics_.retries->Increment();
+      if (backoff_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      }
+    }
+    std::unique_lock<std::mutex> olock(oracle_mu_);
+    Result<std::vector<Pit>> r = oracle_->TryInferPits(odts, sample_steps);
+    olock.unlock();
+    if (r.ok()) return r;
+    last = r.status();
+    // Only Internal failures (failpoints, diverged samplers) are worth a
+    // retry; anything else (untrained, bad input) is permanent.
+    if (last.code() != StatusCode::kInternal) break;
+  }
+  return last;
+}
+
+bool OracleService::LookupNeighborLocked(int64_t bucket, Pit* pit) {
+  int64_t slot = bucket % config_.tod_slots;
+  int64_t od = bucket / config_.tod_slots;
+  for (int64_t r = 1; r <= config_.neighbor_slot_radius; ++r) {
+    for (int64_t sign : {-1, +1}) {
+      int64_t s =
+          ((slot + sign * r) % config_.tod_slots + config_.tod_slots) %
+          config_.tod_slots;
+      auto it = cache_.find(od * config_.tod_slots + s);
+      if (it != cache_.end()) {
+        Touch(it);
+        *pit = it->second.pit;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+OracleService::MissServe OracleService::ServeMisses(
+    const std::vector<OdtInput>& miss_odts,
+    const std::vector<int64_t>& miss_buckets, const QueryOptions& opts,
+    const Stopwatch& sw) {
+  size_t m = miss_odts.size();
+  MissServe out;
+  out.pits.assign(m, Pit{1});
+  out.minutes.assign(m, 0.0);
+  out.quality.assign(m, ServedQuality::kFallback);
+
+  // Deadline triage: predict the full pass's cost from the p95 of the
+  // observed stage-1 latencies and pick the highest ladder level whose
+  // predicted cost fits the remaining budget. Reduced-step cost is scaled
+  // linearly in the step count (the denoiser dominates each step).
+  ServedQuality target = ServedQuality::kFull;
+  int64_t steps = 0;  // 0 = the oracle's configured sample_steps
+  bool skip_stage1 = false;
+  if (opts.deadline_ms > 0 && metrics_.stage1_latency_us->Count() > 0) {
+    double remaining_us =
+        opts.deadline_ms * 1e3 - sw.ElapsedSeconds() * 1e6;
+    double p95 = metrics_.stage1_latency_us->Quantile(0.95);
+    if (p95 > remaining_us) {
+      double frac = static_cast<double>(config_.degraded_sample_steps) /
+                    static_cast<double>(
+                        std::max<int64_t>(1, oracle_->config().sample_steps));
+      if (p95 * frac <= remaining_us) {
+        target = ServedQuality::kReducedSteps;
+        steps = config_.degraded_sample_steps;
+      } else {
+        skip_stage1 = true;  // even a reduced pass is predicted to run late
+      }
+    }
+  }
+
+  if (!skip_stage1) {
+    Result<std::vector<Pit>> r =
+        TryInferWithRetry(miss_odts, steps, opts, sw);
+    if (!r.ok() && target == ServedQuality::kFull) {
+      // Stage 1 failed at full quality: one more round at reduced steps
+      // before abandoning inference for this wave.
+      target = ServedQuality::kReducedSteps;
+      r = TryInferWithRetry(miss_odts, config_.degraded_sample_steps, opts,
+                            sw);
+    }
+    if (r.ok()) {
+      out.pits = std::move(*r);
+      out.quality.assign(m, target);
+      out.fresh = true;
+      return out;
+    }
+  }
+
+  // Ladder tail, per miss: a cached PiT from a neighboring time-of-day
+  // bucket, else the fallback estimate. Never fails.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < m; ++i) {
+      if (LookupNeighborLocked(miss_buckets[i], &out.pits[i])) {
+        out.quality[i] = ServedQuality::kCachedNeighbor;
+      }
+    }
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (out.quality[i] != ServedQuality::kFallback) continue;
+    out.minutes[i] = config_.fallback_estimator
+                         ? config_.fallback_estimator(miss_odts[i])
+                         : oracle_->prior_mean_minutes();
+  }
+  return out;
+}
+
+void OracleService::RecordQuality(ServedQuality q) {
+  switch (q) {
+    case ServedQuality::kFull:
+      break;
+    case ServedQuality::kReducedSteps:
+      metrics_.degraded_reduced_steps->Increment();
+      break;
+    case ServedQuality::kCachedNeighbor:
+      metrics_.degraded_cached_neighbor->Increment();
+      break;
+    case ServedQuality::kFallback:
+      metrics_.degraded_fallback->Increment();
+      break;
+  }
+}
+
+Result<DotEstimate> OracleService::Query(const OdtInput& odt,
+                                         const QueryOptions& opts) {
+  DOT_RETURN_NOT_OK(ValidateQuery(odt));
+  if (!oracle_->trained()) {
+    return Status::FailedPrecondition("oracle not trained");
+  }
   obs::TraceSpan span("OracleService::Query");
   Stopwatch sw;
   metrics_.queries->Increment();
@@ -100,19 +275,38 @@ Result<DotEstimate> OracleService::Query(const OdtInput& odt) {
     return DotEstimate{minutes, std::move(pit)};
   }
   metrics_.cache_misses->Increment();
-  std::unique_lock<std::mutex> olock(oracle_mu_);
-  Result<DotEstimate> est = oracle_->Estimate(odt);
-  olock.unlock();
-  if (!est.ok()) return est;
-  std::lock_guard<std::mutex> lock(mu_);
-  InsertLocked(bucket, est->pit);
+  MissServe served = ServeMisses({odt}, {bucket}, opts, sw);
+  DotEstimate est;
+  est.quality = served.quality[0];
+  if (est.quality == ServedQuality::kFallback) {
+    est.minutes = served.minutes[0];
+  } else {
+    std::unique_lock<std::mutex> olock(oracle_mu_);
+    est.minutes = oracle_->EstimateFromPits({served.pits[0]}, {odt})[0];
+    olock.unlock();
+    est.pit = std::move(served.pits[0]);
+  }
+  if (served.fresh && est.quality == ServedQuality::kFull) {
+    // Degraded PiTs are served but never cached: a warm entry promises
+    // full quality to every later hit.
+    std::lock_guard<std::mutex> lock(mu_);
+    InsertLocked(bucket, est.pit);
+  }
+  RecordQuality(est.quality);
   metrics_.query_latency_us->Observe(sw.ElapsedSeconds() * 1e6);
   return est;
 }
 
 Result<std::vector<DotEstimate>> OracleService::QueryBatch(
-    const std::vector<OdtInput>& odts) {
+    const std::vector<OdtInput>& odts, const QueryOptions& opts) {
   if (odts.empty()) return std::vector<DotEstimate>{};
+  for (size_t i = 0; i < odts.size(); ++i) {
+    Status s = ValidateQuery(odts[i]);
+    if (!s.ok()) {
+      return Status::InvalidArgument("batch query " + std::to_string(i) +
+                                     ": " + s.message());
+    }
+  }
   if (!oracle_->trained()) {
     return Status::FailedPrecondition("oracle not trained");
   }
@@ -160,40 +354,72 @@ Result<std::vector<DotEstimate>> OracleService::QueryBatch(
   metrics_.dedup_hits->Increment(wave_dedup);
   metrics_.cache_misses->Increment(static_cast<int64_t>(miss_rep.size()));
 
-  // Single batched miss-fill: one reverse-diffusion pass denoises every
-  // missing bucket's PiT.
+  // Single batched miss-fill through the degradation ladder: one
+  // reverse-diffusion pass (possibly at reduced steps) denoises every
+  // missing bucket's PiT, and a wave whose stage 1 fails outright falls to
+  // neighbor-bucket / fallback answers instead of erroring.
+  std::vector<ServedQuality> quality(n, ServedQuality::kFull);
+  std::vector<double> fallback_minutes(n, 0.0);
   if (!miss_rep.empty()) {
     std::vector<OdtInput> miss_odts;
+    std::vector<int64_t> miss_buckets;
     miss_odts.reserve(miss_rep.size());
-    for (size_t idx : miss_rep) miss_odts.push_back(odts[idx]);
-    std::vector<Pit> inferred;
-    {
-      std::lock_guard<std::mutex> olock(oracle_mu_);
-      inferred = oracle_->InferPits(miss_odts);
+    miss_buckets.reserve(miss_rep.size());
+    for (size_t idx : miss_rep) {
+      miss_odts.push_back(odts[idx]);
+      miss_buckets.push_back(buckets[idx]);
     }
-    {
+    MissServe served = ServeMisses(miss_odts, miss_buckets, opts, sw);
+    if (served.fresh && served.quality[0] == ServedQuality::kFull) {
       std::lock_guard<std::mutex> lock(mu_);
       for (size_t k = 0; k < miss_rep.size(); ++k) {
-        InsertLocked(buckets[miss_rep[k]], inferred[k]);
+        InsertLocked(miss_buckets[k], served.pits[k]);
       }
     }
     for (size_t i = 0; i < n; ++i) {
       if (resolved[i]) continue;
-      pits[i] = inferred[miss_slot.at(buckets[i])];
+      size_t k = miss_slot.at(buckets[i]);
+      quality[i] = served.quality[k];
+      if (quality[i] == ServedQuality::kFallback) {
+        fallback_minutes[i] = served.minutes[k];
+      } else {
+        pits[i] = served.pits[k];
+      }
       resolved[i] = 1;
     }
   }
 
-  // One batched stage-2 pass over the whole wave.
-  std::vector<double> minutes;
-  {
-    std::lock_guard<std::mutex> olock(oracle_mu_);
-    minutes = oracle_->EstimateFromPits(pits, odts);
+  // One batched stage-2 pass over every query that has a PiT (all of them
+  // unless some fell through to kFallback, which carries no PiT).
+  std::vector<size_t> with_pit;
+  with_pit.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (quality[i] != ServedQuality::kFallback) with_pit.push_back(i);
+  }
+  std::vector<double> minutes(n, 0.0);
+  if (!with_pit.empty()) {
+    std::vector<Pit> est_pits;
+    std::vector<OdtInput> est_odts;
+    est_pits.reserve(with_pit.size());
+    est_odts.reserve(with_pit.size());
+    for (size_t i : with_pit) {
+      est_pits.push_back(pits[i]);
+      est_odts.push_back(odts[i]);
+    }
+    std::vector<double> est;
+    {
+      std::lock_guard<std::mutex> olock(oracle_mu_);
+      est = oracle_->EstimateFromPits(est_pits, est_odts);
+    }
+    for (size_t k = 0; k < with_pit.size(); ++k) minutes[with_pit[k]] = est[k];
   }
   std::vector<DotEstimate> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    out.push_back(DotEstimate{minutes[i], std::move(pits[i])});
+    RecordQuality(quality[i]);
+    double m = quality[i] == ServedQuality::kFallback ? fallback_minutes[i]
+                                                      : minutes[i];
+    out.push_back(DotEstimate{m, std::move(pits[i]), quality[i]});
   }
   metrics_.batch_latency_us->Observe(sw.ElapsedSeconds() * 1e6);
   return out;

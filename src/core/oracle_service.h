@@ -14,11 +14,19 @@
 // The service is thread-safe: the cache and statistics are guarded by one
 // mutex and calls into the underlying DotOracle (which is stateful and not
 // thread-safe — it owns the sampling RNG) are serialized by another.
+//
+// Fault tolerance (DESIGN.md §5d): queries carry an optional deadline, and
+// a miss that cannot afford (or repeatedly fails) the full reverse-
+// diffusion pass degrades down a ladder — fewer DDIM steps, then a PiT
+// borrowed from a neighboring time-of-day bucket, then a cheap fallback
+// estimate — so a wave never fails wholesale because stage 1 did. Every
+// estimate is tagged with the ServedQuality level that produced it.
 
 #ifndef DOT_CORE_ORACLE_SERVICE_H_
 #define DOT_CORE_ORACLE_SERVICE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <unordered_map>
@@ -26,16 +34,42 @@
 
 #include "core/dot_oracle.h"
 #include "obs/metrics.h"
+#include "util/stopwatch.h"
 
 namespace dot {
 
-/// \brief Caching configuration.
+/// \brief Caching and fault-tolerance configuration.
 struct OracleServiceConfig {
   /// Time-of-day slots per day used in the cache key (48 = 30-minute bins).
   int64_t tod_slots = 48;
   /// Maximum cached buckets; the least-recently-used bucket is evicted when
   /// an insert would exceed this.
   int64_t max_entries = 200000;
+
+  /// DDIM steps of the kReducedSteps ladder level (must be < the oracle's
+  /// configured sample_steps to actually save time).
+  int64_t degraded_sample_steps = 4;
+  /// Bounded retry for transient (Internal) stage-1 failures: total
+  /// attempts per ladder level are 1 + max_retries.
+  int64_t max_retries = 2;
+  /// Backoff before retry k is retry_backoff_ms << (k-1) milliseconds;
+  /// retries that cannot fit their backoff inside the deadline are skipped.
+  int64_t retry_backoff_ms = 1;
+  /// kCachedNeighbor searches this many time-of-day slots on each side of
+  /// the missing bucket for a cached PiT of the same OD pair.
+  int64_t neighbor_slot_radius = 1;
+  /// Estimate of last resort (kFallback). When unset, the oracle's stage-2
+  /// training-mean travel time is served.
+  std::function<double(const OdtInput&)> fallback_estimator;
+};
+
+/// \brief Per-request serving options.
+struct QueryOptions {
+  /// Soft deadline for the whole call, milliseconds since the call started
+  /// (0 = none). When the predicted stage-1 cost (p95 of the observed
+  /// latency histogram) exceeds the remaining budget, the service degrades
+  /// instead of running late.
+  double deadline_ms = 0;
 };
 
 /// \brief Query statistics of an OracleService.
@@ -64,14 +98,20 @@ class OracleService {
   /// `oracle` must be trained and outlive the service.
   OracleService(DotOracle* oracle, OracleServiceConfig config = {});
 
-  /// Answers a query, reusing the bucket's cached PiT when available.
-  Result<DotEstimate> Query(const OdtInput& odt);
+  /// Answers a query, reusing the bucket's cached PiT when available. A
+  /// miss that busts the deadline or exhausts stage-1 retries is answered
+  /// at a degraded ladder level (see DotEstimate::quality) rather than
+  /// failing; only invalid input or an untrained oracle return an error.
+  Result<DotEstimate> Query(const OdtInput& odt, const QueryOptions& opts = {});
 
   /// Answers a wave of queries: cache hits are served from their buckets,
   /// the remaining buckets are deduplicated and filled by one batched
   /// stage-1 sampling pass, and stage 2 runs once over the whole wave.
-  /// Returns one estimate per input, in input order.
-  Result<std::vector<DotEstimate>> QueryBatch(const std::vector<OdtInput>& odts);
+  /// Returns one estimate per input, in input order. Stage-1 failures
+  /// degrade per the ladder and never fail the wave; any invalid input
+  /// rejects the whole wave with InvalidArgument (naming the index).
+  Result<std::vector<DotEstimate>> QueryBatch(const std::vector<OdtInput>& odts,
+                                              const QueryOptions& opts = {});
 
   /// Pre-computes the buckets for a set of expected queries (e.g. a
   /// morning's dispatch plan) so later Query calls are cache hits.
@@ -88,12 +128,44 @@ class OracleService {
     std::list<int64_t>::iterator lru_it;  // position in lru_ (front = MRU)
   };
 
+  /// Outcome of serving a set of cache misses through the ladder. The
+  /// vectors are parallel to the misses; `pits[i]` is meaningful iff
+  /// `quality[i] != kFallback`, `minutes[i]` iff it is. `fresh` marks pits
+  /// produced by a stage-1 pass in this call (cacheable when kFull).
+  struct MissServe {
+    std::vector<Pit> pits;
+    std::vector<double> minutes;
+    std::vector<ServedQuality> quality;
+    bool fresh = false;
+  };
+
   int64_t BucketOf(const OdtInput& odt) const;
   /// Moves `it`'s bucket to the MRU position. Caller holds mu_.
   void Touch(std::unordered_map<int64_t, CacheEntry>::iterator it);
   /// Inserts (or refreshes) a bucket, evicting LRU entries as needed.
   /// Caller holds mu_.
   void InsertLocked(int64_t bucket, Pit pit);
+
+  /// Boundary validation: finite in-area coordinates, non-negative
+  /// departure time. The service area is the grid box inflated by 1% (GPS
+  /// jitter at the boundary must not reject a serviceable trip).
+  Status ValidateQuery(const OdtInput& odt) const;
+  /// Stage-1 inference with bounded retry + exponential backoff on
+  /// transient (Internal) failures. Takes/releases oracle_mu_ per attempt.
+  Result<std::vector<Pit>> TryInferWithRetry(const std::vector<OdtInput>& odts,
+                                             int64_t sample_steps,
+                                             const QueryOptions& opts,
+                                             const Stopwatch& sw);
+  /// kCachedNeighbor lookup: a cached PiT of the same OD pair within
+  /// neighbor_slot_radius time-of-day slots. Caller holds mu_.
+  bool LookupNeighborLocked(int64_t bucket, Pit* pit);
+  /// Runs the degradation ladder over a set of cache misses. Never fails:
+  /// every miss comes back with a PiT or a fallback estimate.
+  MissServe ServeMisses(const std::vector<OdtInput>& miss_odts,
+                        const std::vector<int64_t>& miss_buckets,
+                        const QueryOptions& opts, const Stopwatch& sw);
+  /// Bumps the per-level degradation counter (no-op for kFull).
+  void RecordQuality(ServedQuality q);
 
   DotOracle* oracle_;
   OracleServiceConfig config_;
@@ -110,6 +182,14 @@ class OracleService {
     obs::Counter* dedup_hits;
     obs::Counter* cache_misses;
     obs::Counter* evictions;
+    // Fault-tolerance series (DESIGN.md §5d). The stage-1 latency
+    // histogram is the oracle's own (shared registry object); its p95 is
+    // the deadline triage's cost prediction.
+    obs::Histogram* stage1_latency_us;
+    obs::Counter* retries;                    // dot_serving_retries_total
+    obs::Counter* degraded_reduced_steps;     // ..._degraded_total{level=...}
+    obs::Counter* degraded_cached_neighbor;
+    obs::Counter* degraded_fallback;
   };
   Metrics metrics_;
 

@@ -31,6 +31,29 @@ std::string SanitizeName(const std::string& name) {
   return out;
 }
 
+std::string SanitizeLabelValue(const std::string& value) {
+  std::string out = value;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':' || c == '.' ||
+              c == '/' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// JSON string escaping for metric keys; label values are pre-sanitized,
+/// but series names still carry `{key="value"}` quotes.
+std::string JsonKey(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
 /// Prometheus/JSON-safe number rendering (no locale, no trailing garbage).
 std::string Num(double v) {
   if (std::isnan(v)) return "0";
@@ -164,6 +187,24 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return slot.get();
 }
 
+Counter* MetricsRegistry::GetCounter(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  std::string key = SanitizeName(name);
+  key += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) key += ',';
+    key += SanitizeName(k) + "=\"" + SanitizeLabelValue(v) + "\"";
+    first = false;
+  }
+  key += '}';
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[key];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[SanitizeName(name)];
@@ -194,8 +235,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 std::string MetricsRegistry::ToPrometheusText() const {
   MetricsSnapshot s = Snapshot();
   std::ostringstream out;
+  std::string last_base;
   for (const auto& [name, v] : s.counters) {
-    out << "# TYPE " << name << " counter\n";
+    // Labeled series share their base name's TYPE comment (the map is
+    // sorted, so all series of one base are adjacent).
+    std::string base = name.substr(0, name.find('{'));
+    if (base != last_base) {
+      out << "# TYPE " << base << " counter\n";
+      last_base = base;
+    }
     out << name << " " << v << "\n";
   }
   for (const auto& [name, v] : s.gauges) {
@@ -219,7 +267,7 @@ std::string MetricsRegistry::ToJson() const {
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, v] : s.counters) {
-    out << (first ? "" : ",") << "\n    \"" << name << "\": " << v;
+    out << (first ? "" : ",") << "\n    \"" << JsonKey(name) << "\": " << v;
     first = false;
   }
   out << "\n  },\n  \"gauges\": {";

@@ -146,6 +146,14 @@ class MetricsRegistry {
   static MetricsRegistry& Get();
 
   Counter* GetCounter(const std::string& name);
+  /// Labeled counter: registers/returns the series `name{key="value",...}`.
+  /// Labels follow Prometheus semantics — one Counter object per distinct
+  /// label set. Label values are sanitized to [a-zA-Z0-9_.:/-] so the text
+  /// export never needs escaping; the `# TYPE` comment is emitted once per
+  /// base name.
+  Counter* GetCounter(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& labels);
   Gauge* GetGauge(const std::string& name);
   /// `bounds` is used only on first registration (empty = latency default).
   Histogram* GetHistogram(const std::string& name,

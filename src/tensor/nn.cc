@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/profile.h"
+#include "util/checkpoint.h"
 
 namespace dot::nn {
 
@@ -83,22 +84,33 @@ Status Module::Load(BinaryReader* r) {
     if (shape != t.shape() || static_cast<int64_t>(data.size()) != t.numel()) {
       return Status::InvalidArgument("model load: shape mismatch for " + name);
     }
+    for (float v : data) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("model load: non-finite weight in " +
+                                       name);
+      }
+    }
     t.vec() = std::move(data);
   }
   return Status::OK();
 }
 
+namespace {
+constexpr char kModuleMagic[] = "DOTMOD";
+constexpr uint64_t kModuleVersion = 1;
+}  // namespace
+
 Status Module::SaveFile(const std::string& path) const {
-  BinaryWriter w(path);
+  CheckpointWriter w(path, kModuleMagic, kModuleVersion);
   if (!w.Ok()) return Status::IOError("cannot open " + path);
-  DOT_RETURN_NOT_OK(Save(&w));
-  return w.Close();
+  DOT_RETURN_NOT_OK(Save(w.writer()));
+  return w.Commit();
 }
 
 Status Module::LoadFile(const std::string& path) {
-  BinaryReader r(path);
-  if (!r.Ok()) return Status::IOError("cannot open " + path);
-  return Load(&r);
+  DOT_ASSIGN_OR_RETURN(CheckpointReader r,
+                       CheckpointReader::Open(path, kModuleMagic, kModuleVersion));
+  return Load(&r.reader());
 }
 
 // ---- Init ---------------------------------------------------------------------

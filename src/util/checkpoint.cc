@@ -1,0 +1,104 @@
+#include "util/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "util/failpoint.h"
+
+namespace dot {
+
+CheckpointWriter::CheckpointWriter(std::string path, const std::string& magic,
+                                   uint64_t version)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  writer_ = std::make_unique<BinaryWriter>(tmp_path_);
+  if (!writer_->Ok()) return;
+  writer_->WriteString(magic);
+  writer_->WriteU64(version);
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (committed_) return;
+  writer_.reset();  // close before unlink
+  std::error_code ec;
+  std::filesystem::remove(tmp_path_, ec);
+}
+
+Status CheckpointWriter::Commit() {
+  if (committed_) return Status::FailedPrecondition("checkpoint already committed");
+  if (!Ok()) return Status::IOError("checkpoint write failed: " + tmp_path_);
+
+  fail::Action injected = DOT_FAILPOINT("checkpoint.commit");
+  if (injected == fail::Action::kError) {
+    return Status::IOError("failpoint 'checkpoint.commit' fired for " + path_);
+  }
+
+  // Footer: CRC over header + payload. The footer bytes themselves are
+  // excluded (the verifier checksums everything before the last 4 bytes).
+  writer_->WriteU32(writer_->crc());
+  DOT_RETURN_NOT_OK(writer_->Close());
+  writer_.reset();
+
+  if (injected == fail::Action::kTruncate) {
+    // Torn-write simulation: publish a file missing its tail and report
+    // success, exactly like a crash between write and fsync would. Only
+    // the CRC check at open time can catch this.
+    std::error_code ec;
+    uint64_t size = std::filesystem::file_size(tmp_path_, ec);
+    if (!ec && size > 1) {
+      std::filesystem::resize_file(tmp_path_, size / 2, ec);
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, path_, ec);
+  if (ec) {
+    std::filesystem::remove(tmp_path_, ec);
+    return Status::IOError("cannot rename checkpoint into place: " + path_);
+  }
+  committed_ = true;
+  return Status::OK();
+}
+
+Result<CheckpointReader> CheckpointReader::Open(const std::string& path,
+                                                const std::string& magic,
+                                                uint64_t max_version) {
+  // Whole-file CRC validation first: nothing is parsed from a file whose
+  // checksum does not match its footer.
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open checkpoint " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  // Minimum size: magic length prefix (8) + version (8) + footer (4).
+  if (bytes.size() < 20) {
+    return Status::IOError("checkpoint truncated (" +
+                           std::to_string(bytes.size()) + " bytes): " + path);
+  }
+  size_t body = bytes.size() - sizeof(uint32_t);
+  uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body, sizeof(stored));
+  uint32_t actual = Crc32(bytes.data(), body);
+  if (stored != actual) {
+    return Status::IOError("checkpoint checksum mismatch (corrupt or torn): " +
+                           path);
+  }
+
+  auto reader = std::make_unique<BinaryReader>(path);
+  if (!reader->Ok()) return Status::IOError("cannot open checkpoint " + path);
+  std::string file_magic = reader->ReadString();
+  if (!reader->Ok() || file_magic != magic) {
+    return Status::InvalidArgument("bad checkpoint magic in " + path +
+                                   " (want " + magic + ")");
+  }
+  uint64_t version = reader->ReadU64();
+  if (!reader->Ok() || version > max_version) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) + " in " +
+        path + " (max " + std::to_string(max_version) + ")");
+  }
+  return CheckpointReader(std::move(reader), version);
+}
+
+}  // namespace dot

@@ -1,0 +1,88 @@
+// Sealed, atomically-written checkpoint container around BinaryWriter /
+// BinaryReader (DESIGN.md §5d):
+//
+//   [magic string] [u64 version] [payload ...] [u32 CRC-32 footer]
+//
+// The CRC covers everything before the footer, so a truncated tail, a torn
+// write, or any flipped byte is rejected at open time with a precise
+// Status instead of being parsed into garbage weights. Writes go to
+// `path + ".tmp"` and are renamed into place on Commit(), so a crash
+// mid-save never clobbers the last good checkpoint.
+//
+// Failpoints (util/failpoint.h):
+//   checkpoint.commit = error      Commit() fails with IOError
+//   checkpoint.commit = truncate   Commit() silently publishes a torn file
+//                                  (reports OK — simulates a torn write
+//                                  that only the CRC footer can catch)
+
+#ifndef DOT_UTIL_CHECKPOINT_H_
+#define DOT_UTIL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace dot {
+
+/// \brief Writes a sealed checkpoint atomically (tmp + rename).
+///
+/// \code
+///   CheckpointWriter w(path, "DOTCKPT", 1);
+///   if (!w.Ok()) return Status::IOError(...);
+///   ... serialize payload into *w.writer() ...
+///   DOT_RETURN_NOT_OK(w.Commit());
+/// \endcode
+class CheckpointWriter {
+ public:
+  CheckpointWriter(std::string path, const std::string& magic,
+                   uint64_t version);
+  /// Removes the temporary file if Commit() was never reached.
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  bool Ok() const { return writer_ && writer_->Ok(); }
+  /// Payload sink; header already written.
+  BinaryWriter* writer() { return writer_.get(); }
+
+  /// Appends the CRC footer, flushes, and renames the temporary file onto
+  /// `path`. After Commit() the writer is closed.
+  Status Commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::unique_ptr<BinaryWriter> writer_;
+  bool committed_ = false;
+};
+
+/// \brief Opens and fully validates a sealed checkpoint.
+///
+/// Open() verifies, in order: the file exists and holds at least a header
+/// plus footer, the CRC-32 footer matches the file contents, the magic
+/// matches, and the version is at most `max_version`. Only then is the
+/// payload reader handed out, positioned at the first payload byte.
+class CheckpointReader {
+ public:
+  static Result<CheckpointReader> Open(const std::string& path,
+                                       const std::string& magic,
+                                       uint64_t max_version);
+
+  BinaryReader& reader() { return *reader_; }
+  uint64_t version() const { return version_; }
+
+ private:
+  CheckpointReader(std::unique_ptr<BinaryReader> reader, uint64_t version)
+      : reader_(std::move(reader)), version_(version) {}
+
+  std::unique_ptr<BinaryReader> reader_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace dot
+
+#endif  // DOT_UTIL_CHECKPOINT_H_

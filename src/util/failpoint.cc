@@ -1,0 +1,232 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace dot {
+namespace fail {
+
+namespace {
+
+/// Name -> failpoint map. Entries are never removed (Get() hands out raw
+/// pointers cached in function-local statics at call sites).
+class Registry {
+ public:
+  static Registry& Get() {
+    static Registry* registry = new Registry();  // never destroyed
+    return *registry;
+  }
+
+  Failpoint* GetOrCreate(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = points_[name];
+    if (!slot) slot = std::make_unique<Failpoint>(name);
+    return slot.get();
+  }
+
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, fp] : points_) fp->Disarm();
+  }
+
+  std::vector<std::string> Armed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    for (const auto& [name, fp] : points_) {
+      if (fp->armed()) out.push_back(name);
+    }
+    return out;
+  }
+
+ private:
+  Registry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Failpoint>> points_;
+};
+
+Status ParseSpec(const std::string& spec, Registry* reg);
+
+Registry::Registry() {
+  // Environment arming happens once, before any failpoint is handed out.
+  if (const char* env = std::getenv("DOT_FAILPOINTS")) {
+    Status s = ParseSpec(env, this);
+    if (!s.ok()) {
+      DOT_LOG_WARN << "ignoring DOT_FAILPOINTS: " << s;
+    }
+  }
+}
+
+Status ParseAction(const std::string& token, Action* action, double* arg) {
+  std::string name = token;
+  *arg = 0;
+  size_t open = token.find('(');
+  if (open != std::string::npos) {
+    if (token.back() != ')') {
+      return Status::InvalidArgument("failpoint action missing ')': " + token);
+    }
+    name = token.substr(0, open);
+    std::string arg_str = token.substr(open + 1, token.size() - open - 2);
+    char* end = nullptr;
+    *arg = std::strtod(arg_str.c_str(), &end);
+    if (end == arg_str.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad failpoint action argument: " + token);
+    }
+  }
+  if (name == "off") {
+    *action = Action::kOff;
+  } else if (name == "error") {
+    *action = Action::kError;
+  } else if (name == "nan") {
+    *action = Action::kNan;
+  } else if (name == "delay") {
+    *action = Action::kDelay;
+  } else if (name == "truncate") {
+    *action = Action::kTruncate;
+  } else {
+    return Status::InvalidArgument("unknown failpoint action: " + name);
+  }
+  return Status::OK();
+}
+
+struct ParsedPoint {
+  std::string name;
+  Action action;
+  double arg;
+  int64_t count;
+};
+
+Status ParseSpec(const std::string& spec, Registry* reg) {
+  // Parse the whole spec before arming anything: a malformed spec must not
+  // leave the process half-armed.
+  std::vector<ParsedPoint> parsed;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("failpoint entry missing '=': " + entry);
+    }
+    ParsedPoint p;
+    p.name = entry.substr(0, eq);
+    std::string rhs = entry.substr(eq + 1);
+    p.count = -1;
+    size_t colon = rhs.rfind(':');
+    // A ':' after the closing ')' (or with no parens at all) is the count
+    // separator; a ':' inside parens would be part of the argument.
+    size_t close = rhs.find(')');
+    if (colon != std::string::npos &&
+        (close == std::string::npos || colon > close)) {
+      std::string count_str = rhs.substr(colon + 1);
+      char* cend = nullptr;
+      p.count = std::strtoll(count_str.c_str(), &cend, 10);
+      if (cend == count_str.c_str() || *cend != '\0' || p.count < 0) {
+        return Status::InvalidArgument("bad failpoint count: " + entry);
+      }
+      rhs = rhs.substr(0, colon);
+    }
+    DOT_RETURN_NOT_OK(ParseAction(rhs, &p.action, &p.arg));
+    parsed.push_back(std::move(p));
+  }
+  for (const auto& p : parsed) {
+    if (p.action == Action::kOff) {
+      reg->GetOrCreate(p.name)->Disarm();
+    } else {
+      reg->GetOrCreate(p.name)->Arm(p.action, p.count, p.arg);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* ActionName(Action a) {
+  switch (a) {
+    case Action::kOff: return "off";
+    case Action::kError: return "error";
+    case Action::kNan: return "nan";
+    case Action::kDelay: return "delay";
+    case Action::kTruncate: return "truncate";
+  }
+  return "unknown";
+}
+
+Action Failpoint::FireSlow() {
+  Action fired = Action::kOff;
+  double delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (action_ == Action::kOff) return Action::kOff;
+    if (remaining_ == 0) {  // raced with exhaustion
+      armed_.store(false, std::memory_order_relaxed);
+      return Action::kOff;
+    }
+    if (remaining_ > 0 && --remaining_ == 0) {
+      armed_.store(false, std::memory_order_relaxed);
+    }
+    fired = action_;
+    delay_ms = arg_;
+    ++fires_;
+  }
+  if (fired == Action::kDelay && delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(delay_ms * 1000)));
+  }
+  return fired;
+}
+
+double Failpoint::arg() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arg_;
+}
+
+int64_t Failpoint::fire_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fires_;
+}
+
+void Failpoint::Arm(Action action, int64_t count, double arg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  action_ = action;
+  remaining_ = count < 0 ? -1 : count;
+  arg_ = arg;
+  armed_.store(action != Action::kOff && remaining_ != 0,
+               std::memory_order_relaxed);
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  action_ = Action::kOff;
+  remaining_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+Failpoint* Get(const std::string& name) {
+  return Registry::Get().GetOrCreate(name);
+}
+
+void Arm(const std::string& name, Action action, int64_t count, double arg) {
+  Get(name)->Arm(action, count, arg);
+}
+
+void Disarm(const std::string& name) { Get(name)->Disarm(); }
+
+void DisarmAll() { Registry::Get().DisarmAll(); }
+
+Status ArmFromSpec(const std::string& spec) {
+  return ParseSpec(spec, &Registry::Get());
+}
+
+std::vector<std::string> ArmedFailpoints() { return Registry::Get().Armed(); }
+
+}  // namespace fail
+}  // namespace dot

@@ -1,0 +1,129 @@
+// Failpoint injection framework (the fault-tolerance test surface).
+//
+// A failpoint is a named hook compiled into production code paths
+// (checkpoint commit, diffusion sampling, serving stage transitions) that
+// normally does nothing — the disarmed fast path is a single relaxed
+// atomic load — but can be armed to inject a fault:
+//
+//   error     the call site returns a non-OK Status
+//   nan       the call site poisons its tensor output with NaNs
+//   delay     Fire() itself sleeps `arg` milliseconds (injected latency)
+//   truncate  the call site truncates its write (torn-write simulation)
+//
+// Arming is programmatic (tests) or via the environment:
+//
+//   DOT_FAILPOINTS="name=action[(arg)][:count],name2=..."
+//   DOT_FAILPOINTS="dot_oracle.infer_pits=error:1,checkpoint.commit=truncate"
+//
+// `count` bounds how many times the failpoint fires before auto-disarming
+// (default: unlimited). The environment is parsed once, on first failpoint
+// registration.
+//
+// Call sites use the DOT_FAILPOINT macro, which resolves the registry
+// pointer once per site and then costs one relaxed load per call:
+//
+//   if (DOT_FAILPOINT("dot_oracle.infer_pits") == fail::Action::kError)
+//     return Status::Internal("injected stage-1 failure");
+
+#ifndef DOT_UTIL_FAILPOINT_H_
+#define DOT_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dot {
+namespace fail {
+
+/// What an armed failpoint injects at its call site.
+enum class Action : int {
+  kOff = 0,      ///< disarmed (or count exhausted): no effect
+  kError,        ///< call site should fail with a non-OK Status
+  kNan,          ///< call site should poison its output with NaNs
+  kDelay,        ///< Fire() sleeps arg() milliseconds, then reports kDelay
+  kTruncate,     ///< call site should truncate its write
+};
+
+/// Short lowercase action name ("off", "error", ...).
+const char* ActionName(Action a);
+
+/// \brief One named failpoint. Never destroyed once registered.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Evaluates the failpoint: kOff when disarmed (one relaxed load),
+  /// otherwise consumes one hit and returns the armed action. A kDelay
+  /// action sleeps inside Fire() — injected latency needs no call-site
+  /// cooperation.
+  Action Fire() {
+    if (!armed_.load(std::memory_order_relaxed)) return Action::kOff;
+    return FireSlow();
+  }
+
+  /// Action argument fixed at arm time (delay milliseconds). Meaningful
+  /// only while armed.
+  double arg() const;
+
+  /// Arms the failpoint: fire `action` for the next `count` evaluations
+  /// (count < 0 = unlimited), then auto-disarm.
+  void Arm(Action action, int64_t count = -1, double arg = 0);
+  void Disarm();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Total times this failpoint fired a non-kOff action (test telemetry).
+  int64_t fire_count() const;
+
+ private:
+  Action FireSlow();
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;   // guards the armed configuration below
+  Action action_ = Action::kOff;
+  int64_t remaining_ = 0;   // -1 = unlimited
+  double arg_ = 0;
+  int64_t fires_ = 0;
+};
+
+/// Registry lookup, creating the failpoint on first use. The returned
+/// pointer is valid for the process lifetime. The first call parses
+/// DOT_FAILPOINTS.
+Failpoint* Get(const std::string& name);
+
+/// Programmatic arming by name (creates the failpoint if needed).
+void Arm(const std::string& name, Action action, int64_t count = -1,
+         double arg = 0);
+void Disarm(const std::string& name);
+/// Disarms every registered failpoint (test teardown).
+void DisarmAll();
+
+/// Parses and applies a DOT_FAILPOINTS-style spec:
+///   name=action[(arg)][:count][,name=action...]
+/// Returns InvalidArgument on malformed specs (no failpoints are armed from
+/// a spec that fails to parse).
+Status ArmFromSpec(const std::string& spec);
+
+/// Names of currently armed failpoints (diagnostics).
+std::vector<std::string> ArmedFailpoints();
+
+}  // namespace fail
+}  // namespace dot
+
+/// Evaluates the named failpoint; resolves the registry pointer once per
+/// call site, so the disarmed cost is one relaxed atomic load.
+#define DOT_FAILPOINT(name)                                          \
+  ([]() -> ::dot::fail::Action {                                     \
+    static ::dot::fail::Failpoint* _dot_fp = ::dot::fail::Get(name); \
+    return _dot_fp->Fire();                                          \
+  }())
+
+#endif  // DOT_UTIL_FAILPOINT_H_

@@ -1,4 +1,8 @@
 // Little binary reader/writer for model checkpoints and dataset caches.
+//
+// Both sides maintain a running CRC-32 over every byte written/read, which
+// the checkpoint container (util/checkpoint.h) uses to seal files against
+// torn writes and bit flips.
 
 #ifndef DOT_UTIL_SERIALIZE_H_
 #define DOT_UTIL_SERIALIZE_H_
@@ -12,6 +16,10 @@
 
 namespace dot {
 
+/// Incremental CRC-32 (IEEE 802.3, the zlib polynomial). Feed `crc` from a
+/// previous call to continue a running checksum; start from 0.
+uint32_t Crc32(const void* data, size_t bytes, uint32_t crc = 0);
+
 /// \brief Buffered binary writer with length-prefixed strings/vectors.
 class BinaryWriter {
  public:
@@ -24,6 +32,7 @@ class BinaryWriter {
   void WriteI64(int64_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
   void WriteF32(float v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteString(const std::string& s) {
     WriteU64(s.size());
     WriteRaw(s.data(), s.size());
@@ -37,6 +46,9 @@ class BinaryWriter {
     WriteRaw(v.data(), v.size() * sizeof(int64_t));
   }
 
+  /// CRC-32 of every byte written so far.
+  uint32_t crc() const { return crc_; }
+
   /// Flushes and reports any stream error.
   Status Close() {
     out_.flush();
@@ -47,9 +59,14 @@ class BinaryWriter {
 
  private:
   void WriteRaw(const void* data, size_t bytes) {
+    // data may be null for empty vectors/strings; ostream::write with a
+    // null pointer is UB even for zero bytes.
+    if (bytes == 0) return;
     out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(bytes));
+    crc_ = Crc32(data, bytes, crc_);
   }
   std::ofstream out_;
+  uint32_t crc_ = 0;
 };
 
 /// \brief Counterpart reader. All reads report failure via ok().
@@ -63,6 +80,7 @@ class BinaryReader {
   int64_t ReadI64() { return ReadPod<int64_t>(); }
   double ReadF64() { return ReadPod<double>(); }
   float ReadF32() { return ReadPod<float>(); }
+  uint32_t ReadU32() { return ReadPod<uint32_t>(); }
   std::string ReadString() {
     uint64_t n = ReadU64();
     if (!SaneLength(n)) return {};
@@ -85,6 +103,9 @@ class BinaryReader {
     return v;
   }
 
+  /// CRC-32 of every byte successfully read so far.
+  uint32_t crc() const { return crc_; }
+
  private:
   template <typename T>
   T ReadPod() {
@@ -94,7 +115,9 @@ class BinaryReader {
     return v;
   }
   void ReadRaw(void* data, size_t bytes) {
+    if (bytes == 0) return;
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+    if (in_) crc_ = Crc32(data, bytes, crc_);
   }
   /// Guards length prefixes from corrupt/truncated files: a bad stream or
   /// an absurd length flips the stream into the failed state.
@@ -107,6 +130,7 @@ class BinaryReader {
     return true;
   }
   std::ifstream in_;
+  uint32_t crc_ = 0;
 };
 
 }  // namespace dot

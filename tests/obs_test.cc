@@ -124,11 +124,51 @@ bool IsValidPrometheusLine(const std::string& line) {
   return !value.empty();
 }
 
+TEST(MetricsRegistryTest, LabeledCounterExportsOneSeriesPerLabelSet) {
+  auto& reg = obs::MetricsRegistry::Get();
+  obs::Counter* a =
+      reg.GetCounter("test_labeled_total", {{"level", "reduced_steps"}});
+  obs::Counter* b =
+      reg.GetCounter("test_labeled_total", {{"level", "fallback"}});
+  EXPECT_NE(a, b);
+  // Same name + same labels resolves to the same series object.
+  EXPECT_EQ(a,
+            reg.GetCounter("test_labeled_total", {{"level", "reduced_steps"}}));
+  a->Increment(3);
+  b->Increment(5);
+  std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("test_labeled_total{level=\"reduced_steps\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_labeled_total{level=\"fallback\"} 5"),
+            std::string::npos);
+  // One TYPE comment for the base name, not one per series.
+  size_t first = text.find("# TYPE test_labeled_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE test_labeled_total counter", first + 1),
+            std::string::npos);
+  // Label values are sanitized into the export-safe charset.
+  reg.GetCounter("test_labeled_total", {{"level", "we\"ird value"}});
+  EXPECT_NE(reg.ToPrometheusText().find(
+                "test_labeled_total{level=\"we_ird_value\"}"),
+            std::string::npos);
+  std::string json = reg.ToJson();
+  // JSON keys carry the series name with quotes escaped.
+  EXPECT_NE(json.find("test_labeled_total{level=\\\"fallback\\\"}"),
+            std::string::npos);
+}
+
 TEST(MetricsRegistryTest, PrometheusExportIsWellFormed) {
   auto& reg = obs::MetricsRegistry::Get();
   reg.GetCounter("test_export_counter")->Increment(7);
   reg.GetGauge("test export gauge!")->Set(1.5);  // name gets sanitized
   reg.GetHistogram("test_export_hist", {1.0, 2.0})->Observe(1.5);
+  // The fault-tolerance series (DESIGN.md §5d) must export cleanly;
+  // scripts/check.sh greps the dump for them.
+  reg.GetCounter("dot_serving_degraded_total", {{"level", "reduced_steps"}});
+  reg.GetCounter("dot_serving_degraded_total", {{"level", "cached_neighbor"}});
+  reg.GetCounter("dot_serving_degraded_total", {{"level", "fallback"}});
+  reg.GetCounter("dot_serving_retries_total");
+  reg.GetCounter("dot_train_rollbacks_total");
   std::string text = reg.ToPrometheusText();
   EXPECT_NE(text.find("test_export_counter 7"), std::string::npos);
   EXPECT_NE(text.find("test_export_gauge_ 1.5"), std::string::npos);

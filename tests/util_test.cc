@@ -3,10 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <set>
+#include <string>
+#include <vector>
 
+#include "util/checkpoint.h"
+#include "util/failpoint.h"
 #include "util/result.h"
 #include "util/rng.h"
 #include "util/serialize.h"
@@ -236,6 +243,184 @@ TEST(SerializeTest, RoundTripAllTypes) {
   EXPECT_EQ(r.ReadF32Vector(), (std::vector<float>{1.0f, 2.0f}));
   EXPECT_EQ(r.ReadI64Vector(), (std::vector<int64_t>{10, 20, 30}));
   std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyVectorsAndStringsRoundTrip) {
+  // Regression: WriteRaw used to hand data() of an empty vector — a null
+  // pointer — to ostream::write, which is UB even for zero bytes.
+  std::string path = ::testing::TempDir() + "/ser_empty.bin";
+  {
+    BinaryWriter w(path);
+    ASSERT_TRUE(w.Ok());
+    w.WriteF32Vector({});
+    w.WriteI64Vector({});
+    w.WriteString("");
+    w.WriteU64(99);  // sentinel after the empties
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  ASSERT_TRUE(r.Ok());
+  EXPECT_TRUE(r.ReadF32Vector().empty());
+  EXPECT_TRUE(r.ReadI64Vector().empty());
+  EXPECT_TRUE(r.ReadString().empty());
+  EXPECT_EQ(r.ReadU64(), 99u);
+  EXPECT_TRUE(r.Ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, Crc32KnownAnswerAndIncremental) {
+  // The IEEE 802.3 check value for "123456789".
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(s, 9), 0xCBF43926u);
+  // An incremental checksum equals the one-shot checksum.
+  uint32_t part = Crc32(s, 4);
+  EXPECT_EQ(Crc32(s + 4, 5, part), 0xCBF43926u);
+  EXPECT_EQ(Crc32(s, 0), 0u);
+}
+
+TEST(SerializeTest, WriterAndReaderAgreeOnRunningCrc) {
+  std::string path = ::testing::TempDir() + "/ser_crc.bin";
+  uint32_t written;
+  {
+    BinaryWriter w(path);
+    w.WriteString("payload");
+    w.WriteF32Vector({1.0f, 2.0f, 3.0f});
+    written = w.crc();
+    ASSERT_TRUE(w.Close().ok());
+  }
+  BinaryReader r(path);
+  r.ReadString();
+  r.ReadF32Vector();
+  EXPECT_EQ(r.crc(), written);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RoundTripAndValidation) {
+  std::string path = ::testing::TempDir() + "/ckpt_ok.bin";
+  {
+    CheckpointWriter w(path, "TESTCKPT", 3);
+    ASSERT_TRUE(w.Ok());
+    w.writer()->WriteF64(2.5);
+    ASSERT_TRUE(w.Commit().ok());
+  }
+  {
+    auto r = CheckpointReader::Open(path, "TESTCKPT", 3);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->version(), 3u);
+    EXPECT_EQ(r->reader().ReadF64(), 2.5);
+  }
+  // Wrong magic and too-old max_version are rejected with InvalidArgument.
+  EXPECT_TRUE(
+      CheckpointReader::Open(path, "OTHER", 3).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      CheckpointReader::Open(path, "TESTCKPT", 2).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FlippedByteAndTruncationAreRejected) {
+  std::string path = ::testing::TempDir() + "/ckpt_corrupt.bin";
+  {
+    CheckpointWriter w(path, "TESTCKPT", 1);
+    for (int i = 0; i < 64; ++i) w.writer()->WriteF64(i * 0.5);
+    ASSERT_TRUE(w.Commit().ok());
+  }
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  // Flip one payload byte: the CRC footer must catch it.
+  {
+    std::string bad = bytes;
+    bad[bad.size() / 2] ^= 0x40;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bad;
+  }
+  Status flipped = CheckpointReader::Open(path, "TESTCKPT", 1).status();
+  EXPECT_TRUE(flipped.IsIOError());
+  EXPECT_NE(flipped.message().find("checksum"), std::string::npos);
+  // Truncate the tail: also rejected before any payload is parsed.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() / 2);
+  }
+  EXPECT_FALSE(CheckpointReader::Open(path, "TESTCKPT", 1).ok());
+  // A nearly-empty file is "truncated", not a crash.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "xy";
+  }
+  Status tiny = CheckpointReader::Open(path, "TESTCKPT", 1).status();
+  EXPECT_TRUE(tiny.IsIOError());
+  EXPECT_NE(tiny.message().find("truncated"), std::string::npos);
+  std::remove(path.c_str());
+  // Missing file.
+  EXPECT_TRUE(CheckpointReader::Open(::testing::TempDir() + "/ckpt_nope.bin",
+                                     "TESTCKPT", 1)
+                  .status()
+                  .IsIOError());
+}
+
+TEST(CheckpointTest, UncommittedWriterLeavesNoFile) {
+  std::string path = ::testing::TempDir() + "/ckpt_abandoned.bin";
+  { CheckpointWriter w(path, "TESTCKPT", 1); }  // destroyed without Commit
+  EXPECT_FALSE(std::ifstream(path).good());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+// scripts/check.sh runs this suite with DOT_FAILPOINTS="check.smoke=error"
+// to smoke-test environment arming end to end; without that environment the
+// test is a skip. Declared before any test that calls DisarmAll().
+TEST(FailpointTest, EnvArmingSmoke) {
+  const char* env = std::getenv("DOT_FAILPOINTS");
+  if (env == nullptr ||
+      std::string(env).find("check.smoke") == std::string::npos) {
+    GTEST_SKIP() << "DOT_FAILPOINTS does not arm check.smoke";
+  }
+  EXPECT_TRUE(fail::Get("check.smoke")->armed());
+  EXPECT_EQ(DOT_FAILPOINT("check.smoke"), fail::Action::kError);
+}
+
+TEST(FailpointTest, DisarmedIsOffAndCostsNothingVisible) {
+  fail::Failpoint* fp = fail::Get("util_test.probe");
+  EXPECT_FALSE(fp->armed());
+  EXPECT_EQ(fp->Fire(), fail::Action::kOff);
+  EXPECT_EQ(DOT_FAILPOINT("util_test.probe"), fail::Action::kOff);
+}
+
+TEST(FailpointTest, ArmCountAutoDisarms) {
+  fail::Arm("util_test.count", fail::Action::kError, 2);
+  EXPECT_EQ(DOT_FAILPOINT("util_test.count"), fail::Action::kError);
+  EXPECT_EQ(DOT_FAILPOINT("util_test.count"), fail::Action::kError);
+  EXPECT_EQ(DOT_FAILPOINT("util_test.count"), fail::Action::kOff);
+  EXPECT_FALSE(fail::Get("util_test.count")->armed());
+  EXPECT_EQ(fail::Get("util_test.count")->fire_count(), 2);
+}
+
+TEST(FailpointTest, SpecGrammarArmsAndRejects) {
+  ASSERT_TRUE(
+      fail::ArmFromSpec("util_test.a=error:1,util_test.b=delay(5)").ok());
+  std::vector<std::string> armed = fail::ArmedFailpoints();
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "util_test.a"), armed.end());
+  EXPECT_NE(std::find(armed.begin(), armed.end(), "util_test.b"), armed.end());
+  EXPECT_EQ(fail::Get("util_test.b")->arg(), 5.0);
+  fail::DisarmAll();
+  EXPECT_TRUE(fail::ArmedFailpoints().empty());
+  // Malformed specs arm nothing at all — not even the valid prefix.
+  EXPECT_FALSE(fail::ArmFromSpec("util_test.c=error,util_test.d=bogus").ok());
+  EXPECT_TRUE(fail::ArmedFailpoints().empty());
+  EXPECT_FALSE(fail::ArmFromSpec("missing_equals").ok());
+  EXPECT_FALSE(fail::ArmFromSpec("util_test.e=delay(abc)").ok());
+  EXPECT_FALSE(fail::ArmFromSpec("util_test.f=error:notanum").ok());
+}
+
+TEST(FailpointTest, DelayActionSleepsInsideFire) {
+  fail::Arm("util_test.delay", fail::Action::kDelay, 1, /*arg=*/20);
+  Stopwatch sw;
+  EXPECT_EQ(DOT_FAILPOINT("util_test.delay"), fail::Action::kDelay);
+  EXPECT_GE(sw.ElapsedMillis(), 15.0);
+  EXPECT_EQ(DOT_FAILPOINT("util_test.delay"), fail::Action::kOff);
 }
 
 }  // namespace
