@@ -1,0 +1,128 @@
+// GEMM kernel-engine benchmark: single-thread throughput of every kernel
+// (naive / blocked / simd) over the bench shape grid, with the simd-vs-naive
+// speedup that the PR acceptance gate reads from the 256x256x256 row.
+//
+// Output: a GFLOP/s table per shape on stdout, and a JSON dump to
+// DOT_BENCH_GEMM_JSON (default BENCH_gemm.json; run_benches.sh exports it).
+// The process pins DOT_NUM_THREADS=1 before the pool exists so the numbers
+// are pure microkernel throughput, not parallel speedup.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tensor/gemm_kernel.h"
+#include "util/rng.h"
+
+namespace dot {
+namespace {
+
+struct Shape {
+  int64_t m, k, n;
+  const char* note;
+};
+
+const Shape kShapes[] = {
+    {256, 256, 256, "acceptance gate (>=3x simd vs naive)"},
+    {512, 512, 512, "square, L2-resident panels"},
+    {16, 144, 4096, "im2col conv, short-and-wide"},
+    {64, 576, 256, "im2col conv, mid"},
+    {64, 64, 64, "attention-scale"},
+    {1024, 64, 8, "tall-skinny FC"},
+};
+
+double TimeKernel(gemm::Kernel kernel, gemm::Layout layout, const Shape& s,
+                  const std::vector<float>& a, const std::vector<float>& b,
+                  std::vector<float>* c) {
+  using Clock = std::chrono::steady_clock;
+  const double flops = 2.0 * static_cast<double>(s.m) *
+                       static_cast<double>(s.k) * static_cast<double>(s.n);
+  // Warm up once, then take the best of enough repetitions to cover ~0.3 s.
+  gemm::Run(kernel, layout, a.data(), b.data(), c->data(), s.m, s.k, s.n,
+            false);
+  double best_ns = 1e30;
+  double spent_ns = 0;
+  int reps = 0;
+  while ((spent_ns < 3e8 || reps < 3) && reps < 2000) {
+    auto t0 = Clock::now();
+    gemm::Run(kernel, layout, a.data(), b.data(), c->data(), s.m, s.k, s.n,
+              false);
+    double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count());
+    best_ns = ns < best_ns ? ns : best_ns;
+    spent_ns += ns;
+    ++reps;
+  }
+  return flops / best_ns;  // GFLOP/s
+}
+
+}  // namespace
+}  // namespace dot
+
+int main() {
+  using namespace dot;
+  // Pin the pool to one worker before it is created: this bench measures the
+  // microkernel, and the determinism contract makes the values identical at
+  // any thread count anyway.
+  setenv("DOT_NUM_THREADS", "1", /*overwrite=*/1);
+
+  const bool simd = gemm::SimdAvailable();
+  const gemm::Kernel kernels[] = {gemm::Kernel::kNaive, gemm::Kernel::kBlocked,
+                                  gemm::Kernel::kSimd};
+  std::printf("GEMM kernel engine, single thread (simd %s, default %s)\n",
+              simd ? "available" : "UNAVAILABLE -> blocked",
+              gemm::KernelName(gemm::ActiveKernel()));
+  std::printf("%-18s %12s %12s %12s %10s  %s\n", "shape", "naive GF/s",
+              "blocked GF/s", "simd GF/s", "speedup", "note");
+
+  std::string json = "{\n  \"simd_available\": ";
+  json += simd ? "true" : "false";
+  json += ",\n  \"threads\": 1,\n  \"shapes\": [\n";
+  bool first_row = true;
+
+  for (const Shape& s : kShapes) {
+    Rng rng(42);
+    std::vector<float> a(static_cast<size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<size_t>(s.k * s.n));
+    std::vector<float> c(static_cast<size_t>(s.m * s.n));
+    for (auto& x : a) x = static_cast<float>(rng.Normal());
+    for (auto& x : b) x = static_cast<float>(rng.Normal());
+
+    double gf[3] = {0, 0, 0};
+    for (int ki = 0; ki < 3; ++ki) {
+      gf[ki] = TimeKernel(kernels[ki], gemm::Layout::kNN, s, a, b, &c);
+    }
+    // "simd" silently runs the blocked engine when unsupported; report the
+    // dispatched result either way so the speedup column is what a user gets.
+    double speedup = gf[0] > 0 ? gf[2] / gf[0] : 0;
+    char shape_buf[32];
+    std::snprintf(shape_buf, sizeof(shape_buf), "%ldx%ldx%ld",
+                  static_cast<long>(s.m), static_cast<long>(s.k),
+                  static_cast<long>(s.n));
+    std::printf("%-18s %12.2f %12.2f %12.2f %9.2fx  %s\n", shape_buf, gf[0],
+                gf[1], gf[2], speedup, s.note);
+
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "    {\"m\": %ld, \"k\": %ld, \"n\": %ld, "
+                  "\"naive_gflops\": %.3f, \"blocked_gflops\": %.3f, "
+                  "\"simd_gflops\": %.3f, \"speedup_simd_vs_naive\": %.3f}",
+                  static_cast<long>(s.m), static_cast<long>(s.k),
+                  static_cast<long>(s.n), gf[0], gf[1], gf[2], speedup);
+    if (!first_row) json += ",\n";
+    json += row;
+    first_row = false;
+  }
+  json += "\n  ]\n}\n";
+
+  const char* path = std::getenv("DOT_BENCH_GEMM_JSON");
+  std::string out_path = (path && path[0]) ? path : "BENCH_gemm.json";
+  std::ofstream out(out_path);
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -9,6 +9,7 @@
 #include "core/unet.h"
 #include "tensor/nn.h"
 #include "tensor/ops.h"
+#include "tensor/ops_internal.h"
 
 namespace dot {
 namespace {

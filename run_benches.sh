@@ -7,6 +7,8 @@ OUT=${1:-bench_output.txt}
 export DOT_BENCH_BATCHED_JSON=${DOT_BENCH_BATCHED_JSON:-BENCH_batched.json}
 # ... and a metrics + op-profile snapshot of its serving section here.
 export DOT_BENCH_SERVING_METRICS_JSON=${DOT_BENCH_SERVING_METRICS_JSON:-BENCH_serving_metrics.json}
+# bench_gemm dumps the per-kernel GEMM throughput table (naive/blocked/simd).
+export DOT_BENCH_GEMM_JSON=${DOT_BENCH_GEMM_JSON:-BENCH_gemm.json}
 for b in build/bench/bench_*; do
   echo "===== $b =====" | tee -a "$OUT"
   if [ "$(basename $b)" = "bench_micro_kernels" ]; then

@@ -13,7 +13,11 @@
 #      runs tier1 plus the robustness suite — the failpoint-driven failure
 #      paths (torn writes, NaN losses, degraded serving) run under both
 #      sanitizers so the error paths themselves are memory/UB clean;
-#   5. smoke-tests DOT_FAILPOINTS environment arming end to end.
+#   5. smoke-tests DOT_FAILPOINTS environment arming end to end;
+#   6. kernel test matrix: re-runs tier1 + the differential GEMM harness
+#      under DOT_GEMM_KERNEL=naive, blocked, and simd on the ASan+UBSan
+#      build (simd degrades to blocked gracefully on CPUs without AVX2+FMA,
+#      and the simd-only differential cases GTEST_SKIP themselves).
 # Usage: scripts/check.sh [build_dir] [asan_build_dir]
 #   (defaults: build-tsan build-asan)
 set -u
@@ -83,6 +87,21 @@ if ! "$BUILD_ASAN"/tests/robustness_test > /dev/null; then
   echo "CHECK FAILED: robustness_test (asan+ubsan)"
   FAILED=1
 fi
+
+echo "== GEMM kernel test matrix under asan+ubsan =="
+for KERNEL in naive blocked simd; do
+  echo "-- DOT_GEMM_KERNEL=$KERNEL --"
+  if ! DOT_GEMM_KERNEL="$KERNEL" ctest --test-dir "$BUILD_ASAN" -L tier1 -j \
+      > /dev/null; then
+    echo "CHECK FAILED: tier1 tests (DOT_GEMM_KERNEL=$KERNEL)"
+    FAILED=1
+  fi
+  if ! DOT_GEMM_KERNEL="$KERNEL" "$BUILD_ASAN"/tests/gemm_differential_test \
+      > /dev/null; then
+    echo "CHECK FAILED: gemm_differential_test (DOT_GEMM_KERNEL=$KERNEL)"
+    FAILED=1
+  fi
+done
 
 echo "== DOT_FAILPOINTS env arming smoke =="
 # Arms a named failpoint purely through the environment; the EnvArmingSmoke

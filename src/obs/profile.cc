@@ -33,6 +33,8 @@ const char* OpKindName(OpKind kind) {
       return "gemm";
     case OpKind::kAttention:
       return "attention";
+    case OpKind::kGemmKernel:
+      return "gemm_kernel";
     case OpKind::kNumKinds:
       break;
   }

@@ -10,7 +10,10 @@
 //
 // Timings are inclusive: the attention entry contains the GEMMs it issues
 // (which are counted again under kGemm), while Conv2d calls the raw GEMM
-// kernel directly and is counted only under kConv2d.
+// kernel directly and is counted only under kConv2d. kGemmKernel sits below
+// all of them — gemm::Run records every raw product (2*m*k*n FLOPs), so its
+// gflops() is the achieved microkernel throughput regardless of which op
+// drove it.
 
 #ifndef DOT_OBS_PROFILE_H_
 #define DOT_OBS_PROFILE_H_
@@ -25,8 +28,9 @@ namespace obs {
 
 enum class OpKind : int {
   kConv2d = 0,
-  kGemm,       // MatMul / BatchMatMul wrappers
-  kAttention,  // MultiheadAttention::Forward
+  kGemm,        // MatMul / BatchMatMul wrappers
+  kAttention,   // MultiheadAttention::Forward
+  kGemmKernel,  // gemm::Run — every raw GEMM, whichever op issued it
   kNumKinds,
 };
 

@@ -93,19 +93,10 @@ Tensor UpsampleNearest2x(const Tensor& x);
 /// Mean squared error between same-shaped tensors (scalar).
 Tensor MseLoss(const Tensor& pred, const Tensor& target);
 
-// ---- Raw kernels (no autograd; exposed for reuse and testing) ---------------
+// The raw GEMM kernels (internal::Gemm/GemmTA/GemmTB) live in
+// tensor/ops_internal.h; the engine behind them is tensor/gemm_kernel.h.
 
 namespace internal {
-
-/// C[m,n] (+)= A[m,k] * B[k,n]; `accumulate` keeps existing C contents.
-void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
-          int64_t n, bool accumulate);
-/// C = A^T * B with A[k,m], B[k,n] -> C[m,n].
-void GemmTA(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n, bool accumulate);
-/// C = A * B^T with A[m,k], B[n,k] -> C[m,n].
-void GemmTB(const float* a, const float* b, float* c, int64_t m, int64_t k,
-            int64_t n, bool accumulate);
 
 /// Right-aligned numpy broadcast of two shapes; dies on incompatibility.
 std::vector<int64_t> BroadcastShape(const std::vector<int64_t>& a,

@@ -3,9 +3,13 @@
 // Conv2d lowers the whole batch to a single GEMM: im2col writes every
 // sample's patch matrix into one [C*KH*KW, B*OH*OW] buffer so the matrix
 // product runs with a long streaming dimension (order-of-magnitude better
-// throughput on one core than per-sample GEMMs). The backward pass
-// recomputes the column buffer (memory-for-time trade-off appropriate to
-// the small PiT images this library trains on).
+// throughput on one core than per-sample GEMMs). The products route
+// through the blocked/SIMD engine behind internal::Gemm* (DOT_GEMM_KERNEL,
+// see tensor/gemm_kernel.h); per-element results are independent of the
+// batch position, so batched and per-sample convs stay bitwise equal under
+// every kernel. The backward pass recomputes the column buffer
+// (memory-for-time trade-off appropriate to the small PiT images this
+// library trains on).
 //
 // The im2col / col2im / output-scatter loops are partitioned over
 // ThreadPool::Global() by (sample, channel) — each work item writes a

@@ -12,6 +12,22 @@
 namespace dot {
 namespace internal {
 
+// ---- Raw GEMM kernels (no autograd; exposed for reuse and testing) ----------
+// Dispatchers through the process-wide kernel selected by DOT_GEMM_KERNEL /
+// gemm::SetKernel (see tensor/gemm_kernel.h). Degenerate products are safe:
+// m==0 or n==0 returns immediately, k==0 only zero-fills C when !accumulate,
+// and null pointers are allowed for empty operands.
+
+/// C[m,n] (+)= A[m,k] * B[k,n]; `accumulate` keeps existing C contents.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool accumulate);
+/// C = A^T * B with A[k,m], B[k,n] -> C[m,n].
+void GemmTA(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate);
+/// C = A * B^T with A[m,k], B[n,k] -> C[m,n].
+void GemmTB(const float* a, const float* b, float* c, int64_t m, int64_t k,
+            int64_t n, bool accumulate);
+
 /// True if gradients must flow through `t` (leaf parameter or graph output).
 inline bool NeedsGrad(const Tensor& t) {
   return t.requires_grad() || t.grad_fn() != nullptr;

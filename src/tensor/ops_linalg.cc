@@ -1,11 +1,14 @@
-// Matrix multiplication kernels and differentiable wrappers.
-
-#include <algorithm>
+// Matrix multiplication dispatch and differentiable wrappers.
+//
+// The kernel bodies live in gemm_kernel.cc; internal::Gemm* are thin
+// dispatchers through the process-wide kernel choice (DOT_GEMM_KERNEL /
+// gemm::SetKernel), so conv2d, MatMul/BatchMatMul (attention), and every FC
+// layer all route through the same engine.
 
 #include "obs/profile.h"
+#include "tensor/gemm_kernel.h"
 #include "tensor/ops.h"
 #include "tensor/ops_internal.h"
-#include "util/thread_pool.h"
 
 namespace dot {
 
@@ -14,99 +17,24 @@ using internal::NeedsGrad;
 
 namespace internal {
 
-namespace {
-// Rows above which a GEMM is split across the global thread pool.
-constexpr int64_t kParallelRowThreshold = 64;
-
-template <typename RowFn>
-void ForEachRow(int64_t m, RowFn fn) {
-  if (m >= kParallelRowThreshold && ThreadPool::Global()->num_threads() > 1) {
-    ParallelFor(
-        ThreadPool::Global(), m,
-        [&](int64_t begin, int64_t end) {
-          for (int64_t i = begin; i < end; ++i) fn(i);
-        },
-        /*min_chunk=*/8);
-  } else {
-    for (int64_t i = 0; i < m; ++i) fn(i);
-  }
-}
-}  // namespace
-
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool accumulate) {
-  // Short-and-wide GEMMs — the batched-conv shape [OC, CKK] x [CKK, B*OHW]
-  // with few rows but a long streaming dimension — parallelize over column
-  // blocks instead of rows. Every output element keeps the same
-  // k-accumulation order as the serial kernel, so the result is bitwise
-  // identical for any thread count or block partitioning.
-  constexpr int64_t kParallelColThreshold = 2048;
-  if (m < kParallelRowThreshold && n >= kParallelColThreshold &&
-      ThreadPool::Global()->num_threads() > 1) {
-    ParallelFor(
-        ThreadPool::Global(), n,
-        [&](int64_t jb, int64_t je) {
-          for (int64_t i = 0; i < m; ++i) {
-            float* crow = c + i * n;
-            if (!accumulate) std::fill(crow + jb, crow + je, 0.0f);
-            const float* arow = a + i * k;
-            for (int64_t kk = 0; kk < k; ++kk) {
-              float av = arow[kk];
-              if (av == 0.0f) continue;
-              const float* brow = b + kk * n;
-              for (int64_t j = jb; j < je; ++j) crow[j] += av * brow[j];
-            }
-          }
-        },
-        /*min_chunk=*/512);
-    return;
-  }
-  // i-k-j loop order: unit-stride access on B and C.
-  ForEachRow(m, [&](int64_t i) {
-    float* crow = c + i * n;
-    if (!accumulate) std::fill(crow, crow + n, 0.0f);
-    const float* arow = a + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  });
+  gemm::Run(gemm::ActiveKernel(), gemm::Layout::kNN, a, b, c, m, k, n,
+            accumulate);
 }
 
 void GemmTA(const float* a, const float* b, float* c, int64_t m, int64_t k,
             int64_t n, bool accumulate) {
   // A is [k, m]; C[i, j] = sum_kk A[kk, i] * B[kk, j].
-  ForEachRow(m, [&](int64_t i) {
-    float* crow = c + i * n;
-    if (!accumulate) std::fill(crow, crow + n, 0.0f);
-    for (int64_t kk = 0; kk < k; ++kk) {
-      float av = a[kk * m + i];
-      if (av == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  });
+  gemm::Run(gemm::ActiveKernel(), gemm::Layout::kTA, a, b, c, m, k, n,
+            accumulate);
 }
 
 void GemmTB(const float* a, const float* b, float* c, int64_t m, int64_t k,
             int64_t n, bool accumulate) {
   // B is [n, k]; C[i, j] = dot(A[i, :], B[j, :]).
-  ForEachRow(m, [&](int64_t i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      if (accumulate) {
-        crow[j] += acc;
-      } else {
-        crow[j] = acc;
-      }
-    }
-  });
+  gemm::Run(gemm::ActiveKernel(), gemm::Layout::kTB, a, b, c, m, k, n,
+            accumulate);
 }
 
 }  // namespace internal

@@ -1,12 +1,35 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <utility>
 
 #include "obs/trace.h"
 
 namespace dot {
+
+namespace {
+
+int DefaultPoolThreads() {
+  // DOT_NUM_THREADS overrides the hardware concurrency — smaller to bound a
+  // shared machine, larger to exercise the parallel partitioning paths on
+  // boxes with few cores (the kernels are deterministic either way).
+  if (const char* env = std::getenv("DOT_NUM_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return std::min(n, 256);
+  }
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+// Lock-free fast path + owner pointer so ResetGlobalForTesting can swap the
+// pool. The unique_ptr static still joins the workers at process exit.
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+std::mutex g_global_pool_mu;
+std::unique_ptr<ThreadPool> g_global_pool_owner;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   num_threads = std::max(1, num_threads);
@@ -68,17 +91,25 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool* ThreadPool::Global() {
-  // DOT_NUM_THREADS overrides the hardware concurrency — smaller to bound a
-  // shared machine, larger to exercise the parallel partitioning paths on
-  // boxes with few cores (the kernels are deterministic either way).
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("DOT_NUM_THREADS")) {
-      int n = std::atoi(env);
-      if (n >= 1) return std::min(n, 256);
-    }
-    return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
-  }());
-  return &pool;
+  ThreadPool* p = g_global_pool.load(std::memory_order_acquire);
+  if (p != nullptr) return p;
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  p = g_global_pool.load(std::memory_order_relaxed);
+  if (p == nullptr) {
+    g_global_pool_owner.reset(new ThreadPool(DefaultPoolThreads()));
+    p = g_global_pool_owner.get();
+    g_global_pool.store(p, std::memory_order_release);
+  }
+  return p;
+}
+
+void ThreadPool::ResetGlobalForTesting(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_global_pool_mu);
+  g_global_pool.store(nullptr, std::memory_order_release);
+  g_global_pool_owner.reset();  // joins the old workers
+  g_global_pool_owner.reset(
+      new ThreadPool(num_threads > 0 ? num_threads : DefaultPoolThreads()));
+  g_global_pool.store(g_global_pool_owner.get(), std::memory_order_release);
 }
 
 void ParallelFor(ThreadPool* pool, int64_t n,

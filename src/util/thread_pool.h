@@ -36,6 +36,12 @@ class ThreadPool {
   /// DOT_NUM_THREADS environment variable when set (clamped to [1, 256]).
   static ThreadPool* Global();
 
+  /// Replaces the global pool with one of `num_threads` workers (<= 0 picks
+  /// the default sizing again). For tests that sweep thread counts — e.g.
+  /// the determinism suite proving kernels are partition-invariant. Not safe
+  /// while other threads are using the pool.
+  static void ResetGlobalForTesting(int num_threads = 0);
+
  private:
   void WorkerLoop();
 

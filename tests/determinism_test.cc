@@ -1,5 +1,11 @@
 // Reproducibility tests: every stochastic component is seed-deterministic,
-// so whole pipelines must reproduce bit-for-bit given the same seeds.
+// so whole pipelines must reproduce bit-for-bit given the same seeds — and
+// for a fixed GEMM kernel, bit-for-bit across thread counts too.
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -7,6 +13,10 @@
 #include "eval/dataset.h"
 #include "sim/city.h"
 #include "sim/trips.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/nn.h"
+#include "tensor/ops.h"
+#include "util/thread_pool.h"
 
 namespace dot {
 namespace {
@@ -65,6 +75,102 @@ TEST(Determinism, UnetForwardIsSeedDeterministic) {
   Tensor yb = b.PredictNoise(x, {3}, cond);
   for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya.at(i), yb.at(i));
 }
+
+// ---- GEMM-kernel x thread-count sweep ---------------------------------------
+// The engine contract (gemm_kernel.h): same kernel + same inputs -> bitwise
+// identical outputs for ANY thread count, because work is only partitioned
+// across disjoint output regions and the k-accumulation order is fixed.
+// Verified end to end here: conv2d forward + backward, masked attention, and
+// the UNet denoiser (the oracle's stage-2 network) at 1, 4, and
+// hardware-concurrency threads, plus run-to-run identity at each count.
+
+class KernelThreadSweep : public ::testing::TestWithParam<gemm::Kernel> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == gemm::Kernel::kSimd && !gemm::SimdAvailable()) {
+      GTEST_SKIP() << "SIMD microkernel unavailable on this CPU/build";
+    }
+    prev_ = gemm::ActiveKernel();
+    gemm::SetKernel(GetParam());
+  }
+  void TearDown() override {
+    gemm::SetKernel(prev_);
+    ThreadPool::ResetGlobalForTesting();  // back to default sizing
+  }
+
+  gemm::Kernel prev_ = gemm::Kernel::kNaive;
+
+  /// One fixed-seed pass through the GEMM-heavy paths; returns every output
+  /// and gradient byte so the comparison below is exhaustive.
+  static std::vector<float> RunWorkload() {
+    std::vector<float> out;
+    auto append = [&out](const std::vector<float>& v) {
+      out.insert(out.end(), v.begin(), v.end());
+    };
+    // conv2d forward + backward (im2col GEMM, col2im GemmTA, dW GemmTB).
+    {
+      Rng rng(123);
+      Tensor x = Tensor::Randn({2, 3, 16, 16}, &rng).set_requires_grad(true);
+      Tensor w = Tensor::Randn({4, 3, 3, 3}, &rng).set_requires_grad(true);
+      Tensor loss = Mean(Square(Conv2d(x, w, Tensor(), 1, 1)));
+      loss.Backward();
+      append({loss.item()});
+      append(x.grad_vec());
+      append(w.grad_vec());
+    }
+    NoGradGuard guard;
+    // Masked multi-head attention (BatchMatMul paths).
+    {
+      Rng rng(7);
+      nn::MultiheadAttention att(16, 2, &rng);
+      Tensor ax = Tensor::Randn({2, 6, 16}, &rng);
+      std::vector<float> key_bias = {0, 0, 0, 0, -1e9f, -1e9f};
+      append(att.Forward(ax, &key_bias).vec());
+    }
+    // UNet denoiser forward — the oracle's stage-2 network.
+    {
+      UnetConfig cfg;
+      cfg.base_channels = 8;
+      cfg.levels = 2;
+      cfg.cond_dim = 16;
+      cfg.max_steps = 50;
+      Rng rng(9);
+      UnetDenoiser unet(cfg, &rng);
+      Rng in_rng(10);
+      Tensor ux = Tensor::Randn({1, 3, 8, 8}, &in_rng);
+      append(unet.PredictNoise(ux, {3}, Tensor::Zeros({1, 5})).vec());
+    }
+    return out;
+  }
+};
+
+TEST_P(KernelThreadSweep, BitwiseIdenticalAcrossThreadCounts) {
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  ThreadPool::ResetGlobalForTesting(1);
+  const std::vector<float> baseline = RunWorkload();
+  ASSERT_FALSE(baseline.empty());
+  for (int threads : {1, 4, hw}) {
+    ThreadPool::ResetGlobalForTesting(threads);
+    std::vector<float> run1 = RunWorkload();
+    std::vector<float> run2 = RunWorkload();  // run-to-run identity
+    ASSERT_EQ(run1.size(), baseline.size());
+    EXPECT_EQ(0, std::memcmp(run1.data(), baseline.data(),
+                             baseline.size() * sizeof(float)))
+        << "thread count " << threads << " diverges from single-thread";
+    EXPECT_EQ(0, std::memcmp(run1.data(), run2.data(),
+                             run1.size() * sizeof(float)))
+        << "repeated run at " << threads << " threads not identical";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelThreadSweep,
+                         ::testing::Values(gemm::Kernel::kNaive,
+                                           gemm::Kernel::kBlocked,
+                                           gemm::Kernel::kSimd),
+                         [](const auto& info) {
+                           return std::string(gemm::KernelName(info.param));
+                         });
 
 TEST(Determinism, SpatialConditionFlagChangesArchitecture) {
   UnetConfig with = {};

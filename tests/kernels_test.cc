@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "tensor/ops.h"
+#include "tensor/ops_internal.h"
 
 namespace dot {
 namespace {

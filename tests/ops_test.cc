@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include "gradcheck.h"
+#include "tensor/gemm_kernel.h"
+#include "tensor/nn.h"
 #include "tensor/tensor.h"
 
 namespace dot {
@@ -528,6 +530,76 @@ TEST(OpsGrad, MseLoss) {
     return MseLoss(in[0], in[1]);
   });
 }
+
+// ---- Gradchecks under the blocked / SIMD GEMM kernels -------------------------
+// The gradchecks above run under the process default kernel; these pin the
+// blocked and SIMD engines explicitly so autograd is validated against the
+// packed/tiled path, not just the naive oracle.
+
+class ScopedGemmKernel {
+ public:
+  explicit ScopedGemmKernel(gemm::Kernel kernel)
+      : prev_(gemm::ActiveKernel()) {
+    gemm::SetKernel(kernel);
+  }
+  ~ScopedGemmKernel() { gemm::SetKernel(prev_); }
+
+ private:
+  gemm::Kernel prev_;
+};
+
+class KernelMatrixGrad : public ::testing::TestWithParam<gemm::Kernel> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == gemm::Kernel::kSimd && !gemm::SimdAvailable()) {
+      GTEST_SKIP() << "SIMD microkernel unavailable on this CPU/build";
+    }
+  }
+};
+
+TEST_P(KernelMatrixGrad, Conv2d) {
+  ScopedGemmKernel scoped(GetParam());
+  auto x = SmallRand({2, 2, 5, 5}, 80);
+  auto w = SmallRand({3, 2, 3, 3}, 81);
+  auto b = SmallRand({3}, 82);
+  ExpectGradientsMatch(
+      {x, w, b},
+      [](const std::vector<Tensor>& in) {
+        return Mean(Square(Conv2d(in[0], in[1], in[2], 1, 1)));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+TEST_P(KernelMatrixGrad, LinearMatMulBias) {
+  ScopedGemmKernel scoped(GetParam());
+  // A Linear layer body: x @ w + b. k=17 spans microkernel edge handling.
+  auto x = SmallRand({6, 17}, 83);
+  auto w = SmallRand({17, 9}, 84);
+  auto b = SmallRand({9}, 85);
+  ExpectGradientsMatch({x, w, b}, [](const std::vector<Tensor>& in) {
+    return Mean(Square(Add(MatMul(in[0], in[1]), in[2])));
+  });
+}
+
+TEST_P(KernelMatrixGrad, Attention) {
+  ScopedGemmKernel scoped(GetParam());
+  Rng rng(86);
+  nn::MultiheadAttention att(8, 2, &rng);
+  auto x = SmallRand({2, 4, 8}, 87);
+  ExpectGradientsMatch(
+      {x},
+      [&att](const std::vector<Tensor>& in) {
+        return Mean(Square(att.Forward(in[0])));
+      },
+      /*h=*/1e-2f, /*rtol=*/8e-2f, /*atol=*/2e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockedAndSimd, KernelMatrixGrad,
+                         ::testing::Values(gemm::Kernel::kBlocked,
+                                           gemm::Kernel::kSimd),
+                         [](const auto& info) {
+                           return std::string(gemm::KernelName(info.param));
+                         });
 
 }  // namespace
 }  // namespace dot
