@@ -1,0 +1,128 @@
+// Memory/allocation benchmark for the pooled tensor storage engine.
+//
+// Measures the reverse-diffusion sampling loop (the oracle's serving-path
+// hot loop) in three regimes:
+//   1. cold pool  — every allocation misses and touches the heap; the miss
+//      count is the per-pass allocation count of the whole UNet stack;
+//   2. steady state — after one warmup pass the free lists serve everything;
+//      the acceptance gate is zero misses and zero net live-byte growth;
+//   3. pool disabled (DOT_TENSOR_POOL=off behaviour) — the eager-heap
+//      baseline the steady-state latency is compared against.
+//
+// Output: human-readable summary on stdout and a JSON dump to
+// DOT_BENCH_MEMORY_JSON (default BENCH_memory.json; run_benches.sh exports
+// it).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/diffusion.h"
+#include "core/unet.h"
+#include "tensor/storage.h"
+#include "tensor/tensor.h"
+
+namespace dot {
+namespace {
+
+constexpr int64_t kSteps = 24;        // reverse steps per sampling pass
+constexpr int kSteadyPasses = 5;      // timed steady-state passes
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+}  // namespace dot
+
+int main() {
+  using namespace dot;
+
+  UnetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.levels = 2;
+  cfg.cond_dim = 16;
+  cfg.max_steps = kSteps;
+  Rng rng(17);
+  UnetDenoiser unet(cfg, &rng);
+  Diffusion diff{DiffusionSchedule(kSteps)};
+  Tensor cond = Tensor::Zeros({1, 5});
+  const std::vector<int64_t> out_shape = {1, 3, 8, 8};
+  auto run_pass = [&](uint64_t seed) {
+    Rng pass_rng(seed);
+    Tensor x = diff.Sample(unet, cond, out_shape, &pass_rng);
+    return x.data()[0];  // keep the result observable
+  };
+
+  // 1. Cold pool: the miss count is the allocation count of one full pass.
+  storage::SetPoolEnabled(true);
+  storage::TrimPool();
+  storage::ResetPoolStats();
+  run_pass(1);
+  storage::PoolStats cold = storage::GetPoolStats();
+
+  // 2. Steady state (the pool is now warm from the cold pass).
+  storage::ResetPoolStats();
+  int64_t live0 = storage::GetPoolStats().bytes_live;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSteadyPasses; ++i) run_pass(2);
+  double steady_s = Seconds(t0);
+  storage::PoolStats steady = storage::GetPoolStats();
+  int64_t live_growth = storage::GetPoolStats().bytes_live - live0;
+
+  // 3. Pool disabled: eager heap allocation baseline.
+  storage::SetPoolEnabled(false);
+  storage::TrimPool();
+  t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kSteadyPasses; ++i) run_pass(2);
+  double unpooled_s = Seconds(t0);
+  storage::SetPoolEnabled(true);
+
+  double steady_step_us = steady_s * 1e6 / (kSteadyPasses * kSteps);
+  double unpooled_step_us = unpooled_s * 1e6 / (kSteadyPasses * kSteps);
+
+  std::printf("reverse-diffusion memory bench (%ld steps/pass)\n",
+              static_cast<long>(kSteps));
+  std::printf("  cold pass:    %ld pool allocations (misses), high water %.2f MiB\n",
+              static_cast<long>(cold.misses),
+              static_cast<double>(cold.high_water_bytes) / (1024.0 * 1024.0));
+  std::printf("  steady state: %ld misses, %ld hits over %d passes, "
+              "net live growth %ld bytes\n",
+              static_cast<long>(steady.misses), static_cast<long>(steady.hits),
+              kSteadyPasses, static_cast<long>(live_growth));
+  std::printf("  step latency: %.1f us pooled vs %.1f us unpooled (%.2fx)\n",
+              steady_step_us, unpooled_step_us,
+              steady_step_us > 0 ? unpooled_step_us / steady_step_us : 0.0);
+  if (steady.misses != 0 || live_growth != 0) {
+    std::printf("REGRESSION: steady-state sampling is not allocator-quiet\n");
+  }
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\n"
+      "  \"steps_per_pass\": %ld,\n"
+      "  \"steady_passes\": %d,\n"
+      "  \"cold_pass_allocations\": %ld,\n"
+      "  \"high_water_bytes\": %ld,\n"
+      "  \"steady_state_misses\": %ld,\n"
+      "  \"steady_state_hits\": %ld,\n"
+      "  \"steady_state_live_growth_bytes\": %ld,\n"
+      "  \"steady_step_latency_us\": %.2f,\n"
+      "  \"unpooled_step_latency_us\": %.2f\n"
+      "}\n",
+      static_cast<long>(kSteps), kSteadyPasses, static_cast<long>(cold.misses),
+      static_cast<long>(cold.high_water_bytes),
+      static_cast<long>(steady.misses), static_cast<long>(steady.hits),
+      static_cast<long>(live_growth), steady_step_us, unpooled_step_us);
+
+  const char* path = std::getenv("DOT_BENCH_MEMORY_JSON");
+  std::string out_path = (path && path[0]) ? path : "BENCH_memory.json";
+  std::ofstream out(out_path);
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+  return (steady.misses == 0 && live_growth == 0) ? 0 : 1;
+}

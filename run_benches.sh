@@ -9,6 +9,8 @@ export DOT_BENCH_BATCHED_JSON=${DOT_BENCH_BATCHED_JSON:-BENCH_batched.json}
 export DOT_BENCH_SERVING_METRICS_JSON=${DOT_BENCH_SERVING_METRICS_JSON:-BENCH_serving_metrics.json}
 # bench_gemm dumps the per-kernel GEMM throughput table (naive/blocked/simd).
 export DOT_BENCH_GEMM_JSON=${DOT_BENCH_GEMM_JSON:-BENCH_gemm.json}
+# bench_memory dumps storage-pool allocation counts + steady-state latency.
+export DOT_BENCH_MEMORY_JSON=${DOT_BENCH_MEMORY_JSON:-BENCH_memory.json}
 for b in build/bench/bench_*; do
   echo "===== $b =====" | tee -a "$OUT"
   if [ "$(basename $b)" = "bench_micro_kernels" ]; then

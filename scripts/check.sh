@@ -17,7 +17,12 @@
 #   6. kernel test matrix: re-runs tier1 + the differential GEMM harness
 #      under DOT_GEMM_KERNEL=naive, blocked, and simd on the ASan+UBSan
 #      build (simd degrades to blocked gracefully on CPUs without AVX2+FMA,
-#      and the simd-only differential cases GTEST_SKIP themselves).
+#      and the simd-only differential cases GTEST_SKIP themselves);
+#   7. storage-pool matrix on the ASan+UBSan build: tier1 + the alias/pool
+#      suite with the pool ON and poison-on-return active (reads of
+#      recycled-but-unwritten buffers surface as NaNs), then once with
+#      DOT_TENSOR_POOL=off so every recycling path also runs as plain
+#      heap alloc/free under ASan.
 # Usage: scripts/check.sh [build_dir] [asan_build_dir]
 #   (defaults: build-tsan build-asan)
 set -u
@@ -102,6 +107,27 @@ for KERNEL in naive blocked simd; do
     FAILED=1
   fi
 done
+
+echo "== storage pool matrix under asan+ubsan =="
+# Pool ON with poison-on-return: stale-read bugs that recycling could mask
+# become NaNs; the tier1 numeric assertions + storage_test catch them.
+if ! DOT_TENSOR_POOL=on DOT_POOL_POISON=1 \
+    ctest --test-dir "$BUILD_ASAN" -L tier1 -j > /dev/null; then
+  echo "CHECK FAILED: tier1 tests (DOT_TENSOR_POOL=on, poison)"
+  FAILED=1
+fi
+if ! DOT_TENSOR_POOL=on DOT_POOL_POISON=1 "$BUILD_ASAN"/tests/storage_test \
+    > /dev/null; then
+  echo "CHECK FAILED: storage_test (DOT_TENSOR_POOL=on, poison)"
+  FAILED=1
+fi
+# Pool OFF: every buffer is a fresh heap allocation freed eagerly, so ASan
+# sees true lifetimes (no free-list parking) across the whole tier1 suite.
+if ! DOT_TENSOR_POOL=off ctest --test-dir "$BUILD_ASAN" -L tier1 -j \
+    > /dev/null; then
+  echo "CHECK FAILED: tier1 tests (DOT_TENSOR_POOL=off)"
+  FAILED=1
+fi
 
 echo "== DOT_FAILPOINTS env arming smoke =="
 # Arms a named failpoint purely through the environment; the EnvArmingSmoke

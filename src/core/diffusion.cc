@@ -135,6 +135,11 @@ Tensor Diffusion::Sample(const NoisePredictor& model, const Tensor& cond,
   Tensor x = InitialNoise(out_shape, &streams);
   int64_t per = x.numel() / b;
   std::vector<int64_t> steps(static_cast<size_t>(b));
+  // Steady-state allocation contract: x is updated in place, `pred` and
+  // every UNet intermediate die each iteration and recycle through the
+  // storage pool, and `steps` is reused. After the first iteration warms the
+  // free lists, a reverse step performs zero fresh heap allocations
+  // (asserted by the allocation-regression test via the pool counters).
   for (int64_t n = schedule_.num_steps() - 1; n >= 0; --n) {
     obs::TraceSpan step_span("reverse_step",
                              obs::TracingEnabled() ? StepArgs(n) : std::string());

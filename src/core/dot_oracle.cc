@@ -93,7 +93,7 @@ class TrainingGuard {
                  << " (" << consecutive_bad_ << " consecutive)";
     if (rollback_after_ > 0 && consecutive_bad_ >= rollback_after_) {
       for (size_t i = 0; i < params_.size(); ++i) {
-        params_[i].vec() = snapshot_[i];
+        params_[i].CopyFrom(snapshot_[i]);
       }
       rollbacks_->Increment();
       ++rollback_count_;
@@ -117,7 +117,7 @@ class TrainingGuard {
   void TakeSnapshot() {
     snapshot_.clear();
     snapshot_.reserve(params_.size());
-    for (const auto& p : params_) snapshot_.push_back(p.vec());
+    for (const auto& p : params_) snapshot_.push_back(p.ToVector());
   }
 
   const char* stage_;
@@ -507,7 +507,7 @@ Status DotOracle::TrainStage2(const std::vector<TripSample>& train,
         bad_epochs = 0;
         best_weights.clear();
         for (auto& p : estimator_->module()->Parameters()) {
-          best_weights.push_back(p.vec());
+          best_weights.push_back(p.ToVector());
         }
       } else if (++bad_epochs >= 2) {
         if (config_.verbose) {
@@ -519,7 +519,9 @@ Status DotOracle::TrainStage2(const std::vector<TripSample>& train,
   }
   if (!best_weights.empty()) {
     auto params = estimator_->module()->Parameters();
-    for (size_t i = 0; i < params.size(); ++i) params[i].vec() = best_weights[i];
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i].CopyFrom(best_weights[i]);
+    }
   }
   return Status::OK();
 }
@@ -568,7 +570,7 @@ Status DotOracle::AdoptStage1(const DotOracle& other) {
       return Status::InvalidArgument("denoiser parameter mismatch at " +
                                      src[i].first);
     }
-    dst[i].second.vec() = src[i].second.vec();
+    dst[i].second.CopyDataFrom(src[i].second);
   }
   stage1_trained_ = true;
   return Status::OK();

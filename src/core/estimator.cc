@@ -91,22 +91,25 @@ Tensor TransformerEstimator::ForwardOne(const Pit& pit,
   } else {
     latent = Tensor::Zeros({n_tokens, config_.embed_dim});
   }
-  latent = Add(latent, Rows(pos_encoding_, token_ids));
-  if (cell_embedding_) latent = Add(latent, cell_embedding_->Forward(token_ids));
+  latent = AddReuse(latent, Rows(pos_encoding_, token_ids));
+  if (cell_embedding_) {
+    latent = AddReuse(latent, cell_embedding_->Forward(token_ids));
+  }
 
   // Pre-norm Transformer layers; attention is the masked scheme selected at
-  // construction.
-  Tensor x = Reshape(latent, {1, n_tokens, config_.embed_dim});
+  // construction. Each residual add reuses the running activation's buffer
+  // during inference (x is a freshly materialized intermediate throughout).
+  Tensor x = Reshape(latent, {1, -1, config_.embed_dim});
   const std::vector<float>* bias = masked_ ? nullptr : &key_bias;
   for (const auto& layer : layers_) {
-    x = Add(x, layer.att->Forward(layer.norm1->Forward(x), bias));
-    x = Add(x, layer.ffn->Forward(layer.norm2->Forward(x)));
+    x = AddReuse(x, layer.att->Forward(layer.norm1->Forward(x), bias));
+    x = AddReuse(x, layer.ffn->Forward(layer.norm2->Forward(x)));
   }
   x = final_norm_->Forward(x);
 
   // Mean pooling over valid tokens only (Eq. 22). For ViT, gather the valid
   // rows first so masked-out tokens do not contaminate the pool.
-  Tensor seq = Reshape(x, {n_tokens, config_.embed_dim});
+  Tensor seq = Reshape(x, {-1, config_.embed_dim});
   if (!masked_) seq = Rows(seq, valid);
   Tensor pooled = MeanAxis(seq, 0, /*keepdim=*/true);  // [1, d]
   if (odt_fc1_ && features != nullptr) {
@@ -114,7 +117,7 @@ Tensor TransformerEstimator::ForwardOne(const Pit& pit,
     Tensor wide = Relu(odt_fc1_->Forward(
         Tensor::FromVector({1, kOdtFeatureDim}, std::move(f))));
     wide = Relu(odt_fc2_->Forward(wide));
-    pooled = Add(pooled, wide);
+    pooled = AddReuse(pooled, wide);
   }
   return head_->Forward(pooled);                       // [1, 1]
 }
@@ -181,7 +184,7 @@ Tensor CnnEstimator::ForwardBatch(
     Tensor wide = Relu(odt_fc1_->Forward(
         Tensor::FromVector({b, kOdtFeatureDim}, std::move(f))));
     wide = Relu(odt_fc2_->Forward(wide));
-    h = Add(h, wide);
+    h = AddReuse(h, wide);
   }
   return head_->Forward(h);  // [B, 1]
 }

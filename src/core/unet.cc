@@ -53,14 +53,15 @@ Tensor OCConv::Forward(const Tensor& x, const Tensor& cond) const {
   // training stability; normalizing *after* the conditioning would cancel
   // the channel-wise shift of Eq. 15).
   Tensor h = conv_in_.Forward(norm1_.Forward(x));
-  // Eq. 15: add the conditioned vector to every pixel, channel-wise.
+  // Eq. 15: add the conditioned vector to every pixel, channel-wise. `h` is
+  // a fresh conv output, so inference adds in place (AddReuse).
   Tensor c = fc_cond_.Forward(cond);                    // [B, C_in]
   c = Reshape(c, {c.size(0), c.size(1), 1, 1});         // broadcast over H, W
-  h = Add(h, c);
+  h = AddReuse(h, c);
   // Eq. 16: two-layer convolution with GELU, plus the residual projection.
   h = conv1_.Forward(Gelu(h));
   h = conv2_.Forward(Gelu(norm2_.Forward(h)));
-  return Add(h, res_.Forward(x));
+  return AddReuse(h, res_.Forward(x));
 }
 
 SpatialAttention::SpatialAttention(int64_t channels, int64_t heads, Rng* rng)
@@ -71,11 +72,13 @@ SpatialAttention::SpatialAttention(int64_t channels, int64_t heads, Rng* rng)
 
 Tensor SpatialAttention::Forward(const Tensor& x) const {
   int64_t b = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
-  Tensor seq = Reshape(norm_.Forward(x), {b, c, h * w});
+  Tensor seq = Reshape(norm_.Forward(x), {b, c, -1});
   seq = Permute(seq, {0, 2, 1});  // [B, HW, C]
   seq = att_.Forward(seq);
   seq = Permute(seq, {0, 2, 1});
-  return Add(x, Reshape(seq, {b, c, h, w}));
+  // The permuted copy is exclusively owned; its reshaped view carries the
+  // residual add in place under inference (x itself is never mutated).
+  return AddReuse(Reshape(seq, {b, c, h, w}), x);
 }
 
 }  // namespace internal

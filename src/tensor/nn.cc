@@ -59,7 +59,7 @@ Status Module::Save(BinaryWriter* w) const {
   for (const auto& [name, t] : named) {
     w->WriteString(name);
     w->WriteI64Vector(t.shape());
-    w->WriteF32Vector(t.vec());
+    w->WriteF32Vector(t.ToVector());
   }
   if (!w->Ok()) return Status::IOError("model save failed");
   return Status::OK();
@@ -90,7 +90,7 @@ Status Module::Load(BinaryReader* r) {
                                        name);
       }
     }
-    t.vec() = std::move(data);
+    t.CopyFrom(data);
   }
   return Status::OK();
 }
@@ -167,7 +167,8 @@ Tensor Conv2dLayer::Forward(const Tensor& x) const {
 
 Embedding::Embedding(int64_t count, int64_t dim, Rng* rng) {
   Tensor t = Tensor::Randn({count, dim}, rng);
-  for (auto& v : t.vec()) v *= 0.02f;  // small-normal init
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] *= 0.02f;  // small-normal init
   table_ = RegisterParameter("table", t);
 }
 
@@ -234,13 +235,15 @@ Tensor MultiheadAttention::Forward(const Tensor& x,
   Tensor k = split(wk_.Forward(x));
   Tensor v = split(wv_.Forward(x));
   Tensor kt = Permute(k, {0, 2, 1});  // [B*h, dh, L]
-  Tensor scores = MulScalar(BatchMatMul(q, kt),
-                            1.0f / std::sqrt(static_cast<float>(dh)));
+  // The raw score matrix is freshly materialized and exclusively owned, so
+  // inference scales (and biases) it in place instead of allocating.
+  Tensor scores = ScaleReuse(BatchMatMul(q, kt),
+                             1.0f / std::sqrt(static_cast<float>(dh)));
   if (key_bias != nullptr) {
     DOT_CHECK(static_cast<int64_t>(key_bias->size()) == l)
         << "key_bias length must equal sequence length";
     Tensor bias = Tensor::FromVector({l}, *key_bias);
-    scores = Add(scores, bias);  // broadcast over rows and heads
+    scores = AddReuse(scores, bias);  // broadcast over rows and heads
   }
   Tensor att = Softmax(scores);          // [B*h, L, L]
   Tensor ctx = BatchMatMul(att, v);      // [B*h, L, dh]

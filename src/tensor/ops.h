@@ -45,15 +45,20 @@ Tensor Silu(const Tensor& a);
 
 // ---- Shape -----------------------------------------------------------------
 
-/// Returns a reshaped copy; one dimension may be -1 (inferred).
+/// Returns a zero-copy view with a new shape (shares the input's Storage).
+/// One dimension may be -1 (inferred); dies with both shapes in the message
+/// when the element counts cannot match.
 Tensor Reshape(const Tensor& a, std::vector<int64_t> shape);
+/// Reshape(a, {a.numel()}): zero-copy 1-D view.
+Tensor Flatten(const Tensor& a);
 /// Transpose of a 2-D tensor.
 Tensor Transpose2D(const Tensor& a);
 /// Generalized dimension permutation.
 Tensor Permute(const Tensor& a, std::vector<int64_t> perm);
 /// Concatenates tensors along `axis`; all other dims must match.
 Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
-/// Contiguous slice [start, start+len) along `axis`.
+/// Contiguous slice [start, start+len) along `axis`. Axis-0 slices are
+/// zero-copy views into the input's Storage; other axes copy.
 Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len);
 /// Gathers rows of a 2-D tensor: out[i, :] = a[ids[i], :]. Backward
 /// scatter-adds (used for embeddings and MViT token packing).
@@ -92,6 +97,25 @@ Tensor AvgPool2d(const Tensor& x);
 Tensor UpsampleNearest2x(const Tensor& x);
 /// Mean squared error between same-shaped tensors (scalar).
 Tensor MseLoss(const Tensor& pred, const Tensor& target);
+
+// ---- In-place (inference-only) ---------------------------------------------
+// These mutate the first argument's buffer and therefore die (DOT_CHECK)
+// when autograd is recording. Arithmetic is bitwise identical to the
+// functional counterparts, so the sampling path stays deterministic with
+// respect to the pure ops. Beware aliasing: the mutation is visible through
+// every view sharing the Storage.
+
+/// a += b (broadcasting b; the result shape must equal a's shape).
+Tensor& AddInPlace_(Tensor& a, const Tensor& b);
+/// a *= s.
+Tensor& Scale_(Tensor& a, float s);
+
+/// Add(a, b) while autograd records, AddInPlace_(a, b) under NoGradGuard.
+/// Use for residual adds where `a` is freshly materialized and exclusively
+/// owned, so inference reuses its buffer instead of allocating.
+Tensor AddReuse(Tensor a, const Tensor& b);
+/// MulScalar(a, s) while autograd records, Scale_(a, s) under NoGradGuard.
+Tensor ScaleReuse(Tensor a, float s);
 
 // The raw GEMM kernels (internal::Gemm/GemmTA/GemmTB) live in
 // tensor/ops_internal.h; the engine behind them is tensor/gemm_kernel.h.

@@ -273,21 +273,47 @@ Tensor Silu(const Tensor& a) {
 
 // ---- Shape ops --------------------------------------------------------------
 
+namespace {
+
+std::string ShapeToString(const std::vector<int64_t>& shape) {
+  std::string s = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+}  // namespace
+
 Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
+  const std::vector<int64_t> requested = shape;
   int64_t known = 1;
   int64_t infer = -1;
   for (size_t i = 0; i < shape.size(); ++i) {
     if (shape[i] == -1) {
-      DOT_CHECK(infer == -1) << "Reshape: multiple -1 dims";
+      DOT_CHECK(infer == -1) << "Reshape: multiple -1 dims in "
+                             << ShapeToString(requested);
       infer = static_cast<int64_t>(i);
     } else {
+      DOT_CHECK(shape[i] >= 0) << "Reshape: invalid dim " << shape[i] << " in "
+                               << ShapeToString(requested);
       known *= shape[i];
     }
   }
-  if (infer >= 0) shape[static_cast<size_t>(infer)] = a.numel() / known;
+  if (infer >= 0) {
+    DOT_CHECK(known > 0 && a.numel() % known == 0)
+        << "Reshape: cannot infer -1 dim: " << a.ShapeString() << " ("
+        << a.numel() << " elements) does not divide into "
+        << ShapeToString(requested);
+    shape[static_cast<size_t>(infer)] = a.numel() / known;
+  }
   DOT_CHECK(ShapeNumel(shape) == a.numel())
-      << "Reshape: element count mismatch " << a.ShapeString();
-  Tensor out = Tensor::FromVector(shape, a.vec());
+      << "Reshape: element count mismatch: " << a.ShapeString() << " ("
+      << a.numel() << " elements) -> " << ShapeToString(requested) << " ("
+      << ShapeNumel(shape) << " elements)";
+  // Zero-copy alias: the reshaped tensor shares a's Storage.
+  Tensor out = Tensor::View(a, std::move(shape));
   Tensor a_cap = a;
   AttachNode(&out, "reshape", {a}, [a_cap](const Tensor& o) {
     Tensor a = a_cap;
@@ -295,6 +321,8 @@ Tensor Reshape(const Tensor& a, std::vector<int64_t> shape) {
   });
   return out;
 }
+
+Tensor Flatten(const Tensor& a) { return Reshape(a, {a.numel()}); }
 
 Tensor Transpose2D(const Tensor& a) {
   DOT_CHECK(a.dim() == 2) << "Transpose2D needs 2-D input";
@@ -402,20 +430,29 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
 Tensor Slice(const Tensor& a, int64_t axis, int64_t start, int64_t len) {
   if (axis < 0) axis += a.dim();
   DOT_CHECK(axis >= 0 && axis < a.dim()) << "Slice axis out of range";
-  DOT_CHECK(start >= 0 && start + len <= a.size(axis)) << "Slice bounds";
+  DOT_CHECK(start >= 0 && len >= 0 && start + len <= a.size(axis))
+      << "Slice bounds: [" << start << ", " << start + len << ") of "
+      << a.ShapeString() << " axis " << axis;
   std::vector<int64_t> out_shape = a.shape();
   out_shape[static_cast<size_t>(axis)] = len;
-  Tensor out = Tensor::Empty(out_shape);
   int64_t outer = 1, inner = 1;
   for (int64_t d = 0; d < axis; ++d) outer *= a.size(d);
   for (int64_t d = axis + 1; d < a.dim(); ++d) inner *= a.size(d);
   int64_t in_row = a.size(axis) * inner;
   int64_t out_row = len * inner;
-  const float* ap = a.data();
-  float* op = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    std::copy(ap + o * in_row + start * inner, ap + o * in_row + (start + len) * inner,
-              op + o * out_row);
+  Tensor out;
+  if (outer == 1) {
+    // Contiguous slice (axis 0, or every leading dim is 1): the selected
+    // elements are one contiguous run — alias them instead of copying.
+    out = Tensor::View(a, out_shape, start * inner);
+  } else {
+    out = Tensor::Empty(out_shape);
+    const float* ap = a.data();
+    float* op = out.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(ap + o * in_row + start * inner,
+                ap + o * in_row + (start + len) * inner, op + o * out_row);
+    }
   }
   Tensor a_cap = a;
   AttachNode(&out, "slice", {a},
@@ -529,6 +566,61 @@ Tensor MeanAxis(const Tensor& a, int64_t axis, bool keepdim) {
 Tensor MseLoss(const Tensor& pred, const Tensor& target) {
   DOT_CHECK(SameShape(pred, target)) << "MseLoss shape mismatch";
   return Mean(Square(Sub(pred, target)));
+}
+
+// ---- In-place (inference-only) ----------------------------------------------
+// These mutate their first argument's buffer, so they are forbidden while
+// autograd is recording: a graph node may hold the pre-mutation values for
+// its backward pass. The iteration order matches the out-of-place ops
+// exactly, so `AddInPlace_(a, b)` is bitwise identical to `a = Add(a, b)`.
+
+Tensor& AddInPlace_(Tensor& a, const Tensor& b) {
+  DOT_CHECK(!GradModeEnabled())
+      << "AddInPlace_ while autograd is recording (wrap in NoGradGuard)";
+  BcastPlan plan = MakeBcastPlan(a, b);
+  DOT_CHECK(plan.out_shape == a.shape())
+      << "AddInPlace_: broadcasting " << b.ShapeString()
+      << " would change the target shape " << a.ShapeString();
+  float* ap = a.data();
+  const float* bp = b.data();
+  int64_t n = a.numel();
+  if (plan.same) {
+    for (int64_t i = 0; i < n; ++i) ap[i] += bp[i];
+  } else {
+    size_t nd = plan.out_shape.size();
+    std::vector<int64_t> idx(nd, 0);
+    for (int64_t flat = 0; flat < n; ++flat) {
+      int64_t bi = 0;
+      for (size_t d = 0; d < nd; ++d) bi += idx[d] * plan.b_stride[d];
+      ap[flat] += bp[bi];
+      for (int64_t d = static_cast<int64_t>(nd) - 1; d >= 0; --d) {
+        if (++idx[d] < plan.out_shape[d]) break;
+        idx[d] = 0;
+      }
+    }
+  }
+  return a;
+}
+
+Tensor& Scale_(Tensor& a, float s) {
+  DOT_CHECK(!GradModeEnabled())
+      << "Scale_ while autograd is recording (wrap in NoGradGuard)";
+  float* ap = a.data();
+  int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) ap[i] *= s;
+  return a;
+}
+
+Tensor AddReuse(Tensor a, const Tensor& b) {
+  if (GradModeEnabled()) return Add(a, b);
+  AddInPlace_(a, b);
+  return a;
+}
+
+Tensor ScaleReuse(Tensor a, float s) {
+  if (GradModeEnabled()) return MulScalar(a, s);
+  Scale_(a, s);
+  return a;
 }
 
 }  // namespace dot

@@ -164,8 +164,12 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int64_t stri
   int64_t cols = d.n * d.ohw();
   Tensor out = Tensor::Empty({d.n, d.oc, d.oh, d.ow});
   {
-    std::vector<float> col(static_cast<size_t>(d.ckk() * cols));
-    std::vector<float> tmp(static_cast<size_t>(d.oc * cols));
+    // Pooled scratch: both buffers recycle into the pool at scope exit, so
+    // repeated same-shape convs (every reverse-diffusion step) allocate
+    // nothing fresh. Contents start uninitialized; BatchIm2Col writes every
+    // column element and Gemm(accumulate=false) fully overwrites tmp.
+    storage::Scratch col(d.ckk() * cols);
+    storage::Scratch tmp(d.oc * cols);
     BatchIm2Col(x.data(), d, col.data());
     // One GEMM for the whole batch: [OC, CKK] x [CKK, B*OHW].
     internal::Gemm(w.data(), col.data(), tmp.data(), d.oc, d.ckk(), cols, false);
@@ -200,8 +204,9 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int64_t stri
                bool need_b = has_bias && NeedsGrad(b);
 
                // Gather dOut into [OC, B*OHW] once (disjoint row segments
-               // per task, deterministic for any partitioning).
-               std::vector<float> gall(static_cast<size_t>(d.oc * cols));
+               // per task, deterministic for any partitioning). Pooled
+               // scratch; every element is written by the copy below.
+               storage::Scratch gall(d.oc * cols);
                float* gall_ptr = gall.data();
                ParallelFor(
                    ThreadPool::Global(), d.n * d.oc,
@@ -224,14 +229,14 @@ Tensor Conv2d(const Tensor& x, const Tensor& w, const Tensor& bias, int64_t stri
                  }
                }
                if (need_w) {
-                 std::vector<float> col(static_cast<size_t>(d.ckk() * cols));
+                 storage::Scratch col(d.ckk() * cols);
                  BatchIm2Col(x.data(), d, col.data());
                  // dW += dOut_all * col^T : one GEMM over the long k = B*OHW.
                  internal::GemmTB(gall.data(), col.data(), w.grad(), d.oc, cols,
                                   d.ckk(), true);
                }
                if (need_x) {
-                 std::vector<float> gcol(static_cast<size_t>(d.ckk() * cols));
+                 storage::Scratch gcol(d.ckk() * cols);
                  // dcol = W^T * dOut_all : [CKK, OC] x [OC, B*OHW].
                  internal::GemmTA(w.data(), gall.data(), gcol.data(), d.ckk(),
                                   d.oc, cols, false);

@@ -54,9 +54,15 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   DOT_CHECK(gamma.numel() == d && beta.numel() == d) << "LayerNorm affine size";
   int64_t rows = x.numel() / d;
   Tensor out = Tensor::Empty(x.shape());
-  // Cache per-row inv-std and normalized values for backward.
-  auto xhat = std::make_shared<std::vector<float>>(static_cast<size_t>(x.numel()));
-  auto inv_std = std::make_shared<std::vector<float>>(static_cast<size_t>(rows));
+  // Backward needs per-row inv-std and normalized values; only cache them
+  // when a graph node will actually be attached. Under NoGradGuard (the
+  // sampling loop) the normalized value lives in a register instead, so the
+  // op allocates nothing beyond its output.
+  bool record = GradModeEnabled() &&
+                (NeedsGrad(x) || NeedsGrad(gamma) || NeedsGrad(beta));
+  std::shared_ptr<Storage> xhat =
+      record ? Storage::Allocate(x.numel()) : nullptr;
+  std::shared_ptr<Storage> inv_std = record ? Storage::Allocate(rows) : nullptr;
   const float* xp = x.data();
   const float* g = gamma.data();
   const float* b = beta.data();
@@ -73,14 +79,22 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     }
     var /= static_cast<float>(d);
     float istd = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[static_cast<size_t>(r)] = istd;
-    float* xh = xhat->data() + r * d;
     float* o = op + r * d;
-    for (int64_t i = 0; i < d; ++i) {
-      xh[i] = (in[i] - mean) * istd;
-      o[i] = g[i] * xh[i] + b[i];
+    if (record) {
+      inv_std->data()[r] = istd;
+      float* xh = xhat->data() + r * d;
+      for (int64_t i = 0; i < d; ++i) {
+        xh[i] = (in[i] - mean) * istd;
+        o[i] = g[i] * xh[i] + b[i];
+      }
+    } else {
+      for (int64_t i = 0; i < d; ++i) {
+        float xh = (in[i] - mean) * istd;
+        o[i] = g[i] * xh + b[i];
+      }
     }
   }
+  if (!record) return out;
   Tensor x_cap = x, g_cap = gamma, b_cap = beta;
   AttachNode(&out, "layer_norm", {x, gamma, beta},
              [x_cap, g_cap, b_cap, xhat, inv_std, rows, d](const Tensor& o) {
@@ -111,7 +125,7 @@ Tensor LayerNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                    }
                    m1 /= static_cast<float>(d);
                    m2 /= static_cast<float>(d);
-                   float istd = (*inv_std)[static_cast<size_t>(r)];
+                   float istd = inv_std->data()[r];
                    float* gxr = gx + r * d;
                    for (int64_t i = 0; i < d; ++i) {
                      float dxh = go[i] * g[i];
@@ -132,9 +146,13 @@ Tensor GroupNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   int64_t cg = c / groups;         // channels per group
   int64_t glen = cg * h * w;       // elements per (sample, group)
   Tensor out = Tensor::Empty(x.shape());
-  auto xhat = std::make_shared<std::vector<float>>(static_cast<size_t>(x.numel()));
-  auto inv_std =
-      std::make_shared<std::vector<float>>(static_cast<size_t>(n * groups));
+  // As in LayerNormOp: cache normalization state only when backward will run.
+  bool record = GradModeEnabled() &&
+                (NeedsGrad(x) || NeedsGrad(gamma) || NeedsGrad(beta));
+  std::shared_ptr<Storage> xhat =
+      record ? Storage::Allocate(x.numel()) : nullptr;
+  std::shared_ptr<Storage> inv_std =
+      record ? Storage::Allocate(n * groups) : nullptr;
   const float* xp = x.data();
   const float* g = gamma.data();
   const float* b = beta.data();
@@ -152,21 +170,34 @@ Tensor GroupNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       }
       var /= static_cast<float>(glen);
       float istd = 1.0f / std::sqrt(var + eps);
-      (*inv_std)[static_cast<size_t>(s * groups + gr)] = istd;
-      float* xh = xhat->data() + (s * c + gr * cg) * h * w;
       float* o = op + (s * c + gr * cg) * h * w;
-      for (int64_t cc = 0; cc < cg; ++cc) {
-        int64_t ch = gr * cg + cc;
-        const float* ic = in + cc * h * w;
-        float* xc = xh + cc * h * w;
-        float* oc = o + cc * h * w;
-        for (int64_t i = 0; i < h * w; ++i) {
-          xc[i] = (ic[i] - mean) * istd;
-          oc[i] = g[ch] * xc[i] + b[ch];
+      if (record) {
+        inv_std->data()[s * groups + gr] = istd;
+        float* xh = xhat->data() + (s * c + gr * cg) * h * w;
+        for (int64_t cc = 0; cc < cg; ++cc) {
+          int64_t ch = gr * cg + cc;
+          const float* ic = in + cc * h * w;
+          float* xc = xh + cc * h * w;
+          float* oc = o + cc * h * w;
+          for (int64_t i = 0; i < h * w; ++i) {
+            xc[i] = (ic[i] - mean) * istd;
+            oc[i] = g[ch] * xc[i] + b[ch];
+          }
+        }
+      } else {
+        for (int64_t cc = 0; cc < cg; ++cc) {
+          int64_t ch = gr * cg + cc;
+          const float* ic = in + cc * h * w;
+          float* oc = o + cc * h * w;
+          for (int64_t i = 0; i < h * w; ++i) {
+            float xc = (ic[i] - mean) * istd;
+            oc[i] = g[ch] * xc + b[ch];
+          }
         }
       }
     }
   }
+  if (!record) return out;
   Tensor x_cap = x, g_cap = gamma, b_cap = beta;
   AttachNode(
       &out, "group_norm", {x, gamma, beta},
@@ -213,7 +244,7 @@ Tensor GroupNormOp(const Tensor& x, const Tensor& gamma, const Tensor& beta,
               }
               m1 /= static_cast<float>(glen);
               m2 /= static_cast<float>(glen);
-              float istd = (*inv_std)[static_cast<size_t>(s * groups + gr)];
+              float istd = inv_std->data()[s * groups + gr];
               float* gxg = gx + base;
               for (int64_t cc = 0; cc < cg; ++cc) {
                 int64_t ch = gr * cg + cc;

@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -9,7 +10,18 @@ namespace dot {
 
 namespace {
 thread_local bool g_grad_enabled = true;
+
+std::shared_ptr<internal::TensorImpl> MakeImpl(std::vector<int64_t> shape) {
+  int64_t n = ShapeNumel(shape);
+  DOT_CHECK(n >= 0) << "negative shape";
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->numel = n;
+  impl->storage = Storage::Allocate(n);
+  return impl;
 }
+
+}  // namespace
 
 bool GradModeEnabled() { return g_grad_enabled; }
 
@@ -27,16 +39,13 @@ bool SameShape(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Tensor::Empty(std::vector<int64_t> shape) {
-  auto impl = std::make_shared<internal::TensorImpl>();
-  int64_t n = ShapeNumel(shape);
-  DOT_CHECK(n >= 0) << "negative shape";
-  impl->shape = std::move(shape);
-  impl->data.resize(static_cast<size_t>(n));
-  return Tensor(std::move(impl));
+  return Tensor(MakeImpl(std::move(shape)));
 }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) {
-  return Empty(std::move(shape));  // vector default-initializes to 0
+  Tensor t = Empty(std::move(shape));
+  t.Fill(0.0f);
+  return t;
 }
 
 Tensor Tensor::Ones(std::vector<int64_t> shape) {
@@ -45,35 +54,53 @@ Tensor Tensor::Ones(std::vector<int64_t> shape) {
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
   Tensor t = Empty(std::move(shape));
-  std::fill(t.vec().begin(), t.vec().end(), value);
+  t.Fill(value);
   return t;
 }
 
 Tensor Tensor::Randn(std::vector<int64_t> shape, Rng* rng) {
   Tensor t = Empty(std::move(shape));
-  for (auto& v : t.vec()) v = static_cast<float>(rng->Normal());
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = static_cast<float>(rng->Normal());
   return t;
 }
 
 Tensor Tensor::Rand(std::vector<int64_t> shape, Rng* rng, float lo, float hi) {
   Tensor t = Empty(std::move(shape));
-  for (auto& v : t.vec()) v = static_cast<float>(rng->Uniform(lo, hi));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
   return t;
 }
 
 Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> values) {
   DOT_CHECK(ShapeNumel(shape) == static_cast<int64_t>(values.size()))
       << "FromVector: shape/value size mismatch";
-  auto impl = std::make_shared<internal::TensorImpl>();
-  impl->shape = std::move(shape);
-  impl->data = std::move(values);
-  return Tensor(std::move(impl));
+  Tensor t = Empty(std::move(shape));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
 }
 
 Tensor Tensor::Arange(int64_t n) {
   Tensor t = Empty({n});
   for (int64_t i = 0; i < n; ++i) t.at(i) = static_cast<float>(i);
   return t;
+}
+
+Tensor Tensor::View(const Tensor& base, std::vector<int64_t> shape,
+                    int64_t offset) {
+  DOT_CHECK(base.defined()) << "View of undefined tensor";
+  int64_t n = ShapeNumel(shape);
+  DOT_CHECK(offset >= 0 && offset + n <= base.numel())
+      << "View out of bounds: offset " << offset << " + " << n
+      << " elements exceeds base " << base.ShapeString();
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->numel = n;
+  impl->storage = base.impl_->storage;
+  impl->offset = base.impl_->offset + offset;
+  return Tensor(std::move(impl));
 }
 
 int64_t Tensor::size(int64_t d) const {
@@ -84,24 +111,45 @@ int64_t Tensor::size(int64_t d) const {
 
 float Tensor::item() const {
   DOT_CHECK(numel() == 1) << "item() on tensor with " << numel() << " elements";
-  return impl_->data[0];
+  return data()[0];
 }
+
+std::vector<float> Tensor::ToVector() const {
+  return std::vector<float>(data(), data() + numel());
+}
+
+void Tensor::CopyFrom(const std::vector<float>& values) {
+  DOT_CHECK(static_cast<int64_t>(values.size()) == numel())
+      << "CopyFrom: size mismatch (" << values.size() << " values into "
+      << ShapeString() << ")";
+  std::copy(values.begin(), values.end(), data());
+}
+
+void Tensor::CopyDataFrom(const Tensor& src) {
+  DOT_CHECK(src.numel() == numel())
+      << "CopyDataFrom: element count mismatch " << src.ShapeString() << " -> "
+      << ShapeString();
+  std::copy(src.data(), src.data() + numel(), data());
+}
+
+void Tensor::Fill(float value) { std::fill(data(), data() + numel(), value); }
 
 Tensor Tensor::Clone() const {
   Tensor t = Empty(impl_->shape);
-  t.vec() = impl_->data;
+  std::copy(data(), data() + numel(), t.data());
   return t;
 }
 
 Tensor Tensor::Detach() const {
-  auto impl = std::make_shared<internal::TensorImpl>();
-  impl->shape = impl_->shape;
-  impl->data = impl_->data;  // copy: keeps semantics simple & safe
-  return Tensor(std::move(impl));
+  // Zero-copy: the detached handle shares this tensor's Storage but has no
+  // autograd state of its own.
+  return View(*this, impl_->shape, 0);
 }
 
 float* Tensor::grad() {
-  if (impl_->grad.empty()) impl_->grad.assign(impl_->data.size(), 0.0f);
+  if (impl_->grad.empty()) {
+    impl_->grad.assign(static_cast<size_t>(impl_->numel), 0.0f);
+  }
   return impl_->grad.data();
 }
 
@@ -117,7 +165,14 @@ void Tensor::AccumulateGrad(const float* delta, int64_t n) {
 
 void Tensor::Backward() {
   DOT_CHECK(defined()) << "Backward() on undefined tensor";
-  DOT_CHECK(numel() == 1) << "Backward() requires a scalar output";
+  DOT_CHECK(numel() == 1) << "Backward() requires a scalar output, got "
+                          << ShapeString();
+  // A tensor with neither a backward graph nor requires_grad cannot
+  // propagate anything: calling Backward() on it is a caller bug (the usual
+  // cause is a forward pass run under NoGradGuard).
+  DOT_CHECK(grad_fn() != nullptr || requires_grad())
+      << "Backward() on a tensor with no autograd graph (requires_grad is "
+         "false and no grad_fn — was the forward pass run under NoGradGuard?)";
 
   // Topological order over the GradFn DAG (identity = TensorImpl*).
   std::vector<Tensor> topo;
@@ -168,9 +223,10 @@ std::string Tensor::ToString() const {
   std::ostringstream os;
   os << "Tensor" << ShapeString() << " {";
   int64_t n = std::min<int64_t>(numel(), 32);
+  const float* p = data();
   for (int64_t i = 0; i < n; ++i) {
     if (i) os << ", ";
-    os << impl_->data[static_cast<size_t>(i)];
+    os << p[i];
   }
   if (numel() > n) os << ", ...";
   os << "}";

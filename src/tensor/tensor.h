@@ -3,11 +3,21 @@
 // This is the training substrate for the DOT reproduction: the conditioned
 // PiT denoiser (UNet), the MViT estimator, and all neural baselines are
 // trained with it. Design notes:
-//   * Row-major, always-contiguous storage. Views copy (shapes here are
-//     small; simplicity beats aliasing bugs).
+//   * Row-major, always-contiguous data backed by pooled Storage
+//     (tensor/storage.h): a TensorImpl is a (storage, offset, shape)
+//     triple. Reshape / Detach / Flatten and contiguous axis-0 Slice are
+//     zero-copy aliases into the same Storage; everything else copies.
+//     Aliasing contract: writes through a view are visible in the base (and
+//     vice versa); Clone() is the only guaranteed deep copy.
+//   * Tensor::Empty contents are UNINITIALIZED — recycled pool buffers hold
+//     stale bytes (or NaN poison under DOT_POOL_POISON). Every op must
+//     write each output element; use Zeros when zero-fill is part of the
+//     contract.
 //   * Define-by-run autograd: each op may attach a GradFn node holding its
 //     inputs and a backward closure; Tensor::Backward() runs a topological
-//     sweep and accumulates gradients into leaf tensors.
+//     sweep and accumulates gradients into leaf tensors. Gradient buffers
+//     are per-impl (never shared between views); view ops route gradients
+//     to their base through their backward node like any other op.
 //   * A global grad-mode flag (NoGradGuard) disables graph construction
 //     during inference (e.g. the 1000-step diffusion sampling loop).
 
@@ -20,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/storage.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -40,8 +51,10 @@ struct GradFn {
 
 struct TensorImpl {
   std::vector<int64_t> shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // same size as data once touched; empty otherwise
+  std::shared_ptr<Storage> storage;  // pooled buffer (possibly shared by views)
+  int64_t offset = 0;                // float offset of element 0 into storage
+  int64_t numel = 0;
+  std::vector<float> grad;  // same size as numel once touched; empty otherwise
   bool requires_grad = false;
   std::shared_ptr<GradFn> grad_fn;  // non-null only for non-leaf outputs
 };
@@ -51,7 +64,8 @@ struct TensorImpl {
 /// True when autograd graph construction is enabled (default).
 bool GradModeEnabled();
 
-/// \brief RAII guard that disables autograd within its scope.
+/// \brief RAII guard that disables autograd within its scope. Nests: the
+/// destructor restores the mode that was active at construction.
 class NoGradGuard {
  public:
   NoGradGuard();
@@ -76,7 +90,8 @@ class Tensor {
 
   // ---- Creation -----------------------------------------------------------
 
-  /// Uninitialized tensor of the given shape.
+  /// Uninitialized tensor of the given shape (see file comment: contents
+  /// are stale pool bytes — every element must be written before reading).
   static Tensor Empty(std::vector<int64_t> shape);
   static Tensor Zeros(std::vector<int64_t> shape);
   static Tensor Ones(std::vector<int64_t> shape);
@@ -96,25 +111,33 @@ class Tensor {
   const std::vector<int64_t>& shape() const { return impl_->shape; }
   int64_t dim() const { return static_cast<int64_t>(impl_->shape.size()); }
   int64_t size(int64_t d) const;
-  int64_t numel() const { return static_cast<int64_t>(impl_->data.size()); }
+  int64_t numel() const { return impl_->numel; }
 
   // ---- Data access --------------------------------------------------------
 
-  float* data() { return impl_->data.data(); }
-  const float* data() const { return impl_->data.data(); }
-  std::vector<float>& vec() { return impl_->data; }
-  const std::vector<float>& vec() const { return impl_->data; }
+  float* data() { return impl_->storage->data() + impl_->offset; }
+  const float* data() const { return impl_->storage->data() + impl_->offset; }
 
   /// Element access by flat index.
-  float& at(int64_t i) { return impl_->data[static_cast<size_t>(i)]; }
-  float at(int64_t i) const { return impl_->data[static_cast<size_t>(i)]; }
+  float& at(int64_t i) { return data()[i]; }
+  float at(int64_t i) const { return data()[i]; }
 
   /// Value of a 0-d or 1-element tensor.
   float item() const;
 
-  /// Deep copy (detached from the autograd graph).
+  /// Copies the elements out into a std::vector.
+  std::vector<float> ToVector() const;
+  /// Overwrites the elements from `values` (size must equal numel()).
+  void CopyFrom(const std::vector<float>& values);
+  /// Overwrites the elements from `src` (shapes' element counts must match).
+  void CopyDataFrom(const Tensor& src);
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Deep copy (detached from the autograd graph; never aliases).
   Tensor Clone() const;
-  /// Same data, detached from the graph (shares storage).
+  /// Same data, detached from the graph. Zero-copy: shares this tensor's
+  /// Storage (writes through either handle are visible in both).
   Tensor Detach() const;
 
   // ---- Autograd -----------------------------------------------------------
@@ -133,7 +156,9 @@ class Tensor {
   void ZeroGrad();
 
   /// Runs reverse-mode differentiation from this (scalar) tensor.
-  /// Seeds d(this)/d(this) = 1.
+  /// Seeds d(this)/d(this) = 1. Dies with a diagnostic when called on a
+  /// non-scalar, or on a tensor that neither requires grad nor has a
+  /// backward graph (e.g. one produced under NoGradGuard).
   void Backward();
 
   // ---- Introspection ------------------------------------------------------
@@ -141,6 +166,10 @@ class Tensor {
   std::string ShapeString() const;
   /// Debug rendering (small tensors only).
   std::string ToString() const;
+  /// True if this tensor shares its Storage with `other` (aliasing views).
+  bool SharesStorageWith(const Tensor& other) const {
+    return defined() && other.defined() && impl_->storage == other.impl_->storage;
+  }
 
   // ---- Internal (used by ops.cc / nn.cc) ----------------------------------
 
@@ -153,6 +182,13 @@ class Tensor {
   }
   /// Accumulates `delta` (size numel()) into the grad buffer.
   void AccumulateGrad(const float* delta, int64_t n);
+
+  /// Zero-copy view of `base` with a new shape, starting `offset` floats
+  /// into base's elements (shape's element count + offset must fit in
+  /// base). The view is a fresh autograd node (no grad_fn, own grad
+  /// buffer); callers attach backward nodes as for any op output.
+  static Tensor View(const Tensor& base, std::vector<int64_t> shape,
+                     int64_t offset = 0);
 
  private:
   explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/diffusion.h"
 #include "core/unet.h"
 #include "eval/dataset.h"
 #include "sim/city.h"
@@ -16,6 +17,7 @@
 #include "tensor/gemm_kernel.h"
 #include "tensor/nn.h"
 #include "tensor/ops.h"
+#include "tensor/storage.h"
 #include "util/thread_pool.h"
 
 namespace dot {
@@ -125,7 +127,7 @@ class KernelThreadSweep : public ::testing::TestWithParam<gemm::Kernel> {
       nn::MultiheadAttention att(16, 2, &rng);
       Tensor ax = Tensor::Randn({2, 6, 16}, &rng);
       std::vector<float> key_bias = {0, 0, 0, 0, -1e9f, -1e9f};
-      append(att.Forward(ax, &key_bias).vec());
+      append(att.Forward(ax, &key_bias).ToVector());
     }
     // UNet denoiser forward — the oracle's stage-2 network.
     {
@@ -138,11 +140,45 @@ class KernelThreadSweep : public ::testing::TestWithParam<gemm::Kernel> {
       UnetDenoiser unet(cfg, &rng);
       Rng in_rng(10);
       Tensor ux = Tensor::Randn({1, 3, 8, 8}, &in_rng);
-      append(unet.PredictNoise(ux, {3}, Tensor::Zeros({1, 5})).vec());
+      append(unet.PredictNoise(ux, {3}, Tensor::Zeros({1, 5})).ToVector());
     }
     return out;
   }
 };
+
+// Reverse-diffusion sampling must be bitwise identical with the storage
+// pool on and off, for every kernel and across thread counts: recycling
+// changes only where buffers live, never what is computed (and the
+// AddReuse/ScaleReuse in-place paths must match their functional
+// counterparts exactly).
+TEST_P(KernelThreadSweep, SamplingBitwiseIdenticalPoolOnOff) {
+  auto run_sampling = [] {
+    UnetConfig cfg;
+    cfg.base_channels = 8;
+    cfg.levels = 2;
+    cfg.cond_dim = 16;
+    cfg.max_steps = 6;
+    Rng rng(21);
+    UnetDenoiser unet(cfg, &rng);
+    Diffusion diff{DiffusionSchedule(6)};
+    Rng sample_rng(22);
+    return diff.Sample(unet, Tensor::Zeros({2, 5}), {2, 3, 8, 8}, &sample_rng)
+        .ToVector();
+  };
+  const bool prev_pool = storage::PoolEnabled();
+  for (int threads : {1, 4}) {
+    ThreadPool::ResetGlobalForTesting(threads);
+    storage::SetPoolEnabled(true);
+    std::vector<float> pooled = run_sampling();
+    storage::SetPoolEnabled(false);
+    std::vector<float> unpooled = run_sampling();
+    storage::SetPoolEnabled(prev_pool);
+    ASSERT_EQ(pooled.size(), unpooled.size());
+    EXPECT_EQ(0, std::memcmp(pooled.data(), unpooled.data(),
+                             pooled.size() * sizeof(float)))
+        << "pool on/off sampling differs at " << threads << " threads";
+  }
+}
 
 TEST_P(KernelThreadSweep, BitwiseIdenticalAcrossThreadCounts) {
   const int hw = static_cast<int>(

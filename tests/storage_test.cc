@@ -1,0 +1,347 @@
+// Tests for the pooled storage engine and the zero-copy view layer built on
+// it: pool mechanics (bucketing, hit/miss accounting, poisoning), aliasing
+// semantics of Reshape/Flatten/Detach/Slice, in-place op guards, Backward()
+// diagnostics, and the steady-state allocation contract of the
+// reverse-diffusion sampling loop.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/diffusion.h"
+#include "core/unet.h"
+#include "gradcheck.h"
+#include "tensor/nn.h"
+#include "tensor/ops.h"
+#include "tensor/storage.h"
+#include "tensor/tensor.h"
+
+namespace dot {
+namespace {
+
+/// Restores the pool/poison knobs a test flips.
+class PoolKnobGuard {
+ public:
+  PoolKnobGuard()
+      : pool_(storage::PoolEnabled()), poison_(storage::PoisonEnabled()) {}
+  ~PoolKnobGuard() {
+    storage::SetPoolEnabled(pool_);
+    storage::SetPoisonEnabled(poison_);
+  }
+
+ private:
+  bool pool_, poison_;
+};
+
+// ---- Pool mechanics ---------------------------------------------------------
+
+TEST(StoragePool, BucketForRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(storage::BucketFor(0), 64);
+  EXPECT_EQ(storage::BucketFor(1), 64);
+  EXPECT_EQ(storage::BucketFor(64), 64);
+  EXPECT_EQ(storage::BucketFor(65), 128);
+  EXPECT_EQ(storage::BucketFor(1000), 1024);
+  EXPECT_EQ(storage::BucketFor(1 << 20), 1 << 20);
+}
+
+TEST(StoragePool, RecycleHitsFreeList) {
+  PoolKnobGuard knobs;
+  storage::SetPoolEnabled(true);
+  storage::TrimPool();
+  storage::ResetPoolStats();
+  { Tensor t = Tensor::Zeros({100}); }  // miss: cold pool
+  storage::PoolStats s1 = storage::GetPoolStats();
+  EXPECT_EQ(s1.misses, 1);
+  EXPECT_EQ(s1.returns, 1);
+  { Tensor t = Tensor::Zeros({100}); }  // same bucket (128 floats): hit
+  storage::PoolStats s2 = storage::GetPoolStats();
+  EXPECT_EQ(s2.hits, 1);
+  EXPECT_EQ(s2.misses, 1);
+  EXPECT_EQ(s2.returns, 2);
+}
+
+TEST(StoragePool, LiveAndPooledByteAccounting) {
+  PoolKnobGuard knobs;
+  storage::SetPoolEnabled(true);
+  storage::TrimPool();
+  storage::ResetPoolStats();
+  int64_t live0 = storage::GetPoolStats().bytes_live;
+  int64_t pooled0 = storage::GetPoolStats().bytes_pooled;
+  int64_t bucket_bytes = storage::BucketFor(100) * sizeof(float);
+  {
+    Tensor t = Tensor::Zeros({100});
+    storage::PoolStats s = storage::GetPoolStats();
+    EXPECT_EQ(s.bytes_live, live0 + bucket_bytes);
+    EXPECT_GE(s.high_water_bytes, live0 + bucket_bytes);
+  }
+  storage::PoolStats s = storage::GetPoolStats();
+  EXPECT_EQ(s.bytes_live, live0);
+  EXPECT_EQ(s.bytes_pooled, pooled0 + bucket_bytes);
+  storage::TrimPool();
+  EXPECT_EQ(storage::GetPoolStats().bytes_pooled, pooled0);
+}
+
+TEST(StoragePool, DisabledPoolFreesEagerly) {
+  PoolKnobGuard knobs;
+  storage::SetPoolEnabled(false);
+  storage::TrimPool();
+  storage::ResetPoolStats();
+  { Tensor t = Tensor::Zeros({100}); }
+  { Tensor t = Tensor::Zeros({100}); }
+  storage::PoolStats s = storage::GetPoolStats();
+  // No pool traffic at all: buffers come from and go back to the heap.
+  EXPECT_EQ(s.hits, 0);
+  EXPECT_EQ(s.misses, 0);
+  EXPECT_EQ(s.returns, 0);
+  EXPECT_EQ(s.bytes_pooled, 0);
+}
+
+TEST(StoragePool, PoisonOnReturnFillsWithNaN) {
+  PoolKnobGuard knobs;
+  storage::SetPoolEnabled(true);
+  storage::SetPoisonEnabled(true);
+  storage::TrimPool();
+  { Tensor t = Tensor::Full({8}, 3.0f); }
+  // The recycled buffer (LIFO) backs this allocation; Empty must expose the
+  // poison pattern, not the previous tensor's values.
+  Tensor t = Tensor::Empty({8});
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_TRUE(std::isnan(t.at(i))) << "element " << i << " not poisoned";
+  }
+}
+
+// ---- Aliasing semantics -----------------------------------------------------
+
+TEST(StorageViews, ReshapeIsZeroCopyBothDirections) {
+  Tensor base = Tensor::Zeros({2, 3});
+  Tensor view = Reshape(base, {3, 2});
+  EXPECT_TRUE(view.SharesStorageWith(base));
+  view.at(0) = 42.0f;   // write through the view...
+  EXPECT_EQ(base.at(0), 42.0f);  // ...visible in the base
+  base.at(5) = -1.0f;   // and vice versa
+  EXPECT_EQ(view.at(5), -1.0f);
+}
+
+TEST(StorageViews, FlattenAndDetachShareStorage) {
+  Tensor base = Tensor::Zeros({2, 2, 2});
+  Tensor flat = Flatten(base);
+  EXPECT_EQ(flat.dim(), 1);
+  EXPECT_EQ(flat.numel(), 8);
+  EXPECT_TRUE(flat.SharesStorageWith(base));
+  Tensor det = base.Detach();
+  EXPECT_TRUE(det.SharesStorageWith(base));
+  EXPECT_EQ(det.grad_fn(), nullptr);
+  det.at(3) = 7.0f;
+  EXPECT_EQ(base.at(3), 7.0f);
+}
+
+TEST(StorageViews, SliceAxis0IsViewOtherAxesCopy) {
+  Tensor base = Tensor::FromVector({2, 3}, {0, 1, 2, 3, 4, 5});
+  Tensor row = Slice(base, 0, 1, 1);  // second row: zero-copy
+  EXPECT_TRUE(row.SharesStorageWith(base));
+  EXPECT_EQ(row.at(0), 3.0f);
+  row.at(0) = 30.0f;
+  EXPECT_EQ(base.at(3), 30.0f);
+  Tensor col = Slice(base, 1, 0, 2);  // inner axis: materialized copy
+  EXPECT_FALSE(col.SharesStorageWith(base));
+  EXPECT_EQ(col.at(2), 30.0f);
+}
+
+TEST(StorageViews, CloneIsDeepCopy) {
+  Tensor base = Tensor::Full({4}, 2.0f);
+  Tensor copy = base.Clone();
+  EXPECT_FALSE(copy.SharesStorageWith(base));
+  copy.at(0) = 9.0f;
+  EXPECT_EQ(base.at(0), 2.0f);
+}
+
+TEST(StorageViews, ViewOutOfBoundsDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Tensor base = Tensor::Zeros({4});
+  EXPECT_DEATH(Tensor::View(base, {4}, 1), "View out of bounds");
+}
+
+// ---- Reshape -1 inference and validation ------------------------------------
+
+TEST(ReshapeInference, InfersSingleNegativeDim) {
+  Tensor a = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(Reshape(a, {-1}).shape(), (std::vector<int64_t>{24}));
+  EXPECT_EQ(Reshape(a, {2, -1}).shape(), (std::vector<int64_t>{2, 12}));
+  EXPECT_EQ(Reshape(a, {-1, 4}).shape(), (std::vector<int64_t>{6, 4}));
+  EXPECT_EQ(Reshape(a, {2, -1, 2}).shape(), (std::vector<int64_t>{2, 6, 2}));
+}
+
+TEST(ReshapeInference, BadShapesDieWithBothShapesInMessage) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Tensor a = Tensor::Zeros({2, 3});
+  EXPECT_DEATH(Reshape(a, {4, 2}), "\\[2, 3\\].*\\[4, 2\\]");
+  EXPECT_DEATH(Reshape(a, {-1, -1}), "multiple -1 dims");
+  EXPECT_DEATH(Reshape(a, {-1, 4}), "does not divide into");
+  EXPECT_DEATH(Reshape(a, {2, -3}), "invalid dim");
+}
+
+// ---- Backward() diagnostics and NoGradGuard ---------------------------------
+
+TEST(BackwardDiagnostics, NoGradTensorDiesWithClearMessage) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Tensor a = Tensor::Ones({3}).set_requires_grad(true);
+  Tensor loss;
+  {
+    NoGradGuard guard;
+    loss = Mean(Square(a));  // no graph recorded
+  }
+  EXPECT_DEATH(loss.Backward(), "NoGradGuard");
+}
+
+TEST(BackwardDiagnostics, NonScalarDiesWithShape) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Tensor a = Tensor::Ones({2, 3}).set_requires_grad(true);
+  Tensor y = MulScalar(a, 2.0f);
+  EXPECT_DEATH(y.Backward(), "scalar.*\\[2, 3\\]");
+}
+
+TEST(NoGradGuard, NestsAndRestores) {
+  EXPECT_TRUE(GradModeEnabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(GradModeEnabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(GradModeEnabled());
+    }
+    // Inner exit must restore the outer guard's state, not re-enable.
+    EXPECT_FALSE(GradModeEnabled());
+  }
+  EXPECT_TRUE(GradModeEnabled());
+}
+
+// ---- In-place ops -----------------------------------------------------------
+
+TEST(InPlaceOps, MatchFunctionalOpsBitwise) {
+  NoGradGuard guard;
+  Rng rng(3);
+  Tensor a = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor b = Tensor::Randn({2, 3, 4}, &rng);
+  Tensor c = Tensor::Randn({3, 1}, &rng);  // broadcast over dims 0 and 2
+  Tensor want_add = Add(a, b);
+  Tensor want_bcast = Add(a, c);
+  Tensor want_scale = MulScalar(a, 0.37f);
+
+  Tensor t1 = a.Clone();
+  AddInPlace_(t1, b);
+  Tensor t2 = a.Clone();
+  AddInPlace_(t2, c);
+  Tensor t3 = a.Clone();
+  Scale_(t3, 0.37f);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_EQ(t1.at(i), want_add.at(i));
+    EXPECT_EQ(t2.at(i), want_bcast.at(i));
+    EXPECT_EQ(t3.at(i), want_scale.at(i));
+  }
+}
+
+TEST(InPlaceOps, DieWhileAutogradRecords) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  Tensor a = Tensor::Ones({3});
+  Tensor b = Tensor::Ones({3});
+  EXPECT_DEATH(AddInPlace_(a, b), "autograd is recording");
+  EXPECT_DEATH(Scale_(a, 2.0f), "autograd is recording");
+}
+
+TEST(InPlaceOps, ShapeChangingBroadcastDies) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  NoGradGuard guard;
+  Tensor a = Tensor::Ones({1, 3});
+  Tensor b = Tensor::Ones({2, 3});
+  EXPECT_DEATH(AddInPlace_(a, b), "change the target shape");
+}
+
+TEST(InPlaceOps, ReuseHelpersPickPathByGradMode) {
+  // Recording: AddReuse must behave like Add (fresh output, graph attached).
+  Tensor a = Tensor::Ones({3}).set_requires_grad(true);
+  Tensor b = Tensor::Full({3}, 2.0f);
+  Tensor out = AddReuse(a, b);
+  EXPECT_FALSE(out.SharesStorageWith(a));
+  ASSERT_NE(out.grad_fn(), nullptr);
+  Mean(out).Backward();
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(a.grad_vec()[static_cast<size_t>(i)], 1.0f / 3.0f, 1e-6f);
+  }
+  // Inference: the input buffer is reused.
+  NoGradGuard guard;
+  Tensor c = Tensor::Ones({3});
+  Tensor reused = AddReuse(c, b);
+  EXPECT_TRUE(reused.SharesStorageWith(c));
+  EXPECT_EQ(reused.at(0), 3.0f);
+  Tensor scaled = ScaleReuse(c, 2.0f);
+  EXPECT_TRUE(scaled.SharesStorageWith(c));
+}
+
+// ---- Gradchecks through the view layer under pooling ------------------------
+
+TEST(ViewGradcheck, ReshapeSliceConcat) {
+  PoolKnobGuard knobs;
+  storage::SetPoolEnabled(true);
+  Rng rng(11);
+  Tensor a = Tensor::Randn({2, 6}, &rng);
+  testing::ExpectGradientsMatch({a}, [](const std::vector<Tensor>& in) {
+    return Mean(Square(Reshape(in[0], {3, -1})));
+  });
+  testing::ExpectGradientsMatch({a}, [](const std::vector<Tensor>& in) {
+    // Axis-0 slice (zero-copy view) and axis-1 slice (copy path).
+    Tensor s0 = Slice(in[0], 0, 1, 1);
+    Tensor s1 = Slice(in[0], 1, 2, 3);
+    return Add(Mean(Square(s0)), Mean(Square(s1)));
+  });
+  Tensor b = Tensor::Randn({2, 6}, &rng);
+  testing::ExpectGradientsMatch({a, b}, [](const std::vector<Tensor>& in) {
+    return Mean(Square(Concat({in[0], in[1]}, 0)));
+  });
+}
+
+TEST(ViewGradcheck, ViewMutationVisibleThroughAutogradInputs) {
+  // An op reading a view sees later writes to the base before forward runs —
+  // the documented aliasing contract (views are live aliases, not snapshots).
+  Tensor base = Tensor::Zeros({4});
+  Tensor view = Reshape(base, {2, 2});
+  base.Fill(2.0f);
+  EXPECT_EQ(Sum(view).item(), 8.0f);
+}
+
+// ---- Steady-state allocation regression -------------------------------------
+
+TEST(AllocationRegression, ReverseDiffusionIsAllocatorQuietAfterWarmup) {
+  PoolKnobGuard knobs;
+  storage::SetPoolEnabled(true);
+  UnetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.levels = 2;
+  cfg.cond_dim = 16;
+  cfg.max_steps = 6;
+  Rng rng(5);
+  UnetDenoiser unet(cfg, &rng);
+  Diffusion diff{DiffusionSchedule(6)};
+  Tensor cond = Tensor::Zeros({1, 5});
+
+  {
+    Rng warm_rng(6);
+    Tensor warm = diff.Sample(unet, cond, {1, 3, 8, 8}, &warm_rng);
+  }  // warmup pass populates every bucket's free list, then releases it all
+
+  storage::ResetPoolStats();
+  int64_t live0 = storage::GetPoolStats().bytes_live;
+  for (int round = 0; round < 3; ++round) {
+    Rng round_rng(7);
+    Tensor x = diff.Sample(unet, cond, {1, 3, 8, 8}, &round_rng);
+    EXPECT_EQ(x.numel(), 3 * 8 * 8);
+  }
+  storage::PoolStats s = storage::GetPoolStats();
+  EXPECT_EQ(s.misses, 0) << "steady-state sampling touched the heap";
+  EXPECT_GT(s.hits, 0);
+  EXPECT_EQ(storage::GetPoolStats().bytes_live, live0)
+      << "net live bytes grew across steady-state sampling rounds";
+}
+
+}  // namespace
+}  // namespace dot
