@@ -11,6 +11,9 @@ export DOT_BENCH_SERVING_METRICS_JSON=${DOT_BENCH_SERVING_METRICS_JSON:-BENCH_se
 export DOT_BENCH_GEMM_JSON=${DOT_BENCH_GEMM_JSON:-BENCH_gemm.json}
 # bench_memory dumps storage-pool allocation counts + steady-state latency.
 export DOT_BENCH_MEMORY_JSON=${DOT_BENCH_MEMORY_JSON:-BENCH_memory.json}
+# bench_serving_load dumps the socket front-end throughput/latency sweep
+# (closed loop + open-loop Poisson rates, wave sizes, degradation mix).
+export DOT_BENCH_SERVING_LOAD_JSON=${DOT_BENCH_SERVING_LOAD_JSON:-BENCH_serving.json}
 for b in build/bench/bench_*; do
   echo "===== $b =====" | tee -a "$OUT"
   if [ "$(basename $b)" = "bench_micro_kernels" ]; then

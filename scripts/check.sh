@@ -22,7 +22,11 @@
 #      suite with the pool ON and poison-on-return active (reads of
 #      recycled-but-unwritten buffers surface as NaNs), then once with
 #      DOT_TENSOR_POOL=off so every recycling path also runs as plain
-#      heap alloc/free under ASan.
+#      heap alloc/free under ASan;
+#   8. serving front-end gate: the wire-protocol fuzzing and fake-clock
+#      batcher suites under ASan+UBSan, the multi-client socket stress
+#      under TSan, and a loopback e2e smoke (dot_server binary + the
+#      load-gen client, SIGTERM, graceful-drain check).
 # Usage: scripts/check.sh [build_dir] [asan_build_dir]
 #   (defaults: build-tsan build-asan)
 set -u
@@ -128,6 +132,67 @@ if ! DOT_TENSOR_POOL=off ctest --test-dir "$BUILD_ASAN" -L tier1 -j \
   echo "CHECK FAILED: tier1 tests (DOT_TENSOR_POOL=off)"
   FAILED=1
 fi
+
+echo "== serving front-end: protocol + batching under asan+ubsan =="
+# The wire-protocol fuzzing (truncated headers, oversized lengths, garbage
+# payloads, torn writes) and the fake-clock batcher policy suite must be
+# memory/UB clean — a hostile byte stream exercising UB is exactly what
+# these sanitizers exist to catch.
+if ! "$BUILD_ASAN"/tests/serve_protocol_test > /dev/null; then
+  echo "CHECK FAILED: serve_protocol_test (asan+ubsan)"
+  FAILED=1
+fi
+if ! "$BUILD_ASAN"/tests/serve_batching_test > /dev/null; then
+  echo "CHECK FAILED: serve_batching_test (asan+ubsan)"
+  FAILED=1
+fi
+
+echo "== serving front-end: concurrency stress under tsan =="
+# N client threads vs the poll-loop + batcher thread on a loopback server:
+# the connection table, outboxes, and stats are all cross-thread state.
+if ! "$BUILD"/tests/serve_stress_test > /dev/null; then
+  echo "CHECK FAILED: serve_stress_test (tsan)"
+  FAILED=1
+fi
+
+echo "== serving front-end: loopback e2e smoke =="
+# Full binary-to-binary path: start dot_server (trains the demo oracle),
+# query it over TCP with the load-gen client, then SIGTERM and require a
+# graceful drain ("DRAINED ..." on stdout) and a zero exit.
+SMOKE_DIR=$(mktemp -d)
+SERVER_LOG="$SMOKE_DIR/server.log"
+PORT_FILE="$SMOKE_DIR/port"
+"$BUILD_ASAN"/src/serve/dot_server --port-file "$PORT_FILE" \
+  --checkpoint "$SMOKE_DIR/oracle.bin" > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 600); do
+  [ -s "$PORT_FILE" ] && break
+  if ! kill -0 "$SERVER_PID" 2> /dev/null; then break; fi
+  sleep 0.5
+done
+if [ ! -s "$PORT_FILE" ]; then
+  echo "CHECK FAILED: dot_server did not come up"
+  cat "$SERVER_LOG"
+  FAILED=1
+else
+  PORT=$(cat "$PORT_FILE")
+  if ! "$BUILD_ASAN"/bench/bench_serving_load --client-smoke --port "$PORT" \
+      --queries 25; then
+    echo "CHECK FAILED: serving loopback smoke client"
+    FAILED=1
+  fi
+  kill -TERM "$SERVER_PID"
+  if ! wait "$SERVER_PID"; then
+    echo "CHECK FAILED: dot_server exited nonzero after SIGTERM"
+    FAILED=1
+  fi
+  if ! grep -q '^DRAINED ' "$SERVER_LOG"; then
+    echo "CHECK FAILED: dot_server did not report a graceful drain"
+    cat "$SERVER_LOG"
+    FAILED=1
+  fi
+fi
+rm -rf "$SMOKE_DIR"
 
 echo "== DOT_FAILPOINTS env arming smoke =="
 # Arms a named failpoint purely through the environment; the EnvArmingSmoke

@@ -175,6 +175,15 @@ std::vector<double> Histogram::LinearBounds(double start, double step, int n) {
   return bounds;
 }
 
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int n) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(std::max(0, n)));
+  double b = start;
+  for (int i = 0; i < n; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
 MetricsRegistry& MetricsRegistry::Get() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
   return *registry;

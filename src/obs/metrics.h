@@ -121,6 +121,10 @@ class Histogram {
   /// Small linear bounds for batch-size style distributions: 1..max in
   /// steps of `step`.
   static std::vector<double> LinearBounds(double start, double step, int n);
+  /// Geometric bounds start, start*factor, ... (n bounds) for long-tailed
+  /// count distributions (queue depth, wave sizes under overload).
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int n);
 
  private:
   std::vector<double> bounds_;                      // sorted, inclusive upper

@@ -1,0 +1,155 @@
+// Deadline-aware dynamic batcher (DESIGN.md §5g): coalesces concurrent
+// single queries into OracleService::QueryBatch waves.
+//
+// Requests enter a bounded FIFO queue; a wave is flushed when the queue
+// reaches `max_batch` (size trigger) or the oldest queued request has
+// waited `max_wave_age_ms` (age trigger — bounds the latency a lone query
+// pays for the chance of sharing a diffusion pass). The wave's
+// QueryOptions carry the *earliest* remaining deadline of its members, so
+// the degradation ladder serves the whole wave at the quality the most
+// urgent request can afford.
+//
+// Admission control is the backpressure mechanism: a Submit against a full
+// queue, or while the queue's head has already waited past
+// `queue_budget_ms` (the backend is not keeping up; anything added now
+// would be served stale), is rejected immediately with a typed
+// ResourceExhausted — overload answers in microseconds instead of queueing
+// without bound.
+//
+// Shutdown() drains gracefully: no new admissions, every queued request is
+// flushed in waves and answered before the call returns.
+//
+// The clock is injectable (BatcherConfig::now_ms) and `manual_pump` mode
+// runs no background thread — tests drive wave formation deterministically
+// with PumpOnce() under a fake clock.
+
+#ifndef DOT_SERVE_BATCHER_H_
+#define DOT_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/oracle_service.h"
+#include "obs/metrics.h"
+
+namespace dot {
+namespace serve {
+
+/// The batched backend a wave is handed to — normally
+/// OracleService::QueryBatch, a stub in tests.
+using BatchBackend = std::function<Result<std::vector<DotEstimate>>(
+    const std::vector<OdtInput>&, const QueryOptions&)>;
+
+/// Per-request completion callback. Invoked exactly once for every
+/// *admitted* request (rejected Submits never get a callback — the Submit
+/// status itself is the answer), on the batcher thread (or inside
+/// PumpOnce/Shutdown).
+using ResponseCallback = std::function<void(const Result<DotEstimate>&)>;
+
+struct BatcherConfig {
+  /// Size trigger: a wave never exceeds this many queries.
+  int64_t max_batch = 16;
+  /// Age trigger: flush once the oldest queued request has waited this long.
+  double max_wave_age_ms = 5.0;
+  /// Admission control: hard queue bound...
+  int64_t queue_capacity = 1024;
+  /// ...and the staleness budget — reject new arrivals while the queue's
+  /// head has already waited longer than this.
+  double queue_budget_ms = 100.0;
+  /// Injectable monotonic clock in milliseconds; defaults to steady_clock.
+  /// Custom clocks require manual_pump (the background thread sleeps in
+  /// real time).
+  std::function<double()> now_ms;
+  /// No background thread; tests call PumpOnce() to form waves.
+  bool manual_pump = false;
+};
+
+/// \brief Running batcher counters (all guarded by the queue mutex).
+struct BatcherStats {
+  int64_t submitted = 0;        ///< admitted requests
+  int64_t completed = 0;        ///< callbacks delivered
+  int64_t rejected_full = 0;    ///< typed overload: queue at capacity
+  int64_t rejected_stale = 0;   ///< typed overload: head waited past budget
+  int64_t waves = 0;            ///< backend invocations
+  int64_t size_flushes = 0;     ///< waves triggered by max_batch
+  int64_t age_flushes = 0;      ///< waves triggered by max_wave_age_ms
+  int64_t drain_flushes = 0;    ///< waves flushed by Shutdown()
+};
+
+/// \brief Coalesces Submit()ed queries into batched backend calls.
+class DynamicBatcher {
+ public:
+  DynamicBatcher(BatchBackend backend, BatcherConfig config = {});
+  ~DynamicBatcher();  // implies Shutdown()
+
+  /// Admits a query (callback fires later, with its estimate or the
+  /// backend's error) or rejects it: ResourceExhausted under overload,
+  /// FailedPrecondition after Shutdown. `deadline_ms` is the client budget
+  /// from now (0 = none).
+  Status Submit(const OdtInput& odt, double deadline_ms, ResponseCallback done);
+
+  /// Graceful drain: stops admissions, flushes every queued request, waits
+  /// for all callbacks, stops the thread. Idempotent.
+  void Shutdown();
+
+  /// Manual mode: flushes one wave if a trigger (size, age, or `force`)
+  /// fires. Returns the wave size (0 = no trigger). Requires manual_pump.
+  int64_t PumpOnce(bool force = false);
+
+  int64_t queue_depth() const;
+  BatcherStats stats() const;
+
+ private:
+  struct Pending {
+    OdtInput odt;
+    double deadline_ms = 0;  // client budget measured from enqueue_ms
+    double enqueue_ms = 0;
+    ResponseCallback done;
+  };
+  enum class FlushReason { kSize, kAge, kDrain };
+
+  double Now() const { return config_.now_ms(); }
+  /// Pops up to max_batch requests and answers them through the backend.
+  /// Called with mu_ held; unlocks around the backend call. Returns the
+  /// wave size.
+  int64_t FlushWaveLocked(std::unique_lock<std::mutex>* lock,
+                          FlushReason reason);
+  void ThreadLoop();
+
+  BatchBackend backend_;
+  BatcherConfig config_;
+
+  struct Metrics {
+    Metrics();
+    obs::Histogram* wave_size;       // dot_server_wave_size
+    obs::Histogram* queue_wait_us;   // dot_server_queue_wait_us
+    obs::Histogram* queue_depth;     // dot_server_queue_depth (at admission)
+    obs::Counter* flush_size;        // dot_server_wave_flush_total{trigger=..}
+    obs::Counter* flush_age;
+    obs::Counter* flush_drain;
+    obs::Counter* rejected_full;     // dot_server_overload_rejected_total{..}
+    obs::Counter* rejected_stale;
+  };
+  Metrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  BatcherStats stats_;
+  bool stopping_ = false;
+  std::mutex join_mu_;  // serializes Shutdown/destructor joins
+  std::thread thread_;
+};
+
+/// Adapts an OracleService into a BatchBackend (the production wiring).
+BatchBackend OracleBackend(OracleService* service);
+
+}  // namespace serve
+}  // namespace dot
+
+#endif  // DOT_SERVE_BATCHER_H_

@@ -1,0 +1,157 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dot {
+namespace serve {
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      reader_(std::move(other.reader_)),
+      stash_(std::move(other.stash_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    stash_ = std::move(other.stash_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status Client::Connect(const std::string& host, int port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IOError("connect " + host + ":" +
+                               std::to_string(port) + ": " +
+                               std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  reader_ = FrameReader();
+  stash_.clear();
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Send(const Message& msg) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  return WriteFrame(fd_, msg);
+}
+
+Status Client::SendQuery(uint64_t id, const OdtInput& odt,
+                         double deadline_ms) {
+  QueryRequest q;
+  q.id = id;
+  q.origin_lng = odt.origin.lng;
+  q.origin_lat = odt.origin.lat;
+  q.dest_lng = odt.destination.lng;
+  q.dest_lat = odt.destination.lat;
+  q.departure_time = odt.departure_time;
+  q.deadline_ms = deadline_ms;
+  return Send(Message{q});
+}
+
+Result<Message> Client::Receive(double timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  std::vector<uint8_t> payload;
+  uint8_t buf[4096];
+  while (true) {
+    if (reader_.Next(&payload)) return DecodePayload(payload);
+    if (!reader_.status().ok()) return reader_.status();
+    if (timeout_ms > 0) {
+      pollfd pfd{fd_, POLLIN, 0};
+      int rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+      if (rc == 0) {
+        return Status::DeadlineExceeded("receive timed out after " +
+                                        std::to_string(timeout_ms) + "ms");
+      }
+      if (rc < 0 && errno != EINTR) {
+        return Status::IOError(std::string("poll: ") + std::strerror(errno));
+      }
+      if (rc < 0) continue;
+    }
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("read: ") + std::strerror(errno));
+    }
+    Status fed = reader_.Feed(buf, static_cast<size_t>(n));
+    if (!fed.ok()) return fed;
+  }
+}
+
+Result<QueryResponse> Client::ReceiveFor(uint64_t id, double timeout_ms) {
+  auto it = stash_.find(id);
+  if (it != stash_.end()) {
+    QueryResponse r = std::move(it->second);
+    stash_.erase(it);
+    return r;
+  }
+  while (true) {
+    Result<Message> msg = Receive(timeout_ms);
+    if (!msg.ok()) return msg.status();
+    const auto* r = std::get_if<QueryResponse>(&*msg);
+    if (r == nullptr) continue;  // stray pong etc. — not ours
+    if (r->id == id) return *r;
+    stash_[r->id] = *r;  // arrived out of order; hold for its caller
+  }
+}
+
+Result<QueryResponse> Client::Call(uint64_t id, const OdtInput& odt,
+                                   double deadline_ms, double timeout_ms) {
+  Status sent = SendQuery(id, odt, deadline_ms);
+  if (!sent.ok()) return sent;
+  return ReceiveFor(id, timeout_ms);
+}
+
+Status Client::PingServer(uint64_t id, double timeout_ms) {
+  Status sent = Send(Message{Ping{id}});
+  if (!sent.ok()) return sent;
+  while (true) {
+    Result<Message> msg = Receive(timeout_ms);
+    if (!msg.ok()) return msg.status();
+    const auto* pong = std::get_if<Pong>(&*msg);
+    if (pong != nullptr && pong->id == id) return Status::OK();
+    if (const auto* r = std::get_if<QueryResponse>(&*msg)) {
+      stash_[r->id] = *r;  // keep pipelined responses for ReceiveFor
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace dot

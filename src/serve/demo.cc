@@ -1,0 +1,82 @@
+#include "serve/demo.h"
+
+#include <sys/stat.h>
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dot {
+namespace serve {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+CityConfig DemoCityConfig() {
+  CityConfig cc = CityConfig::ChengduLike();
+  cc.grid_nodes = 8;
+  cc.spacing_meters = 1300;
+  return cc;
+}
+
+TripConfig DemoTripConfig() {
+  TripConfig tc = TripConfig::ChengduLike();
+  tc.num_trips = 240;
+  return tc;
+}
+
+DotConfig DemoDotConfig() {
+  DotConfig config;
+  config.grid_size = 8;
+  config.diffusion_steps = 20;
+  config.sample_steps = 4;
+  config.unet.base_channels = 8;
+  config.unet.levels = 2;
+  config.unet.cond_dim = 32;
+  config.estimator.embed_dim = 32;
+  config.estimator.layers = 1;
+  config.stage1_epochs = 1;
+  config.stage2_epochs = 1;
+  config.val_samples = 0;
+  config.stage2_inferred_fraction = 0.0;
+  return config;
+}
+
+Result<DemoWorld> BuildDemoWorld(const std::string& checkpoint) {
+  DemoWorld world;
+  world.city = std::make_unique<City>(DemoCityConfig(), kDemoCitySeed);
+  world.dataset = std::make_unique<BenchmarkDataset>(
+      BuildDataset(*world.city, DemoTripConfig(), kDemoDataSeed, "serve-demo"));
+  Result<Grid> grid = world.dataset->MakeGrid(DemoDotConfig().grid_size);
+  if (!grid.ok()) return grid.status();
+  world.grid = std::make_unique<Grid>(std::move(grid).ValueOrDie());
+  world.oracle = std::make_unique<DotOracle>(DemoDotConfig(), *world.grid);
+  if (!checkpoint.empty() && FileExists(checkpoint)) {
+    Status loaded = world.oracle->LoadFile(checkpoint);
+    if (loaded.ok()) {
+      DOT_LOG_INFO << "demo oracle loaded from " << checkpoint;
+      return world;
+    }
+    DOT_LOG_WARN << "stale demo checkpoint " << checkpoint << " ("
+                 << loaded.ToString() << "); retraining";
+  }
+  DOT_RETURN_NOT_OK(world.oracle->TrainStage1(world.dataset->split.train));
+  DOT_RETURN_NOT_OK(world.oracle->TrainStage2(world.dataset->split.train,
+                                              world.dataset->split.val));
+  if (!checkpoint.empty()) {
+    Status saved = world.oracle->SaveFile(checkpoint);
+    if (!saved.ok()) {
+      DOT_LOG_WARN << "demo checkpoint write failed: " << saved.ToString();
+    }
+  }
+  return world;
+}
+
+}  // namespace serve
+}  // namespace dot

@@ -1,0 +1,46 @@
+// The tiny demo world the standalone server and the serving bench share:
+// one fast-to-train oracle over an 8x8-node Chengdu-like city. Both sides
+// construct it from these functions so the load generator's demand is
+// guaranteed to fall inside the city the server answers for.
+
+#ifndef DOT_SERVE_DEMO_H_
+#define DOT_SERVE_DEMO_H_
+
+#include <memory>
+#include <string>
+
+#include "core/dot_oracle.h"
+#include "eval/dataset.h"
+#include "sim/city.h"
+#include "sim/trips.h"
+
+namespace dot {
+namespace serve {
+
+/// City / trip / model parameters of the demo world (small enough to train
+/// in seconds, big enough that waves of distinct ODs form).
+CityConfig DemoCityConfig();
+TripConfig DemoTripConfig();
+DotConfig DemoDotConfig();
+
+constexpr uint64_t kDemoCitySeed = 4;
+constexpr uint64_t kDemoDataSeed = 17;
+
+/// \brief The assembled demo world: city, dataset, grid, trained oracle.
+struct DemoWorld {
+  std::unique_ptr<City> city;
+  std::unique_ptr<BenchmarkDataset> dataset;  // references `city`
+  std::unique_ptr<Grid> grid;
+  std::unique_ptr<DotOracle> oracle;
+};
+
+/// Builds the demo city and trains the demo oracle. When `checkpoint` is
+/// non-empty the trained weights are loaded from that file if it exists and
+/// saved there after training otherwise, so repeated server starts skip the
+/// training pass.
+Result<DemoWorld> BuildDemoWorld(const std::string& checkpoint = "");
+
+}  // namespace serve
+}  // namespace dot
+
+#endif  // DOT_SERVE_DEMO_H_

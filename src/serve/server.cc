@@ -1,0 +1,415 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace dot {
+namespace serve {
+namespace {
+
+// A connection whose peer stops reading cannot buffer responses forever;
+// past this outbox size it is considered dead and closed.
+constexpr size_t kMaxOutboxBytes = 1 << 20;
+// How long Shutdown keeps flushing unsent outboxes before giving up.
+constexpr double kDrainFlushGraceMs = 5000;
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(v, &end, 10);
+  return (end && *end == '\0') ? static_cast<int64_t>(parsed) : fallback;
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+uint8_t CodeByte(const Status& s) { return static_cast<uint8_t>(s.code()); }
+
+}  // namespace
+
+ServerConfig ServerConfig::FromEnv() {
+  ServerConfig config;
+  config.port = static_cast<int>(EnvInt("DOT_SERVE_PORT", config.port));
+  config.batcher.max_batch =
+      EnvInt("DOT_SERVE_MAX_BATCH", config.batcher.max_batch);
+  config.batcher.max_wave_age_ms =
+      EnvDouble("DOT_SERVE_MAX_WAVE_AGE_MS", config.batcher.max_wave_age_ms);
+  config.batcher.queue_capacity =
+      EnvInt("DOT_SERVE_QUEUE_CAP", config.batcher.queue_capacity);
+  config.batcher.queue_budget_ms =
+      EnvDouble("DOT_SERVE_QUEUE_BUDGET_MS", config.batcher.queue_budget_ms);
+  return config;
+}
+
+Server::Metrics::Metrics() {
+  auto& reg = obs::MetricsRegistry::Get();
+  connections = reg.GetCounter("dot_server_connections_total");
+  requests = reg.GetCounter("dot_server_requests_total");
+  responses = reg.GetCounter("dot_server_responses_total");
+  protocol_errors = reg.GetCounter("dot_server_protocol_errors_total");
+  pings = reg.GetCounter("dot_server_pings_total");
+  open_connections = reg.GetGauge("dot_server_open_connections");
+  request_latency_us = reg.GetHistogram("dot_server_request_latency_us");
+}
+
+Server::Server(BatchBackend backend, ServerConfig config)
+    : backend_(std::move(backend)), config_(std::move(config)) {
+  DOT_CHECK(backend_ != nullptr) << "server needs a backend";
+  DOT_CHECK(!config_.batcher.manual_pump)
+      << "the server drives the batcher with its own thread";
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  DOT_CHECK(!started_) << "Start() called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen host: " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, config_.backlog) < 0) {
+    Status s = Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+  if (::pipe(wake_pipe_) < 0) {
+    Status s = Status::IOError(std::string("pipe: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  SetNonBlocking(wake_pipe_[0]);
+  SetNonBlocking(wake_pipe_[1]);
+  batcher_ = std::make_unique<DynamicBatcher>(backend_, config_.batcher);
+  started_ = true;
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void Server::WakeIo() {
+  char b = 1;
+  // Best effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+void Server::QueueResponse(int64_t conn_id, const Message& msg) {
+  std::vector<uint8_t> frame = EncodeFrame(msg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;  // connection died while serving
+    Conn& conn = it->second;
+    conn.outbox.insert(conn.outbox.end(), frame.begin(), frame.end());
+    if (std::holds_alternative<QueryResponse>(msg)) {
+      ++stats_.responses;
+      metrics_.responses->Increment();
+    }
+  }
+  WakeIo();
+}
+
+void Server::AcceptReady() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept error: poll again later
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.fd = fd;
+    conn.reader = FrameReader(config_.max_frame_payload);
+    conns_.emplace(next_conn_id_++, std::move(conn));
+    ++stats_.connections_accepted;
+    ++stats_.connections_open;
+    metrics_.connections->Increment();
+    metrics_.open_connections->Set(
+        static_cast<double>(stats_.connections_open));
+  }
+}
+
+bool Server::ReadReady(int64_t conn_id, Conn* conn) {
+  uint8_t buf[4096];
+  bool alive = true;
+  while (alive) {
+    ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n == 0) {
+      alive = false;  // peer closed; frames already buffered still count
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      alive = false;
+      break;
+    }
+    if (!conn->reader.Feed(buf, static_cast<size_t>(n)).ok()) {
+      ++stats_.protocol_errors;
+      metrics_.protocol_errors->Increment();
+      return false;  // oversized length prefix: drop the connection
+    }
+  }
+  std::vector<uint8_t> payload;
+  while (conn->reader.Next(&payload)) {
+    Result<Message> decoded = DecodePayload(payload);
+    if (!decoded.ok()) {
+      ++stats_.protocol_errors;
+      metrics_.protocol_errors->Increment();
+      return false;
+    }
+    if (const auto* ping = std::get_if<Ping>(&*decoded)) {
+      ++stats_.pings;
+      metrics_.pings->Increment();
+      std::vector<uint8_t> frame = EncodeFrame(Pong{ping->id});
+      conn->outbox.insert(conn->outbox.end(), frame.begin(), frame.end());
+      continue;
+    }
+    const auto* query = std::get_if<QueryRequest>(&*decoded);
+    if (query == nullptr) {  // a client must not send responses/pongs
+      ++stats_.protocol_errors;
+      metrics_.protocol_errors->Increment();
+      return false;
+    }
+    ++stats_.requests;
+    metrics_.requests->Increment();
+    OdtInput odt;
+    odt.origin = {query->origin_lng, query->origin_lat};
+    odt.destination = {query->dest_lng, query->dest_lat};
+    odt.departure_time = query->departure_time;
+    uint64_t id = query->id;
+    // The callback runs on the batcher thread after the wave completes;
+    // it must not assume the connection still exists.
+    auto start = std::chrono::steady_clock::now();
+    Status admitted = batcher_->Submit(
+        odt, query->deadline_ms,
+        [this, conn_id, id, start](const Result<DotEstimate>& r) {
+          QueryResponse resp;
+          resp.id = id;
+          if (r.ok()) {
+            resp.quality = static_cast<uint8_t>(r->quality);
+            resp.minutes = r->minutes;
+          } else {
+            resp.code = CodeByte(r.status());
+            resp.message = r.status().message();
+          }
+          metrics_.request_latency_us->Observe(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+          QueueResponse(conn_id, resp);
+        });
+    if (!admitted.ok()) {
+      // Typed rejection (overload or draining), answered inline: shedding
+      // must be cheap exactly when the server is busiest.
+      if (admitted.IsResourceExhausted()) ++stats_.overload_rejected;
+      QueryResponse resp;
+      resp.id = id;
+      resp.code = CodeByte(admitted);
+      resp.message = admitted.message();
+      std::vector<uint8_t> frame = EncodeFrame(resp);
+      conn->outbox.insert(conn->outbox.end(), frame.begin(), frame.end());
+      ++stats_.responses;
+      metrics_.responses->Increment();
+    }
+  }
+  if (conn->outbox.size() - conn->sent > kMaxOutboxBytes) return false;
+  return alive;
+}
+
+bool Server::WriteReady(Conn* conn) {
+  while (conn->sent < conn->outbox.size()) {
+    ssize_t n = ::send(conn->fd, conn->outbox.data() + conn->sent,
+                       conn->outbox.size() - conn->sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;  // EPIPE etc.
+    }
+    conn->sent += static_cast<size_t>(n);
+  }
+  conn->outbox.clear();
+  conn->sent = 0;
+  return true;
+}
+
+void Server::CloseConn(int64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::close(it->second.fd);
+  conns_.erase(it);
+  --stats_.connections_open;
+  metrics_.open_connections->Set(static_cast<double>(stats_.connections_open));
+}
+
+void Server::IoLoop() {
+  std::vector<pollfd> fds;
+  std::vector<int64_t> ids;  // parallel to fds; 0 = listen/wake entries
+  Stopwatch drain_sw;
+  bool drain_timer_started = false;
+  while (true) {
+    fds.clear();
+    ids.clear();
+    bool stopping;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping = stopping_;
+      if (!stopping) {
+        fds.push_back({listen_fd_, POLLIN, 0});
+        ids.push_back(0);
+      }
+      fds.push_back({wake_pipe_[0], POLLIN, 0});
+      ids.push_back(0);
+      for (auto& [conn_id, conn] : conns_) {
+        short events = POLLIN;
+        if (conn.sent < conn.outbox.size()) events |= POLLOUT;
+        fds.push_back({conn.fd, events, 0});
+        ids.push_back(conn_id);
+      }
+    }
+    ::poll(fds.data(), fds.size(), stopping ? 10 : 100);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      if (fds[i].fd == wake_pipe_[0]) {
+        uint8_t scratch[256];
+        while (::read(wake_pipe_[0], scratch, sizeof(scratch)) > 0) {
+        }
+        continue;
+      }
+      if (fds[i].fd == listen_fd_ && ids[i] == 0) {
+        if (!stopping_) AcceptReady();
+        continue;
+      }
+      int64_t conn_id = ids[i];
+      auto it = conns_.find(conn_id);
+      if (it == conns_.end()) continue;  // closed earlier this iteration
+      Conn& conn = it->second;
+      bool alive = !(fds[i].revents & (POLLERR | POLLNVAL));
+      // Read before honoring POLLHUP: a peer that closed right after
+      // sending still gets its final frames decoded (ReadReady reports the
+      // EOF itself).
+      if (alive && (fds[i].revents & (POLLIN | POLLHUP))) {
+        alive = ReadReady(conn_id, &conn);
+      }
+      if (alive && conn.sent < conn.outbox.size()) alive = WriteReady(&conn);
+      if (!alive) CloseConn(conn_id);
+    }
+    // Unsolicited flush: responses queued by the batcher thread while we
+    // were polling are written eagerly rather than waiting one poll cycle.
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      int64_t conn_id = it->first;
+      Conn& conn = it->second;
+      ++it;
+      if (conn.sent < conn.outbox.size() && !WriteReady(&conn)) {
+        CloseConn(conn_id);
+      }
+    }
+    if (stopping_ && drain_done_) {
+      if (!drain_timer_started) {
+        drain_timer_started = true;
+        drain_sw.Restart();
+      }
+      bool all_flushed = true;
+      for (const auto& [conn_id, conn] : conns_) {
+        if (conn.sent < conn.outbox.size()) {
+          all_flushed = false;
+          break;
+        }
+      }
+      if (all_flushed || drain_sw.ElapsedMillis() > kDrainFlushGraceMs) break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [conn_id, conn] : conns_) ::close(conn.fd);
+  conns_.clear();
+  stats_.connections_open = 0;
+  metrics_.open_connections->Set(0);
+}
+
+void Server::Shutdown() {
+  // One caller performs the entire teardown; concurrent callers block here
+  // and then observe started_ == false. Without this, a second caller's
+  // WakeIo() could read wake_pipe_[1] while the first closes it.
+  std::lock_guard<std::mutex> slock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || shut_down_) return;
+    stopping_ = true;
+  }
+  WakeIo();
+  batcher_->Shutdown();  // answers everything admitted; callbacks all done
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drain_done_ = true;
+  }
+  WakeIo();
+  if (io_thread_.joinable()) io_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_pipe_[0] >= 0) {
+    ::close(wake_pipe_[0]);
+    ::close(wake_pipe_[1]);
+    wake_pipe_[0] = wake_pipe_[1] = -1;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shut_down_ = true;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace dot

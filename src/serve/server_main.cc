@@ -1,0 +1,116 @@
+// Standalone DOT serving front-end: trains (or loads) the demo oracle,
+// serves the binary protocol on a TCP port, and drains gracefully on
+// SIGTERM/SIGINT. Used by the check.sh loopback smoke and available for
+// manual poking with the bench client.
+//
+// Usage: dot_server [--port N] [--port-file PATH] [--checkpoint PATH]
+//
+//   --port N          listen port (default: DOT_SERVE_PORT or ephemeral)
+//   --port-file PATH  write the bound port to PATH once listening (how
+//                     scripts discover an ephemeral port)
+//   --checkpoint PATH cache the trained demo oracle weights at PATH
+//
+// Batching / admission knobs come from the environment (DOT_SERVE_*, see
+// ServerConfig::FromEnv). Prints "LISTENING <port>" on stdout when ready.
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/demo.h"
+#include "serve/server.h"
+#include "util/logging.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string port_file;
+  std::string checkpoint;
+  dot::serve::ServerConfig config = dot::serve::ServerConfig::FromEnv();
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      config.port = std::atoi(next());
+    } else if (arg == "--port-file") {
+      port_file = next();
+    } else if (arg == "--checkpoint") {
+      checkpoint = next();
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: dot_server [--port N] "
+                   "[--port-file PATH] [--checkpoint PATH]\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  DOT_LOG_INFO << "building demo world (oracle training may take a moment)";
+  dot::Result<dot::serve::DemoWorld> world =
+      dot::serve::BuildDemoWorld(checkpoint);
+  if (!world.ok()) {
+    std::fprintf(stderr, "demo world: %s\n", world.status().ToString().c_str());
+    return 1;
+  }
+  dot::OracleService service(world->oracle.get());
+
+  dot::serve::Server server(dot::serve::OracleBackend(&service), config);
+  dot::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "port file %s: %s\n", port_file.c_str(),
+                   std::strerror(errno));
+      server.Shutdown();
+      return 1;
+    }
+    std::fprintf(f, "%d\n", server.port());
+    std::fclose(f);
+  }
+  std::printf("LISTENING %d\n", server.port());
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  DOT_LOG_INFO << "signal received; draining";
+  server.Shutdown();
+  dot::serve::ServerStats stats = server.stats();
+  dot::serve::BatcherStats bstats = server.batcher_stats();
+  std::printf(
+      "DRAINED conns=%lld requests=%lld responses=%lld rejected=%lld "
+      "waves=%lld\n",
+      static_cast<long long>(stats.connections_accepted),
+      static_cast<long long>(stats.requests),
+      static_cast<long long>(stats.responses),
+      static_cast<long long>(stats.overload_rejected),
+      static_cast<long long>(bstats.waves));
+  std::fflush(stdout);
+  return 0;
+}

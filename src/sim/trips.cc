@@ -195,6 +195,37 @@ Trajectory TripGenerator::Drive(const std::vector<int64_t>& edge_path,
   return traj;
 }
 
+std::vector<OdtInput> TripGenerator::GenerateDemand(int64_t n,
+                                                    const TripConfig& config) {
+  const RoadNetwork& net = city_->network();
+  Projection proj(city_->config().anchor);
+  auto noisy = [&](const GpsPoint& p) {
+    double x, y;
+    proj.ToMeters(p, &x, &y);
+    x += rng_.Normal(0, config.gps_noise_meters);
+    y += rng_.Normal(0, config.gps_noise_meters);
+    return proj.ToGps(x, y);
+  };
+  std::vector<OdtInput> odts;
+  odts.reserve(static_cast<size_t>(n));
+  int64_t guard = 0;
+  while (static_cast<int64_t>(odts.size()) < n && guard < n * 20) {
+    ++guard;
+    int64_t origin = SampleOrigin();
+    int64_t dest = SampleDestination(origin, config);
+    if (dest < 0) continue;
+    int64_t day = rng_.UniformInt(0, config.num_days - 1);
+    OdtInput odt;
+    odt.origin = noisy(net.node(origin).gps);
+    odt.destination = noisy(net.node(dest).gps);
+    odt.departure_time = config.start_unix + day * 86400 + SampleSecondsOfDay();
+    odts.push_back(odt);
+  }
+  DOT_CHECK(static_cast<int64_t>(odts.size()) == n)
+      << "demand generation starved; relax OD distance bounds";
+  return odts;
+}
+
 std::vector<SimulatedTrip> TripGenerator::Generate(const TripConfig& config) {
   std::vector<SimulatedTrip> trips;
   trips.reserve(static_cast<size_t>(config.num_trips));

@@ -80,6 +80,14 @@ class TripGenerator {
   /// apply TrajectoryFilter afterwards as in Sec. 6.1.
   std::vector<SimulatedTrip> Generate(const TripConfig& config);
 
+  /// Samples `n` ODT queries from the same demand model as Generate —
+  /// hotspot-weighted OD pairs within the configured distance band, noisy
+  /// GPS endpoints, departure times following the daily demand profile —
+  /// without routing or driving them. This is the cheap query stream the
+  /// serving load generator replays: realistic OD/ToD traffic at rates far
+  /// beyond what full trajectory simulation could produce.
+  std::vector<OdtInput> GenerateDemand(int64_t n, const TripConfig& config);
+
   /// Samples a departure second-of-day from the daily demand profile
   /// (morning/evening peaks). Exposed for tests.
   int64_t SampleSecondsOfDay();

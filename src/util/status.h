@@ -26,6 +26,11 @@ enum class StatusCode : int {
   kIOError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  /// Admission control / backpressure: the caller should retry later or
+  /// shed load (the serving front-end's typed overload rejection).
+  kResourceExhausted = 9,
+  /// A client-side latency budget expired before the answer arrived.
+  kDeadlineExceeded = 10,
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -74,6 +79,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -91,6 +102,12 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

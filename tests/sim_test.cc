@@ -39,6 +39,55 @@ TEST(CityTest, ExtentMatchesTableOne) {
   EXPECT_NEAR(harbin.network().Bounds().WidthMeters() / 1000.0, 18.7, 2.0);
 }
 
+TEST(TripDemandTest, GenerateDemandProducesServableQueries) {
+  City city(CityConfig::ChengduLike(), 3);
+  TripGenerator gen(&city, 11);
+  TripConfig tc = TripConfig::ChengduLike();
+  std::vector<OdtInput> odts = gen.GenerateDemand(200, tc);
+  ASSERT_EQ(odts.size(), 200u);
+  // Every query is answerable: endpoints inside the (slightly inflated)
+  // city bounds, OD distance near the configured band, departure inside the
+  // simulated window. GPS noise can push an endpoint a little past a node
+  // on the boundary, hence the inflation and the distance slack.
+  BoundingBox area = city.network().Bounds().Inflated(0.02);
+  for (const OdtInput& odt : odts) {
+    EXPECT_TRUE(area.Contains(odt.origin));
+    EXPECT_TRUE(area.Contains(odt.destination));
+    double dist = DistanceMeters(odt.origin, odt.destination);
+    EXPECT_GE(dist, tc.min_od_meters - 100.0);
+    EXPECT_LE(dist, tc.max_od_meters + 100.0);
+    EXPECT_GE(odt.departure_time, tc.start_unix);
+    EXPECT_LT(odt.departure_time, tc.start_unix + tc.num_days * 86400);
+  }
+}
+
+TEST(TripDemandTest, GenerateDemandIsDeterministicUnderSeed) {
+  City city(CityConfig::ChengduLike(), 3);
+  TripGenerator a(&city, 11), b(&city, 11);
+  TripConfig tc = TripConfig::ChengduLike();
+  std::vector<OdtInput> da = a.GenerateDemand(32, tc);
+  std::vector<OdtInput> db = b.GenerateDemand(32, tc);
+  ASSERT_EQ(da.size(), db.size());
+  for (size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].origin, db[i].origin);
+    EXPECT_EQ(da[i].departure_time, db[i].departure_time);
+  }
+}
+
+TEST(TripDemandTest, GenerateDemandFollowsDailyProfile) {
+  City city(CityConfig::ChengduLike(), 3);
+  TripGenerator gen(&city, 5);
+  std::vector<OdtInput> odts =
+      gen.GenerateDemand(600, TripConfig::ChengduLike());
+  int64_t night = 0, evening_peak = 0;
+  for (const OdtInput& odt : odts) {
+    int64_t hour = SecondsOfDay(odt.departure_time) / 3600;
+    if (hour >= 1 && hour < 5) ++night;
+    if (hour >= 17 && hour < 20) ++evening_peak;
+  }
+  EXPECT_GT(evening_peak, night);  // rush hours dominate the small hours
+}
+
 TEST(CityTest, RushHourSlowsTraffic) {
   City city(CityConfig::ChengduLike(), 2);
   // Find one arterial and one street edge.
