@@ -76,6 +76,25 @@ Percentiles ComputePercentiles(std::vector<double> v) {
   return p;
 }
 
+/// Per-request server-side breakdown samples (V2 responses; every bench
+/// query sets kQueryFlagWantBreakdown).
+struct BreakdownVecs {
+  std::vector<double> queue, batch_wait, stage1, stage2;
+  void Append(const TimingBreakdown& b) {
+    queue.push_back(b.queue_us);
+    batch_wait.push_back(b.batch_wait_us);
+    stage1.push_back(b.stage1_us);
+    stage2.push_back(b.stage2_us);
+  }
+  void Merge(const BreakdownVecs& o) {
+    queue.insert(queue.end(), o.queue.begin(), o.queue.end());
+    batch_wait.insert(batch_wait.end(), o.batch_wait.begin(),
+                      o.batch_wait.end());
+    stage1.insert(stage1.end(), o.stage1.begin(), o.stage1.end());
+    stage2.insert(stage2.end(), o.stage2.begin(), o.stage2.end());
+  }
+};
+
 /// Per-phase outcome tally.
 struct PhaseResult {
   std::string name;
@@ -87,6 +106,8 @@ struct PhaseResult {
   int64_t errors = 0;          // any other non-OK response / transport error
   int64_t quality[4] = {0, 0, 0, 0};
   Percentiles latency_ms;
+  // Server-side per-request segments (microseconds), from V2 responses.
+  Percentiles bd_queue_us, bd_batch_wait_us, bd_stage1_us, bd_stage2_us;
   // Batcher deltas over the phase.
   int64_t waves = 0;
   int64_t size_flushes = 0, age_flushes = 0, drain_flushes = 0;
@@ -103,16 +124,25 @@ struct PhaseResult {
 };
 
 void TallyResponse(const QueryResponse& r, PhaseResult* out,
-                   std::vector<double>* latencies, double latency_ms) {
+                   std::vector<double>* latencies, double latency_ms,
+                   BreakdownVecs* bd) {
   if (r.code == 0) {
     ++out->ok;
     if (r.quality < 4) ++out->quality[r.quality];
     latencies->push_back(latency_ms);
+    if (r.has_breakdown && bd != nullptr) bd->Append(r.breakdown);
   } else if (r.code == static_cast<uint8_t>(StatusCode::kResourceExhausted)) {
     ++out->rejected;
   } else {
     ++out->errors;
   }
+}
+
+void FillBreakdown(BreakdownVecs bd, PhaseResult* out) {
+  out->bd_queue_us = ComputePercentiles(std::move(bd.queue));
+  out->bd_batch_wait_us = ComputePercentiles(std::move(bd.batch_wait));
+  out->bd_stage1_us = ComputePercentiles(std::move(bd.stage1));
+  out->bd_stage2_us = ComputePercentiles(std::move(bd.stage2));
 }
 
 BatcherStats Delta(const BatcherStats& now, const BatcherStats& then) {
@@ -146,6 +176,7 @@ PhaseResult RunClosedLoop(int port, const std::vector<OdtInput>& demand,
   BatcherStats before = server->batcher_stats();
   std::mutex mu;
   std::vector<double> latencies;
+  BreakdownVecs breakdown;
   std::atomic<int64_t> next_index{0};
   double end_ms = NowMs() + duration_s * 1e3;
   std::vector<std::thread> workers;
@@ -156,19 +187,21 @@ PhaseResult RunClosedLoop(int port, const std::vector<OdtInput>& demand,
       if (!client.Connect("127.0.0.1", port).ok()) return;
       PhaseResult local;
       std::vector<double> local_lat;
+      BreakdownVecs local_bd;
       while (NowMs() < end_ms) {
         int64_t i = next_index.fetch_add(1);
         const OdtInput& odt = demand[static_cast<size_t>(i) % demand.size()];
         double t0 = NowMs();
         Result<QueryResponse> r =
             client.Call(static_cast<uint64_t>(i), odt, kDeadlineMs,
-                        /*timeout_ms=*/10000);
+                        /*timeout_ms=*/10000, /*trace_id=*/0,
+                        kQueryFlagWantBreakdown);
         ++local.offered;
         if (!r.ok()) {
           ++local.errors;
           continue;
         }
-        TallyResponse(*r, &local, &local_lat, NowMs() - t0);
+        TallyResponse(*r, &local, &local_lat, NowMs() - t0, &local_bd);
       }
       std::lock_guard<std::mutex> lock(mu);
       result.offered += local.offered;
@@ -177,10 +210,12 @@ PhaseResult RunClosedLoop(int port, const std::vector<OdtInput>& demand,
       result.errors += local.errors;
       for (int q = 0; q < 4; ++q) result.quality[q] += local.quality[q];
       latencies.insert(latencies.end(), local_lat.begin(), local_lat.end());
+      breakdown.Merge(local_bd);
     });
   }
   for (auto& w : workers) w.join();
   result.latency_ms = ComputePercentiles(std::move(latencies));
+  FillBreakdown(std::move(breakdown), &result);
   FillBatcherDelta(Delta(server->batcher_stats(), before), &result);
   return result;
 }
@@ -205,6 +240,7 @@ PhaseResult RunOpenLoop(int port, const std::vector<OdtInput>& demand,
     int64_t sent = 0;
     PhaseResult tally;
     std::vector<double> latencies;
+    BreakdownVecs breakdown;
   };
   std::vector<std::unique_ptr<ConnState>> states;
   for (int c = 0; c < conns; ++c) {
@@ -252,7 +288,8 @@ PhaseResult RunOpenLoop(int port, const std::vector<OdtInput>& demand,
           s.sent_ms.erase(it);
         }
         ++received;
-        TallyResponse(*r, &s.tally, &s.latencies, now - sent_at);
+        TallyResponse(*r, &s.tally, &s.latencies, now - sent_at,
+                      &s.breakdown);
       }
     });
   }
@@ -277,7 +314,10 @@ PhaseResult RunOpenLoop(int port, const std::vector<OdtInput>& demand,
       s.sent_ms[id] = NowMs();
       ++s.sent;
     }
-    if (!s.client.SendQuery(id, odt, kDeadlineMs).ok()) {
+    if (!s.client
+             .SendQuery(id, odt, kDeadlineMs, /*trace_id=*/0,
+                        kQueryFlagWantBreakdown)
+             .ok()) {
       std::lock_guard<std::mutex> lock(s.mu);
       s.sent_ms.erase(id);
       --s.sent;
@@ -292,6 +332,7 @@ PhaseResult RunOpenLoop(int port, const std::vector<OdtInput>& demand,
   for (auto& t : receivers) t.join();
 
   std::vector<double> latencies;
+  BreakdownVecs breakdown;
   for (auto& s : states) {
     result.ok += s->tally.ok;
     result.rejected += s->tally.rejected;
@@ -299,8 +340,10 @@ PhaseResult RunOpenLoop(int port, const std::vector<OdtInput>& demand,
     for (int q = 0; q < 4; ++q) result.quality[q] += s->tally.quality[q];
     latencies.insert(latencies.end(), s->latencies.begin(),
                      s->latencies.end());
+    breakdown.Merge(s->breakdown);
   }
   result.latency_ms = ComputePercentiles(std::move(latencies));
+  FillBreakdown(std::move(breakdown), &result);
   FillBatcherDelta(Delta(server->batcher_stats(), before), &result);
   return result;
 }
@@ -317,6 +360,14 @@ std::string QualityJson(const PhaseResult& r) {
   return os.str();
 }
 
+std::string PercentilesJson(const Percentiles& p) {
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\"mean\": " << p.mean << ", \"p50\": " << p.p50
+     << ", \"p95\": " << p.p95 << ", \"p99\": " << p.p99 << "}";
+  return os.str();
+}
+
 std::string PhaseJson(const PhaseResult& r) {
   std::ostringstream os;
   os.precision(6);
@@ -325,9 +376,11 @@ std::string PhaseJson(const PhaseResult& r) {
      << "     \"offered\": " << r.offered << ", \"ok\": " << r.ok
      << ", \"rejected\": " << r.rejected << ", \"errors\": " << r.errors
      << ", \"achieved_qps\": " << r.achieved_qps() << ",\n"
-     << "     \"latency_ms\": {\"mean\": " << r.latency_ms.mean
-     << ", \"p50\": " << r.latency_ms.p50 << ", \"p95\": " << r.latency_ms.p95
-     << ", \"p99\": " << r.latency_ms.p99 << "},\n"
+     << "     \"latency_ms\": " << PercentilesJson(r.latency_ms) << ",\n"
+     << "     \"breakdown_us\": {\"queue\": " << PercentilesJson(r.bd_queue_us)
+     << ", \"batch_wait\": " << PercentilesJson(r.bd_batch_wait_us)
+     << ", \"stage1\": " << PercentilesJson(r.bd_stage1_us)
+     << ", \"stage2\": " << PercentilesJson(r.bd_stage2_us) << "},\n"
      << "     \"quality\": " << QualityJson(r) << ",\n"
      << "     \"waves\": " << r.waves
      << ", \"mean_wave_size\": " << r.mean_wave()

@@ -26,7 +26,13 @@
 #   8. serving front-end gate: the wire-protocol fuzzing and fake-clock
 #      batcher suites under ASan+UBSan, the multi-client socket stress
 #      under TSan, and a loopback e2e smoke (dot_server binary + the
-#      load-gen client, SIGTERM, graceful-drain check).
+#      load-gen client, SIGTERM, graceful-drain check);
+#   9. observability plane gate: the rolling-window / slow-ring / gauge
+#      suites under TSan (lock-free record paths are cross-thread), then a
+#      live admin-plane smoke against the dot_server binary — /healthz,
+#      /metrics (same lint as stage 3, plus the inflight gauge and windowed
+#      percentiles), /varz, /slowz, /tracez, a SIGUSR1 stderr stats dump,
+#      and the /readyz ready->draining flip during the SIGTERM lame-duck.
 # Usage: scripts/check.sh [build_dir] [asan_build_dir]
 #   (defaults: build-tsan build-asan)
 set -u
@@ -203,6 +209,112 @@ if ! DOT_FAILPOINTS="check.smoke=error" "$BUILD_ASAN"/tests/util_test \
   echo "CHECK FAILED: failpoint env smoke run"
   FAILED=1
 fi
+
+echo "== observability plane: window/ring/gauge suites under tsan =="
+# The rolling-window slot rotation, slow-query ring push, and gauge CAS-add
+# are all designed to be called from request threads while an admin thread
+# snapshots them — exactly the interleaving TSan checks.
+if ! "$BUILD"/tests/obs_test \
+    --gtest_filter='RollingWindowTest.*:SlowQueryRingTest.*:GaugeAddTest.*' \
+    > /dev/null; then
+  echo "CHECK FAILED: obs window/ring/gauge suites (tsan)"
+  FAILED=1
+fi
+if ! "$BUILD"/tests/serve_admin_test > /dev/null; then
+  echo "CHECK FAILED: serve_admin_test (tsan)"
+  FAILED=1
+fi
+
+echo "== observability plane: live admin endpoint smoke =="
+# Boots dot_server with the admin plane on an ephemeral port and walks every
+# endpoint over real HTTP, then checks the SIGUSR1 stats dump and that
+# /readyz flips to draining during the SIGTERM lame-duck window.
+ADMIN_DIR=$(mktemp -d)
+ADMIN_LOG="$ADMIN_DIR/server.log"
+ADMIN_PORT_FILE="$ADMIN_DIR/admin_port"
+ADMIN_SRV_PORT_FILE="$ADMIN_DIR/port"
+DOT_SERVE_LAME_DUCK_MS=3000 "$BUILD_ASAN"/src/serve/dot_server \
+  --port-file "$ADMIN_SRV_PORT_FILE" \
+  --admin-port 0 --admin-port-file "$ADMIN_PORT_FILE" \
+  --checkpoint "$ADMIN_DIR/oracle.bin" > "$ADMIN_LOG" 2>&1 &
+ADMIN_SRV_PID=$!
+for _ in $(seq 1 600); do
+  [ -s "$ADMIN_PORT_FILE" ] && [ -s "$ADMIN_SRV_PORT_FILE" ] && break
+  if ! kill -0 "$ADMIN_SRV_PID" 2> /dev/null; then break; fi
+  sleep 0.5
+done
+if [ ! -s "$ADMIN_PORT_FILE" ]; then
+  echo "CHECK FAILED: dot_server admin plane did not come up"
+  cat "$ADMIN_LOG"
+  FAILED=1
+else
+  APORT=$(cat "$ADMIN_PORT_FILE")
+  SPORT=$(cat "$ADMIN_SRV_PORT_FILE")
+  # Send a little traffic so the metrics/windows are non-trivial.
+  "$BUILD_ASAN"/bench/bench_serving_load --client-smoke --port "$SPORT" \
+    --queries 10 > /dev/null || { echo "CHECK FAILED: admin smoke traffic"; FAILED=1; }
+  if [ "$(curl -s "http://127.0.0.1:$APORT/healthz")" != "ok" ]; then
+    echo "CHECK FAILED: /healthz"
+    FAILED=1
+  fi
+  if [ "$(curl -s -o /dev/null -w '%{http_code}' \
+      "http://127.0.0.1:$APORT/readyz")" != "200" ]; then
+    echo "CHECK FAILED: /readyz not ready while serving"
+    FAILED=1
+  fi
+  ADMIN_METRICS="$ADMIN_DIR/metrics.txt"
+  curl -s "http://127.0.0.1:$APORT/metrics" > "$ADMIN_METRICS"
+  ABAD=$(grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN))$' \
+    "$ADMIN_METRICS")
+  if [ -n "$ABAD" ]; then
+    echo "CHECK FAILED: malformed /metrics lines:"
+    echo "$ABAD"
+    FAILED=1
+  fi
+  for METRIC in dot_server_inflight dot_server_request_latency_us_window_p95; do
+    if ! grep -qE "^${METRIC} " "$ADMIN_METRICS"; then
+      echo "CHECK FAILED: /metrics is missing ${METRIC}"
+      FAILED=1
+    fi
+  done
+  if ! curl -s "http://127.0.0.1:$APORT/varz" | grep -q '"windows"'; then
+    echo "CHECK FAILED: /varz has no windows section"
+    FAILED=1
+  fi
+  if ! curl -s "http://127.0.0.1:$APORT/slowz" | grep -q '"records"'; then
+    echo "CHECK FAILED: /slowz"
+    FAILED=1
+  fi
+  if ! curl -s "http://127.0.0.1:$APORT/tracez?sec=0.2" \
+      | grep -q '"traceEvents"'; then
+    echo "CHECK FAILED: /tracez"
+    FAILED=1
+  fi
+  kill -USR1 "$ADMIN_SRV_PID"
+  sleep 1
+  if ! grep -q 'SIGUSR1 varz dump' "$ADMIN_LOG"; then
+    echo "CHECK FAILED: SIGUSR1 stats dump missing from server log"
+    FAILED=1
+  fi
+  kill -TERM "$ADMIN_SRV_PID"
+  sleep 0.5  # inside the 3s lame-duck window: still serving, but draining
+  DRAIN_CODE=$(curl -s -o "$ADMIN_DIR/readyz_drain" -w '%{http_code}' \
+    "http://127.0.0.1:$APORT/readyz")
+  if [ "$DRAIN_CODE" != "503" ] || ! grep -q draining "$ADMIN_DIR/readyz_drain"; then
+    echo "CHECK FAILED: /readyz did not flip to draining during lame-duck"
+    FAILED=1
+  fi
+  if ! wait "$ADMIN_SRV_PID"; then
+    echo "CHECK FAILED: dot_server exited nonzero after SIGTERM (admin smoke)"
+    FAILED=1
+  fi
+  if ! grep -q '^DRAINED ' "$ADMIN_LOG"; then
+    echo "CHECK FAILED: no graceful drain in admin smoke"
+    cat "$ADMIN_LOG"
+    FAILED=1
+  fi
+fi
+rm -rf "$ADMIN_DIR"
 
 if [ "$FAILED" -ne 0 ]; then
   echo "CHECK FAILED"

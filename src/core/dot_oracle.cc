@@ -7,6 +7,7 @@
 #include "eval/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "tensor/ops.h"
 #include "tensor/optim.h"
 #include "util/checkpoint.h"
@@ -361,7 +362,12 @@ std::vector<Pit> DotOracle::InferPitsImpl(const std::vector<OdtInput>& odts,
   }
   static obs::Histogram* latency =
       obs::MetricsRegistry::Get().GetHistogram("dot_oracle_stage1_latency_us");
+  // Same series into the rolling window: its p95 drives the degradation
+  // ladder's deadline triage (current load, not process history).
+  static obs::RollingHistogram* latency_window =
+      obs::MetricsRegistry::Get().GetWindow("dot_oracle_stage1_latency_us");
   latency->Observe(sw.ElapsedSeconds() * 1e6);
+  latency_window->Observe(sw.ElapsedSeconds() * 1e6);
   return out;
 }
 

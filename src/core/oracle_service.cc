@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "obs/trace.h"
+#include "obs/window.h"
 
 namespace dot {
 
@@ -21,6 +22,7 @@ OracleService::Metrics::Metrics() {
   cache_misses = reg.GetCounter("dot_service_cache_misses_total");
   evictions = reg.GetCounter("dot_service_evictions_total");
   stage1_latency_us = reg.GetHistogram("dot_oracle_stage1_latency_us");
+  stage1_window = reg.GetWindow("dot_oracle_stage1_latency_us");
   retries = reg.GetCounter("dot_serving_retries_total");
   degraded_reduced_steps = reg.GetCounter(
       "dot_serving_degraded_total",
@@ -172,11 +174,22 @@ OracleService::MissServe OracleService::ServeMisses(
   ServedQuality target = ServedQuality::kFull;
   int64_t steps = 0;  // 0 = the oracle's configured sample_steps
   bool skip_stage1 = false;
-  if (opts.deadline_ms > 0 && metrics_.stage1_latency_us->Count() > 0) {
+  if (opts.deadline_ms > 0) {
+    // Cost prediction from the rolling window (current load); an idle
+    // window falls back to the lifetime histogram so a freshly quiet
+    // server still triages from what it has seen.
+    double p95 = 0;
+    bool have_cost = false;
+    if (metrics_.stage1_window->Count() > 0) {
+      p95 = metrics_.stage1_window->Quantile(0.95);
+      have_cost = true;
+    } else if (metrics_.stage1_latency_us->Count() > 0) {
+      p95 = metrics_.stage1_latency_us->Quantile(0.95);
+      have_cost = true;
+    }
     double remaining_us =
         opts.deadline_ms * 1e3 - sw.ElapsedSeconds() * 1e6;
-    double p95 = metrics_.stage1_latency_us->Quantile(0.95);
-    if (p95 > remaining_us) {
+    if (have_cost && p95 > remaining_us) {
       double frac = static_cast<double>(config_.degraded_sample_steps) /
                     static_cast<double>(
                         std::max<int64_t>(1, oracle_->config().sample_steps));
@@ -269,21 +282,34 @@ Result<DotEstimate> OracleService::Query(const OdtInput& odt,
   }
   if (hit) {
     metrics_.cache_hits->Increment();
-    std::lock_guard<std::mutex> olock(oracle_mu_);
+    Stopwatch stage2_sw;
+    std::unique_lock<std::mutex> olock(oracle_mu_);
     double minutes = oracle_->EstimateFromPits({pit}, {odt})[0];
+    olock.unlock();
+    if (opts.timing != nullptr) {
+      opts.timing->stage2_us = stage2_sw.ElapsedSeconds() * 1e6;
+    }
     metrics_.query_latency_us->Observe(sw.ElapsedSeconds() * 1e6);
     return DotEstimate{minutes, std::move(pit)};
   }
   metrics_.cache_misses->Increment();
+  Stopwatch stage1_sw;
   MissServe served = ServeMisses({odt}, {bucket}, opts, sw);
+  if (opts.timing != nullptr) {
+    opts.timing->stage1_us = stage1_sw.ElapsedSeconds() * 1e6;
+  }
   DotEstimate est;
   est.quality = served.quality[0];
   if (est.quality == ServedQuality::kFallback) {
     est.minutes = served.minutes[0];
   } else {
+    Stopwatch stage2_sw;
     std::unique_lock<std::mutex> olock(oracle_mu_);
     est.minutes = oracle_->EstimateFromPits({served.pits[0]}, {odt})[0];
     olock.unlock();
+    if (opts.timing != nullptr) {
+      opts.timing->stage2_us = stage2_sw.ElapsedSeconds() * 1e6;
+    }
     est.pit = std::move(served.pits[0]);
   }
   if (served.fresh && est.quality == ServedQuality::kFull) {
@@ -369,7 +395,11 @@ Result<std::vector<DotEstimate>> OracleService::QueryBatch(
       miss_odts.push_back(odts[idx]);
       miss_buckets.push_back(buckets[idx]);
     }
+    Stopwatch stage1_sw;
     MissServe served = ServeMisses(miss_odts, miss_buckets, opts, sw);
+    if (opts.timing != nullptr) {
+      opts.timing->stage1_us = stage1_sw.ElapsedSeconds() * 1e6;
+    }
     if (served.fresh && served.quality[0] == ServedQuality::kFull) {
       std::lock_guard<std::mutex> lock(mu_);
       for (size_t k = 0; k < miss_rep.size(); ++k) {
@@ -406,10 +436,14 @@ Result<std::vector<DotEstimate>> OracleService::QueryBatch(
       est_pits.push_back(pits[i]);
       est_odts.push_back(odts[i]);
     }
+    Stopwatch stage2_sw;
     std::vector<double> est;
     {
       std::lock_guard<std::mutex> olock(oracle_mu_);
       est = oracle_->EstimateFromPits(est_pits, est_odts);
+    }
+    if (opts.timing != nullptr) {
+      opts.timing->stage2_us = stage2_sw.ElapsedSeconds() * 1e6;
     }
     for (size_t k = 0; k < with_pit.size(); ++k) minutes[with_pit[k]] = est[k];
   }

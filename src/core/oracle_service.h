@@ -63,13 +63,24 @@ struct OracleServiceConfig {
   std::function<double(const OdtInput&)> fallback_estimator;
 };
 
+/// \brief Per-call stage wall times, filled when QueryOptions::timing is
+/// set. Lets the serving front-end split a request's latency into queue /
+/// batch / stage-1 / stage-2 segments without re-instrumenting the core.
+struct StageTiming {
+  double stage1_us = 0;  ///< miss serving (ladder incl. diffusion sampling)
+  double stage2_us = 0;  ///< batched travel-time estimator pass
+};
+
 /// \brief Per-request serving options.
 struct QueryOptions {
   /// Soft deadline for the whole call, milliseconds since the call started
-  /// (0 = none). When the predicted stage-1 cost (p95 of the observed
-  /// latency histogram) exceeds the remaining budget, the service degrades
-  /// instead of running late.
+  /// (0 = none). When the predicted stage-1 cost (windowed p95 of the
+  /// observed latency, lifetime p95 when the window is empty) exceeds the
+  /// remaining budget, the service degrades instead of running late.
   double deadline_ms = 0;
+  /// When set, Query/QueryBatch write their stage wall times here (output
+  /// parameter; must outlive the call).
+  StageTiming* timing = nullptr;
 };
 
 /// \brief Query statistics of an OracleService.
@@ -183,9 +194,12 @@ class OracleService {
     obs::Counter* cache_misses;
     obs::Counter* evictions;
     // Fault-tolerance series (DESIGN.md §5d). The stage-1 latency
-    // histogram is the oracle's own (shared registry object); its p95 is
-    // the deadline triage's cost prediction.
+    // histogram is the oracle's own (shared registry object); the rolling
+    // window over the same series is the deadline triage's cost
+    // prediction (current load, not process history), with the lifetime
+    // p95 as fallback while the window is empty.
     obs::Histogram* stage1_latency_us;
+    obs::RollingHistogram* stage1_window;
     obs::Counter* retries;                    // dot_serving_retries_total
     obs::Counter* degraded_reduced_steps;     // ..._degraded_total{level=...}
     obs::Counter* degraded_cached_neighbor;

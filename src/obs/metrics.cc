@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/profile.h"
+#include "obs/window.h"
 
 namespace dot {
 namespace obs {
@@ -42,25 +43,21 @@ std::string SanitizeLabelValue(const std::string& value) {
   return out;
 }
 
-/// JSON string escaping for metric keys; label values are pre-sanitized,
-/// but series names still carry `{key="value"}` quotes.
-std::string JsonKey(const std::string& name) {
-  std::string out;
-  out.reserve(name.size() + 4);
-  for (char c : name) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-/// Prometheus/JSON-safe number rendering (no locale, no trailing garbage).
+/// Prometheus-safe number rendering (no locale, no trailing garbage).
 std::string Num(double v) {
-  if (std::isnan(v)) return "0";
+  if (std::isnan(v)) return "NaN";
   if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", v);
   return buf;
+}
+
+/// JSON-safe number rendering: JSON has no literal for NaN/Inf, so
+/// non-finite values are emitted as quoted strings ("NaN", "+Inf") instead
+/// of producing an unparsable document.
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) return "\"" + Num(v) + "\"";
+  return Num(v);
 }
 
 void AtomicAddDouble(std::atomic<double>* a, double delta) {
@@ -71,6 +68,32 @@ void AtomicAddDouble(std::atomic<double>* a, double delta) {
 }
 
 }  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
 bool MetricsEnabled() {
   return g_metrics_enabled.load(std::memory_order_relaxed);
@@ -110,26 +133,41 @@ void Histogram::Observe(double v) {
   AtomicAddDouble(&sum_, v);
 }
 
-double Histogram::Quantile(double q) const {
-  int64_t total = Count();
+namespace internal {
+
+double BucketQuantile(const std::vector<double>& bounds,
+                      const std::vector<int64_t>& counts, int64_t total,
+                      double q) {
   if (total <= 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   double rank = q * static_cast<double>(total);
   int64_t seen = 0;
-  for (size_t i = 0; i < bucket_counts_.size(); ++i) {
-    int64_t in_bucket = bucket_counts_[i].load(std::memory_order_relaxed);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    int64_t in_bucket = counts[i];
     if (in_bucket == 0) continue;
     if (static_cast<double>(seen + in_bucket) >= rank) {
-      double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      double lo = i == 0 ? 0.0 : bounds[i - 1];
       // The overflow bucket has no finite upper edge; report its lower one.
-      double hi = i < bounds_.size() ? bounds_[i] : lo;
+      double hi = i < bounds.size() ? bounds[i] : lo;
       double frac = (rank - static_cast<double>(seen)) /
                     static_cast<double>(in_bucket);
       return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
     }
     seen += in_bucket;
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace internal
+
+double Histogram::Quantile(double q) const {
+  std::vector<int64_t> counts(bucket_counts_.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < bucket_counts_.size(); ++i) {
+    counts[i] = bucket_counts_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  return internal::BucketQuantile(bounds_, counts, total, q);
 }
 
 HistogramSnapshot Histogram::Snapshot() const {
@@ -189,6 +227,11 @@ MetricsRegistry& MetricsRegistry::Get() {
   return *registry;
 }
 
+// Out of line: the maps hold unique_ptr<RollingHistogram>, which is only
+// forward-declared in the header.
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[SanitizeName(name)];
@@ -232,12 +275,24 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+RollingHistogram* MetricsRegistry::GetWindow(const std::string& name,
+                                             std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = windows_[SanitizeName(name)];
+  if (!slot) {
+    if (bounds.empty()) bounds = Histogram::LatencyBoundsUs();
+    slot = std::make_unique<RollingHistogram>(std::move(bounds));
+  }
+  return slot.get();
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;
   for (const auto& [name, c] : counters_) s.counters[name] = c->Value();
   for (const auto& [name, g] : gauges_) s.gauges[name] = g->Value();
   for (const auto& [name, h] : histograms_) s.histograms[name] = h->Snapshot();
+  for (const auto& [name, w] : windows_) s.windows[name] = w->Snapshot();
   return s;
 }
 
@@ -267,38 +322,66 @@ std::string MetricsRegistry::ToPrometheusText() const {
     out << name << "_sum " << Num(h.sum) << "\n";
     out << name << "_count " << h.count << "\n";
   }
+  // Windowed percentiles export as plain gauges: a Prometheus histogram
+  // carries cumulative-forever semantics, while these series answer "what
+  // is the p95 right now" directly.
+  for (const auto& [name, w] : s.windows) {
+    const struct { const char* suffix; double v; } series[] = {
+        {"_window_p50", w.p50},
+        {"_window_p95", w.p95},
+        {"_window_p99", w.p99},
+        {"_window_count", static_cast<double>(w.count)},
+    };
+    for (const auto& sr : series) {
+      out << "# TYPE " << name << sr.suffix << " gauge\n";
+      out << name << sr.suffix << " " << Num(sr.v) << "\n";
+    }
+  }
   return out.str();
 }
 
 std::string MetricsRegistry::ToJson() const {
   MetricsSnapshot s = Snapshot();
   std::ostringstream out;
+  // Every key goes through JsonEscape (sanitized names are already safe,
+  // but labeled series carry `{key="value"}` quotes) and every double
+  // through JsonNum (a non-finite gauge must not break the document).
+  auto histogram_json = [&out](const HistogramSnapshot& h) {
+    out << "{\"count\": " << h.count << ", \"sum\": " << JsonNum(h.sum)
+        << ", \"p50\": " << JsonNum(h.p50) << ", \"p95\": " << JsonNum(h.p95)
+        << ", \"p99\": " << JsonNum(h.p99) << ", \"buckets\": [";
+    for (size_t i = 0; i < h.cumulative_buckets.size(); ++i) {
+      const auto& [bound, cum] = h.cumulative_buckets[i];
+      out << (i ? ", " : "") << "{\"le\": " << JsonNum(bound)
+          << ", \"count\": " << cum << "}";
+    }
+    out << "]}";
+  };
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, v] : s.counters) {
-    out << (first ? "" : ",") << "\n    \"" << JsonKey(name) << "\": " << v;
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": " << v;
     first = false;
   }
   out << "\n  },\n  \"gauges\": {";
   first = true;
   for (const auto& [name, v] : s.gauges) {
-    out << (first ? "" : ",") << "\n    \"" << name << "\": " << Num(v);
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+        << "\": " << JsonNum(v);
     first = false;
   }
   out << "\n  },\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : s.histograms) {
-    out << (first ? "" : ",") << "\n    \"" << name << "\": {"
-        << "\"count\": " << h.count << ", \"sum\": " << Num(h.sum)
-        << ", \"p50\": " << Num(h.p50) << ", \"p95\": " << Num(h.p95)
-        << ", \"p99\": " << Num(h.p99) << ", \"buckets\": [";
-    for (size_t i = 0; i < h.cumulative_buckets.size(); ++i) {
-      const auto& [bound, cum] = h.cumulative_buckets[i];
-      out << (i ? ", " : "") << "{\"le\": "
-          << (std::isinf(bound) ? "\"+Inf\"" : Num(bound))
-          << ", \"count\": " << cum << "}";
-    }
-    out << "]}";
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": ";
+    histogram_json(h);
+    first = false;
+  }
+  out << "\n  },\n  \"windows\": {";
+  first = true;
+  for (const auto& [name, w] : s.windows) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": ";
+    histogram_json(w);
     first = false;
   }
   out << "\n  }\n}";
@@ -310,6 +393,7 @@ void MetricsRegistry::ResetValues() {
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+  for (auto& [name, w] : windows_) w->Reset();
 }
 
 MetricsSnapshot SnapshotMetrics() { return MetricsRegistry::Get().Snapshot(); }

@@ -74,6 +74,15 @@ class Gauge {
   Gauge& operator=(const Gauge&) = delete;
 
   void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Atomic add (CAS loop) — for up/down quantities recorded from several
+  /// threads (in-flight requests), where Set() would lose concurrent
+  /// updates.
+  void Add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
   double Value() const { return v_.load(std::memory_order_relaxed); }
   void Reset() { Set(0.0); }
 
@@ -133,11 +142,16 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+class RollingHistogram;  // obs/window.h
+
 /// \brief One registry entry of any kind (used by MetricsSnapshot).
 struct MetricsSnapshot {
   std::map<std::string, int64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  /// Rolling-window histograms (obs/window.h): only samples from the last
+  /// window contribute, so count/p50/p95/p99 track current load.
+  std::map<std::string, HistogramSnapshot> windows;
 };
 
 /// \brief Process-wide name -> metric registry.
@@ -162,6 +176,12 @@ class MetricsRegistry {
   /// `bounds` is used only on first registration (empty = latency default).
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds = {});
+  /// Rolling-window histogram (60s window / 5s buckets, obs/window.h).
+  /// `bounds` is used only on first registration (empty = latency default).
+  /// Window series export as `<name>_window_p50/_p95/_p99/_count` gauges in
+  /// the Prometheus text and under "windows" in the JSON dump.
+  RollingHistogram* GetWindow(const std::string& name,
+                              std::vector<double> bounds = {});
 
   /// Point-in-time copy of every registered metric.
   MetricsSnapshot Snapshot() const;
@@ -177,12 +197,14 @@ class MetricsRegistry {
   void ResetValues();
 
  private:
-  MetricsRegistry() = default;
+  MetricsRegistry();
+  ~MetricsRegistry();  // defined where RollingHistogram is complete
 
   mutable std::mutex mu_;  // guards the maps, not the metric values
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<RollingHistogram>> windows_;
 };
 
 /// Convenience wrappers over MetricsRegistry::Get().
@@ -192,6 +214,22 @@ std::string MetricsToJson();
 /// Writes the combined JSON dump (registry + op profiler section) to
 /// `path`. Returns false on I/O failure.
 bool DumpMetrics(const std::string& path);
+
+/// Escapes `s` for inclusion inside a JSON string literal: quote,
+/// backslash, and every control character (< 0x20) become escape
+/// sequences. The canonical escaper for every JSON emitter in the tree
+/// (chrome-trace export, metrics JSON, /varz, slow-query ring).
+std::string JsonEscape(const std::string& s);
+
+namespace internal {
+/// Quantile estimate by linear interpolation over per-bucket counts — the
+/// shared math behind Histogram::Quantile and RollingHistogram::Quantile.
+/// `counts` has bounds.size() + 1 entries (last one = +inf overflow);
+/// `total` is their sum. Returns 0 when total <= 0.
+double BucketQuantile(const std::vector<double>& bounds,
+                      const std::vector<int64_t>& counts, int64_t total,
+                      double q);
+}  // namespace internal
 
 }  // namespace obs
 }  // namespace dot

@@ -1,0 +1,87 @@
+#include "obs/ring.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace dot {
+namespace obs {
+
+namespace {
+
+/// JSON-valid number rendering (non-finite values quoted — JSON has no
+/// literal for them).
+std::string Num(double v) {
+  if (std::isnan(v)) return "\"NaN\"";
+  if (std::isinf(v)) return v > 0 ? "\"+Inf\"" : "\"-Inf\"";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+SlowQueryRing::SlowQueryRing(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+void SlowQueryRing::Push(SlowQueryRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pos = static_cast<size_t>(pushed_ % static_cast<int64_t>(capacity_));
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[pos] = std::move(rec);
+  }
+  ++pushed_;
+}
+
+std::vector<SlowQueryRecord> SlowQueryRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowQueryRecord> out;
+  out.reserve(ring_.size());
+  // Before the first wrap ring_ is already oldest-first; afterwards the
+  // slot about to be overwritten is the oldest.
+  size_t start = ring_.size() < capacity_
+                     ? 0
+                     : static_cast<size_t>(pushed_ %
+                                           static_cast<int64_t>(capacity_));
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+int64_t SlowQueryRing::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+std::string SlowQueryRing::ToJson() const {
+  std::vector<SlowQueryRecord> records = Snapshot();
+  int64_t total = total_pushed();
+  std::ostringstream out;
+  out << "{\"capacity\": " << capacity_ << ", \"total\": " << total
+      << ", \"records\": [";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SlowQueryRecord& r = records[i];
+    out << (i ? ",\n" : "\n") << "  {\"trace_id\": " << r.trace_id
+        << ", \"request_id\": " << r.request_id
+        << ", \"unix_ms\": " << r.unix_ms
+        << ", \"latency_ms\": " << Num(r.latency_ms)
+        << ", \"quality\": " << r.quality << ", \"code\": " << r.code
+        << ", \"queue_us\": " << Num(r.queue_us)
+        << ", \"batch_wait_us\": " << Num(r.batch_wait_us)
+        << ", \"stage1_us\": " << Num(r.stage1_us)
+        << ", \"stage2_us\": " << Num(r.stage2_us)
+        << ", \"serialize_us\": " << Num(r.serialize_us) << ", \"note\": \""
+        << JsonEscape(r.note) << "\"}";
+  }
+  out << (records.empty() ? "" : "\n") << "]}";
+  return out.str();
+}
+
+}  // namespace obs
+}  // namespace dot

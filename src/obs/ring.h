@@ -1,0 +1,60 @@
+// Bounded ring buffer of slow / degraded query records: the server pushes
+// one record per request that missed its latency target or was answered
+// below kFull quality, and the admin plane's /slowz endpoint dumps the
+// ring as JSON. Capacity-bounded and mutex-guarded — pushes happen at most
+// once per slow request, never on the per-request fast path.
+
+#ifndef DOT_OBS_RING_H_
+#define DOT_OBS_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dot {
+namespace obs {
+
+/// \brief One slow/degraded request, with its wire identity and breakdown.
+struct SlowQueryRecord {
+  uint64_t trace_id = 0;    ///< client-generated wire trace id (0 = none)
+  uint64_t request_id = 0;  ///< protocol request id
+  int64_t unix_ms = 0;      ///< wall-clock time the record was pushed
+  double latency_ms = 0;    ///< end-to-end server-side latency
+  int quality = 0;          ///< core::ServedQuality as an int
+  int code = 0;             ///< StatusCode as an int (0 = OK)
+  double queue_us = 0;
+  double batch_wait_us = 0;
+  double stage1_us = 0;
+  double stage2_us = 0;
+  double serialize_us = 0;
+  std::string note;  ///< quality/error annotation (free text, escaped on dump)
+};
+
+/// \brief Fixed-capacity ring of the most recent SlowQueryRecords.
+class SlowQueryRing {
+ public:
+  explicit SlowQueryRing(size_t capacity = 128);
+
+  void Push(SlowQueryRecord rec);
+  /// Copies the live records, oldest first.
+  std::vector<SlowQueryRecord> Snapshot() const;
+  /// {"capacity": N, "total": M, "records": [...]} with escaped strings.
+  std::string ToJson() const;
+
+  /// Total pushes ever (>= capacity once the ring has wrapped).
+  int64_t total_pushed() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryRecord> ring_;  // ring_[next_ % capacity_] is oldest
+  int64_t pushed_ = 0;
+};
+
+}  // namespace obs
+}  // namespace dot
+
+#endif  // DOT_OBS_RING_H_

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"  // JsonEscape
+
 namespace dot {
 namespace obs {
 
@@ -62,24 +64,6 @@ int64_t NowUs() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now() - Rec().origin)
       .count();
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -150,6 +134,40 @@ std::string ToChromeJson(const std::vector<TraceEvent>& events) {
 uint64_t CurrentSpanId() {
   if (!t_span_stack.empty()) return t_span_stack.back();
   return t_inherited_parent;
+}
+
+uint64_t NewSpanId() {
+  if (!TracingEnabled()) return 0;
+  return Rec().next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+int64_t TraceNowUs() {
+  if (!TracingEnabled()) return 0;
+  return NowUs();
+}
+
+void RecordSpan(const char* name, uint64_t id, uint64_t parent_id,
+                int64_t ts_us, int64_t dur_us, std::string args) {
+  if (id == 0 || !TracingEnabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.args = std::move(args);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us < 0 ? 0 : dur_us;
+  e.tid = ThisThreadTid();
+  e.id = id;
+  e.parent_id = parent_id;
+
+  Recorder& r = Rec();
+  std::lock_guard<std::mutex> lock(r.mu);
+  // As with TraceSpan: a Stop that raced us already flushed the buffer this
+  // span belongs to.
+  if (!r.enabled.load(std::memory_order_relaxed)) return;
+  if (r.events.size() >= Recorder::kMaxEvents) {
+    ++r.dropped;
+    return;
+  }
+  r.events.push_back(std::move(e));
 }
 
 InheritedParent::InheritedParent(uint64_t parent) : saved_(t_inherited_parent) {

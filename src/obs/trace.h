@@ -64,6 +64,24 @@ std::string ToChromeJson(const std::vector<TraceEvent>& events);
 /// parent inherited from ThreadPool::Submit when the local stack is empty.
 uint64_t CurrentSpanId();
 
+/// Allocates a span id from the active recording (0 when tracing is
+/// disabled). For manually recorded spans — see RecordSpan.
+uint64_t NewSpanId();
+
+/// Microseconds since the active recording's time origin (0 when tracing
+/// is disabled). Timestamps handed to RecordSpan must come from this clock
+/// so manual spans line up with TraceSpan intervals.
+int64_t TraceNowUs();
+
+/// Records a completed span with an explicit interval, outside the RAII
+/// scope discipline — for spans whose lifetime crosses threads or is only
+/// known after the fact (a request's root span closed on the IO thread,
+/// queue-wait segments reconstructed at wave formation). Does not touch
+/// the thread-local span stack. Dropped silently when tracing is off or
+/// `id` is 0.
+void RecordSpan(const char* name, uint64_t id, uint64_t parent_id,
+                int64_t ts_us, int64_t dur_us, std::string args = {});
+
 /// \brief RAII: installs `parent` as this thread's inherited span parent.
 /// Used by the thread pool to bridge spans across Submit; tasks nested in
 /// tasks restore the previous value on destruction.

@@ -1,0 +1,157 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace dot {
+namespace obs {
+
+namespace {
+
+double SteadySeconds() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return std::chrono::duration<double>(clock::now() - origin).count();
+}
+
+}  // namespace
+
+RollingHistogram::RollingHistogram(std::vector<double> bounds,
+                                   double window_seconds,
+                                   double bucket_seconds)
+    : bounds_(std::move(bounds)),
+      bucket_s_(bucket_seconds > 0 ? bucket_seconds : 5.0) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  if (window_seconds < bucket_s_) window_seconds = bucket_s_;
+  // Full closed slots covering the window, plus the currently-filling one.
+  num_slots_ =
+      static_cast<int64_t>(std::llround(window_seconds / bucket_s_)) + 1;
+  slots_ = std::vector<Slot>(static_cast<size_t>(num_slots_));
+  for (auto& s : slots_) {
+    s.counts = std::make_unique<std::atomic<int64_t>[]>(bounds_.size() + 1);
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      s.counts[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+double RollingHistogram::NowSeconds() const {
+  return now_override_ ? now_override_() : SteadySeconds();
+}
+
+int64_t RollingHistogram::EpochNow() const {
+  return static_cast<int64_t>(std::floor(NowSeconds() / bucket_s_));
+}
+
+double RollingHistogram::window_seconds() const {
+  return static_cast<double>(num_slots_ - 1) * bucket_s_;
+}
+
+void RollingHistogram::SetClockForTesting(
+    std::function<double()> now_seconds) {
+  now_override_ = std::move(now_seconds);
+}
+
+RollingHistogram::Slot* RollingHistogram::ClaimSlot(int64_t epoch) {
+  Slot& slot = slots_[static_cast<size_t>(epoch % num_slots_)];
+  int64_t held = slot.epoch.load(std::memory_order_acquire);
+  while (held != epoch) {
+    if (held > epoch) return nullptr;  // a newer epoch owns this slot
+    if (slot.epoch.compare_exchange_weak(held, epoch,
+                                         std::memory_order_acq_rel)) {
+      // We rotated the slot: zero the expired contents. Samples recorded by
+      // racers between the CAS and these stores can be wiped — acceptable
+      // loss, bounded per rotation.
+      for (size_t i = 0; i <= bounds_.size(); ++i) {
+        slot.counts[i].store(0, std::memory_order_relaxed);
+      }
+      slot.count.store(0, std::memory_order_relaxed);
+      slot.sum.store(0.0, std::memory_order_relaxed);
+      return &slot;
+    }
+  }
+  return &slot;
+}
+
+void RollingHistogram::Observe(double v) {
+  Slot* slot = ClaimSlot(EpochNow());
+  if (slot == nullptr) return;
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  slot->counts[idx].fetch_add(1, std::memory_order_relaxed);
+  slot->count.fetch_add(1, std::memory_order_relaxed);
+  double cur = slot->sum.load(std::memory_order_relaxed);
+  while (!slot->sum.compare_exchange_weak(cur, cur + v,
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+int64_t RollingHistogram::LiveCounts(std::vector<int64_t>* counts,
+                                     double* sum) const {
+  counts->assign(bounds_.size() + 1, 0);
+  *sum = 0.0;
+  int64_t now_epoch = EpochNow();
+  int64_t oldest_live = now_epoch - (num_slots_ - 1);
+  int64_t total = 0;
+  for (const auto& slot : slots_) {
+    int64_t held = slot.epoch.load(std::memory_order_acquire);
+    // held < 0 covers both never-used and Reset() slots (whose counts are
+    // stale until ClaimSlot recycles them).
+    if (held < 0 || held < oldest_live || held > now_epoch) continue;
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      (*counts)[i] += slot.counts[i].load(std::memory_order_relaxed);
+    }
+    total += slot.count.load(std::memory_order_relaxed);
+    *sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+int64_t RollingHistogram::Count() const {
+  std::vector<int64_t> counts;
+  double sum = 0;
+  return LiveCounts(&counts, &sum);
+}
+
+double RollingHistogram::Quantile(double q) const {
+  std::vector<int64_t> counts;
+  double sum = 0;
+  int64_t total = LiveCounts(&counts, &sum);
+  return internal::BucketQuantile(bounds_, counts, total, q);
+}
+
+HistogramSnapshot RollingHistogram::Snapshot() const {
+  std::vector<int64_t> counts;
+  double sum = 0;
+  int64_t total = LiveCounts(&counts, &sum);
+  HistogramSnapshot s;
+  s.count = total;
+  s.sum = sum;
+  s.p50 = internal::BucketQuantile(bounds_, counts, total, 0.50);
+  s.p95 = internal::BucketQuantile(bounds_, counts, total, 0.95);
+  s.p99 = internal::BucketQuantile(bounds_, counts, total, 0.99);
+  int64_t cum = 0;
+  s.cumulative_buckets.reserve(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cum += counts[i];
+    double bound = i < bounds_.size()
+                       ? bounds_[i]
+                       : std::numeric_limits<double>::infinity();
+    s.cumulative_buckets.emplace_back(bound, cum);
+  }
+  return s;
+}
+
+void RollingHistogram::Reset() {
+  // Marking every slot "never used" drops its contents from LiveCounts and
+  // lets ClaimSlot recycle it on the next Observe.
+  for (auto& slot : slots_) {
+    slot.epoch.store(-1, std::memory_order_release);
+  }
+}
+
+}  // namespace obs
+}  // namespace dot

@@ -1,0 +1,90 @@
+// Rolling-window histogram: the same fixed-bucket layout as obs::Histogram,
+// but only samples from roughly the last minute contribute to counts and
+// quantiles, so p50/p95/p99 track *current* load instead of process history.
+//
+// Implementation: time is cut into fixed-width buckets (default 5s); a ring
+// of slots holds one histogram per time bucket, sized so that a full window
+// (default 60s) of closed slots plus the currently-filling one are live at
+// once. The record path is lock-free: locate the slot for "now", and if it
+// still holds an expired epoch, CAS-claim it and zero it for reuse. A
+// racing Observe that lands between the claim and the zeroing can lose its
+// sample — bounded to a handful of events per rotation, which is noise at
+// the sample rates these track (per-request latencies).
+//
+// Snapshots aggregate every live slot, so the reported window spans between
+// window_seconds and window_seconds + bucket_seconds depending on how full
+// the current slot is.
+
+#ifndef DOT_OBS_WINDOW_H_
+#define DOT_OBS_WINDOW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dot {
+namespace obs {
+
+/// \brief Fixed-bucket histogram over a rolling time window.
+class RollingHistogram {
+ public:
+  /// `bounds` as in Histogram (sorted inclusive upper bounds; +inf overflow
+  /// bucket implied). The window must be a multiple of the bucket width.
+  explicit RollingHistogram(std::vector<double> bounds,
+                            double window_seconds = 60.0,
+                            double bucket_seconds = 5.0);
+
+  /// Lock-free record into the current time bucket.
+  void Observe(double v);
+
+  /// Aggregate of every live slot. cumulative_buckets/sum/count/quantiles
+  /// cover only the window.
+  HistogramSnapshot Snapshot() const;
+  /// Quantile over the live window (0 when the window is empty).
+  double Quantile(double q) const;
+  /// Samples currently inside the window.
+  int64_t Count() const;
+  /// Drops all recorded samples (marks every slot expired).
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  double window_seconds() const;
+  double bucket_seconds() const { return bucket_s_; }
+
+  /// Replaces the clock (seconds, monotonic). Test-only: call before any
+  /// concurrent use; not synchronized against in-flight Observe calls.
+  void SetClockForTesting(std::function<double()> now_seconds);
+
+ private:
+  struct Slot {
+    /// Which time bucket this slot currently holds; -1 = never used.
+    std::atomic<int64_t> epoch{-1};
+    std::unique_ptr<std::atomic<int64_t>[]> counts;  // bounds.size() + 1
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  double NowSeconds() const;
+  int64_t EpochNow() const;
+  /// Returns the slot for `epoch`, CAS-claiming and zeroing it if it still
+  /// holds an older epoch. Returns nullptr if another epoch won the slot
+  /// (clock raced far ahead — drop the sample).
+  Slot* ClaimSlot(int64_t epoch);
+  /// Aggregates live slots into per-bucket counts; returns total count.
+  int64_t LiveCounts(std::vector<int64_t>* counts, double* sum) const;
+
+  std::vector<double> bounds_;
+  double bucket_s_;
+  int64_t num_slots_;
+  std::vector<Slot> slots_;
+  std::function<double()> now_override_;  // test clock; empty = steady clock
+};
+
+}  // namespace obs
+}  // namespace dot
+
+#endif  // DOT_OBS_WINDOW_H_

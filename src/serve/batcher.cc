@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 
+#include "obs/trace.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace dot {
 namespace serve {
@@ -57,6 +60,13 @@ DynamicBatcher::~DynamicBatcher() { Shutdown(); }
 
 Status DynamicBatcher::Submit(const OdtInput& odt, double deadline_ms,
                               ResponseCallback done) {
+  return Submit(odt, deadline_ms, RequestContext{},
+                [done = std::move(done)](const Result<DotEstimate>& r,
+                                         const RequestTiming&) { done(r); });
+}
+
+Status DynamicBatcher::Submit(const OdtInput& odt, double deadline_ms,
+                              RequestContext ctx, TimedResponseCallback done) {
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_) {
     return Status::FailedPrecondition("batcher: shutting down");
@@ -75,7 +85,11 @@ Status DynamicBatcher::Submit(const OdtInput& odt, double deadline_ms,
     metrics_.rejected_stale->Increment();
     return Status::ResourceExhausted("server overloaded: queue stale");
   }
-  queue_.push_back(Pending{odt, deadline_ms, now, std::move(done)});
+  Pending p{odt, deadline_ms, now, ctx, 0, std::move(done)};
+  // Only a traced request (root_span set at decode, implying tracing was
+  // on) pays the trace-clock read; the plain hot path stays clock-free.
+  if (ctx.root_span != 0) p.enqueue_trace_us = obs::TraceNowUs();
+  queue_.push_back(std::move(p));
   ++stats_.submitted;
   metrics_.queue_depth->Observe(static_cast<double>(queue_.size()));
   cv_.notify_all();
@@ -89,9 +103,15 @@ int64_t DynamicBatcher::FlushWaveLocked(std::unique_lock<std::mutex>* lock,
   if (n == 0) return 0;
   double now = Now();
   std::vector<OdtInput> odts;
-  std::vector<ResponseCallback> callbacks;
+  std::vector<TimedResponseCallback> callbacks;
+  std::vector<double> queue_us;
+  std::vector<RequestContext> ctxs;
+  std::vector<int64_t> enqueue_trace_us;
   odts.reserve(n);
   callbacks.reserve(n);
+  queue_us.reserve(n);
+  ctxs.reserve(n);
+  enqueue_trace_us.reserve(n);
   // The wave honors the earliest remaining deadline of its members: the
   // most urgent request dictates how much the whole wave may degrade.
   double earliest = 0;
@@ -107,6 +127,9 @@ int64_t DynamicBatcher::FlushWaveLocked(std::unique_lock<std::mutex>* lock,
     }
     odts.push_back(p.odt);
     callbacks.push_back(std::move(p.done));
+    queue_us.push_back(waited_ms * 1e3);
+    ctxs.push_back(p.ctx);
+    enqueue_trace_us.push_back(p.enqueue_trace_us);
     queue_.pop_front();
   }
   ++stats_.waves;
@@ -127,20 +150,58 @@ int64_t DynamicBatcher::FlushWaveLocked(std::unique_lock<std::mutex>* lock,
   metrics_.wave_size->Observe(static_cast<double>(n));
   lock->unlock();
 
+  // Trace stitching: every traced member gets its queue wait recorded as a
+  // span under its own root, and the wave's backend spans are parented to
+  // the first traced member's root (one wave = one subtree; concurrent
+  // traced members share it). One relaxed load when tracing is off.
+  uint64_t owner_root = 0;
+  if (obs::TracingEnabled()) {
+    int64_t now_trace_us = obs::TraceNowUs();
+    for (size_t i = 0; i < n; ++i) {
+      if (ctxs[i].root_span == 0) continue;
+      if (owner_root == 0) owner_root = ctxs[i].root_span;
+      obs::RecordSpan("queue_wait", obs::NewSpanId(), ctxs[i].root_span,
+                      enqueue_trace_us[i],
+                      now_trace_us - enqueue_trace_us[i]);
+    }
+  }
+
   QueryOptions opts;
   opts.deadline_ms = earliest;
-  Result<std::vector<DotEstimate>> result = backend_(odts, opts);
+  StageTiming stage_timing;
+  opts.timing = &stage_timing;
+  Stopwatch wave_sw;
+  Result<std::vector<DotEstimate>> result = std::vector<DotEstimate>{};
+  {
+    // The wave span covers the whole backend call; InheritedParent makes
+    // it (and everything the backend opens, across the thread pool) a
+    // descendant of the owning request's root.
+    std::optional<obs::InheritedParent> inherit;
+    std::optional<obs::TraceSpan> wave_span;
+    if (owner_root != 0) {
+      inherit.emplace(owner_root);
+      wave_span.emplace("wave", "\"size\": " + std::to_string(n));
+    }
+    result = backend_(odts, opts);
+  }
+  double wave_us = wave_sw.ElapsedSeconds() * 1e6;
   if (result.ok() && result->size() != odts.size()) {
     result = Status::Internal("backend returned " +
                               std::to_string(result->size()) +
                               " answers for a wave of " +
                               std::to_string(odts.size()));
   }
+  RequestTiming timing;
+  timing.stage1_us = stage_timing.stage1_us;
+  timing.stage2_us = stage_timing.stage2_us;
+  timing.batch_wait_us =
+      std::max(0.0, wave_us - stage_timing.stage1_us - stage_timing.stage2_us);
   for (size_t i = 0; i < callbacks.size(); ++i) {
+    timing.queue_us = queue_us[i];
     if (result.ok()) {
-      callbacks[i](Result<DotEstimate>((*result)[i]));
+      callbacks[i](Result<DotEstimate>((*result)[i]), timing);
     } else {
-      callbacks[i](Result<DotEstimate>(result.status()));
+      callbacks[i](Result<DotEstimate>(result.status()), timing);
     }
   }
 

@@ -51,6 +51,29 @@ using BatchBackend = std::function<Result<std::vector<DotEstimate>>(
 /// PumpOnce/Shutdown).
 using ResponseCallback = std::function<void(const Result<DotEstimate>&)>;
 
+/// \brief Wire trace context a request carries through the batcher.
+struct RequestContext {
+  uint64_t trace_id = 0;  ///< client-generated wire id (0 = none)
+  /// Span id of the request's root span in the active obs recording
+  /// (0 = untraced). When set, the batcher records a queue_wait span under
+  /// it and parents the wave's backend spans to the first traced member.
+  uint64_t root_span = 0;
+  bool want_timing = false;  ///< client asked for the response breakdown
+};
+
+/// \brief Server-side latency segments measured by the batcher per wave
+/// member (serialize_us is added later by the server's response path).
+struct RequestTiming {
+  double queue_us = 0;       ///< this member's wait before wave formation
+  double batch_wait_us = 0;  ///< wave wall time outside stage 1/2
+  double stage1_us = 0;      ///< wave's miss-serve time (shared)
+  double stage2_us = 0;      ///< wave's estimator time (shared)
+};
+
+/// Timing-aware completion callback (same contract as ResponseCallback).
+using TimedResponseCallback =
+    std::function<void(const Result<DotEstimate>&, const RequestTiming&)>;
+
 struct BatcherConfig {
   /// Size trigger: a wave never exceeds this many queries.
   int64_t max_batch = 16;
@@ -93,6 +116,11 @@ class DynamicBatcher {
   /// from now (0 = none).
   Status Submit(const OdtInput& odt, double deadline_ms, ResponseCallback done);
 
+  /// As above, carrying a trace context and receiving the per-request
+  /// timing breakdown alongside the result.
+  Status Submit(const OdtInput& odt, double deadline_ms, RequestContext ctx,
+                TimedResponseCallback done);
+
   /// Graceful drain: stops admissions, flushes every queued request, waits
   /// for all callbacks, stops the thread. Idempotent.
   void Shutdown();
@@ -109,7 +137,9 @@ class DynamicBatcher {
     OdtInput odt;
     double deadline_ms = 0;  // client budget measured from enqueue_ms
     double enqueue_ms = 0;
-    ResponseCallback done;
+    RequestContext ctx;
+    int64_t enqueue_trace_us = 0;  // TraceNowUs() at Submit (traced only)
+    TimedResponseCallback done;
   };
   enum class FlushReason { kSize, kAge, kDrain };
 

@@ -9,6 +9,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <random>
 #include <utility>
 
 namespace dot {
@@ -72,8 +73,8 @@ Status Client::Send(const Message& msg) {
   return WriteFrame(fd_, msg);
 }
 
-Status Client::SendQuery(uint64_t id, const OdtInput& odt,
-                         double deadline_ms) {
+Status Client::SendQuery(uint64_t id, const OdtInput& odt, double deadline_ms,
+                         uint64_t trace_id, uint8_t flags) {
   QueryRequest q;
   q.id = id;
   q.origin_lng = odt.origin.lng;
@@ -82,7 +83,17 @@ Status Client::SendQuery(uint64_t id, const OdtInput& odt,
   q.dest_lat = odt.destination.lat;
   q.departure_time = odt.departure_time;
   q.deadline_ms = deadline_ms;
+  if (flags != 0 && trace_id == 0) trace_id = NewTraceId();
+  q.trace_id = trace_id;
+  q.flags = flags;
   return Send(Message{q});
+}
+
+uint64_t Client::NewTraceId() {
+  thread_local std::mt19937_64 rng{std::random_device{}()};
+  uint64_t id = 0;
+  while (id == 0) id = rng();
+  return id;
 }
 
 Result<Message> Client::Receive(double timeout_ms) {
@@ -133,8 +144,9 @@ Result<QueryResponse> Client::ReceiveFor(uint64_t id, double timeout_ms) {
 }
 
 Result<QueryResponse> Client::Call(uint64_t id, const OdtInput& odt,
-                                   double deadline_ms, double timeout_ms) {
-  Status sent = SendQuery(id, odt, deadline_ms);
+                                   double deadline_ms, double timeout_ms,
+                                   uint64_t trace_id, uint8_t flags) {
+  Status sent = SendQuery(id, odt, deadline_ms, trace_id, flags);
   if (!sent.ok()) return sent;
   return ReceiveFor(id, timeout_ms);
 }

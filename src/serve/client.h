@@ -39,8 +39,15 @@ class Client {
   /// kernel accepted the bytes.
   Status Send(const Message& msg);
 
-  /// Sends a query request built from an OdtInput.
-  Status SendQuery(uint64_t id, const OdtInput& odt, double deadline_ms = 0);
+  /// Sends a query request built from an OdtInput. A nonzero `flags`
+  /// (kQueryFlagSampled / kQueryFlagWantBreakdown) upgrades the wire
+  /// message to V2; when flags are set and trace_id is 0 a fresh id from
+  /// NewTraceId() is stamped automatically.
+  Status SendQuery(uint64_t id, const OdtInput& odt, double deadline_ms = 0,
+                   uint64_t trace_id = 0, uint8_t flags = 0);
+
+  /// A process-unique nonzero 64-bit trace id (thread-local PRNG).
+  static uint64_t NewTraceId();
 
   /// Blocks (up to timeout_ms; <=0 = forever) for the next inbound message,
   /// in arrival order. DeadlineExceeded on timeout, IOError when the server
@@ -53,7 +60,8 @@ class Client {
 
   /// Round-trips one query (Send + ReceiveFor).
   Result<QueryResponse> Call(uint64_t id, const OdtInput& odt,
-                             double deadline_ms = 0, double timeout_ms = -1);
+                             double deadline_ms = 0, double timeout_ms = -1,
+                             uint64_t trace_id = 0, uint8_t flags = 0);
 
   /// Liveness probe: sends a ping and waits for the echoing pong.
   Status PingServer(uint64_t id, double timeout_ms = -1);

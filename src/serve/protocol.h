@@ -10,6 +10,19 @@
 //   kQueryResponse  id, Status code, ServedQuality, minutes, error message
 //   kPing / kPong   id (liveness probe; the server echoes the id)
 //
+// Protocol V2 (request tracing) extends both query messages with distinct
+// type bytes so old peers keep working unchanged:
+//
+//   kQueryRequestV2   V1 fields + 64-bit trace_id + a flags byte
+//                     (kQueryFlagSampled, kQueryFlagWantBreakdown)
+//   kQueryResponseV2  V1 fields + the per-request timing breakdown
+//
+// The encoder picks the oldest type that carries the message (a request
+// with trace_id == 0 and flags == 0 encodes as V1; a response without a
+// breakdown encodes as V1), so a V2-aware client talking to an old server
+// degrades to exactly the V1 byte stream when it doesn't use the new
+// fields, and an old client never sees a V2 response it didn't ask for.
+//
 // Decoding is strict — unknown type, wrong payload size, or an error
 // message overrunning the payload are InvalidArgument, never UB — and
 // FrameReader enforces a maximum frame size so a hostile length prefix
@@ -40,6 +53,24 @@ enum class MsgType : uint8_t {
   kQueryResponse = 2,
   kPing = 3,
   kPong = 4,
+  kQueryRequestV2 = 5,
+  kQueryResponseV2 = 6,
+};
+
+/// Request flag bits (QueryRequest::flags, V2 only on the wire).
+/// The request's spans are recorded into the active trace recording.
+constexpr uint8_t kQueryFlagSampled = 0x1;
+/// Echo the per-request timing breakdown in the response.
+constexpr uint8_t kQueryFlagWantBreakdown = 0x2;
+
+/// \brief Server-side latency segments of one request, echoed in a V2
+/// response when the request set kQueryFlagWantBreakdown.
+struct TimingBreakdown {
+  double queue_us = 0;       ///< batcher queue wait before wave formation
+  double batch_wait_us = 0;  ///< wave wall time outside stage 1/2
+  double stage1_us = 0;      ///< diffusion miss-serve (0 on a cache hit)
+  double stage2_us = 0;      ///< batched travel-time estimator
+  double serialize_us = 0;   ///< response encode + outbox queueing
 };
 
 /// \brief A travel-time query (OdtInput fields + serving options).
@@ -52,6 +83,10 @@ struct QueryRequest {
   /// (0 = none). Propagated into QueryOptions as the wave's earliest
   /// deadline, so the degradation ladder honors it.
   double deadline_ms = 0;
+  /// Client-generated trace context (V2): a nonzero trace_id or any flag
+  /// bit makes the encoder emit kQueryRequestV2.
+  uint64_t trace_id = 0;
+  uint8_t flags = 0;  ///< kQueryFlagSampled | kQueryFlagWantBreakdown
 };
 
 /// \brief The oracle's answer (or a typed error).
@@ -61,6 +96,10 @@ struct QueryResponse {
   uint8_t quality = 0;  ///< ServedQuality as integer (valid when code == 0)
   double minutes = 0;
   std::string message;  ///< error detail (empty when code == 0)
+  /// V2: set when the request asked for (and the server produced) a timing
+  /// breakdown; makes the encoder emit kQueryResponseV2.
+  bool has_breakdown = false;
+  TimingBreakdown breakdown;
 };
 
 struct Ping {

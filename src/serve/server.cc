@@ -13,6 +13,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/trace.h"
+#include "obs/window.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -62,6 +64,7 @@ ServerConfig ServerConfig::FromEnv() {
       EnvInt("DOT_SERVE_QUEUE_CAP", config.batcher.queue_capacity);
   config.batcher.queue_budget_ms =
       EnvDouble("DOT_SERVE_QUEUE_BUDGET_MS", config.batcher.queue_budget_ms);
+  config.slow_request_ms = EnvDouble("DOT_SERVE_SLOW_MS", config.slow_request_ms);
   return config;
 }
 
@@ -73,7 +76,14 @@ Server::Metrics::Metrics() {
   protocol_errors = reg.GetCounter("dot_server_protocol_errors_total");
   pings = reg.GetCounter("dot_server_pings_total");
   open_connections = reg.GetGauge("dot_server_open_connections");
+  inflight = reg.GetGauge("dot_server_inflight");
   request_latency_us = reg.GetHistogram("dot_server_request_latency_us");
+  win_request_latency = reg.GetWindow("dot_server_request_latency_us");
+  win_queue = reg.GetWindow("dot_server_breakdown_queue_us");
+  win_batch_wait = reg.GetWindow("dot_server_breakdown_batch_wait_us");
+  win_stage1 = reg.GetWindow("dot_server_breakdown_stage1_us");
+  win_stage2 = reg.GetWindow("dot_server_breakdown_stage2_us");
+  win_serialize = reg.GetWindow("dot_server_breakdown_serialize_us");
 }
 
 Server::Server(BatchBackend backend, ServerConfig config)
@@ -225,12 +235,31 @@ bool Server::ReadReady(int64_t conn_id, Conn* conn) {
     odt.destination = {query->dest_lng, query->dest_lat};
     odt.departure_time = query->departure_time;
     uint64_t id = query->id;
+    uint64_t trace_id = query->trace_id;
+    bool want_breakdown = (query->flags & kQueryFlagWantBreakdown) != 0;
+    // A sampled request gets a root span in the active recording; every
+    // downstream span (queue wait, wave, oracle stages) is stitched under
+    // it. With tracing off this is one relaxed atomic load.
+    uint64_t root_span = 0;
+    int64_t root_start_us = 0;
+    if ((query->flags & kQueryFlagSampled) && obs::TracingEnabled()) {
+      root_span = obs::NewSpanId();
+      root_start_us = obs::TraceNowUs();
+    }
+    RequestContext ctx;
+    ctx.trace_id = trace_id;
+    ctx.root_span = root_span;
+    ctx.want_timing = want_breakdown;
     // The callback runs on the batcher thread after the wave completes;
-    // it must not assume the connection still exists.
+    // it must not assume the connection still exists. Inflight is raised
+    // before Submit because the callback may fire before Submit returns.
+    metrics_.inflight->Add(1.0);
     auto start = std::chrono::steady_clock::now();
     Status admitted = batcher_->Submit(
-        odt, query->deadline_ms,
-        [this, conn_id, id, start](const Result<DotEstimate>& r) {
+        odt, query->deadline_ms, ctx,
+        [this, conn_id, id, trace_id, want_breakdown, root_span,
+         root_start_us, start](const Result<DotEstimate>& r,
+                               const RequestTiming& timing) {
           QueryResponse resp;
           resp.id = id;
           if (r.ok()) {
@@ -240,13 +269,64 @@ bool Server::ReadReady(int64_t conn_id, Conn* conn) {
             resp.code = CodeByte(r.status());
             resp.message = r.status().message();
           }
-          metrics_.request_latency_us->Observe(
-              std::chrono::duration<double, std::micro>(
-                  std::chrono::steady_clock::now() - start)
-                  .count());
+          if (want_breakdown) {
+            resp.has_breakdown = true;
+            resp.breakdown.queue_us = timing.queue_us;
+            resp.breakdown.batch_wait_us = timing.batch_wait_us;
+            resp.breakdown.stage1_us = timing.stage1_us;
+            resp.breakdown.stage2_us = timing.stage2_us;
+            // The echoed breakdown cannot contain its own encode time; the
+            // serialize segment is observable via the rolling window.
+            resp.breakdown.serialize_us = 0;
+          }
+          double latency_us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - start)
+                                  .count();
+          metrics_.request_latency_us->Observe(latency_us);
+          metrics_.win_request_latency->Observe(latency_us);
+          metrics_.win_queue->Observe(timing.queue_us);
+          metrics_.win_batch_wait->Observe(timing.batch_wait_us);
+          metrics_.win_stage1->Observe(timing.stage1_us);
+          metrics_.win_stage2->Observe(timing.stage2_us);
+          Stopwatch serialize_sw;
           QueueResponse(conn_id, resp);
+          double serialize_us = serialize_sw.ElapsedSeconds() * 1e6;
+          metrics_.win_serialize->Observe(serialize_us);
+          metrics_.inflight->Add(-1.0);
+          if (root_span != 0) {
+            obs::RecordSpan("request", root_span, 0, root_start_us,
+                            obs::TraceNowUs() - root_start_us,
+                            "\"trace_id\": " + std::to_string(trace_id) +
+                                ", \"id\": " + std::to_string(id));
+          }
+          bool degraded =
+              r.ok() &&
+              r->quality != ServedQuality::kFull;
+          double latency_ms = latency_us / 1e3;
+          if (!r.ok() || degraded || latency_ms > config_.slow_request_ms) {
+            obs::SlowQueryRecord rec;
+            rec.trace_id = trace_id;
+            rec.request_id = id;
+            rec.unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::system_clock::now()
+                                  .time_since_epoch())
+                              .count();
+            rec.latency_ms = latency_ms;
+            rec.quality = r.ok() ? static_cast<int>(r->quality) : 0;
+            rec.code = r.ok() ? 0 : static_cast<int>(CodeByte(r.status()));
+            rec.queue_us = timing.queue_us;
+            rec.batch_wait_us = timing.batch_wait_us;
+            rec.stage1_us = timing.stage1_us;
+            rec.stage2_us = timing.stage2_us;
+            rec.serialize_us = serialize_us;
+            rec.note = !r.ok() ? r.status().message()
+                     : degraded ? ServedQualityName(r->quality)
+                                : "slow";
+            slow_ring_.Push(std::move(rec));
+          }
         });
     if (!admitted.ok()) {
+      metrics_.inflight->Add(-1.0);
       // Typed rejection (overload or draining), answered inline: shedding
       // must be cheap exactly when the server is busiest.
       if (admitted.IsResourceExhausted()) ++stats_.overload_rejected;

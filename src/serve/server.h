@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/ring.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
 
@@ -39,12 +40,15 @@ struct ServerConfig {
   /// Listen backlog and the frame-size cap enforced per connection.
   int backlog = 64;
   uint32_t max_frame_payload = kMaxFramePayload;
+  /// A request slower than this lands in the slow-query ring (/slowz)
+  /// even when it was served at full quality.
+  double slow_request_ms = 100.0;
   /// Batcher policy (wave formation + admission control).
   BatcherConfig batcher;
 
   /// Reads DOT_SERVE_PORT, DOT_SERVE_MAX_BATCH, DOT_SERVE_MAX_WAVE_AGE_MS,
-  /// DOT_SERVE_QUEUE_CAP and DOT_SERVE_QUEUE_BUDGET_MS over the defaults.
-  /// Unset / unparsable variables keep the default.
+  /// DOT_SERVE_QUEUE_CAP, DOT_SERVE_QUEUE_BUDGET_MS and DOT_SERVE_SLOW_MS
+  /// over the defaults. Unset / unparsable variables keep the default.
   static ServerConfig FromEnv();
 };
 
@@ -80,6 +84,9 @@ class Server {
   ServerStats stats() const;
   const BatcherStats batcher_stats() const { return batcher_->stats(); }
 
+  /// Recent slow / degraded / failed requests (drives the /slowz endpoint).
+  obs::SlowQueryRing* slow_ring() { return &slow_ring_; }
+
  private:
   struct Conn {
     int fd = -1;
@@ -113,9 +120,18 @@ class Server {
     obs::Counter* protocol_errors;  // dot_server_protocol_errors_total
     obs::Counter* pings;            // dot_server_pings_total
     obs::Gauge* open_connections;   // dot_server_open_connections
+    obs::Gauge* inflight;           // dot_server_inflight (admitted, unanswered)
     obs::Histogram* request_latency_us;  // dot_server_request_latency_us
+    // Rolling 60s windows: live SLO percentiles for /varz and /metrics.
+    obs::RollingHistogram* win_request_latency;
+    obs::RollingHistogram* win_queue;
+    obs::RollingHistogram* win_batch_wait;
+    obs::RollingHistogram* win_stage1;
+    obs::RollingHistogram* win_stage2;
+    obs::RollingHistogram* win_serialize;
   };
   Metrics metrics_;
+  obs::SlowQueryRing slow_ring_{256};
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};

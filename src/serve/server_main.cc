@@ -4,14 +4,28 @@
 // manual poking with the bench client.
 //
 // Usage: dot_server [--port N] [--port-file PATH] [--checkpoint PATH]
+//                   [--admin-port N] [--admin-port-file PATH]
 //
-//   --port N          listen port (default: DOT_SERVE_PORT or ephemeral)
-//   --port-file PATH  write the bound port to PATH once listening (how
-//                     scripts discover an ephemeral port)
-//   --checkpoint PATH cache the trained demo oracle weights at PATH
+//   --port N            listen port (default: DOT_SERVE_PORT or ephemeral)
+//   --port-file PATH    write the bound port to PATH once listening (how
+//                       scripts discover an ephemeral port)
+//   --checkpoint PATH   cache the trained demo oracle weights at PATH
+//   --admin-port N      admin/introspection HTTP port (default:
+//                       DOT_SERVE_ADMIN_PORT; unset = no admin plane)
+//   --admin-port-file PATH  write the bound admin port to PATH
 //
 // Batching / admission knobs come from the environment (DOT_SERVE_*, see
-// ServerConfig::FromEnv). Prints "LISTENING <port>" on stdout when ready.
+// ServerConfig::FromEnv). Prints "LISTENING <port>" (and "ADMIN <port>"
+// when the admin plane is up) on stdout when ready.
+//
+// Signals (handled via a self-pipe; the handlers only write one byte):
+//   SIGTERM/SIGINT  graceful drain: /readyz flips to 503, the process
+//                   lingers DOT_SERVE_LAME_DUCK_MS (default 0) so load
+//                   balancers observe the flip, then drains and exits.
+//   SIGUSR1         dumps the /varz-equivalent JSON snapshot to stderr.
+
+#include <poll.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
@@ -22,6 +36,8 @@
 #include <string>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "serve/admin.h"
 #include "serve/demo.h"
 #include "serve/server.h"
 #include "util/logging.h"
@@ -29,15 +45,66 @@
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+int g_signal_pipe[2] = {-1, -1};
 
-void HandleSignal(int) { g_stop = 1; }
+void HandleStopSignal(int) {
+  g_stop = 1;
+  char b = 't';
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+void HandleUsr1(int) {
+  char b = 'u';
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+// The "server" section of /varz and the SIGUSR1 dump: point-in-time
+// front-end counters that live outside the metrics registry.
+std::string ServerStatsJson(const dot::serve::Server& server) {
+  dot::serve::ServerStats s = server.stats();
+  dot::serve::BatcherStats b = server.batcher_stats();
+  auto num = [](long long v) { return std::to_string(v); };
+  return std::string("{") + "\"port\": " + std::to_string(server.port()) +
+         ", \"connections_accepted\": " + num(s.connections_accepted) +
+         ", \"connections_open\": " + num(s.connections_open) +
+         ", \"requests\": " + num(s.requests) +
+         ", \"responses\": " + num(s.responses) +
+         ", \"overload_rejected\": " + num(s.overload_rejected) +
+         ", \"protocol_errors\": " + num(s.protocol_errors) +
+         ", \"pings\": " + num(s.pings) + ", \"waves\": " + num(b.waves) +
+         ", \"submitted\": " + num(b.submitted) +
+         ", \"completed\": " + num(b.completed) + "}";
+}
+
+bool WritePortFile(const std::string& path, int port) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "port file %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  std::fprintf(f, "%d\n", port);
+  std::fclose(f);
+  return true;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string port_file;
+  std::string admin_port_file;
   std::string checkpoint;
   dot::serve::ServerConfig config = dot::serve::ServerConfig::FromEnv();
+  dot::serve::AdminConfig admin_config = dot::serve::AdminConfig::FromEnv();
+  bool admin_enabled = std::getenv("DOT_SERVE_ADMIN_PORT") != nullptr;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -53,10 +120,16 @@ int main(int argc, char** argv) {
       port_file = next();
     } else if (arg == "--checkpoint") {
       checkpoint = next();
+    } else if (arg == "--admin-port") {
+      admin_config.port = std::atoi(next());
+      admin_enabled = true;
+    } else if (arg == "--admin-port-file") {
+      admin_port_file = next();
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: dot_server [--port N] "
-                   "[--port-file PATH] [--checkpoint PATH]\n",
+                   "[--port-file PATH] [--checkpoint PATH] [--admin-port N] "
+                   "[--admin-port-file PATH]\n",
                    arg.c_str());
       return 2;
     }
@@ -78,28 +151,69 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::signal(SIGTERM, HandleSignal);
-  std::signal(SIGINT, HandleSignal);
-
-  if (!port_file.empty()) {
-    std::FILE* f = std::fopen(port_file.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "port file %s: %s\n", port_file.c_str(),
-                   std::strerror(errno));
+  dot::serve::AdminHooks hooks;
+  hooks.server_json = [&server] { return ServerStatsJson(server); };
+  hooks.slow_ring = server.slow_ring();
+  dot::serve::AdminServer admin(admin_config, hooks);
+  if (admin_enabled) {
+    dot::Status admin_started = admin.Start();
+    if (!admin_started.ok()) {
+      std::fprintf(stderr, "admin: %s\n", admin_started.ToString().c_str());
       server.Shutdown();
       return 1;
     }
-    std::fprintf(f, "%d\n", server.port());
-    std::fclose(f);
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "signal pipe: %s\n", std::strerror(errno));
+    server.Shutdown();
+    return 1;
+  }
+  std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGUSR1, HandleUsr1);
+
+  if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
+    server.Shutdown();
+    return 1;
+  }
+  if (admin_enabled && !admin_port_file.empty() &&
+      !WritePortFile(admin_port_file, admin.port())) {
+    server.Shutdown();
+    return 1;
   }
   std::printf("LISTENING %d\n", server.port());
+  if (admin_enabled) std::printf("ADMIN %d\n", admin.port());
   std::fflush(stdout);
 
   while (!g_stop) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    pollfd pfd{g_signal_pipe[0], POLLIN, 0};
+    int rc = ::poll(&pfd, 1, 500);
+    if (rc <= 0) continue;  // timeout or EINTR; g_stop is the backstop
+    char bytes[64];
+    ssize_t n = ::read(g_signal_pipe[0], bytes, sizeof(bytes));
+    for (ssize_t i = 0; i < n; ++i) {
+      if (bytes[i] == 'u') {
+        // /varz-equivalent snapshot, greppable in the server's stderr log.
+        std::fprintf(stderr, "SIGUSR1 varz dump: {\"metrics\": %s, \"server\": %s}\n",
+                     dot::obs::MetricsToJson().c_str(),
+                     ServerStatsJson(server).c_str());
+        std::fflush(stderr);
+      }
+    }
   }
 
-  DOT_LOG_INFO << "signal received; draining";
+  // Lame duck: readiness flips immediately; the serving socket stays up
+  // for DOT_SERVE_LAME_DUCK_MS so load balancers can observe the flip and
+  // stop routing before connections start failing.
+  admin.SetReady(false);
+  double lame_duck_ms = EnvDouble("DOT_SERVE_LAME_DUCK_MS", 0);
+  DOT_LOG_INFO << "signal received; lame duck " << lame_duck_ms
+               << "ms, then draining";
+  if (lame_duck_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(lame_duck_ms));
+  }
   server.Shutdown();
   dot::serve::ServerStats stats = server.stats();
   dot::serve::BatcherStats bstats = server.batcher_stats();
@@ -112,5 +226,6 @@ int main(int argc, char** argv) {
       static_cast<long long>(stats.overload_rejected),
       static_cast<long long>(bstats.waves));
   std::fflush(stdout);
+  admin.Shutdown();
   return 0;
 }

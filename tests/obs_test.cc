@@ -9,7 +9,9 @@
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/ring.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "tensor/ops.h"
 #include "util/thread_pool.h"
 
@@ -371,6 +373,223 @@ TEST(DumpMetricsTest, WritesCombinedJsonFile) {
   EXPECT_NE(content.find("\"test_dump_counter\""), std::string::npos);
   EXPECT_NE(content.find("\"ops\""), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(GaugeAddTest, ConcurrentAddsSumExactly) {
+  obs::Gauge gauge;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge] {
+      for (int i = 0; i < kPerThread; ++i) {
+        gauge.Add(1.0);
+        gauge.Add(-1.0);
+        gauge.Add(1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Set() would lose concurrent updates; the CAS Add must not.
+  EXPECT_DOUBLE_EQ(gauge.Value(), kThreads * static_cast<double>(kPerThread));
+}
+
+// --- Rolling-window histogram under a fake clock --------------------------
+
+struct WindowFixture {
+  double now_s = 1000.0;  // arbitrary nonzero origin
+  obs::RollingHistogram window;
+  explicit WindowFixture(std::vector<double> bounds = {10, 100, 1000},
+                         double window_s = 60, double bucket_s = 5)
+      : window(std::move(bounds), window_s, bucket_s) {
+    window.SetClockForTesting([this] { return now_s; });
+  }
+};
+
+TEST(RollingWindowTest, ObserveCountAndQuantiles) {
+  WindowFixture f;
+  for (int i = 0; i < 50; ++i) f.window.Observe(5.0);    // le=10
+  for (int i = 0; i < 50; ++i) f.window.Observe(500.0);  // le=1000
+  EXPECT_EQ(f.window.Count(), 100);
+  EXPECT_LE(f.window.Quantile(0.25), 10.0);
+  double p95 = f.window.Quantile(0.95);
+  EXPECT_GT(p95, 100.0);
+  EXPECT_LE(p95, 1000.0);
+  obs::HistogramSnapshot snap = f.window.Snapshot();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_DOUBLE_EQ(snap.sum, 50 * 5.0 + 50 * 500.0);
+}
+
+TEST(RollingWindowTest, SamplesExpireAfterTheWindow) {
+  WindowFixture f;
+  f.window.Observe(50.0);
+  EXPECT_EQ(f.window.Count(), 1);
+  f.now_s += 30;  // still inside the 60s window
+  f.window.Observe(50.0);
+  EXPECT_EQ(f.window.Count(), 2);
+  f.now_s += 40;  // first sample now ~70s old; second ~40s
+  EXPECT_EQ(f.window.Count(), 1);
+  f.now_s += 70;  // everything aged out
+  EXPECT_EQ(f.window.Count(), 0);
+  EXPECT_DOUBLE_EQ(f.window.Quantile(0.95), 0.0);
+}
+
+TEST(RollingWindowTest, RingSlotsAreReusedAcrossManyRotations) {
+  WindowFixture f;
+  // One sample per 5s epoch for 10 minutes: far more epochs than slots, so
+  // every slot is CAS-reclaimed many times over.
+  for (int i = 0; i < 120; ++i) {
+    f.window.Observe(50.0);
+    f.now_s += 5;
+  }
+  // Live window holds the last 60-65s => 12 or 13 of the 5s epochs.
+  int64_t live = f.window.Count();
+  EXPECT_GE(live, 12);
+  EXPECT_LE(live, 13);
+}
+
+TEST(RollingWindowTest, ResetDropsEverything) {
+  WindowFixture f;
+  for (int i = 0; i < 10; ++i) f.window.Observe(7.0);
+  EXPECT_EQ(f.window.Count(), 10);
+  f.window.Reset();
+  EXPECT_EQ(f.window.Count(), 0);
+  f.window.Observe(7.0);  // reusable after reset
+  EXPECT_EQ(f.window.Count(), 1);
+}
+
+TEST(MetricsRegistryTest, WindowExportsPercentileGaugesAndJsonSection) {
+  auto& reg = obs::MetricsRegistry::Get();
+  obs::RollingHistogram* w = reg.GetWindow("test_window_latency_us");
+  EXPECT_EQ(reg.GetWindow("test_window_latency_us"), w);
+  w->Observe(42.0);
+  std::string text = reg.ToPrometheusText();
+  EXPECT_NE(text.find("test_window_latency_us_window_p50"), std::string::npos);
+  EXPECT_NE(text.find("test_window_latency_us_window_p95"), std::string::npos);
+  EXPECT_NE(text.find("test_window_latency_us_window_p99"), std::string::npos);
+  EXPECT_NE(text.find("test_window_latency_us_window_count"),
+            std::string::npos);
+  std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"windows\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_window_latency_us\""), std::string::npos);
+  obs::MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.windows.at("test_window_latency_us").count, 1);
+}
+
+// --- Slow-query ring ------------------------------------------------------
+
+TEST(SlowQueryRingTest, KeepsTheMostRecentCapacityRecords) {
+  obs::SlowQueryRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::SlowQueryRecord rec;
+    rec.request_id = static_cast<uint64_t>(i);
+    rec.latency_ms = 10.0 * i;
+    ring.Push(std::move(rec));
+  }
+  EXPECT_EQ(ring.total_pushed(), 10);
+  std::vector<obs::SlowQueryRecord> snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  // Oldest-first of the surviving tail: 6, 7, 8, 9.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[i].request_id, static_cast<uint64_t>(6 + i));
+  }
+}
+
+TEST(SlowQueryRingTest, ToJsonEscapesHostileNotes) {
+  obs::SlowQueryRing ring(2);
+  obs::SlowQueryRecord rec;
+  rec.request_id = 1;
+  rec.note = "evil\"note\\with\nnewline\tand\x01" "ctrl";
+  ring.Push(std::move(rec));
+  std::string json = ring.ToJson();
+  EXPECT_NE(json.find("evil\\\"note\\\\with\\nnewline\\tand\\u0001" "ctrl"),
+            std::string::npos);
+  // No raw control byte from the note may survive into the JSON text
+  // (structural '\n' between records is legitimate formatting).
+  for (char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+  }
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// --- JSON escaping of hostile span names (regression: the chrome-trace
+// exporter and every /varz-style dump share obs::JsonEscape) --------------
+
+TEST(TraceTest, HostileSpanNameSurvivesChromeJsonExport) {
+  obs::StartTracing();
+  {
+    obs::TraceSpan span("evil\"name\\with\\\\stuff\nand\tctrl\x02" "end");
+  }
+  std::vector<obs::TraceEvent> events = obs::StopTracing();
+  ASSERT_EQ(events.size(), 1u);
+  std::string json = obs::ToChromeJson(events);
+  // The escaped form must appear...
+  EXPECT_NE(
+      json.find("evil\\\"name\\\\with\\\\\\\\stuff\\nand\\tctrl\\u0002"
+                "end"),
+      std::string::npos);
+  // ...and no raw quote-breaking or control bytes may remain (structural
+  // '\n' between events is legitimate formatting).
+  for (char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+  }
+  // Unescape and verify the exact original round-trips.
+  std::string unescaped;
+  size_t start = json.find("evil");
+  ASSERT_NE(start, std::string::npos);
+  for (size_t i = start; i < json.size();) {
+    char c = json[i];
+    if (c == '"') break;  // end of the name string literal
+    if (c == '\\') {
+      char n = json[i + 1];
+      if (n == 'n') unescaped += '\n';
+      else if (n == 't') unescaped += '\t';
+      else if (n == 'u') {
+        unescaped += static_cast<char>(
+            std::stoi(json.substr(i + 2, 4), nullptr, 16));
+        i += 6;
+        continue;
+      } else {
+        unescaped += n;  // backslash-quote or backslash-backslash
+      }
+      i += 2;
+      continue;
+    }
+    unescaped += c;
+    ++i;
+  }
+  EXPECT_EQ(unescaped, "evil\"name\\with\\\\stuff\nand\tctrl\x02" "end");
+}
+
+TEST(TraceTest, ManualSpanRecordingStitchesUnderExplicitParent) {
+  obs::StartTracing();
+  uint64_t root = obs::NewSpanId();
+  ASSERT_NE(root, 0u);
+  int64_t t0 = obs::TraceNowUs();
+  obs::RecordSpan("child", obs::NewSpanId(), root, t0, 5, "\"k\": 1");
+  obs::RecordSpan("request", root, 0, t0, 10);
+  std::vector<obs::TraceEvent> events = obs::StopTracing();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "child");
+  EXPECT_EQ(events[0].parent_id, root);
+  EXPECT_EQ(events[1].name, "request");
+  EXPECT_EQ(events[1].id, root);
+  EXPECT_EQ(events[1].parent_id, 0u);
+}
+
+TEST(TraceTest, ManualSpanApisAreInertWhenDisabled) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  EXPECT_EQ(obs::NewSpanId(), 0u);
+  EXPECT_EQ(obs::TraceNowUs(), 0);
+  obs::RecordSpan("ignored", 1, 0, 0, 1);  // dropped silently
+  EXPECT_TRUE(obs::TraceEvents().empty());
 }
 
 }  // namespace

@@ -260,6 +260,102 @@ TEST_F(ProtocolTest, MixedMessageStreamOverSocketpair) {
   ::close(fds[1]);
 }
 
+// --- Protocol V2: trace context + timing breakdown ------------------------
+
+TEST_F(ProtocolTest, PlainRequestStillEncodesAsV1) {
+  QueryRequest q = SampleRequest();  // trace_id == 0, flags == 0
+  std::vector<uint8_t> payload = EncodePayload(Message{q});
+  EXPECT_EQ(payload[0], static_cast<uint8_t>(MsgType::kQueryRequest));
+  EXPECT_EQ(payload.size(), 57u);  // exact PR 6 bytes: old servers interop
+}
+
+TEST_F(ProtocolTest, V2RequestRoundtripCarriesTraceContext) {
+  QueryRequest q = SampleRequest();
+  q.trace_id = 0x1122334455667788ull;
+  q.flags = kQueryFlagSampled | kQueryFlagWantBreakdown;
+  std::vector<uint8_t> payload = EncodePayload(Message{q});
+  EXPECT_EQ(payload[0], static_cast<uint8_t>(MsgType::kQueryRequestV2));
+  EXPECT_EQ(payload.size(), 66u);
+  Result<Message> decoded = DecodePayload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  const auto* got = std::get_if<QueryRequest>(&*decoded);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->id, q.id);
+  EXPECT_EQ(got->deadline_ms, q.deadline_ms);
+  EXPECT_EQ(got->trace_id, q.trace_id);
+  EXPECT_EQ(got->flags, q.flags);
+}
+
+TEST_F(ProtocolTest, FlagsAloneUpgradeTheRequestToV2) {
+  QueryRequest q = SampleRequest();
+  q.flags = kQueryFlagWantBreakdown;  // trace_id stays 0
+  std::vector<uint8_t> payload = EncodePayload(Message{q});
+  EXPECT_EQ(payload[0], static_cast<uint8_t>(MsgType::kQueryRequestV2));
+  Result<Message> decoded = DecodePayload(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(std::get<QueryRequest>(*decoded).flags, kQueryFlagWantBreakdown);
+}
+
+TEST_F(ProtocolTest, PlainResponseStillEncodesAsV1) {
+  QueryResponse r;
+  r.id = 9;
+  r.minutes = 12.5;
+  std::vector<uint8_t> payload = EncodePayload(Message{r});
+  EXPECT_EQ(payload[0], static_cast<uint8_t>(MsgType::kQueryResponse));
+  EXPECT_EQ(payload.size(), 21u);
+}
+
+TEST_F(ProtocolTest, V2ResponseRoundtripCarriesBreakdown) {
+  QueryResponse r;
+  r.id = 77;
+  r.quality = 1;
+  r.minutes = 23.75;
+  r.message = "still carries a message";
+  r.code = static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
+  r.has_breakdown = true;
+  r.breakdown.queue_us = 120.5;
+  r.breakdown.batch_wait_us = 310.25;
+  r.breakdown.stage1_us = 90000.0;
+  r.breakdown.stage2_us = 1500.0;
+  r.breakdown.serialize_us = 12.0;
+  std::vector<uint8_t> payload = EncodePayload(Message{r});
+  EXPECT_EQ(payload[0], static_cast<uint8_t>(MsgType::kQueryResponseV2));
+  Result<Message> decoded = DecodePayload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  const auto* got = std::get_if<QueryResponse>(&*decoded);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->id, r.id);
+  EXPECT_EQ(got->code, r.code);
+  EXPECT_EQ(got->quality, r.quality);
+  EXPECT_EQ(got->minutes, r.minutes);
+  EXPECT_EQ(got->message, r.message);
+  ASSERT_TRUE(got->has_breakdown);
+  EXPECT_EQ(got->breakdown.queue_us, r.breakdown.queue_us);
+  EXPECT_EQ(got->breakdown.batch_wait_us, r.breakdown.batch_wait_us);
+  EXPECT_EQ(got->breakdown.stage1_us, r.breakdown.stage1_us);
+  EXPECT_EQ(got->breakdown.stage2_us, r.breakdown.stage2_us);
+  EXPECT_EQ(got->breakdown.serialize_us, r.breakdown.serialize_us);
+}
+
+TEST_F(ProtocolTest, TruncatedV2RequestIsRejected) {
+  QueryRequest q = SampleRequest();
+  q.trace_id = 42;
+  std::vector<uint8_t> payload = EncodePayload(Message{q});
+  payload.pop_back();  // drop the flags byte
+  Result<Message> decoded = DecodePayload(payload);
+  EXPECT_TRUE(decoded.status().IsInvalidArgument()) << decoded.status();
+}
+
+TEST_F(ProtocolTest, ShortV2ResponseIsRejected) {
+  QueryResponse r;
+  r.id = 5;
+  r.has_breakdown = true;
+  std::vector<uint8_t> payload = EncodePayload(Message{r});
+  payload.resize(40);  // cut inside the breakdown block
+  Result<Message> decoded = DecodePayload(payload);
+  EXPECT_TRUE(decoded.status().IsInvalidArgument()) << decoded.status();
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace dot
