@@ -3,13 +3,17 @@
 // map-based services" framing actually demands of a server — throughput,
 // tail latency, batch formation, and graceful degradation under overload.
 //
-// Default mode is self-contained: trains the demo oracle, starts the
-// server in-process on a loopback port, then runs
+// Default mode is self-contained: trains the demo oracle, seals it to a
+// checkpoint, starts the sharded server in-process on a loopback port
+// (DOT_SERVE_SHARDS worker shards, default 2), then runs
 //   1. a closed-loop phase (N synchronous clients) to measure capacity,
 //   2. an open-loop Poisson sweep at 0.5x / 1x / 2x the measured capacity
 //      (open loop keeps sending at the target rate regardless of response
 //      progress, so the 2x point genuinely overloads the queue and the
-//      typed backpressure + degradation ladder must answer).
+//      typed backpressure + degradation ladder must answer),
+//   3. a `swap` phase: open loop at 0.5x capacity while every shard
+//      hot-swaps its model mid-phase — the zero-downtime claim measured
+//      (zero errors required; p99 should stay within 2x of steady state).
 //
 // Results (throughput, p50/p95/p99 latency, wave-size distribution,
 // degradation mix, rejection counts) go to stdout and as JSON to
@@ -38,8 +42,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include <unistd.h>
+
+#include "core/shard.h"
 #include "serve/client.h"
 #include "serve/demo.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "sim/trips.h"
 #include "util/logging.h"
@@ -458,17 +466,60 @@ int RunLoadBench() {
                  world.status().ToString().c_str());
     return 1;
   }
-  OracleService service(world->oracle.get());
+
+  // The bench serves through the production sharded wiring: the trained
+  // demo oracle is sealed to a checkpoint and every shard loads its own
+  // replica from it, exactly like dot_server. The swap phase re-runs the
+  // same factory for the shadow models.
+  std::string ckpt =
+      "/tmp/dot_bench_serving_" + std::to_string(::getpid()) + ".ckpt";
+  Status sealed = world->oracle->SaveFile(ckpt);
+  if (!sealed.ok()) {
+    std::fprintf(stderr, "seal checkpoint: %s\n", sealed.ToString().c_str());
+    return 1;
+  }
+  ModelFactory factory = [&world,
+                          ckpt]() -> Result<std::unique_ptr<DotOracle>> {
+    auto oracle = std::make_unique<DotOracle>(DemoDotConfig(), *world->grid);
+    Status loaded = oracle->LoadFile(ckpt);
+    if (!loaded.ok()) return loaded;
+    return oracle;
+  };
+  long num_shards = 2;
+  if (const char* v = std::getenv("DOT_SERVE_SHARDS")) {
+    char* end = nullptr;
+    long parsed = std::strtol(v, &end, 10);
+    if (end && *end == '\0' && parsed > 0) num_shards = parsed;
+  }
+  std::vector<std::unique_ptr<OracleShard>> shards;
+  for (long s = 0; s < num_shards; ++s) {
+    ShardConfig shard_config;
+    shard_config.shard_id = std::to_string(s);
+    // Large enough that the canary ring covers the swap phase's hot
+    // working set, so the shadow models go live warm.
+    shard_config.canary_capacity = 128;
+    Result<std::unique_ptr<OracleShard>> shard =
+        OracleShard::Create(factory, std::move(shard_config));
+    if (!shard.ok()) {
+      std::fprintf(stderr, "shard %ld: %s\n", s,
+                   shard.status().ToString().c_str());
+      ::unlink(ckpt.c_str());
+      return 1;
+    }
+    shards.push_back(std::move(*shard));
+  }
+  ShardRouter router(std::move(shards));
 
   ServerConfig config = ServerConfig::FromEnv();
   // A deliberately small queue budget so the 2x-capacity point sheds load
   // instead of building a seconds-deep queue.
   config.batcher.queue_budget_ms = 2 * kDeadlineMs;
   config.batcher.queue_capacity = 512;
-  Server server(OracleBackend(&service), config);
+  Server server(RouterBackend(&router), config);
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    ::unlink(ckpt.c_str());
     return 1;
   }
 
@@ -499,6 +550,41 @@ int RunLoadBench() {
     open.push_back(r);
   }
 
+  // Swap phase: steady 0.5x open-loop load while every shard hot-swaps its
+  // model a third of the way in. The zero-downtime claim, measured: the
+  // phase must serve zero errors and its p99 should stay within 2x of the
+  // equivalent steady-state phase (open[0]). The phase replays a compact
+  // hot working set (steady traffic concentrates on hot OD pairs) — the
+  // scenario the canary warm is built for: the shadow model re-serves the
+  // shards' recent-OD rings before going live, so the swap does not turn
+  // the hot set into a cold-cache stampede.
+  std::vector<OdtInput> hot_demand(
+      demand.begin(),
+      demand.begin() + std::min<size_t>(64, demand.size()));
+  std::vector<int64_t> versions_before;
+  for (const ShardStatus& s : router.Statuses()) {
+    versions_before.push_back(s.model_version);
+  }
+  double swap_ms = 0;
+  Status swap_status = Status::OK();
+  std::thread swapper([&router, &swap_ms, &swap_status, phase_s] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(phase_s / 3.0));
+    double t0 = NowMs();
+    swap_status = router.SwapAll();
+    swap_ms = NowMs() - t0;
+  });
+  PhaseResult swap_phase = RunOpenLoop(server.port(), hot_demand,
+                                       0.5 * capacity, /*conns=*/threads,
+                                       phase_s, &server, seed++);
+  swapper.join();
+  swap_phase.name = "swap";
+  PrintPhase(swap_phase);
+  std::vector<int64_t> versions_after;
+  for (const ShardStatus& s : router.Statuses()) {
+    versions_after.push_back(s.model_version);
+  }
+
   server.Shutdown();
   ServerStats stats = server.stats();
   BatcherStats bstats = server.batcher_stats();
@@ -507,10 +593,26 @@ int RunLoadBench() {
   os.precision(6);
   os << "{\n  \"bench\": \"serving_load\", \"scale\": \""
      << (full ? "full" : "quick") << "\",\n"
-     << "  \"capacity_qps\": " << capacity << ",\n  \"phases\": [\n"
+     << "  \"capacity_qps\": " << capacity << ",\n"
+     << "  \"shards\": " << router.shard_count() << ",\n  \"phases\": [\n"
      << PhaseJson(closed);
   for (const PhaseResult& r : open) os << ",\n" << PhaseJson(r);
+  os << ",\n" << PhaseJson(swap_phase);
+  double steady_p99 = open.front().latency_ms.p99;
+  double swap_p99_vs_steady =
+      steady_p99 > 0 ? swap_phase.latency_ms.p99 / steady_p99 : 0;
   os << "\n  ],\n"
+     << "  \"swap\": {\"ok\": " << (swap_status.ok() ? "true" : "false")
+     << ", \"swap_ms\": " << swap_ms << ", \"versions_before\": [";
+  for (size_t i = 0; i < versions_before.size(); ++i) {
+    os << (i ? ", " : "") << versions_before[i];
+  }
+  os << "], \"versions_after\": [";
+  for (size_t i = 0; i < versions_after.size(); ++i) {
+    os << (i ? ", " : "") << versions_after[i];
+  }
+  os << "], \"errors\": " << swap_phase.errors
+     << ", \"p99_vs_steady\": " << swap_p99_vs_steady << "},\n"
      << "  \"server\": {\"connections\": " << stats.connections_accepted
      << ", \"requests\": " << stats.requests
      << ", \"responses\": " << stats.responses
@@ -540,6 +642,26 @@ int RunLoadBench() {
       overload.quality[1] + overload.quality[2] + overload.quality[3] > 0;
   if (!formed_waves) std::printf("WARN: no batch formation under load\n");
   if (!shed_or_degraded) std::printf("WARN: overload produced no shedding\n");
+  // Hot-swap acceptance: the swap must have completed, bumped every shard's
+  // model version, served zero errors, and kept tail latency bounded.
+  bool all_bumped = versions_before.size() == versions_after.size();
+  for (size_t i = 0; all_bumped && i < versions_after.size(); ++i) {
+    all_bumped = versions_after[i] > versions_before[i];
+  }
+  if (!swap_status.ok()) {
+    std::printf("WARN: hot swap failed: %s\n",
+                swap_status.ToString().c_str());
+  }
+  if (!all_bumped) std::printf("WARN: swap did not bump every shard\n");
+  if (swap_phase.errors > 0) {
+    std::printf("WARN: swap phase served %lld errors\n",
+                static_cast<long long>(swap_phase.errors));
+  }
+  if (swap_p99_vs_steady > 2.0) {
+    std::printf("WARN: swap phase p99 %.1fms is %.2fx steady state\n",
+                swap_phase.latency_ms.p99, swap_p99_vs_steady);
+  }
+  ::unlink(ckpt.c_str());
   std::printf("SERVING_BENCH_DONE\n");
   return 0;
 }

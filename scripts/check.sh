@@ -32,7 +32,14 @@
 #      live admin-plane smoke against the dot_server binary — /healthz,
 #      /metrics (same lint as stage 3, plus the inflight gauge and windowed
 #      percentiles), /varz, /slowz, /tracez, a SIGUSR1 stderr stats dump,
-#      and the /readyz ready->draining flip during the SIGTERM lame-duck.
+#      and the /readyz ready->draining flip during the SIGTERM lame-duck;
+#  10. sharded-oracle chaos gate: the chaos harness (crash/NaN/delay
+#      injection into shards, quarantine + probe recovery, mid-load hot
+#      swaps) under TSan, then a loopback shard-kill smoke — dot_server
+#      with 3 shards and a failpoint-killed shard must quarantine it,
+#      keep answering, recover it after the fault clears, hot-swap every
+#      shard via POST /swapz, export well-formed per-shard labeled
+#      metrics, and drain with lost=0.
 # Usage: scripts/check.sh [build_dir] [asan_build_dir]
 #   (defaults: build-tsan build-asan)
 set -u
@@ -315,6 +322,131 @@ else
   fi
 fi
 rm -rf "$ADMIN_DIR"
+
+echo "== sharded oracle: chaos harness under tsan =="
+# Shard dispatch, health transitions, probes, and hot swaps all race
+# against concurrent load threads in this suite — TSan checks the shard /
+# router locking for real.
+if ! "$BUILD"/tests/chaos_test > /dev/null; then
+  echo "CHECK FAILED: chaos_test (tsan)"
+  FAILED=1
+fi
+
+echo "== sharded oracle: loopback shard-kill smoke =="
+# 3-shard dot_server with shard 1's dispatch failpoint armed for 5 hits:
+# 3 consecutive failures quarantine the shard, 2 more eat failed probes,
+# then the exhausted failpoint lets a probe succeed and the shard must
+# come back — all observed live through /shardz while the smoke client
+# keeps querying (no request may be lost: DRAINED must report lost=0).
+CHAOS_DIR=$(mktemp -d)
+CHAOS_LOG="$CHAOS_DIR/server.log"
+CHAOS_PORT_FILE="$CHAOS_DIR/port"
+CHAOS_ADMIN_PORT_FILE="$CHAOS_DIR/admin_port"
+DOT_SERVE_SHARDS=3 DOT_SERVE_PROBE_BACKOFF_MS=200 \
+  DOT_FAILPOINTS="serve.shard_dispatch.1=error:5" \
+  "$BUILD_ASAN"/src/serve/dot_server \
+  --port-file "$CHAOS_PORT_FILE" \
+  --admin-port 0 --admin-port-file "$CHAOS_ADMIN_PORT_FILE" \
+  --checkpoint "$CHAOS_DIR/oracle.bin" > "$CHAOS_LOG" 2>&1 &
+CHAOS_PID=$!
+for _ in $(seq 1 600); do
+  [ -s "$CHAOS_PORT_FILE" ] && [ -s "$CHAOS_ADMIN_PORT_FILE" ] && break
+  if ! kill -0 "$CHAOS_PID" 2> /dev/null; then break; fi
+  sleep 0.5
+done
+if [ ! -s "$CHAOS_PORT_FILE" ]; then
+  echo "CHECK FAILED: sharded dot_server did not come up"
+  cat "$CHAOS_LOG"
+  FAILED=1
+else
+  CPORT=$(cat "$CHAOS_PORT_FILE")
+  CAPORT=$(cat "$CHAOS_ADMIN_PORT_FILE")
+  if ! grep -q '^SHARDS 3$' "$CHAOS_LOG"; then
+    echo "CHECK FAILED: dot_server did not report 3 shards"
+    FAILED=1
+  fi
+  # Round 1: enough traffic that shard 1 takes 3 consecutive failures.
+  # Every query must still be answered (the ladder serves for the shard).
+  if ! "$BUILD_ASAN"/bench/bench_serving_load --client-smoke --port "$CPORT" \
+      --queries 30 > /dev/null; then
+    echo "CHECK FAILED: smoke traffic failed during shard kill"
+    FAILED=1
+  fi
+  if ! curl -s "http://127.0.0.1:$CAPORT/shardz" | grep -q '"quarantined"'; then
+    echo "CHECK FAILED: killed shard was not quarantined"
+    curl -s "http://127.0.0.1:$CAPORT/shardz"
+    FAILED=1
+  fi
+  # Keep traffic flowing across the probe backoff windows (200/400/800 ms)
+  # until the exhausted failpoint lets a probe through and /shardz shows
+  # every shard healthy again.
+  RECOVERED=0
+  for _ in $(seq 1 30); do
+    sleep 0.3
+    "$BUILD_ASAN"/bench/bench_serving_load --client-smoke --port "$CPORT" \
+      --queries 10 > /dev/null 2>&1
+    if ! curl -s "http://127.0.0.1:$CAPORT/shardz" | grep -q '"quarantined"'
+    then
+      RECOVERED=1
+      break
+    fi
+  done
+  if [ "$RECOVERED" -ne 1 ]; then
+    echo "CHECK FAILED: killed shard did not recover after failpoint drained"
+    curl -s "http://127.0.0.1:$CAPORT/shardz"
+    FAILED=1
+  fi
+  # Zero-downtime hot swap via the admin plane: POST flips every shard to
+  # model_version 2 (GET must be rejected — it is the mutating endpoint).
+  if [ "$(curl -s -o /dev/null -w '%{http_code}' \
+      "http://127.0.0.1:$CAPORT/swapz")" != "405" ]; then
+    echo "CHECK FAILED: GET /swapz was not rejected"
+    FAILED=1
+  fi
+  if ! curl -s -X POST "http://127.0.0.1:$CAPORT/swapz" | grep -q 'swap ok'
+  then
+    echo "CHECK FAILED: POST /swapz"
+    FAILED=1
+  fi
+  if curl -s "http://127.0.0.1:$CAPORT/shardz" \
+      | grep -q '"model_version": 1'; then
+    echo "CHECK FAILED: a shard still serves model_version 1 after /swapz"
+    curl -s "http://127.0.0.1:$CAPORT/shardz"
+    FAILED=1
+  fi
+  # Per-shard labeled series must export well-formed (the stage-3 lint
+  # only sees unsharded processes; this is the labeled-metric variant).
+  CHAOS_METRICS="$CHAOS_DIR/metrics.txt"
+  curl -s "http://127.0.0.1:$CAPORT/metrics" > "$CHAOS_METRICS"
+  CBAD=$(grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN))$' \
+    "$CHAOS_METRICS")
+  if [ -n "$CBAD" ]; then
+    echo "CHECK FAILED: malformed sharded /metrics lines:"
+    echo "$CBAD"
+    FAILED=1
+  fi
+  for METRIC in 'dot_shard_cache_hits_total\{shard="0"\}' \
+                'dot_shard_quality_total\{shard="1",level="fallback"\}' \
+                'dot_shard_quarantines_total\{shard="1"\}' \
+                'dot_shard_health\{shard="2"\}' \
+                'dot_shard_model_version\{shard="0"\}'; do
+    if ! grep -qE "^${METRIC} " "$CHAOS_METRICS"; then
+      echo "CHECK FAILED: sharded /metrics is missing ${METRIC}"
+      FAILED=1
+    fi
+  done
+  kill -TERM "$CHAOS_PID"
+  if ! wait "$CHAOS_PID"; then
+    echo "CHECK FAILED: sharded dot_server exited nonzero after SIGTERM"
+    FAILED=1
+  fi
+  if ! grep -qE '^DRAINED .*lost=0' "$CHAOS_LOG"; then
+    echo "CHECK FAILED: sharded drain lost requests"
+    cat "$CHAOS_LOG"
+    FAILED=1
+  fi
+fi
+rm -rf "$CHAOS_DIR"
 
 if [ "$FAILED" -ne 0 ]; then
   echo "CHECK FAILED"

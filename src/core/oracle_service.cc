@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <random>
 #include <thread>
 #include <unordered_set>
 
@@ -115,15 +116,23 @@ Result<std::vector<Pit>> OracleService::TryInferWithRetry(
   Status last = Status::Internal("stage 1: no attempt made");
   for (int64_t a = 0; a < attempts; ++a) {
     if (a > 0) {
-      int64_t backoff_ms = config_.retry_backoff_ms << (a - 1);
+      // Exponential backoff with ±25% jitter: after a common-cause failure
+      // every shard retries on its own schedule instead of re-storming the
+      // backend in lockstep.
+      thread_local std::mt19937_64 jitter_rng(
+          std::hash<std::thread::id>{}(std::this_thread::get_id()));
+      std::uniform_real_distribution<double> jitter(0.75, 1.25);
+      double backoff_ms =
+          static_cast<double>(config_.retry_backoff_ms << (a - 1)) *
+          jitter(jitter_rng);
       if (opts.deadline_ms > 0 &&
-          opts.deadline_ms - sw.ElapsedSeconds() * 1e3 <=
-              static_cast<double>(backoff_ms)) {
+          opts.deadline_ms - sw.ElapsedSeconds() * 1e3 <= backoff_ms) {
         break;  // the backoff alone would bust the deadline: stop retrying
       }
       metrics_.retries->Increment();
       if (backoff_ms > 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
       }
     }
     std::unique_lock<std::mutex> olock(oracle_mu_);
@@ -218,6 +227,7 @@ OracleService::MissServe OracleService::ServeMisses(
       out.fresh = true;
       return out;
     }
+    out.stage1_error = true;  // attempted and exhausted — a real failure
   }
 
   // Ladder tail, per miss: a cached PiT from a neighboring time-of-day
@@ -263,6 +273,7 @@ Result<DotEstimate> OracleService::Query(const OdtInput& odt,
   }
   obs::TraceSpan span("OracleService::Query");
   Stopwatch sw;
+  if (opts.stage1_failed != nullptr) *opts.stage1_failed = false;
   metrics_.queries->Increment();
   int64_t bucket = BucketOf(odt);
   bool hit = false;
@@ -297,6 +308,9 @@ Result<DotEstimate> OracleService::Query(const OdtInput& odt,
   MissServe served = ServeMisses({odt}, {bucket}, opts, sw);
   if (opts.timing != nullptr) {
     opts.timing->stage1_us = stage1_sw.ElapsedSeconds() * 1e6;
+  }
+  if (opts.stage1_failed != nullptr && served.stage1_error) {
+    *opts.stage1_failed = true;
   }
   DotEstimate est;
   est.quality = served.quality[0];
@@ -338,6 +352,7 @@ Result<std::vector<DotEstimate>> OracleService::QueryBatch(
   }
   obs::TraceSpan span("OracleService::QueryBatch");
   Stopwatch sw;
+  if (opts.stage1_failed != nullptr) *opts.stage1_failed = false;
   size_t n = odts.size();
   metrics_.queries->Increment(static_cast<int64_t>(n));
   metrics_.batch_size->Observe(static_cast<double>(n));
@@ -400,6 +415,9 @@ Result<std::vector<DotEstimate>> OracleService::QueryBatch(
     if (opts.timing != nullptr) {
       opts.timing->stage1_us = stage1_sw.ElapsedSeconds() * 1e6;
     }
+    if (opts.stage1_failed != nullptr && served.stage1_error) {
+      *opts.stage1_failed = true;
+    }
     if (served.fresh && served.quality[0] == ServedQuality::kFull) {
       std::lock_guard<std::mutex> lock(mu_);
       for (size_t k = 0; k < miss_rep.size(); ++k) {
@@ -453,6 +471,87 @@ Result<std::vector<DotEstimate>> OracleService::QueryBatch(
     RecordQuality(quality[i]);
     double m = quality[i] == ServedQuality::kFallback ? fallback_minutes[i]
                                                       : minutes[i];
+    out.push_back(DotEstimate{m, std::move(pits[i]), quality[i]});
+  }
+  metrics_.batch_latency_us->Observe(sw.ElapsedSeconds() * 1e6);
+  return out;
+}
+
+Result<std::vector<DotEstimate>> OracleService::QueryDegraded(
+    const std::vector<OdtInput>& odts) {
+  if (odts.empty()) return std::vector<DotEstimate>{};
+  for (size_t i = 0; i < odts.size(); ++i) {
+    Status s = ValidateQuery(odts[i]);
+    if (!s.ok()) {
+      return Status::InvalidArgument("batch query " + std::to_string(i) +
+                                     ": " + s.message());
+    }
+  }
+  if (!oracle_->trained()) {
+    return Status::FailedPrecondition("oracle not trained");
+  }
+  obs::TraceSpan span("OracleService::QueryDegraded");
+  Stopwatch sw;
+  size_t n = odts.size();
+  metrics_.queries->Increment(static_cast<int64_t>(n));
+  std::vector<Pit> pits(n, Pit{1});
+  std::vector<ServedQuality> quality(n, ServedQuality::kFallback);
+  int64_t wave_hits = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.queries += static_cast<int64_t>(n);
+    ++stats_.batch_queries;
+    for (size_t i = 0; i < n; ++i) {
+      int64_t bucket = BucketOf(odts[i]);
+      auto it = cache_.find(bucket);
+      if (it != cache_.end()) {
+        ++stats_.cache_hits;
+        ++wave_hits;
+        Touch(it);
+        pits[i] = it->second.pit;
+        quality[i] = ServedQuality::kFull;
+      } else if (LookupNeighborLocked(bucket, &pits[i])) {
+        quality[i] = ServedQuality::kCachedNeighbor;
+      }
+      // No cache-miss accounting: this path never attempts the fill, so a
+      // miss here is not a miss the cache could have prevented.
+    }
+  }
+  metrics_.cache_hits->Increment(wave_hits);
+
+  // One batched stage-2 pass over every query that found a PiT; the rest
+  // get the fallback estimate. Stage 1 is never touched.
+  std::vector<size_t> with_pit;
+  with_pit.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (quality[i] != ServedQuality::kFallback) with_pit.push_back(i);
+  }
+  std::vector<double> minutes(n, 0.0);
+  if (!with_pit.empty()) {
+    std::vector<Pit> est_pits;
+    std::vector<OdtInput> est_odts;
+    est_pits.reserve(with_pit.size());
+    est_odts.reserve(with_pit.size());
+    for (size_t i : with_pit) {
+      est_pits.push_back(pits[i]);
+      est_odts.push_back(odts[i]);
+    }
+    std::vector<double> est;
+    {
+      std::lock_guard<std::mutex> olock(oracle_mu_);
+      est = oracle_->EstimateFromPits(est_pits, est_odts);
+    }
+    for (size_t k = 0; k < with_pit.size(); ++k) minutes[with_pit[k]] = est[k];
+  }
+  std::vector<DotEstimate> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    RecordQuality(quality[i]);
+    double m = quality[i] == ServedQuality::kFallback
+                   ? (config_.fallback_estimator
+                          ? config_.fallback_estimator(odts[i])
+                          : oracle_->prior_mean_minutes())
+                   : minutes[i];
     out.push_back(DotEstimate{m, std::move(pits[i]), quality[i]});
   }
   metrics_.batch_latency_us->Observe(sw.ElapsedSeconds() * 1e6);

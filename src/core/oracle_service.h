@@ -52,8 +52,10 @@ struct OracleServiceConfig {
   /// Bounded retry for transient (Internal) stage-1 failures: total
   /// attempts per ladder level are 1 + max_retries.
   int64_t max_retries = 2;
-  /// Backoff before retry k is retry_backoff_ms << (k-1) milliseconds;
-  /// retries that cannot fit their backoff inside the deadline are skipped.
+  /// Backoff before retry k is retry_backoff_ms << (k-1) milliseconds,
+  /// jittered by ±25% so shards that fail from a common cause desynchronize
+  /// instead of re-storming the oracle in lockstep; retries that cannot fit
+  /// their backoff inside the deadline are skipped.
   int64_t retry_backoff_ms = 1;
   /// kCachedNeighbor searches this many time-of-day slots on each side of
   /// the missing bucket for a cached PiT of the same OD pair.
@@ -81,6 +83,12 @@ struct QueryOptions {
   /// When set, Query/QueryBatch write their stage wall times here (output
   /// parameter; must outlive the call).
   StageTiming* timing = nullptr;
+  /// When set, receives true iff stage-1 inference *failed* during the call
+  /// (retries exhausted / NaN-poisoned sampler), false otherwise. Deadline-
+  /// driven degradations do NOT count — they are the service working as
+  /// intended, not the model failing. The shard health machinery keys its
+  /// consecutive-failure quarantine off this signal.
+  bool* stage1_failed = nullptr;
 };
 
 /// \brief Query statistics of an OracleService.
@@ -124,6 +132,15 @@ class OracleService {
   Result<std::vector<DotEstimate>> QueryBatch(const std::vector<OdtInput>& odts,
                                               const QueryOptions& opts = {});
 
+  /// Answers a wave *without ever running stage 1* — the bounded-failover
+  /// path for queries whose home shard is quarantined: an exact cached
+  /// bucket serves at kFull, a neighboring time-of-day bucket at
+  /// kCachedNeighbor, everything else at kFallback. One batched stage-2
+  /// pass covers every query that found a PiT. Never trains, never samples,
+  /// so it is safe to call against a shard whose model is poisoned.
+  Result<std::vector<DotEstimate>> QueryDegraded(
+      const std::vector<OdtInput>& odts);
+
   /// Pre-computes the buckets for a set of expected queries (e.g. a
   /// morning's dispatch plan) so later Query calls are cache hits.
   Status Warm(const std::vector<OdtInput>& odts);
@@ -148,6 +165,9 @@ class OracleService {
     std::vector<double> minutes;
     std::vector<ServedQuality> quality;
     bool fresh = false;
+    /// Stage-1 inference was attempted and failed (exhausted retries). Not
+    /// set by deadline-driven skips. Feeds QueryOptions::stage1_failed.
+    bool stage1_error = false;
   };
 
   int64_t BucketOf(const OdtInput& odt) const;

@@ -1,0 +1,236 @@
+// A worker shard of the sharded oracle service (DESIGN.md §5i): one
+// OracleShard owns one model replica (a DotOracle loaded from a sealed
+// checkpoint), one OracleService (its own LRU cache + degradation ladder),
+// and its own health state. The router (serve/router.h) partitions query
+// waves across shards by OD-pair hash; each shard serves its sub-wave
+// serially, so N shards give the process N independent serving lanes with
+// independent failure domains.
+//
+// Health state machine:
+//
+//        p95 over threshold                consecutive stage-1 failures
+//   healthy <-----------> degraded ----------------+
+//      ^                                           v
+//      +------------- probe success ------- quarantined
+//                                          (probe on traffic, exponential
+//                                           backoff between probes)
+//
+//   - healthy/degraded shards serve the full path (QueryBatch). Degraded
+//     is a triage annotation from the shard's rolling-window p95 — the
+//     shard still serves, operators see pressure building before failures.
+//   - A stage-1 failure (retries exhausted, NaN-poisoned sampler — NOT a
+//     deadline-driven degradation) bumps a consecutive-failure counter;
+//     at quarantine_after_failures the shard is quarantined.
+//   - Quarantined shards answer every wave through the PR 3 degradation
+//     ladder without touching stage 1 (OracleService::QueryDegraded):
+//     exact cached bucket, neighboring time-of-day bucket, fallback
+//     estimate — tagged with ServedQuality so clients can tell. No wave is
+//     ever dropped.
+//   - Once the probe backoff elapses, the next wave for the shard is the
+//     probe: it runs the full path, and success flips the shard healthy
+//     while failure doubles the backoff.
+//
+// Zero-downtime hot swap: HotSwap() builds a shadow model via the shard's
+// ModelFactory (normally a sealed-checkpoint load), warms it with a canary
+// batch of recently-served ODs, and atomically publishes a new versioned
+// runtime. In-flight waves keep a shared_ptr to the old runtime and finish
+// on the old model; the swap never blocks serving.
+//
+// Fault injection: the `serve.shard_dispatch` failpoint (and its per-shard
+// variant `serve.shard_dispatch.<id>`) fires before each full-path
+// dispatch. `error`/`nan` simulate a crashed / poisoned model call (the
+// wave is answered through the ladder and counts as a shard failure);
+// `delay` injects latency ahead of the dispatch (exercises the p95 triage).
+
+#ifndef DOT_CORE_SHARD_H_
+#define DOT_CORE_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/oracle_service.h"
+#include "obs/window.h"
+#include "util/failpoint.h"
+
+namespace dot {
+
+/// \brief Shard health (DESIGN.md §5i). Gauge values are the enum values.
+enum class ShardHealth : int {
+  kHealthy = 0,
+  kDegraded = 1,     ///< serving, but windowed p95 is over the threshold
+  kQuarantined = 2,  ///< full path disabled; serving through the ladder
+};
+
+/// Short lowercase name ("healthy", "degraded", "quarantined").
+const char* ShardHealthName(ShardHealth h);
+
+/// Builds a fresh trained model replica for a shard — normally by loading
+/// a sealed checkpoint. Called at shard creation and again on every
+/// HotSwap() (the swap's shadow model).
+using ModelFactory = std::function<Result<std::unique_ptr<DotOracle>>()>;
+
+/// \brief Per-shard configuration.
+struct ShardConfig {
+  /// Stable identifier: the ring position key, the metric label, and the
+  /// per-shard failpoint suffix (`serve.shard_dispatch.<id>`).
+  std::string shard_id;
+
+  /// Consecutive stage-1 failures before the shard is quarantined.
+  int64_t quarantine_after_failures = 3;
+  /// Windowed-p95 threshold (microseconds per wave) above which a healthy
+  /// shard is marked degraded. 0 disables the triage.
+  double degraded_p95_us = 0;
+  /// Minimum window samples before the p95 triage may fire (a single slow
+  /// wave after an idle minute is not a trend).
+  int64_t degraded_min_samples = 5;
+
+  /// First probe is scheduled this long after quarantine...
+  double probe_backoff_initial_ms = 200;
+  /// ...and each failed probe doubles the wait, capped here.
+  double probe_backoff_max_ms = 10000;
+
+  /// ODs retained from recently-served waves to warm a swap's shadow model
+  /// (0 = swap without a canary pass).
+  int64_t canary_capacity = 4;
+
+  /// Cache / ladder configuration of the shard's OracleService.
+  OracleServiceConfig service;
+
+  /// Rolling window of the p95 triage (seconds).
+  double window_seconds = 60.0;
+  double window_bucket_seconds = 5.0;
+
+  /// Injectable monotonic clock, milliseconds. Tests drive probe backoff
+  /// deterministically; empty = steady_clock.
+  std::function<double()> now_ms;
+};
+
+/// \brief Point-in-time shard status (rendered by /shardz).
+struct ShardStatus {
+  std::string id;
+  ShardHealth health = ShardHealth::kHealthy;
+  int64_t model_version = 0;
+  int64_t consecutive_failures = 0;
+  int64_t waves = 0;
+  int64_t queries = 0;
+  int64_t failures = 0;     ///< stage-1/dispatch failures observed
+  int64_t quarantines = 0;  ///< healthy->quarantined transitions
+  int64_t probes = 0;       ///< probe waves attempted while quarantined
+  int64_t swaps = 0;        ///< completed hot swaps
+  int64_t cache_size = 0;
+  double window_p95_us = 0;
+  /// Milliseconds until the next probe is due (0 when not quarantined).
+  double next_probe_in_ms = 0;
+};
+
+/// \brief One worker shard: model replica + cache + health machine.
+class OracleShard {
+ public:
+  /// Builds the shard's first model via `factory`. Fails if the factory
+  /// fails or produces an untrained model.
+  static Result<std::unique_ptr<OracleShard>> Create(ModelFactory factory,
+                                                     ShardConfig config);
+
+  /// Serves one sub-wave (the router's per-shard slice). Never loses a
+  /// request: failures and quarantine serve degraded-tagged answers through
+  /// the ladder. Only invalid input / an untrained model error. Waves on
+  /// one shard are serialized (the shard's thread budget is one wave).
+  Result<std::vector<DotEstimate>> ServeWave(const std::vector<OdtInput>& odts,
+                                             const QueryOptions& opts);
+
+  /// Zero-downtime model swap: shadow-load via the factory, canary-warm,
+  /// atomically publish a new versioned runtime. In-flight waves finish on
+  /// the old model. A factory failure, untrained model, or failed canary
+  /// leaves the current model serving and returns the error. On success
+  /// the shard re-enters kHealthy (the failure history belonged to the old
+  /// model) with a cold cache (cached PiTs were the old model's output).
+  Status HotSwap();
+
+  ShardHealth health() const;
+  int64_t model_version() const;
+  ShardStatus status() const;
+  /// JSON object for /shardz.
+  std::string StatusJson() const;
+
+  const std::string& id() const { return config_.shard_id; }
+
+ private:
+  OracleShard(ShardConfig config);
+
+  /// The versioned model runtime a wave pins for its whole duration.
+  struct ModelRuntime {
+    std::shared_ptr<DotOracle> oracle;
+    std::unique_ptr<OracleService> service;
+    int64_t version = 0;
+  };
+
+  double NowMs() const;
+  std::shared_ptr<ModelRuntime> CurrentRuntime() const;
+  /// Builds a runtime around a factory-produced oracle (shared by Create
+  /// and HotSwap).
+  static Result<std::shared_ptr<ModelRuntime>> BuildRuntime(
+      const ModelFactory& factory, const ShardConfig& config,
+      int64_t version);
+
+  /// Health bookkeeping after a full-path wave. Caller holds serve_mu_.
+  void OnDispatchFailure();
+  void OnDispatchSuccess();
+  void SetHealthLocked(ShardHealth h);  // caller holds state_mu_
+
+  /// Tallies quality labels + the cache-hit delta of a served wave.
+  void RecordWaveMetrics(const std::vector<DotEstimate>& estimates,
+                         OracleService* service);
+
+  ShardConfig config_;
+  ModelFactory factory_;
+
+  // Resolved once; per-call cost is one relaxed load when disarmed. The
+  // DOT_FAILPOINT macro caches per *call site*, which would pin the first
+  // shard's name — resolved explicitly instead.
+  fail::Failpoint* fp_dispatch_;        // serve.shard_dispatch
+  fail::Failpoint* fp_dispatch_shard_;  // serve.shard_dispatch.<id>
+
+  // Per-shard registry metrics (labels {shard=<id>}), resolved once.
+  struct Metrics {
+    Metrics(const std::string& id);
+    obs::Counter* waves;
+    obs::Counter* queries;
+    obs::Counter* failures;
+    obs::Counter* quarantines;
+    obs::Counter* probes;
+    obs::Counter* swaps;
+    obs::Counter* cache_hits;
+    obs::Counter* quality[4];  // indexed by ServedQuality
+    obs::Gauge* health;
+    obs::Gauge* model_version;
+  };
+  Metrics metrics_;
+
+  /// Rolling wave-latency window feeding the degraded-p95 triage. Owned
+  /// here (not the registry's): the triage threshold is per shard and the
+  /// window must reset on swap.
+  obs::RollingHistogram window_;
+
+  mutable std::mutex serve_mu_;  // serializes waves on this shard
+  mutable std::mutex model_mu_;  // guards runtime_ (the swap point)
+  std::shared_ptr<ModelRuntime> runtime_;
+  std::mutex swap_mu_;  // serializes HotSwap calls
+
+  mutable std::mutex state_mu_;  // guards everything below
+  ShardHealth health_ = ShardHealth::kHealthy;
+  int64_t consecutive_failures_ = 0;
+  double probe_backoff_ms_ = 0;
+  double next_probe_ms_ = 0;  // clock time the next probe is due
+  int64_t last_cache_hits_ = 0;  // service cache_hits at last wave
+  std::vector<OdtInput> canary_;  // ring: most recent ODs for swap warmup
+  size_t canary_next_ = 0;        // ring write cursor
+  ShardStatus stats_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_CORE_SHARD_H_

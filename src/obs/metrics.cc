@@ -239,7 +239,11 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return slot.get();
 }
 
-Counter* MetricsRegistry::GetCounter(
+namespace {
+
+/// Canonical registry key of a labeled series: `name{k="v",...}` with the
+/// same sanitization rules the text export relies on.
+std::string LabeledKey(
     const std::string& name,
     const std::vector<std::pair<std::string, std::string>>& labels) {
   std::string key = SanitizeName(name);
@@ -251,8 +255,16 @@ Counter* MetricsRegistry::GetCounter(
     first = false;
   }
   key += '}';
+  return key;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[key];
+  auto& slot = counters_[LabeledKey(name, labels)];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
@@ -260,6 +272,15 @@ Counter* MetricsRegistry::GetCounter(
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[SanitizeName(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[LabeledKey(name, labels)];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
@@ -310,8 +331,14 @@ std::string MetricsRegistry::ToPrometheusText() const {
     }
     out << name << " " << v << "\n";
   }
+  last_base.clear();
   for (const auto& [name, v] : s.gauges) {
-    out << "# TYPE " << name << " gauge\n";
+    // Labeled gauges share their base name's TYPE comment, as counters do.
+    std::string base = name.substr(0, name.find('{'));
+    if (base != last_base) {
+      out << "# TYPE " << base << " gauge\n";
+      last_base = base;
+    }
     out << name << " " << Num(v) << "\n";
   }
   for (const auto& [name, h] : s.histograms) {

@@ -173,6 +173,12 @@ class MetricsRegistry {
       const std::string& name,
       const std::vector<std::pair<std::string, std::string>>& labels);
   Gauge* GetGauge(const std::string& name);
+  /// Labeled gauge: registers/returns the series `name{key="value",...}`
+  /// (same label semantics and sanitization as the labeled counter). Used
+  /// by per-shard state series such as `dot_shard_health{shard="0"}`.
+  Gauge* GetGauge(
+      const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& labels);
   /// `bounds` is used only on first registration (empty = latency default).
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> bounds = {});

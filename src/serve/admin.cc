@@ -188,8 +188,9 @@ void AdminServer::HandleConn(int fd) {
 
 std::string AdminServer::Respond(const std::string& method,
                                  const std::string& target) {
-  if (method != "GET") {
-    return TextResponse(405, "Method Not Allowed", "only GET is supported\n");
+  if (method != "GET" && method != "POST") {
+    return TextResponse(405, "Method Not Allowed",
+                        "only GET and POST are supported\n");
   }
   std::string path = target;
   std::string query;
@@ -197,6 +198,30 @@ std::string AdminServer::Respond(const std::string& method,
   if (qpos != std::string::npos) {
     path = target.substr(0, qpos);
     query = target.substr(qpos + 1);
+  }
+  // /swapz is the one mutating endpoint, hence the one POST target —
+  // scrapers and curious GETs must not trigger a model swap.
+  if (path == "/swapz") {
+    if (!hooks_.swap) {
+      return TextResponse(404, "Not Found", "no shards to swap\n");
+    }
+    if (method != "POST") {
+      return TextResponse(405, "Method Not Allowed", "swap requires POST\n");
+    }
+    Status s = hooks_.swap();
+    if (!s.ok()) {
+      return TextResponse(500, "Internal Server Error", s.ToString() + "\n");
+    }
+    return TextResponse(200, "OK", "swap ok\n");
+  }
+  if (method != "GET") {
+    return TextResponse(405, "Method Not Allowed", "only GET is supported\n");
+  }
+  if (path == "/shardz") {
+    if (!hooks_.shardz_json) {
+      return TextResponse(404, "Not Found", "no shards\n");
+    }
+    return JsonResponse(hooks_.shardz_json());
   }
   if (path == "/healthz") {
     return TextResponse(200, "OK", "ok\n");

@@ -10,6 +10,10 @@
 //   GET /metrics  Prometheus text exposition (MetricsToPrometheusText)
 //   GET /varz     JSON: full registry dump + a server-provided section
 //   GET /slowz    JSON dump of the slow/degraded query ring
+//   GET /shardz   JSON status of every worker shard (health, model
+//                 version, probe/quarantine counters); 404 without shards
+//   POST /swapz   zero-downtime model hot-swap across all shards; 200 on
+//                 success, 500 with the error otherwise, 405 on GET
 //   GET /tracez?sec=N  records a bounded N-second trace and returns it as
 //                 chrome://tracing JSON (409 if a recording is active)
 //
@@ -49,6 +53,13 @@ struct AdminHooks {
   std::function<std::string()> server_json;
   /// Slow-query ring behind /slowz (empty dump if absent).
   obs::SlowQueryRing* slow_ring = nullptr;
+  /// Shard status JSON behind /shardz (404 if absent — the process runs
+  /// unsharded).
+  std::function<std::string()> shardz_json;
+  /// Hot-swap trigger behind POST /swapz. Runs on the admin thread; the
+  /// swap is expected to block until the shadow models are live (the 200
+  /// means "the new version is serving"). 404 if absent.
+  std::function<Status()> swap;
 };
 
 /// \brief Single-threaded HTTP/1.0 introspection server.

@@ -1,0 +1,232 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace dot {
+namespace serve {
+namespace {
+
+/// splitmix64 finalizer: cheap, well-mixed 64-bit avalanche.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a 64 over a string — the ring's deterministic base hash (std::hash
+/// is implementation-defined; ring placement must not change across
+/// standard libraries).
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t OdKey(const OdtInput& odt) {
+  // ~100 m quantization: 1e-3 degrees of latitude is ~111 m. Queries whose
+  // endpoints jitter within a cell keep their shard; departure time is
+  // deliberately excluded (see the header).
+  auto q = [](double deg) {
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(std::llround(deg * 1000.0)));
+  };
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  h = SplitMix64(h ^ q(odt.origin.lat));
+  h = SplitMix64(h ^ q(odt.origin.lng));
+  h = SplitMix64(h ^ q(odt.destination.lat));
+  h = SplitMix64(h ^ q(odt.destination.lng));
+  return h;
+}
+
+HashRing::HashRing(int64_t vnodes_per_shard)
+    : vnodes_(std::max<int64_t>(1, vnodes_per_shard)) {}
+
+void HashRing::AddShard(const std::string& id) {
+  size_t before = ring_.size();
+  for (int64_t v = 0; v < vnodes_; ++v) {
+    uint64_t point = SplitMix64(Fnv1a64(id + "#" + std::to_string(v)));
+    ring_.emplace(point, id);
+  }
+  // Vnode point collisions across shards are possible in principle
+  // (emplace keeps the incumbent); they only shave single vnodes, never a
+  // shard.
+  if (ring_.size() > before) ++num_shards_;
+}
+
+void HashRing::RemoveShard(const std::string& id) {
+  bool removed = false;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == id) {
+      it = ring_.erase(it);
+      removed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (removed && num_shards_ > 0) --num_shards_;
+}
+
+const std::string& HashRing::ShardFor(uint64_t key) const {
+  DOT_CHECK(!ring_.empty()) << "ShardFor on an empty ring";
+  auto it = ring_.lower_bound(key);
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the top
+  return it->second;
+}
+
+ShardRouter::ShardRouter(std::vector<std::unique_ptr<OracleShard>> shards,
+                         int64_t vnodes_per_shard)
+    : shards_(std::move(shards)), ring_(vnodes_per_shard) {
+  DOT_CHECK(!shards_.empty()) << "router needs at least one shard";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const std::string& id = shards_[i]->id();
+    DOT_CHECK(index_by_id_.emplace(id, i).second)
+        << "duplicate shard id " << id;
+    ring_.AddShard(id);
+  }
+}
+
+OracleShard* ShardRouter::ShardForQuery(const OdtInput& odt) {
+  return shards_[index_by_id_.at(ring_.ShardFor(OdKey(odt)))].get();
+}
+
+Result<std::vector<DotEstimate>> ShardRouter::Route(
+    const std::vector<OdtInput>& odts, const QueryOptions& opts) {
+  if (odts.empty()) return std::vector<DotEstimate>{};
+  size_t n = odts.size();
+
+  // Split the wave by owning shard, preserving each member's wave index
+  // for the merge.
+  std::vector<std::vector<size_t>> member_idx(shards_.size());
+  for (size_t i = 0; i < n; ++i) {
+    member_idx[index_by_id_.at(ring_.ShardFor(OdKey(odts[i])))].push_back(i);
+  }
+
+  struct SubWave {
+    size_t shard = 0;
+    std::vector<size_t> idx;
+    std::vector<OdtInput> inputs;
+    Result<std::vector<DotEstimate>> result =
+        Status::Internal("sub-wave never served");
+    StageTiming timing;
+    bool stage1_failed = false;
+  };
+  std::vector<SubWave> subs;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (member_idx[s].empty()) continue;
+    SubWave sub;
+    sub.shard = s;
+    sub.idx = std::move(member_idx[s]);
+    sub.inputs.reserve(sub.idx.size());
+    for (size_t i : sub.idx) sub.inputs.push_back(odts[i]);
+    subs.push_back(std::move(sub));
+  }
+
+  auto serve_one = [&](SubWave* sub) {
+    QueryOptions sub_opts = opts;
+    sub_opts.timing = &sub->timing;
+    sub_opts.stage1_failed = &sub->stage1_failed;
+    sub->result = shards_[sub->shard]->ServeWave(sub->inputs, sub_opts);
+  };
+
+  // Dispatch: the largest sub-wave runs inline on the caller's thread
+  // (whoever pays the most work pays no thread spawn); the rest get one
+  // thread each. Shards serialize waves internally, so per-shard
+  // concurrency stays one regardless of how the batcher calls us.
+  size_t largest = 0;
+  for (size_t k = 1; k < subs.size(); ++k) {
+    if (subs[k].idx.size() > subs[largest].idx.size()) largest = k;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(subs.size());
+  for (size_t k = 0; k < subs.size(); ++k) {
+    if (k == largest) continue;
+    workers.emplace_back(serve_one, &subs[k]);
+  }
+  serve_one(&subs[largest]);
+  for (auto& w : workers) w.join();
+
+  // Merge. Any sub-wave error fails the whole wave (the batcher answers
+  // every member with that error — exactly one answer per request either
+  // way).
+  for (const auto& sub : subs) {
+    if (!sub.result.ok()) return sub.result.status();
+  }
+  std::vector<DotEstimate> out(n);
+  bool any_stage1_failed = false;
+  double stage1_us = 0, stage2_us = 0;
+  for (auto& sub : subs) {
+    std::vector<DotEstimate>& got = *sub.result;
+    for (size_t k = 0; k < sub.idx.size(); ++k) {
+      out[sub.idx[k]] = std::move(got[k]);
+    }
+    any_stage1_failed = any_stage1_failed || sub.stage1_failed;
+    // Sub-waves overlap in time; the max is the wave's critical path.
+    stage1_us = std::max(stage1_us, sub.timing.stage1_us);
+    stage2_us = std::max(stage2_us, sub.timing.stage2_us);
+  }
+  if (opts.timing != nullptr) {
+    opts.timing->stage1_us = stage1_us;
+    opts.timing->stage2_us = stage2_us;
+  }
+  if (opts.stage1_failed != nullptr) *opts.stage1_failed = any_stage1_failed;
+  return out;
+}
+
+Status ShardRouter::SwapAll() {
+  Status first_error = Status::OK();
+  for (auto& shard : shards_) {
+    Status s = shard->HotSwap();
+    if (!s.ok()) {
+      DOT_LOG_WARN << "shard " << shard->id()
+                   << " swap failed: " << s.ToString();
+      if (first_error.ok()) first_error = s;
+    }
+  }
+  return first_error;
+}
+
+Status ShardRouter::SwapShard(const std::string& id) {
+  auto it = index_by_id_.find(id);
+  if (it == index_by_id_.end()) {
+    return Status::NotFound("no shard with id " + id);
+  }
+  return shards_[it->second]->HotSwap();
+}
+
+std::vector<ShardStatus> ShardRouter::Statuses() const {
+  std::vector<ShardStatus> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->status());
+  return out;
+}
+
+std::string ShardRouter::ShardzJson() const {
+  std::string out = "{\"shards\": [";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += shards_[i]->StatusJson();
+  }
+  out += "]}";
+  return out;
+}
+
+BatchBackend RouterBackend(ShardRouter* router) {
+  return [router](const std::vector<OdtInput>& odts,
+                  const QueryOptions& opts) {
+    return router->Route(odts, opts);
+  };
+}
+
+}  // namespace serve
+}  // namespace dot

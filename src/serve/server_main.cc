@@ -1,10 +1,10 @@
 // Standalone DOT serving front-end: trains (or loads) the demo oracle,
-// serves the binary protocol on a TCP port, and drains gracefully on
-// SIGTERM/SIGINT. Used by the check.sh loopback smoke and available for
-// manual poking with the bench client.
+// serves the binary protocol on a TCP port through a fleet of worker
+// shards, and drains gracefully on SIGTERM/SIGINT.  Used by the check.sh
+// loopback smokes and available for manual poking with the bench client.
 //
 // Usage: dot_server [--port N] [--port-file PATH] [--checkpoint PATH]
-//                   [--admin-port N] [--admin-port-file PATH]
+//                   [--admin-port N] [--admin-port-file PATH] [--shards N]
 //
 //   --port N            listen port (default: DOT_SERVE_PORT or ephemeral)
 //   --port-file PATH    write the bound port to PATH once listening (how
@@ -13,16 +13,27 @@
 //   --admin-port N      admin/introspection HTTP port (default:
 //                       DOT_SERVE_ADMIN_PORT; unset = no admin plane)
 //   --admin-port-file PATH  write the bound admin port to PATH
+//   --shards N          worker shard count (default: DOT_SERVE_SHARDS or 1)
+//
+// Sharding (DESIGN.md §5i): the demo model is trained once and sealed to
+// a checkpoint; every shard loads its own replica from that checkpoint, so
+// shards fail (and hot-swap) independently. The router partitions queries
+// across shards by OD-pair hash. /shardz (admin) reports per-shard health;
+// POST /swapz or SIGHUP hot-swaps every shard from the checkpoint with
+// zero downtime. Shard health knobs come from the environment:
+// DOT_SERVE_QUARANTINE_FAILURES, DOT_SERVE_PROBE_BACKOFF_MS,
+// DOT_SERVE_PROBE_BACKOFF_MAX_MS, DOT_SERVE_DEGRADED_P95_US.
 //
 // Batching / admission knobs come from the environment (DOT_SERVE_*, see
-// ServerConfig::FromEnv). Prints "LISTENING <port>" (and "ADMIN <port>"
-// when the admin plane is up) on stdout when ready.
+// ServerConfig::FromEnv). Prints "LISTENING <port>" (plus "ADMIN <port>"
+// when the admin plane is up, and "SHARDS <n>") on stdout when ready.
 //
 // Signals (handled via a self-pipe; the handlers only write one byte):
 //   SIGTERM/SIGINT  graceful drain: /readyz flips to 503, the process
 //                   lingers DOT_SERVE_LAME_DUCK_MS (default 0) so load
 //                   balancers observe the flip, then drains and exits.
 //   SIGUSR1         dumps the /varz-equivalent JSON snapshot to stderr.
+//   SIGHUP          zero-downtime model hot-swap across all shards.
 
 #include <poll.h>
 #include <unistd.h>
@@ -33,12 +44,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "core/shard.h"
 #include "obs/metrics.h"
 #include "serve/admin.h"
 #include "serve/demo.h"
+#include "serve/router.h"
 #include "serve/server.h"
 #include "util/logging.h"
 
@@ -58,11 +73,24 @@ void HandleUsr1(int) {
   [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
 }
 
+void HandleHup(int) {
+  char b = 'h';
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &b, 1);
+}
+
 double EnvDouble(const char* name, double fallback) {
   const char* v = std::getenv(name);
   if (!v || !*v) return fallback;
   char* end = nullptr;
   double parsed = std::strtod(v, &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+long EnvLong(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
   return (end && *end == '\0') ? parsed : fallback;
 }
 
@@ -105,6 +133,7 @@ int main(int argc, char** argv) {
   dot::serve::ServerConfig config = dot::serve::ServerConfig::FromEnv();
   dot::serve::AdminConfig admin_config = dot::serve::AdminConfig::FromEnv();
   bool admin_enabled = std::getenv("DOT_SERVE_ADMIN_PORT") != nullptr;
+  long num_shards = EnvLong("DOT_SERVE_SHARDS", 1);
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -125,15 +154,18 @@ int main(int argc, char** argv) {
       admin_enabled = true;
     } else if (arg == "--admin-port-file") {
       admin_port_file = next();
+    } else if (arg == "--shards") {
+      num_shards = std::atol(next());
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: dot_server [--port N] "
                    "[--port-file PATH] [--checkpoint PATH] [--admin-port N] "
-                   "[--admin-port-file PATH]\n",
+                   "[--admin-port-file PATH] [--shards N]\n",
                    arg.c_str());
       return 2;
     }
   }
+  if (num_shards < 1) num_shards = 1;
 
   DOT_LOG_INFO << "building demo world (oracle training may take a moment)";
   dot::Result<dot::serve::DemoWorld> world =
@@ -142,9 +174,57 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "demo world: %s\n", world.status().ToString().c_str());
     return 1;
   }
-  dot::OracleService service(world->oracle.get());
 
-  dot::serve::Server server(dot::serve::OracleBackend(&service), config);
+  // Every shard loads its own model replica from a sealed checkpoint (the
+  // shard factories re-run on hot swap). Without --checkpoint, the trained
+  // demo weights are sealed to a private temp file.
+  std::string shard_checkpoint = checkpoint;
+  bool temp_checkpoint = false;
+  if (shard_checkpoint.empty()) {
+    shard_checkpoint =
+        "/tmp/dot_server_demo_" + std::to_string(::getpid()) + ".ckpt";
+    temp_checkpoint = true;
+  }
+  {
+    dot::Status sealed = world->oracle->SaveFile(shard_checkpoint);
+    if (!sealed.ok()) {
+      std::fprintf(stderr, "seal checkpoint %s: %s\n",
+                   shard_checkpoint.c_str(), sealed.ToString().c_str());
+      return 1;
+    }
+  }
+  dot::ModelFactory factory =
+      [&world, shard_checkpoint]() -> dot::Result<std::unique_ptr<dot::DotOracle>> {
+    auto oracle = std::make_unique<dot::DotOracle>(dot::serve::DemoDotConfig(),
+                                                   *world->grid);
+    dot::Status loaded = oracle->LoadFile(shard_checkpoint);
+    if (!loaded.ok()) return loaded;
+    return oracle;
+  };
+
+  std::vector<std::unique_ptr<dot::OracleShard>> shards;
+  for (long s = 0; s < num_shards; ++s) {
+    dot::ShardConfig shard_config;
+    shard_config.shard_id = std::to_string(s);
+    shard_config.quarantine_after_failures =
+        EnvLong("DOT_SERVE_QUARANTINE_FAILURES", 3);
+    shard_config.probe_backoff_initial_ms =
+        EnvDouble("DOT_SERVE_PROBE_BACKOFF_MS", 200);
+    shard_config.probe_backoff_max_ms =
+        EnvDouble("DOT_SERVE_PROBE_BACKOFF_MAX_MS", 10000);
+    shard_config.degraded_p95_us = EnvDouble("DOT_SERVE_DEGRADED_P95_US", 0);
+    dot::Result<std::unique_ptr<dot::OracleShard>> shard =
+        dot::OracleShard::Create(factory, std::move(shard_config));
+    if (!shard.ok()) {
+      std::fprintf(stderr, "shard %ld: %s\n", s,
+                   shard.status().ToString().c_str());
+      return 1;
+    }
+    shards.push_back(std::move(*shard));
+  }
+  dot::serve::ShardRouter router(std::move(shards));
+
+  dot::serve::Server server(dot::serve::RouterBackend(&router), config);
   dot::Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
@@ -154,6 +234,8 @@ int main(int argc, char** argv) {
   dot::serve::AdminHooks hooks;
   hooks.server_json = [&server] { return ServerStatsJson(server); };
   hooks.slow_ring = server.slow_ring();
+  hooks.shardz_json = [&router] { return router.ShardzJson(); };
+  hooks.swap = [&router] { return router.SwapAll(); };
   dot::serve::AdminServer admin(admin_config, hooks);
   if (admin_enabled) {
     dot::Status admin_started = admin.Start();
@@ -172,6 +254,7 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleStopSignal);
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGUSR1, HandleUsr1);
+  std::signal(SIGHUP, HandleHup);
 
   if (!port_file.empty() && !WritePortFile(port_file, server.port())) {
     server.Shutdown();
@@ -184,6 +267,7 @@ int main(int argc, char** argv) {
   }
   std::printf("LISTENING %d\n", server.port());
   if (admin_enabled) std::printf("ADMIN %d\n", admin.port());
+  std::printf("SHARDS %ld\n", num_shards);
   std::fflush(stdout);
 
   while (!g_stop) {
@@ -198,6 +282,20 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "SIGUSR1 varz dump: {\"metrics\": %s, \"server\": %s}\n",
                      dot::obs::MetricsToJson().c_str(),
                      ServerStatsJson(server).c_str());
+        std::fflush(stderr);
+      } else if (bytes[i] == 'h') {
+        // SIGHUP hot swap runs on the main thread; the serving and admin
+        // threads keep answering on the old models until each shard's
+        // shadow is canary-warmed and published.
+        DOT_LOG_INFO << "SIGHUP: hot-swapping " << router.shard_count()
+                     << " shard(s) from " << shard_checkpoint;
+        dot::Status swapped = router.SwapAll();
+        if (swapped.ok()) {
+          std::fprintf(stderr, "SIGHUP swap ok\n");
+        } else {
+          std::fprintf(stderr, "SIGHUP swap failed: %s\n",
+                       swapped.ToString().c_str());
+        }
         std::fflush(stderr);
       }
     }
@@ -219,13 +317,15 @@ int main(int argc, char** argv) {
   dot::serve::BatcherStats bstats = server.batcher_stats();
   std::printf(
       "DRAINED conns=%lld requests=%lld responses=%lld rejected=%lld "
-      "waves=%lld\n",
+      "waves=%lld lost=%lld\n",
       static_cast<long long>(stats.connections_accepted),
       static_cast<long long>(stats.requests),
       static_cast<long long>(stats.responses),
       static_cast<long long>(stats.overload_rejected),
-      static_cast<long long>(bstats.waves));
+      static_cast<long long>(bstats.waves),
+      static_cast<long long>(bstats.submitted - bstats.completed));
   std::fflush(stdout);
   admin.Shutdown();
+  if (temp_checkpoint) ::unlink(shard_checkpoint.c_str());
   return 0;
 }

@@ -1,0 +1,174 @@
+// Consistent-hash ring and router partition-key properties (DESIGN.md
+// §5i). Pure-function tests — no model, no sockets: the ring's stability
+// and balance guarantees are what make shard resizes cheap (only ~1/N of
+// keys move) and per-shard caches effective (balanced load, all ToD
+// buckets of one OD pair co-located). Dispatch behavior over live shards
+// is covered by chaos_test.cc.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/router.h"
+
+namespace dot {
+namespace serve {
+namespace {
+
+/// Deterministic synthetic OD pairs spread over a city-sized box.
+std::vector<OdtInput> SyntheticDemand(int n) {
+  std::vector<OdtInput> out;
+  out.reserve(n);
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    // splitmix64: cheap deterministic stream, independent of libc rand.
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  for (int i = 0; i < n; ++i) {
+    OdtInput odt;
+    odt.origin.lat = 30.0 + (next() % 20000) * 1e-5;     // ~22 km span
+    odt.origin.lng = 104.0 + (next() % 20000) * 1e-5;
+    odt.destination.lat = 30.0 + (next() % 20000) * 1e-5;
+    odt.destination.lng = 104.0 + (next() % 20000) * 1e-5;
+    odt.departure_time = static_cast<int64_t>(next() % 86400);
+    out.push_back(odt);
+  }
+  return out;
+}
+
+TEST(OdKeyTest, DepartureTimeDoesNotChangeTheKey) {
+  // Every time-of-day slot of one OD pair must land on the same shard, or
+  // the neighbor-bucket ladder and LRU affinity fall apart.
+  for (const OdtInput& odt : SyntheticDemand(100)) {
+    uint64_t base = OdKey(odt);
+    OdtInput shifted = odt;
+    shifted.departure_time += 3600;
+    EXPECT_EQ(OdKey(shifted), base);
+    shifted.departure_time = 0;
+    EXPECT_EQ(OdKey(shifted), base);
+  }
+}
+
+TEST(OdKeyTest, DistinctPairsGetDistinctKeys) {
+  std::vector<OdtInput> demand = SyntheticDemand(1000);
+  std::map<uint64_t, int> seen;
+  for (const OdtInput& odt : demand) ++seen[OdKey(odt)];
+  // 64-bit keys over 1k random pairs: collisions mean a broken mix.
+  EXPECT_EQ(seen.size(), demand.size());
+}
+
+TEST(OdKeyTest, SubQuantizationJitterSharesAKey) {
+  // ~100 m quantization: GPS noise on the same physical OD pair must not
+  // scatter it across shards.
+  OdtInput odt;
+  odt.origin = {104.06, 30.66};
+  odt.destination = {104.10, 30.70};
+  OdtInput jittered = odt;
+  jittered.origin.lat += 2e-4;  // ~20 m, inside one quantization cell
+  EXPECT_EQ(OdKey(odt), OdKey(jittered));
+}
+
+TEST(HashRingTest, LookupIsDeterministicAndCoversAllShards) {
+  HashRing ring;
+  for (int s = 0; s < 4; ++s) ring.AddShard(std::to_string(s));
+  EXPECT_EQ(ring.num_shards(), 4u);
+  std::map<std::string, int> hits;
+  for (const OdtInput& odt : SyntheticDemand(1000)) {
+    uint64_t key = OdKey(odt);
+    const std::string& a = ring.ShardFor(key);
+    EXPECT_EQ(ring.ShardFor(key), a);  // stable on repeat lookup
+    ++hits[a];
+  }
+  EXPECT_EQ(hits.size(), 4u);  // every shard owns some keyspace
+}
+
+TEST(HashRingTest, BalanceWithinFifteenPercentAcrossShards) {
+  HashRing ring;
+  const int kShards = 4;
+  for (int s = 0; s < kShards; ++s) ring.AddShard(std::to_string(s));
+  std::vector<OdtInput> demand = SyntheticDemand(1000);
+  std::map<std::string, int> hits;
+  for (const OdtInput& odt : demand) ++hits[ring.ShardFor(OdKey(odt))];
+  double expected = static_cast<double>(demand.size()) / kShards;
+  for (const auto& [id, count] : hits) {
+    EXPECT_NEAR(count, expected, 0.15 * expected)
+        << "shard " << id << " owns " << count << " of " << demand.size();
+  }
+}
+
+TEST(HashRingTest, AddingOneShardMovesAboutOneNthOfKeys) {
+  HashRing ring;
+  const int kShards = 4;
+  for (int s = 0; s < kShards; ++s) ring.AddShard(std::to_string(s));
+  std::vector<OdtInput> demand = SyntheticDemand(1000);
+  std::vector<std::string> before;
+  before.reserve(demand.size());
+  for (const OdtInput& odt : demand) before.push_back(ring.ShardFor(OdKey(odt)));
+
+  ring.AddShard("new");
+  int moved = 0;
+  for (size_t i = 0; i < demand.size(); ++i) {
+    const std::string& now = ring.ShardFor(OdKey(demand[i]));
+    if (now != before[i]) {
+      // Keys only ever move TO the new shard; a key hopping between two
+      // incumbent shards would invalidate both warm caches for nothing.
+      EXPECT_EQ(now, "new");
+      ++moved;
+    }
+  }
+  // Ideal movement is 1/(N+1) = 20%; virtual nodes keep it close.
+  double frac = static_cast<double>(moved) / demand.size();
+  EXPECT_GT(frac, 0.10);
+  EXPECT_LT(frac, 0.30);
+}
+
+TEST(HashRingTest, RemovingAShardOnlyReassignsItsOwnKeys) {
+  HashRing ring;
+  const int kShards = 5;
+  for (int s = 0; s < kShards; ++s) ring.AddShard(std::to_string(s));
+  std::vector<OdtInput> demand = SyntheticDemand(1000);
+  std::vector<std::string> before;
+  before.reserve(demand.size());
+  for (const OdtInput& odt : demand) before.push_back(ring.ShardFor(OdKey(odt)));
+
+  ring.RemoveShard("2");
+  EXPECT_EQ(ring.num_shards(), 4u);
+  int moved = 0;
+  for (size_t i = 0; i < demand.size(); ++i) {
+    const std::string& now = ring.ShardFor(OdKey(demand[i]));
+    EXPECT_NE(now, "2");
+    if (now != before[i]) {
+      // Only the removed shard's keys are orphaned; everyone else's
+      // assignment survives the resize.
+      EXPECT_EQ(before[i], "2");
+      ++moved;
+    }
+  }
+  double frac = static_cast<double>(moved) / demand.size();
+  EXPECT_GT(frac, 0.10);  // "2" owned ~1/5 of the keys
+  EXPECT_LT(frac, 0.30);
+}
+
+TEST(HashRingTest, AddRemoveRoundTripRestoresTheOriginalAssignment) {
+  HashRing ring;
+  for (int s = 0; s < 3; ++s) ring.AddShard(std::to_string(s));
+  std::vector<OdtInput> demand = SyntheticDemand(300);
+  std::vector<std::string> before;
+  for (const OdtInput& odt : demand) before.push_back(ring.ShardFor(OdKey(odt)));
+  ring.AddShard("tmp");
+  ring.RemoveShard("tmp");
+  for (size_t i = 0; i < demand.size(); ++i) {
+    EXPECT_EQ(ring.ShardFor(OdKey(demand[i])), before[i]);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace dot

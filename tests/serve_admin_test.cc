@@ -160,6 +160,52 @@ TEST_F(AdminTest, UnknownPathsAndMethodsAreRejected) {
             std::string::npos);
 }
 
+TEST_F(AdminTest, ShardzAndSwapzAre404WithoutShardHooks) {
+  // The default fixture wires no shard hooks: the process runs unsharded.
+  EXPECT_NE(HttpGet(admin_->port(), "/shardz").find("404"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(admin_->port(), "/swapz", "POST").find("404"),
+            std::string::npos);
+}
+
+TEST_F(AdminTest, ShardzRendersTheHookJson) {
+  AdminHooks hooks;
+  hooks.shardz_json = [] {
+    return std::string("{\"shards\": [{\"id\": \"0\"}]}");
+  };
+  AdminServer admin{AdminConfig{}, hooks};
+  ASSERT_TRUE(admin.Start().ok());
+  std::string resp = HttpGet(admin.port(), "/shardz");
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  EXPECT_NE(resp.find("{\"shards\": [{\"id\": \"0\"}]}"), std::string::npos);
+}
+
+TEST_F(AdminTest, SwapzRequiresPostAndReportsTheSwapResult) {
+  int swaps = 0;
+  Status next = Status::OK();
+  AdminHooks hooks;
+  hooks.swap = [&swaps, &next] {
+    ++swaps;
+    return next;
+  };
+  AdminServer admin{AdminConfig{}, hooks};
+  ASSERT_TRUE(admin.Start().ok());
+  // A GET must not trigger the swap — it is the one mutating endpoint.
+  std::string got = HttpGet(admin.port(), "/swapz");
+  EXPECT_NE(got.find("405"), std::string::npos);
+  EXPECT_EQ(swaps, 0);
+  std::string ok = HttpGet(admin.port(), "/swapz", "POST");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("swap ok"), std::string::npos);
+  EXPECT_EQ(swaps, 1);
+  next = Status::Internal("canary failed");
+  std::string failed = HttpGet(admin.port(), "/swapz", "POST");
+  EXPECT_NE(failed.find("500"), std::string::npos);
+  EXPECT_NE(failed.find("canary failed"), std::string::npos);
+  EXPECT_EQ(swaps, 2);
+}
+
 TEST_F(AdminTest, ShutdownIsIdempotentAndStopsServing) {
   int port = admin_->port();
   admin_->Shutdown();
