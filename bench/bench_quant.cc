@@ -1,0 +1,246 @@
+// Int8 quantized GEMM + end-to-end oracle accuracy benchmark with gates
+// (DESIGN.md §5j).
+//
+// Section 1 — throughput: fp32 vs int8 for the blocked and simd engines
+// over serving-relevant shapes, single thread. The acceptance gate reads
+// the 256x256x256 row: the dispatched int8 path must reach >= 1.5x the
+// blocked-fp32 engine (the AVX2-class baseline it replaces). The int8
+// numbers include per-call quantization + packing of BOTH operands — the
+// serving path amortizes the weight side through the quantized-weight
+// cache, so these are worst-case (pure dynamic) figures.
+//
+// Section 2 — accuracy: the demo-world oracle queried under fp32 and int8
+// from the same checkpoint (two freshly-loaded replicas => identical noise
+// streams; see tests/quant_accuracy_test.cc). Gate: |MAE_int8 - MAE_fp32|
+// must stay under kMaeGateMinutes.
+//
+// Output: a table on stdout and a JSON dump to DOT_BENCH_QUANT_JSON
+// (default BENCH_quant.json; run_benches.sh exports it). Exits non-zero
+// when a gate fails, so CI and run_benches.sh surface the regression.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dot_oracle.h"
+#include "serve/demo.h"
+#include "tensor/gemm_kernel.h"
+#include "util/rng.h"
+
+namespace dot {
+namespace {
+
+constexpr double kPerfGate = 1.5;        // int8 vs fp32-blocked at 256^3
+constexpr double kMaeGateMinutes = 0.25;  // same bound as quant_accuracy_test
+
+struct Shape {
+  int64_t m, k, n;
+  const char* note;
+};
+
+const Shape kShapes[] = {
+    {256, 256, 256, "acceptance gate (>=1.5x int8 vs fp32 blocked)"},
+    {64, 576, 256, "im2col conv, mid"},
+    {64, 64, 64, "attention-scale"},
+    {1024, 64, 8, "tall-skinny FC"},
+};
+
+double TimeEx(gemm::Kernel kernel, gemm::Precision precision, const Shape& s,
+              const std::vector<float>& a, const std::vector<float>& b,
+              std::vector<float>* c) {
+  using Clock = std::chrono::steady_clock;
+  const double flops = 2.0 * static_cast<double>(s.m) *
+                       static_cast<double>(s.k) * static_cast<double>(s.n);
+  gemm::RunEx(kernel, precision, gemm::Layout::kNN, a.data(), b.data(),
+              c->data(), s.m, s.k, s.n, false);
+  double best_ns = 1e30;
+  double spent_ns = 0;
+  int reps = 0;
+  while ((spent_ns < 3e8 || reps < 3) && reps < 2000) {
+    auto t0 = Clock::now();
+    gemm::RunEx(kernel, precision, gemm::Layout::kNN, a.data(), b.data(),
+                c->data(), s.m, s.k, s.n, false);
+    double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count());
+    best_ns = ns < best_ns ? ns : best_ns;
+    spent_ns += ns;
+    ++reps;
+  }
+  return flops / best_ns;  // effective GFLOP/s (fp32-equivalent op count)
+}
+
+}  // namespace
+}  // namespace dot
+
+int main() {
+  using namespace dot;
+  setenv("DOT_NUM_THREADS", "1", /*overwrite=*/1);
+
+  const bool simd = gemm::SimdAvailable();
+  std::printf("Int8 quantized GEMM path, single thread (simd %s)\n",
+              simd ? "available" : "UNAVAILABLE -> blocked/scalar");
+  std::printf("%-14s %14s %14s %14s %14s %9s  %s\n", "shape", "fp32 blk GF/s",
+              "fp32 simd GF/s", "int8 blk GF/s", "int8 simd GF/s", "gate",
+              "note");
+
+  std::string json = "{\n  \"simd_available\": ";
+  json += simd ? "true" : "false";
+  json += ",\n  \"threads\": 1,\n  \"perf_gate\": ";
+  char num[64];
+  std::snprintf(num, sizeof(num), "%.2f", kPerfGate);
+  json += num;
+  json += ",\n  \"shapes\": [\n";
+
+  bool perf_gate_ok = true;
+  double gate_speedup = 0;
+  bool first_row = true;
+  for (const Shape& s : kShapes) {
+    Rng rng(42);
+    std::vector<float> a(static_cast<size_t>(s.m * s.k));
+    std::vector<float> b(static_cast<size_t>(s.k * s.n));
+    std::vector<float> c(static_cast<size_t>(s.m * s.n));
+    for (auto& x : a) x = static_cast<float>(rng.Normal());
+    for (auto& x : b) x = static_cast<float>(rng.Normal());
+
+    double fp32_blk = TimeEx(gemm::Kernel::kBlocked, gemm::Precision::kFp32,
+                             s, a, b, &c);
+    double fp32_simd = TimeEx(gemm::Kernel::kSimd, gemm::Precision::kFp32, s,
+                              a, b, &c);
+    double int8_blk = TimeEx(gemm::Kernel::kBlocked, gemm::Precision::kInt8,
+                             s, a, b, &c);
+    double int8_simd = TimeEx(gemm::Kernel::kSimd, gemm::Precision::kInt8, s,
+                              a, b, &c);
+    // The dispatched int8 path (simd micro when available) vs the
+    // AVX2-class fp32 baseline it substitutes for.
+    double speedup = fp32_blk > 0 ? int8_simd / fp32_blk : 0;
+    if (s.m == 256 && s.k == 256 && s.n == 256) {
+      gate_speedup = speedup;
+      // Without the AVX2 micro the int8 path runs a scalar pair loop and
+      // the perf gate is not meaningful — record, don't enforce.
+      if (simd && speedup < kPerfGate) perf_gate_ok = false;
+    }
+    char shape_buf[32];
+    std::snprintf(shape_buf, sizeof(shape_buf), "%ldx%ldx%ld",
+                  static_cast<long>(s.m), static_cast<long>(s.k),
+                  static_cast<long>(s.n));
+    std::printf("%-14s %14.2f %14.2f %14.2f %14.2f %8.2fx  %s\n", shape_buf,
+                fp32_blk, fp32_simd, int8_blk, int8_simd, speedup, s.note);
+
+    char row[512];
+    std::snprintf(row, sizeof(row),
+                  "    {\"m\": %ld, \"k\": %ld, \"n\": %ld, "
+                  "\"fp32_blocked_gflops\": %.3f, \"fp32_simd_gflops\": %.3f, "
+                  "\"int8_blocked_gflops\": %.3f, \"int8_simd_gflops\": %.3f, "
+                  "\"speedup_int8_vs_fp32_blocked\": %.3f}",
+                  static_cast<long>(s.m), static_cast<long>(s.k),
+                  static_cast<long>(s.n), fp32_blk, fp32_simd, int8_blk,
+                  int8_simd, speedup);
+    if (!first_row) json += ",\n";
+    json += row;
+    first_row = false;
+  }
+  json += "\n  ],\n";
+
+  // ---- End-to-end oracle accuracy gate --------------------------------------
+  std::printf("\ndemo-world oracle accuracy (fp32 vs int8, same checkpoint)\n");
+  std::string ckpt = "/tmp/dot_bench_quant.ckpt";
+  Result<serve::DemoWorld> world = serve::BuildDemoWorld(ckpt);
+  if (!world.ok()) {
+    std::fprintf(stderr, "demo world failed: %s\n",
+                 world.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<OdtInput> odts;
+  std::vector<double> truth;
+  const auto& test = world->dataset->split.test;
+  for (size_t i = 0; i < 32 && i < test.size(); ++i) {
+    odts.push_back(test[i].odt);
+    truth.push_back(test[i].travel_time_minutes);
+  }
+
+  // Two freshly-loaded replicas: identical weights AND identical sampler
+  // noise streams, so the precisions are the only difference.
+  auto load_replica = [&]() -> std::unique_ptr<DotOracle> {
+    auto oracle =
+        std::make_unique<DotOracle>(serve::DemoDotConfig(), *world->grid);
+    Status s = oracle->LoadFile(ckpt);
+    if (!s.ok()) {
+      std::fprintf(stderr, "replica load failed: %s\n", s.ToString().c_str());
+      return nullptr;
+    }
+    return oracle;
+  };
+
+  double mae[2] = {0, 0};  // [fp32, int8]
+  double max_rel = 0;
+  for (int pi = 0; pi < 2; ++pi) {
+    gemm::SetPrecision(pi == 0 ? gemm::Precision::kFp32
+                               : gemm::Precision::kInt8);
+    std::unique_ptr<DotOracle> oracle = load_replica();
+    if (oracle == nullptr) return 1;
+    Result<std::vector<DotEstimate>> r = oracle->EstimateBatch(odts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "EstimateBatch failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    static std::vector<double> fp32_minutes;
+    for (size_t i = 0; i < odts.size(); ++i) {
+      double m = (*r)[i].minutes;
+      mae[pi] += std::fabs(m - truth[i]);
+      if (pi == 0) {
+        fp32_minutes.push_back(m);
+      } else {
+        double rel = std::fabs(m - fp32_minutes[i]) /
+                     std::fmax(1.0, std::fabs(fp32_minutes[i]));
+        max_rel = std::fmax(max_rel, rel);
+      }
+    }
+    mae[pi] /= static_cast<double>(odts.size());
+  }
+  gemm::SetPrecision(gemm::Precision::kFp32);
+
+  const double mae_delta = std::fabs(mae[1] - mae[0]);
+  const bool mae_gate_ok = mae_delta <= kMaeGateMinutes;
+  std::printf("  queries=%zu mae_fp32=%.4f mae_int8=%.4f delta=%.6f "
+              "(gate %.2f) max_rel=%.4f\n",
+              odts.size(), mae[0], mae[1], mae_delta, kMaeGateMinutes,
+              max_rel);
+
+  char acc[512];
+  std::snprintf(acc, sizeof(acc),
+                "  \"oracle\": {\"queries\": %zu, \"mae_fp32\": %.5f, "
+                "\"mae_int8\": %.5f, \"mae_delta\": %.6f, "
+                "\"mae_gate\": %.3f, \"max_rel_vs_fp32\": %.5f},\n"
+                "  \"gate_speedup_int8_vs_fp32_blocked\": %.3f,\n"
+                "  \"perf_gate_ok\": %s,\n  \"mae_gate_ok\": %s\n}\n",
+                odts.size(), mae[0], mae[1], mae_delta, kMaeGateMinutes,
+                max_rel, gate_speedup, perf_gate_ok ? "true" : "false",
+                mae_gate_ok ? "true" : "false");
+  json += acc;
+
+  const char* path = std::getenv("DOT_BENCH_QUANT_JSON");
+  std::string out_path = (path && path[0]) ? path : "BENCH_quant.json";
+  std::ofstream out(out_path);
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!mae_gate_ok) {
+    std::fprintf(stderr, "FAIL: oracle MAE delta %.6f exceeds gate %.3f\n",
+                 mae_delta, kMaeGateMinutes);
+    return 1;
+  }
+  if (!perf_gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: int8 speedup %.3fx at 256^3 under gate %.2fx\n",
+                 gate_speedup, kPerfGate);
+    return 1;
+  }
+  return 0;
+}

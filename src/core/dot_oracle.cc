@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/window.h"
+#include "tensor/gemm_kernel.h"
 #include "tensor/ops.h"
 #include "tensor/optim.h"
 #include "util/checkpoint.h"
@@ -528,6 +529,8 @@ Status DotOracle::TrainStage2(const std::vector<TripSample>& train,
     for (size_t i = 0; i < params.size(); ++i) {
       params[i].CopyFrom(best_weights[i]);
     }
+    // In-place restore: stale int8 panels must not outlive the old values.
+    gemm::ClearQuantCache();
   }
   return Status::OK();
 }
@@ -578,6 +581,7 @@ Status DotOracle::AdoptStage1(const DotOracle& other) {
     }
     dst[i].second.CopyDataFrom(src[i].second);
   }
+  gemm::ClearQuantCache();  // in-place weight adoption invalidates panels
   stage1_trained_ = true;
   return Status::OK();
 }

@@ -1,0 +1,53 @@
+#include "tensor/quantize.h"
+
+#include <cfloat>
+#include <cmath>
+
+namespace dot {
+namespace quant {
+
+bool ChannelScale(const float* x, int64_t n, int64_t stride, float* scale) {
+  *scale = 0.0f;
+  float maxabs = 0.0f;
+  bool bad = false;  // branchless accumulation keeps the loop vectorizable
+  for (int64_t i = 0; i < n; ++i) {
+    float av = std::fabs(x[i * stride]);
+    // !(av <= FLT_MAX) catches both Inf and NaN (NaN fails every compare).
+    bad |= !(av <= FLT_MAX);
+    maxabs = av > maxabs ? av : maxabs;
+  }
+  if (bad) return false;
+  *scale = maxabs / static_cast<float>(kQuantMax);
+  return true;
+}
+
+float InverseScale(float scale) {
+  return scale > 0.0f ? 1.0f / scale : 0.0f;
+}
+
+int8_t QuantizeValue(float v, float inv_scale) {
+  long q = std::lrintf(v * inv_scale);
+  if (q > kQuantMax) q = kQuantMax;
+  if (q < -kQuantMax) q = -kQuantMax;
+  return static_cast<int8_t>(q);
+}
+
+void QuantizeChannel(const float* x, int64_t n, int64_t stride, float scale,
+                     int8_t* out) {
+  float inv = InverseScale(scale);
+  for (int64_t i = 0; i < n; ++i) out[i] = QuantizeValue(x[i * stride], inv);
+}
+
+bool ComputeRowScales(const float* a, int64_t rows, int64_t cols,
+                      float* scales) {
+  for (int64_t i = 0; i < rows; ++i) {
+    if (!ChannelScale(a + i * cols, cols, 1, &scales[i])) {
+      for (int64_t j = 0; j < rows; ++j) scales[j] = 0.0f;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace quant
+}  // namespace dot

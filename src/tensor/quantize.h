@@ -1,0 +1,60 @@
+// Symmetric per-channel int8 quantization primitives for the GEMM engine.
+//
+// The quantized GEMM path (gemm_kernel.h, DOT_GEMM_PRECISION=int8) maps
+// every channel (a row of op(A), a column of op(B)) onto the symmetric
+// int8 grid with its own scale:
+//
+//   scale = max|x| / 127        q = clamp(round(x / scale), -127, 127)
+//
+// so dequantization is exactly q * scale. The representable range is
+// symmetric (-127..127; -128 is never produced), which keeps |q_a * q_b|
+// <= 127^2 and makes the int32 accumulator overflow bound a pure function
+// of k. An all-zero channel gets scale 0 and quantizes to all zeros
+// (inverse scale 0 by convention). Channels containing NaN/Inf are
+// rejected outright — the same non-finite-rejection contract the loss
+// guard and checkpoint reader follow — and the caller falls back to fp32.
+//
+// Every consumer (naive reference, blocked engine, tests) must go through
+// these functions: cross-kernel bitwise equality of the int8 path depends
+// on each element quantizing identically everywhere.
+
+#ifndef DOT_TENSOR_QUANTIZE_H_
+#define DOT_TENSOR_QUANTIZE_H_
+
+#include <cstdint>
+
+namespace dot {
+namespace quant {
+
+/// Largest representable quantized magnitude. The grid is symmetric:
+/// values saturate at +/-127, never -128.
+constexpr int32_t kQuantMax = 127;
+
+/// Per-channel scale of `n` values starting at `x` with the given element
+/// stride: max|x| / 127 (0 for an empty or all-zero channel). Returns
+/// false — leaving `*scale` at 0 — when any value is non-finite.
+bool ChannelScale(const float* x, int64_t n, int64_t stride, float* scale);
+
+/// 1/scale for quantization; 0 when scale == 0 (all-zero channel), so the
+/// quantized values come out 0 instead of Inf.
+float InverseScale(float scale);
+
+/// Quantizes one finite value: clamp(lrintf(v * inv_scale), -127, 127).
+/// Round-to-nearest-even at *.5 boundaries (the default FP environment).
+int8_t QuantizeValue(float v, float inv_scale);
+
+/// Quantizes `n` strided values with one channel scale into `out`
+/// (contiguous). `scale` must come from ChannelScale over the same data.
+void QuantizeChannel(const float* x, int64_t n, int64_t stride, float scale,
+                     int8_t* out);
+
+/// Per-row scales of the row-major matrix a[rows, cols] into
+/// scales[rows]. Returns false — zeroing all `rows` scales — if any
+/// element is non-finite (PR 3 rejection idiom: refuse, don't clamp).
+bool ComputeRowScales(const float* a, int64_t rows, int64_t cols,
+                      float* scales);
+
+}  // namespace quant
+}  // namespace dot
+
+#endif  // DOT_TENSOR_QUANTIZE_H_

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -78,29 +79,39 @@ TEST(Determinism, UnetForwardIsSeedDeterministic) {
   for (int64_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya.at(i), yb.at(i));
 }
 
-// ---- GEMM-kernel x thread-count sweep ---------------------------------------
+// ---- GEMM kernel x precision x thread-count sweep ---------------------------
 // The engine contract (gemm_kernel.h): same kernel + same inputs -> bitwise
 // identical outputs for ANY thread count, because work is only partitioned
-// across disjoint output regions and the k-accumulation order is fixed.
+// across disjoint output regions and the k-accumulation order is fixed. The
+// int8 path inherits the same contract for free — integer accumulation has
+// no rounding at all — so the sweep runs the full kernel x precision grid.
 // Verified end to end here: conv2d forward + backward, masked attention, and
 // the UNet denoiser (the oracle's stage-2 network) at 1, 4, and
 // hardware-concurrency threads, plus run-to-run identity at each count.
+// Under kInt8 the recording conv forward + backward stay fp32 by the
+// grad-mode contract; the inference blocks take the quantized path.
 
-class KernelThreadSweep : public ::testing::TestWithParam<gemm::Kernel> {
+class KernelThreadSweep
+    : public ::testing::TestWithParam<std::tuple<gemm::Kernel, gemm::Precision>> {
  protected:
   void SetUp() override {
-    if (GetParam() == gemm::Kernel::kSimd && !gemm::SimdAvailable()) {
+    if (std::get<0>(GetParam()) == gemm::Kernel::kSimd &&
+        !gemm::SimdAvailable()) {
       GTEST_SKIP() << "SIMD microkernel unavailable on this CPU/build";
     }
-    prev_ = gemm::ActiveKernel();
-    gemm::SetKernel(GetParam());
+    prev_kernel_ = gemm::ActiveKernel();
+    prev_precision_ = gemm::ActivePrecision();
+    gemm::SetKernel(std::get<0>(GetParam()));
+    gemm::SetPrecision(std::get<1>(GetParam()));
   }
   void TearDown() override {
-    gemm::SetKernel(prev_);
+    gemm::SetKernel(prev_kernel_);
+    gemm::SetPrecision(prev_precision_);
     ThreadPool::ResetGlobalForTesting();  // back to default sizing
   }
 
-  gemm::Kernel prev_ = gemm::Kernel::kNaive;
+  gemm::Kernel prev_kernel_ = gemm::Kernel::kNaive;
+  gemm::Precision prev_precision_ = gemm::Precision::kFp32;
 
   /// One fixed-seed pass through the GEMM-heavy paths; returns every output
   /// and gradient byte so the comparison below is exhaustive.
@@ -121,6 +132,15 @@ class KernelThreadSweep : public ::testing::TestWithParam<gemm::Kernel> {
       append(w.grad_vec());
     }
     NoGradGuard guard;
+    // conv2d inference forward: under kInt8 this is the quantized conv path,
+    // with the weight handle engaging the quantized-weight cache (the 9x9
+    // input gives OHW=81, a non-multiple-of-8 edge-tile GEMM).
+    {
+      Rng rng(55);
+      Tensor cx = Tensor::Randn({2, 3, 9, 9}, &rng);
+      Tensor cw = Tensor::Randn({4, 3, 3, 3}, &rng).set_requires_grad(true);
+      append(Conv2d(cx, cw, Tensor(), 1, 1).ToVector());
+    }
     // Masked multi-head attention (BatchMatMul paths).
     {
       Rng rng(7);
@@ -200,13 +220,50 @@ TEST_P(KernelThreadSweep, BitwiseIdenticalAcrossThreadCounts) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllKernels, KernelThreadSweep,
-                         ::testing::Values(gemm::Kernel::kNaive,
-                                           gemm::Kernel::kBlocked,
-                                           gemm::Kernel::kSimd),
-                         [](const auto& info) {
-                           return std::string(gemm::KernelName(info.param));
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllKernelsAndPrecisions, KernelThreadSweep,
+    ::testing::Combine(::testing::Values(gemm::Kernel::kNaive,
+                                         gemm::Kernel::kBlocked,
+                                         gemm::Kernel::kSimd),
+                       ::testing::Values(gemm::Precision::kFp32,
+                                         gemm::Precision::kInt8)),
+    [](const auto& info) {
+      return std::string(gemm::KernelName(std::get<0>(info.param))) + "_" +
+             gemm::PrecisionName(std::get<1>(info.param));
+    });
+
+// Batch-position invariance of the quantized path: activation scales are
+// per-op(A)-row / per-op(B)-column — never per packed panel — so quantizing
+// a row depends only on that row's contents, not on which rows it happens to
+// share a panel with. Slicing a row block out of a bigger batch must
+// therefore reproduce the batched results bitwise, even when the slice
+// starts mid-panel and the shapes force partial edge tiles (m % 8 != 0,
+// n % 8 != 0).
+TEST(Int8Determinism, BatchPositionInvarianceOnEdgeTiles) {
+  const int64_t m = 11, k = 40, n = 9;
+  Rng rng(20260807);
+  std::vector<float> a(static_cast<size_t>(m * k));
+  std::vector<float> b(static_cast<size_t>(k * n));
+  for (auto& v : a) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+  for (auto& v : b) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+  for (gemm::Kernel kernel :
+       {gemm::Kernel::kNaive, gemm::Kernel::kBlocked, gemm::Kernel::kSimd}) {
+    if (kernel == gemm::Kernel::kSimd && !gemm::SimdAvailable()) continue;
+    SCOPED_TRACE(gemm::KernelName(kernel));
+    std::vector<float> c_full(static_cast<size_t>(m * n));
+    gemm::RunEx(kernel, gemm::Precision::kInt8, gemm::Layout::kNN, a.data(),
+                b.data(), c_full.data(), m, k, n, false);
+    // Rows 3..7 of the batch, recomputed standalone: starts mid-panel in the
+    // batched run, is its own (padded) panel standalone.
+    const int64_t row0 = 3, rows = 5;
+    std::vector<float> c_part(static_cast<size_t>(rows * n));
+    gemm::RunEx(kernel, gemm::Precision::kInt8, gemm::Layout::kNN,
+                a.data() + row0 * k, b.data(), c_part.data(), rows, k, n,
+                false);
+    EXPECT_EQ(0, std::memcmp(c_full.data() + row0 * n, c_part.data(),
+                             c_part.size() * sizeof(float)));
+  }
+}
 
 TEST(Determinism, SpatialConditionFlagChangesArchitecture) {
   UnetConfig with = {};

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "tensor/gemm_kernel.h"
 #include "tensor/ops.h"
 #include "tensor/optim.h"
 #include "util/stopwatch.h"
@@ -55,6 +56,13 @@ TEST(EstimatorTest, MvitEqualsVitOnSamePit) {
   EstimatorConfig cfg = SmallConfig();
   TransformerEstimator mvit(cfg, /*masked=*/true, &rng1);
   TransformerEstimator vit(cfg, /*masked=*/false, &rng2);
+  // The MViT==ViT equivalence is an fp32 contract: under dynamic int8 the
+  // packed and masked paths quantize V over different sequence lengths, so
+  // their column scales (and thus outputs) differ by a quantization step.
+  struct Fp32Pin {
+    gemm::Precision prev = gemm::SetPrecision(gemm::Precision::kFp32);
+    ~Fp32Pin() { gemm::SetPrecision(prev); }
+  } pin;
   NoGradGuard guard;
   for (int64_t visited : {1, 3, 7, 12}) {
     Pit pit = DiagonalPit(12, visited);

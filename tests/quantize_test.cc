@@ -1,0 +1,127 @@
+// Unit tests for the symmetric per-channel int8 quantization primitives
+// (tensor/quantize.h): scale computation, round-trip error bound,
+// saturation, degenerate channels, and the non-finite rejection contract
+// the int8 GEMM path's fp32 fallback relies on.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/quantize.h"
+#include "util/rng.h"
+
+namespace dot {
+namespace {
+
+TEST(ChannelScale, KnownValues) {
+  // max|x| = 6.35 -> scale = 6.35 / 127 = 0.05.
+  std::vector<float> x = {1.0f, -6.35f, 2.5f, 0.0f};
+  float scale = -1.0f;
+  ASSERT_TRUE(quant::ChannelScale(x.data(), 4, 1, &scale));
+  EXPECT_FLOAT_EQ(scale, 6.35f / 127.0f);
+
+  // The strided view {1.0, 2.5} skips the extreme element.
+  ASSERT_TRUE(quant::ChannelScale(x.data(), 2, 2, &scale));
+  EXPECT_FLOAT_EQ(scale, 2.5f / 127.0f);
+}
+
+TEST(ChannelScale, SingleElementChannel) {
+  float x = -3.0f;
+  float scale = 0.0f;
+  ASSERT_TRUE(quant::ChannelScale(&x, 1, 1, &scale));
+  EXPECT_FLOAT_EQ(scale, 3.0f / 127.0f);
+  // The extreme element always round-trips to exactly +/-127.
+  EXPECT_EQ(quant::QuantizeValue(x, quant::InverseScale(scale)), -127);
+}
+
+TEST(ChannelScale, AllZeroChannel) {
+  std::vector<float> x(16, 0.0f);
+  float scale = -1.0f;
+  ASSERT_TRUE(quant::ChannelScale(x.data(), 16, 1, &scale));
+  EXPECT_EQ(scale, 0.0f);
+  // Scale 0 => inverse scale 0 => everything quantizes (and dequantizes)
+  // to zero instead of dividing by zero.
+  EXPECT_EQ(quant::InverseScale(0.0f), 0.0f);
+  std::vector<int8_t> q(16, 99);
+  quant::QuantizeChannel(x.data(), 16, 1, scale, q.data());
+  for (int8_t v : q) EXPECT_EQ(v, 0);
+}
+
+TEST(ChannelScale, EmptyChannel) {
+  float scale = -1.0f;
+  ASSERT_TRUE(quant::ChannelScale(nullptr, 0, 1, &scale));
+  EXPECT_EQ(scale, 0.0f);
+}
+
+TEST(ChannelScale, RejectsNonFinite) {
+  for (float bad : {std::numeric_limits<float>::quiet_NaN(),
+                    std::numeric_limits<float>::infinity(),
+                    -std::numeric_limits<float>::infinity()}) {
+    std::vector<float> x = {1.0f, bad, 2.0f};
+    float scale = 123.0f;
+    EXPECT_FALSE(quant::ChannelScale(x.data(), 3, 1, &scale));
+    EXPECT_EQ(scale, 0.0f) << "rejection must not leak a partial scale";
+  }
+}
+
+TEST(QuantizeValue, SaturatesAtPlusMinus127) {
+  // Values beyond the channel max (possible when a caller reuses a scale
+  // from other data) clamp to the symmetric limits — never -128.
+  float inv = quant::InverseScale(1.0f);  // scale 1 -> q = round(v)
+  EXPECT_EQ(quant::QuantizeValue(1e9f, inv), 127);
+  EXPECT_EQ(quant::QuantizeValue(-1e9f, inv), -127);
+  EXPECT_EQ(quant::QuantizeValue(127.49f, inv), 127);
+  EXPECT_EQ(quant::QuantizeValue(-500.0f, inv), -127);
+}
+
+TEST(QuantizeValue, RoundsToNearest) {
+  float inv = 1.0f;
+  EXPECT_EQ(quant::QuantizeValue(3.4f, inv), 3);
+  EXPECT_EQ(quant::QuantizeValue(3.6f, inv), 4);
+  EXPECT_EQ(quant::QuantizeValue(-3.6f, inv), -4);
+  // Ties round to even (default FP environment).
+  EXPECT_EQ(quant::QuantizeValue(2.5f, inv), 2);
+  EXPECT_EQ(quant::QuantizeValue(3.5f, inv), 4);
+}
+
+TEST(RoundTrip, ErrorBoundedByHalfScale) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 50; ++trial) {
+    int64_t n = 1 + static_cast<int64_t>(rng.Uniform(0, 64));
+    std::vector<float> x(static_cast<size_t>(n));
+    float mag = static_cast<float>(std::pow(10.0, rng.Uniform(-3, 3)));
+    for (auto& v : x) v = static_cast<float>(rng.Uniform(-mag, mag));
+    float scale = 0.0f;
+    ASSERT_TRUE(quant::ChannelScale(x.data(), n, 1, &scale));
+    std::vector<int8_t> q(static_cast<size_t>(n));
+    quant::QuantizeChannel(x.data(), n, 1, scale, q.data());
+    // |x - s*q| <= s/2 up to the float rounding of the x/s product; 0.51
+    // absorbs that rounding.
+    for (int64_t i = 0; i < n; ++i) {
+      float back = scale * static_cast<float>(q[i]);
+      EXPECT_LE(std::fabs(x[static_cast<size_t>(i)] - back), 0.51f * scale)
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ComputeRowScales, PerRowAndRejection) {
+  // Row-major 2x3: rows scale independently.
+  std::vector<float> a = {1.0f, -2.0f, 0.5f, 10.0f, 0.0f, -20.0f};
+  std::vector<float> scales(2, -1.0f);
+  ASSERT_TRUE(quant::ComputeRowScales(a.data(), 2, 3, scales.data()));
+  EXPECT_FLOAT_EQ(scales[0], 2.0f / 127.0f);
+  EXPECT_FLOAT_EQ(scales[1], 20.0f / 127.0f);
+
+  // One NaN anywhere rejects the whole matrix and zeroes every scale
+  // (PR 3 idiom: refuse non-finite weights, don't clamp them).
+  a[4] = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(quant::ComputeRowScales(a.data(), 2, 3, scales.data()));
+  EXPECT_EQ(scales[0], 0.0f);
+  EXPECT_EQ(scales[1], 0.0f);
+}
+
+}  // namespace
+}  // namespace dot
