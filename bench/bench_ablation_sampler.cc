@@ -5,6 +5,14 @@
 //
 // Expected shape: quality saturates well below the full step count — the
 // justification for the fast default — while latency grows linearly.
+//
+// Output: a table on stdout and a per-variant JSON dump (MAE / RMSE /
+// latency per DDIM step count) to DOT_BENCH_SAMPLER_JSON (default
+// BENCH_sampler.json; run_benches.sh exports it).
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "common.h"
 
@@ -48,6 +56,9 @@ int main() {
     variants.push_back({"ancestral (Alg. 1)", cfg.diffusion_steps, true});
   }
 
+  std::string json = "{\n  \"scale\": \"" + scale.name + "\",\n  \"queries\": " +
+                     std::to_string(n) + ",\n  \"variants\": [\n";
+  bool first_row = true;
   for (const auto& v : variants) {
     DotConfig vcfg = cfg;
     vcfg.sample_steps = v.steps;
@@ -72,7 +83,26 @@ int main() {
     table.AddRow({v.name, Table::Num(MeanRouteAccuracy(accs).f1, 3),
                   Table::Num(MeanPitError(errs).overall_mae, 3),
                   Table::Num(m.mae, 3), Table::Num(latency, 3)});
+    char row[320];
+    std::snprintf(row, sizeof(row),
+                  "    {\"sampler\": \"%s\", \"steps\": %lld, "
+                  "\"ancestral\": %s, \"route_f1\": %.4f, \"pit_mae\": %.4f, "
+                  "\"tte_mae_min\": %.4f, \"tte_rmse_min\": %.4f, "
+                  "\"latency_s_per_query\": %.5f}",
+                  v.name.c_str(), static_cast<long long>(v.steps),
+                  v.ancestral ? "true" : "false", MeanRouteAccuracy(accs).f1,
+                  MeanPitError(errs).overall_mae, m.mae, m.rmse, latency);
+    if (!first_row) json += ",\n";
+    json += row;
+    first_row = false;
   }
+  json += "\n  ]\n}\n";
   table.Print();
+
+  const char* path = std::getenv("DOT_BENCH_SAMPLER_JSON");
+  std::string out_path = (path && path[0]) ? path : "BENCH_sampler.json";
+  std::ofstream out(out_path);
+  out << json;
+  std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -17,6 +17,12 @@ export DOT_BENCH_SERVING_LOAD_JSON=${DOT_BENCH_SERVING_LOAD_JSON:-BENCH_serving.
 # bench_quant dumps the int8-vs-fp32 GEMM throughput table and the demo
 # oracle MAE gate; the binary exits non-zero when a gate fails.
 export DOT_BENCH_QUANT_JSON=${DOT_BENCH_QUANT_JSON:-BENCH_quant.json}
+# bench_ablation_sampler dumps MAE/RMSE/latency per DDIM step count.
+export DOT_BENCH_SAMPLER_JSON=${DOT_BENCH_SAMPLER_JSON:-BENCH_sampler.json}
+# bench_adaptation dumps incident staleness curves before/after the
+# continual fine-tune round plus the swap-under-load error counts; the
+# binary exits non-zero when a recovery/zero-error/version gate fails.
+export DOT_BENCH_ADAPTATION_JSON=${DOT_BENCH_ADAPTATION_JSON:-BENCH_adaptation.json}
 for b in build/bench/bench_*; do
   echo "===== $b =====" | tee -a "$OUT"
   if [ "$(basename $b)" = "bench_micro_kernels" ]; then

@@ -47,7 +47,16 @@
 #      all sanitizer-exercised), then a loopback dot_server smoke with
 #      DOT_GEMM_PRECISION=int8 whose /metrics export must carry live
 #      dot_gemm_quant_* series (the quantized path actually served, the
-#      weight cache engaged) and still pass the Prometheus lint.
+#      weight cache engaged) and still pass the Prometheus lint;
+#  12. continual adaptation gate (DESIGN.md §5k): the trainer-parity and
+#      adaptation suites (uncertainty deciles, fine-tune guards) under
+#      ASan+UBSan, the fine-tune -> re-seal -> hot-swap chaos case under
+#      TSan (the fleet serves while the round publishes), then a live
+#      dot_server smoke: POST /adaptz fine-tunes on the incident window
+#      and must publish a version bump to every shard, /metrics must carry
+#      the labeled dot_train_*{stage=stage1|stage2|finetune} series and
+#      still pass the Prometheus lint, SIGHUP must hot-swap once more,
+#      and the SIGTERM drain must report lost=0.
 # Usage: scripts/check.sh [build_dir] [asan_build_dir]
 #   (defaults: build-tsan build-asan)
 set -u
@@ -94,7 +103,8 @@ fi
 # export (satellite of the degradation-ladder work): one labeled series per
 # degradation level plus the retry and training-rollback totals.
 for METRIC in 'dot_serving_degraded_total\{level="[a-z_]+"\}' \
-              dot_serving_retries_total dot_train_rollbacks_total; do
+              dot_serving_retries_total \
+              'dot_train_rollbacks_total\{stage="[a-z0-9]+"\}'; do
   if ! grep -qE "^${METRIC} " "$METRICS_TXT"; then
     echo "CHECK FAILED: metrics export is missing ${METRIC}"
     FAILED=1
@@ -550,6 +560,132 @@ else
   fi
 fi
 rm -rf "$QUANT_DIR"
+
+echo "== continual adaptation: trainer parity + adaptation suites under asan+ubsan =="
+# The extracted training loop must stay bitwise-parity with the historical
+# stage loops, and the uncertainty/fine-tune guards must be memory/UB clean.
+if ! "$BUILD_ASAN"/tests/trainer_test > /dev/null; then
+  echo "CHECK FAILED: trainer_test (asan+ubsan)"
+  FAILED=1
+fi
+if ! "$BUILD_ASAN"/tests/adaptation_test > /dev/null; then
+  echo "CHECK FAILED: adaptation_test (asan+ubsan)"
+  FAILED=1
+fi
+
+echo "== continual adaptation: fine-tune -> hot-swap chaos under tsan =="
+# One adaptation round fine-tunes, re-seals, and swaps a 2-shard fleet
+# while a load thread keeps querying it — the shard RW locks, the swap
+# path, and the manager's history mutex all race for real here.
+if ! "$BUILD"/tests/adaptation_test \
+    --gtest_filter='AdaptationFixture.FineTuneHotSwapChaosUnderLoad' \
+    > /dev/null; then
+  echo "CHECK FAILED: adaptation_test chaos case (tsan)"
+  FAILED=1
+fi
+
+echo "== continual adaptation: live /adaptz fine-tune + SIGHUP swap smoke =="
+# Boots dot_server, runs one continual fine-tune round over the admin
+# plane (fresh incident trajectories, replay mix, canary gate, hot-swap
+# publish), then SIGHUPs for one more swap and requires a lossless drain.
+ADAPT_DIR=$(mktemp -d)
+ADAPT_LOG="$ADAPT_DIR/server.log"
+ADAPT_PORT_FILE="$ADAPT_DIR/port"
+ADAPT_ADMIN_PORT_FILE="$ADAPT_DIR/admin_port"
+DOT_SERVE_SHARDS=2 "$BUILD_ASAN"/src/serve/dot_server \
+  --port-file "$ADAPT_PORT_FILE" \
+  --admin-port 0 --admin-port-file "$ADAPT_ADMIN_PORT_FILE" \
+  --checkpoint "$ADAPT_DIR/oracle.bin" > "$ADAPT_LOG" 2>&1 &
+ADAPT_PID=$!
+for _ in $(seq 1 600); do
+  [ -s "$ADAPT_PORT_FILE" ] && [ -s "$ADAPT_ADMIN_PORT_FILE" ] && break
+  if ! kill -0 "$ADAPT_PID" 2> /dev/null; then break; fi
+  sleep 0.5
+done
+if [ ! -s "$ADAPT_PORT_FILE" ]; then
+  echo "CHECK FAILED: dot_server (adapt smoke) did not come up"
+  cat "$ADAPT_LOG"
+  FAILED=1
+else
+  TPORT=$(cat "$ADAPT_PORT_FILE")
+  TAPORT=$(cat "$ADAPT_ADMIN_PORT_FILE")
+  # Traffic before the round so the swap happens under a warmed fleet.
+  "$BUILD_ASAN"/bench/bench_serving_load --client-smoke --port "$TPORT" \
+    --queries 10 > /dev/null || { echo "CHECK FAILED: adapt smoke traffic"; FAILED=1; }
+  if ! curl -s "http://127.0.0.1:$TAPORT/adaptz" | grep -q '"rounds": 0'; then
+    echo "CHECK FAILED: GET /adaptz before any round"
+    FAILED=1
+  fi
+  # The round simulates fresh incident trips and fine-tunes synchronously;
+  # give it a generous sanitizer-friendly timeout.
+  ADAPT_ROUND="$ADAPT_DIR/round.json"
+  if ! curl -s -m 1800 -X POST "http://127.0.0.1:$TAPORT/adaptz" \
+      -o "$ADAPT_ROUND"; then
+    echo "CHECK FAILED: POST /adaptz"
+    FAILED=1
+  fi
+  if ! grep -q '"published": true' "$ADAPT_ROUND"; then
+    echo "CHECK FAILED: adaptation round did not publish:"
+    cat "$ADAPT_ROUND"
+    FAILED=1
+  fi
+  if curl -s "http://127.0.0.1:$TAPORT/shardz" \
+      | grep -q '"model_version": 1'; then
+    echo "CHECK FAILED: a shard still serves model_version 1 after /adaptz"
+    curl -s "http://127.0.0.1:$TAPORT/shardz"
+    FAILED=1
+  fi
+  # The adapted model keeps serving.
+  "$BUILD_ASAN"/bench/bench_serving_load --client-smoke --port "$TPORT" \
+    --queries 10 > /dev/null || { echo "CHECK FAILED: post-adapt traffic"; FAILED=1; }
+  # Labeled per-stage training series (base training + the fine-tune that
+  # just ran in-process) must export well-formed.
+  ADAPT_METRICS="$ADAPT_DIR/metrics.txt"
+  curl -s "http://127.0.0.1:$TAPORT/metrics" > "$ADAPT_METRICS"
+  TBAD=$(grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]?Inf|NaN))$' \
+    "$ADAPT_METRICS")
+  if [ -n "$TBAD" ]; then
+    echo "CHECK FAILED: malformed adapt /metrics lines:"
+    echo "$TBAD"
+    FAILED=1
+  fi
+  for METRIC in 'dot_train_epochs_total\{stage="stage1"\}' \
+                'dot_train_epochs_total\{stage="stage2"\}' \
+                'dot_train_epochs_total\{stage="finetune"\}' \
+                'dot_train_rollbacks_total\{stage="finetune"\}' \
+                'dot_train_epoch_loss\{stage="finetune"\}'; do
+    if ! grep -qE "^${METRIC} " "$ADAPT_METRICS"; then
+      echo "CHECK FAILED: adapt /metrics is missing ${METRIC}"
+      FAILED=1
+    fi
+  done
+  # SIGHUP: one more zero-downtime swap of the freshly sealed checkpoint.
+  kill -HUP "$ADAPT_PID"
+  SWAPPED=0
+  for _ in $(seq 1 60); do
+    sleep 0.5
+    if grep -q 'SIGHUP swap ok' "$ADAPT_LOG"; then
+      SWAPPED=1
+      break
+    fi
+  done
+  if [ "$SWAPPED" -ne 1 ]; then
+    echo "CHECK FAILED: SIGHUP swap after /adaptz"
+    cat "$ADAPT_LOG"
+    FAILED=1
+  fi
+  kill -TERM "$ADAPT_PID"
+  if ! wait "$ADAPT_PID"; then
+    echo "CHECK FAILED: dot_server (adapt smoke) exited nonzero after SIGTERM"
+    FAILED=1
+  fi
+  if ! grep -qE '^DRAINED .*lost=0' "$ADAPT_LOG"; then
+    echo "CHECK FAILED: adapt smoke drain lost requests"
+    cat "$ADAPT_LOG"
+    FAILED=1
+  fi
+fi
+rm -rf "$ADAPT_DIR"
 
 if [ "$FAILED" -ne 0 ]; then
   echo "CHECK FAILED"

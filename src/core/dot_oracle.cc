@@ -2,15 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
-#include "eval/metrics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/window.h"
 #include "tensor/gemm_kernel.h"
-#include "tensor/ops.h"
-#include "tensor/optim.h"
 #include "util/checkpoint.h"
 #include "util/failpoint.h"
 #include "util/logging.h"
@@ -27,131 +23,6 @@ const char* ServedQualityName(ServedQuality q) {
   }
   return "unknown";
 }
-
-namespace {
-
-/// Copies a PiT's CHW tensor into row `i` of a [B, 3, L, L] batch.
-void CopyPitInto(const Pit& pit, Tensor* batch, int64_t i) {
-  int64_t per = pit.tensor().numel();
-  std::copy(pit.tensor().data(), pit.tensor().data() + per,
-            batch->data() + i * per);
-}
-
-/// L2 norm of the accumulated gradients of `params` (training telemetry).
-double GradNorm(const std::vector<Tensor>& params) {
-  double sq = 0;
-  for (const auto& p : params) {
-    if (!p.has_grad()) continue;
-    for (float g : p.grad_vec()) sq += static_cast<double>(g) * g;
-  }
-  return std::sqrt(sq);
-}
-
-/// Scales every gradient so the global L2 norm is at most `max_norm`
-/// (0 = off). Returns the pre-clip norm; a non-finite norm is returned
-/// unscaled so callers can treat the step as poisoned.
-double ClipGradNorm(std::vector<Tensor> params, float max_norm) {
-  double norm = GradNorm(params);
-  if (max_norm > 0 && std::isfinite(norm) &&
-      norm > static_cast<double>(max_norm)) {
-    float scale = static_cast<float>(static_cast<double>(max_norm) / norm);
-    for (auto& p : params) {
-      if (!p.has_grad()) continue;
-      float* g = p.grad();
-      for (int64_t i = 0; i < p.numel(); ++i) g[i] *= scale;
-    }
-  }
-  return norm;
-}
-
-/// Fault tolerance for one training stage's step loop (DESIGN.md §5d): a
-/// step whose loss or gradient norm is non-finite never reaches the
-/// optimizer; after `rollback_after` *consecutive* poisoned steps the
-/// parameters are restored from the last-good snapshot, which is refreshed
-/// at every epoch boundary that saw no poisoned step.
-class TrainingGuard {
- public:
-  TrainingGuard(const char* stage, std::vector<Tensor> params,
-                int64_t rollback_after)
-      : stage_(stage),
-        params_(std::move(params)),
-        rollback_after_(rollback_after),
-        skipped_(obs::MetricsRegistry::Get().GetCounter(
-            "dot_train_skipped_steps_total")),
-        rollbacks_(obs::MetricsRegistry::Get().GetCounter(
-            "dot_train_rollbacks_total")) {
-    TakeSnapshot();
-  }
-
-  void StepOk() { consecutive_bad_ = 0; }
-
-  /// Records a poisoned (skipped) step; rolls back and returns true once
-  /// the consecutive-bad budget is exhausted.
-  bool StepBad(const char* what) {
-    skipped_->Increment();
-    epoch_had_bad_ = true;
-    ++consecutive_bad_;
-    DOT_LOG_WARN << "[" << stage_ << "] skipping step: non-finite " << what
-                 << " (" << consecutive_bad_ << " consecutive)";
-    if (rollback_after_ > 0 && consecutive_bad_ >= rollback_after_) {
-      for (size_t i = 0; i < params_.size(); ++i) {
-        params_[i].CopyFrom(snapshot_[i]);
-      }
-      rollbacks_->Increment();
-      ++rollback_count_;
-      consecutive_bad_ = 0;
-      DOT_LOG_WARN << "[" << stage_ << "] rolled back to last-good weights";
-      return true;
-    }
-    return false;
-  }
-
-  /// Call once per epoch: refreshes the snapshot only if the whole epoch
-  /// was healthy (a poisoned epoch must not become the rollback target).
-  void EndEpoch() {
-    if (!epoch_had_bad_) TakeSnapshot();
-    epoch_had_bad_ = false;
-  }
-
-  int64_t rollback_count() const { return rollback_count_; }
-
- private:
-  void TakeSnapshot() {
-    snapshot_.clear();
-    snapshot_.reserve(params_.size());
-    for (const auto& p : params_) snapshot_.push_back(p.ToVector());
-  }
-
-  const char* stage_;
-  std::vector<Tensor> params_;
-  int64_t rollback_after_;
-  int64_t consecutive_bad_ = 0;
-  int64_t rollback_count_ = 0;
-  bool epoch_had_bad_ = false;
-  std::vector<std::vector<float>> snapshot_;
-  obs::Counter* skipped_;
-  obs::Counter* rollbacks_;
-};
-
-/// Per-epoch training gauges for one stage ("stage1" / "stage2").
-struct StageMetrics {
-  explicit StageMetrics(const char* stage) {
-    auto& reg = obs::MetricsRegistry::Get();
-    std::string prefix = std::string("dot_train_") + stage;
-    epoch_loss = reg.GetGauge(prefix + "_epoch_loss");
-    epoch_time_s = reg.GetGauge(prefix + "_epoch_time_seconds");
-    grad_norm = reg.GetGauge(prefix + "_grad_norm");
-    epochs_total = reg.GetCounter(prefix + "_epochs");
-    steps_total = reg.GetCounter(prefix + "_steps");
-  }
-  obs::Gauge* epoch_loss;
-  obs::Gauge* epoch_time_s;
-  obs::Gauge* grad_norm;
-  obs::Counter* epochs_total;
-  obs::Counter* steps_total;
-};
-
-}  // namespace
 
 DotOracle::DotOracle(const DotConfig& config, const Grid& grid)
     : config_(config),
@@ -180,103 +51,6 @@ std::vector<float> DotOracle::EncodeCondition(const OdtInput& odt) const {
 
 Pit DotOracle::GroundTruthPit(const Trajectory& t) const {
   return Pit::Build(t, grid_, config_.pit_interpolate);
-}
-
-Status DotOracle::TrainStage1(const std::vector<TripSample>& train) {
-  if (train.empty()) return Status::InvalidArgument("stage 1: empty training set");
-  int64_t l = config_.grid_size;
-  int64_t b = std::min<int64_t>(config_.batch_size,
-                                static_cast<int64_t>(train.size()));
-
-  // Pre-rasterize PiTs and conditions once.
-  std::vector<Pit> pits;
-  std::vector<std::vector<float>> conds;
-  pits.reserve(train.size());
-  conds.reserve(train.size());
-  for (const auto& s : train) {
-    pits.push_back(GroundTruthPit(s.trajectory));
-    conds.push_back(EncodeCondition(s.odt));
-  }
-
-  optim::Adam opt(denoiser_->Parameters(), config_.lr);
-  std::vector<int64_t> order(train.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
-
-  StageMetrics sm("stage1");
-  TrainingGuard guard("stage1", denoiser_->Parameters(),
-                      config_.rollback_after_bad_steps);
-  for (int64_t epoch = 0; epoch < config_.stage1_epochs; ++epoch) {
-    obs::TraceSpan epoch_span("DotOracle::TrainStage1::epoch");
-    Stopwatch epoch_sw;
-    // Cosine learning-rate decay to 10% over the training run.
-    double progress = config_.stage1_epochs > 1
-                          ? static_cast<double>(epoch) /
-                                static_cast<double>(config_.stage1_epochs - 1)
-                          : 0.0;
-    opt.set_lr(static_cast<float>(
-        config_.lr * (0.55 + 0.45 * std::cos(progress * 3.14159265))));
-    rng_.Shuffle(&order);
-    double loss_sum = 0;
-    int64_t batches = 0;
-    for (size_t start = 0; start + static_cast<size_t>(b) <= order.size();
-         start += static_cast<size_t>(b)) {
-      Tensor x0 = Tensor::Empty({b, kPitChannels, l, l});
-      Tensor cond = Tensor::Empty({b, 5});
-      for (int64_t i = 0; i < b; ++i) {
-        int64_t idx = order[start + static_cast<size_t>(i)];
-        CopyPitInto(pits[static_cast<size_t>(idx)], &x0, i);
-        std::copy(conds[static_cast<size_t>(idx)].begin(),
-                  conds[static_cast<size_t>(idx)].end(), cond.data() + i * 5);
-      }
-      // Algorithm 2: sample step + noise, predict, regress the target under
-      // the configured parameterization (the added noise, or equivalently
-      // the clean PiT).
-      std::vector<int64_t> steps;
-      Tensor eps;
-      Tensor xn = diffusion_.MakeTrainingExample(x0, &rng_, &steps, &eps);
-      denoiser_->ZeroGrad();
-      Tensor pred = denoiser_->PredictNoise(xn, steps, cond);
-      Tensor target =
-          config_.parameterization == Parameterization::kX0 ? x0 : eps;
-      Tensor loss = MseLoss(pred, target);
-      double loss_val = static_cast<double>(loss.item());
-      if (DOT_FAILPOINT("train.stage1.nan_loss") == fail::Action::kNan) {
-        loss_val = std::numeric_limits<double>::quiet_NaN();
-      }
-      if (!std::isfinite(loss_val)) {
-        guard.StepBad("loss");
-        continue;
-      }
-      loss.Backward();
-      double gnorm =
-          ClipGradNorm(denoiser_->Parameters(), config_.grad_clip_norm);
-      if (!std::isfinite(gnorm)) {
-        guard.StepBad("gradient norm");
-        continue;
-      }
-      opt.Step();
-      guard.StepOk();
-      loss_sum += loss_val;
-      ++batches;
-    }
-    guard.EndEpoch();
-    last_stage1_loss_ = batches > 0 ? loss_sum / static_cast<double>(batches) : 0;
-    sm.epoch_loss->Set(last_stage1_loss_);
-    sm.epoch_time_s->Set(epoch_sw.ElapsedSeconds());
-    sm.epochs_total->Increment();
-    sm.steps_total->Increment(batches);
-    // Grad norm walks every parameter; skip the walk when metrics are off.
-    if (obs::MetricsEnabled()) {
-      sm.grad_norm->Set(GradNorm(denoiser_->Parameters()));
-    }
-    if (config_.verbose) {
-      DOT_LOG_INFO << "[stage1] epoch " << epoch + 1 << "/"
-                   << config_.stage1_epochs << " target MSE "
-                   << last_stage1_loss_;
-    }
-  }
-  stage1_trained_ = true;
-  return Status::OK();
 }
 
 std::vector<Pit> DotOracle::InferPits(const std::vector<OdtInput>& odts) {
@@ -370,169 +144,6 @@ std::vector<Pit> DotOracle::InferPitsImpl(const std::vector<OdtInput>& odts,
   latency->Observe(sw.ElapsedSeconds() * 1e6);
   latency_window->Observe(sw.ElapsedSeconds() * 1e6);
   return out;
-}
-
-Status DotOracle::TrainStage2(const std::vector<TripSample>& train,
-                              const std::vector<TripSample>& val) {
-  if (!stage1_trained_) {
-    return Status::FailedPrecondition("stage 2 requires a trained stage 1");
-  }
-  if (train.empty()) return Status::InvalidArgument("stage 2: empty training set");
-
-  // Target normalization from the training distribution.
-  double sum = 0, sq = 0;
-  for (const auto& s : train) {
-    sum += s.travel_time_minutes;
-    sq += s.travel_time_minutes * s.travel_time_minutes;
-  }
-  double n = static_cast<double>(train.size());
-  target_mean_ = sum / n;
-  target_std_ = std::sqrt(std::max(1e-6, sq / n - target_mean_ * target_mean_));
-
-  std::vector<Pit> pits;
-  std::vector<std::vector<double>> feats;
-  pits.reserve(train.size());
-  feats.reserve(train.size());
-  for (const auto& s : train) {
-    pits.push_back(GroundTruthPit(s.trajectory));
-    feats.push_back(OdtFeatures(s.odt, grid_));
-  }
-
-  // Replace a slice of the training PiTs with stage-1 inferred ones so the
-  // estimator sees the distribution it will serve (inferred PiTs differ
-  // from rasterized ground truth in sparsity and soft-threshold artifacts).
-  int64_t n_inferred = std::min<int64_t>(
-      config_.stage2_inferred_cap,
-      static_cast<int64_t>(static_cast<double>(train.size()) *
-                           config_.stage2_inferred_fraction));
-  if (n_inferred > 0) {
-    std::vector<int64_t> pick(train.size());
-    for (size_t i = 0; i < pick.size(); ++i) pick[i] = static_cast<int64_t>(i);
-    rng_.Shuffle(&pick);
-    pick.resize(static_cast<size_t>(n_inferred));
-    std::vector<OdtInput> odts;
-    for (int64_t idx : pick) odts.push_back(train[static_cast<size_t>(idx)].odt);
-    std::vector<Pit> inferred = InferPits(odts);
-    for (size_t k = 0; k < pick.size(); ++k) {
-      pits[static_cast<size_t>(pick[k])] = std::move(inferred[k]);
-    }
-  }
-
-  // Inferred validation PiTs for early stopping (Sec. 6.3).
-  std::vector<Pit> val_pits;
-  std::vector<OdtInput> val_odts;
-  std::vector<double> val_truth;
-  if (config_.val_samples > 0 && !val.empty()) {
-    int64_t nv = std::min<int64_t>(config_.val_samples,
-                                   static_cast<int64_t>(val.size()));
-    for (int64_t i = 0; i < nv; ++i) {
-      val_odts.push_back(val[static_cast<size_t>(i)].odt);
-      val_truth.push_back(val[static_cast<size_t>(i)].travel_time_minutes);
-    }
-    val_pits = InferPits(val_odts);
-  }
-
-  optim::Adam opt(estimator_->module()->Parameters(), config_.lr);
-  std::vector<int64_t> order(train.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
-  int64_t b = std::min<int64_t>(config_.batch_size,
-                                static_cast<int64_t>(train.size()));
-
-  double best_val = 1e18;
-  std::vector<std::vector<float>> best_weights;
-  int64_t bad_epochs = 0;
-  stage2_trained_ = true;  // EstimateFromPits is used for validation below
-
-  StageMetrics sm("stage2");
-  TrainingGuard guard("stage2", estimator_->module()->Parameters(),
-                      config_.rollback_after_bad_steps);
-  obs::Gauge* val_mae_gauge =
-      obs::MetricsRegistry::Get().GetGauge("dot_train_stage2_val_mae");
-  for (int64_t epoch = 0; epoch < config_.stage2_epochs; ++epoch) {
-    obs::TraceSpan epoch_span("DotOracle::TrainStage2::epoch");
-    Stopwatch epoch_sw;
-    rng_.Shuffle(&order);
-    double loss_sum = 0;
-    int64_t batches = 0;
-    for (size_t start = 0; start + static_cast<size_t>(b) <= order.size();
-         start += static_cast<size_t>(b)) {
-      std::vector<Pit> batch;
-      std::vector<std::vector<double>> batch_feats;
-      std::vector<float> targets;
-      for (int64_t i = 0; i < b; ++i) {
-        int64_t idx = order[start + static_cast<size_t>(i)];
-        batch.push_back(pits[static_cast<size_t>(idx)]);
-        batch_feats.push_back(feats[static_cast<size_t>(idx)]);
-        targets.push_back(static_cast<float>(
-            (train[static_cast<size_t>(idx)].travel_time_minutes - target_mean_) /
-            target_std_));
-      }
-      estimator_->module()->ZeroGrad();
-      Tensor pred = estimator_->ForwardBatch(batch, batch_feats);
-      Tensor loss = MseLoss(pred, Tensor::FromVector({b, 1}, targets));
-      double loss_val = static_cast<double>(loss.item());
-      if (DOT_FAILPOINT("train.stage2.nan_loss") == fail::Action::kNan) {
-        loss_val = std::numeric_limits<double>::quiet_NaN();
-      }
-      if (!std::isfinite(loss_val)) {
-        guard.StepBad("loss");
-        continue;
-      }
-      loss.Backward();
-      double gnorm = ClipGradNorm(estimator_->module()->Parameters(),
-                                  config_.grad_clip_norm);
-      if (!std::isfinite(gnorm)) {
-        guard.StepBad("gradient norm");
-        continue;
-      }
-      opt.Step();
-      guard.StepOk();
-      loss_sum += loss_val;
-      ++batches;
-    }
-    guard.EndEpoch();
-    sm.epoch_loss->Set(batches ? loss_sum / static_cast<double>(batches) : 0);
-    sm.epoch_time_s->Set(epoch_sw.ElapsedSeconds());
-    sm.epochs_total->Increment();
-    sm.steps_total->Increment(batches);
-    if (obs::MetricsEnabled()) {
-      sm.grad_norm->Set(GradNorm(estimator_->module()->Parameters()));
-    }
-    if (config_.verbose) {
-      DOT_LOG_INFO << "[stage2] epoch " << epoch + 1 << "/"
-                   << config_.stage2_epochs << " MSE "
-                   << (batches ? loss_sum / static_cast<double>(batches) : 0);
-    }
-    if (!val_pits.empty()) {
-      std::vector<double> preds = EstimateFromPits(val_pits, val_odts);
-      MetricsAccumulator acc;
-      for (size_t i = 0; i < preds.size(); ++i) acc.Add(preds[i], val_truth[i]);
-      double mae = acc.Finalize().mae;
-      val_mae_gauge->Set(mae);
-      if (mae < best_val) {
-        best_val = mae;
-        bad_epochs = 0;
-        best_weights.clear();
-        for (auto& p : estimator_->module()->Parameters()) {
-          best_weights.push_back(p.ToVector());
-        }
-      } else if (++bad_epochs >= 2) {
-        if (config_.verbose) {
-          DOT_LOG_INFO << "[stage2] early stop at epoch " << epoch + 1;
-        }
-        break;
-      }
-    }
-  }
-  if (!best_weights.empty()) {
-    auto params = estimator_->module()->Parameters();
-    for (size_t i = 0; i < params.size(); ++i) {
-      params[i].CopyFrom(best_weights[i]);
-    }
-    // In-place restore: stale int8 panels must not outlive the old values.
-    gemm::ClearQuantCache();
-  }
-  return Status::OK();
 }
 
 std::vector<double> DotOracle::EstimateFromPits(

@@ -5,6 +5,7 @@
 #ifndef DOT_CORE_DOT_ORACLE_H_
 #define DOT_CORE_DOT_ORACLE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "core/unet.h"
 #include "eval/dataset.h"
 #include "geo/pit.h"
+#include "train/trainer.h"
 #include "util/result.h"
 
 namespace dot {
@@ -92,6 +94,22 @@ enum class ServedQuality : int {
 /// Short name for logs/metric labels ("full", "reduced_steps", ...).
 const char* ServedQualityName(ServedQuality q);
 
+/// \brief Knobs of one continual fine-tune pass (DESIGN.md §5k): a short,
+/// low-LR run over a fresh trajectory window mixed with replayed history,
+/// bounded so it can run online between hot swaps.
+struct FineTuneConfig {
+  int64_t stage1_epochs = 1;   ///< denoiser epochs (0 = stage 2 only)
+  int64_t stage2_epochs = 2;   ///< estimator epochs
+  /// LR multiplier on the oracle's base lr (fine-tuning nudges, it does not
+  /// retrain).
+  double lr_scale = 0.2;
+  /// Replayed old samples per fresh sample (guards against catastrophic
+  /// forgetting of the pre-incident distribution).
+  double replay_fraction = 0.5;
+  /// Hard cap on the mixed set (bounds one round's wall time).
+  int64_t max_samples = 768;
+};
+
 /// \brief An oracle answer: the travel time and the inferred PiT
 /// (the explainability output, Sec. 6.6), tagged with the ladder level
 /// that produced it.
@@ -99,6 +117,10 @@ struct DotEstimate {
   double minutes = 0;
   Pit pit{1};
   ServedQuality quality = ServedQuality::kFull;
+  /// Per-query confidence signal (DESIGN.md §5k): cross-draw spread over
+  /// K reduced-step diffusion draws plus a magnitude-proportional floor
+  /// (see EstimateUncertainty). Negative when not computed for this answer.
+  double uncertainty_minutes = -1;
 };
 
 /// \brief Two-stage DOT model.
@@ -116,6 +138,31 @@ class DotOracle {
   /// Sec. 6.3. Stage 1 must have been trained first.
   Status TrainStage2(const std::vector<TripSample>& train,
                      const std::vector<TripSample>& val);
+
+  /// Continual fine-tune (DESIGN.md §5k): a short low-LR run of both stages
+  /// over `fresh` (the recent trajectory window) mixed with a replay
+  /// subsample of `old` (the original training distribution). Target
+  /// normalization stays frozen so serving semantics don't shift. Requires
+  /// a fully trained (or loaded) oracle. Metrics and the nan_loss failpoint
+  /// use the "finetune" stage tag.
+  Status FineTune(const std::vector<TripSample>& fresh,
+                  const std::vector<TripSample>& old,
+                  const FineTuneConfig& config);
+
+  /// Per-query uncertainty from `draws` independent diffusion draws at
+  /// `sample_steps` DDIM steps (0 = configured count): the standard
+  /// deviation of the estimated minutes across draws plus a relative
+  /// (heteroscedastic) floor proportional to the query's magnitude — the
+  /// draw-mean minutes and the sampled route extent in grid cells, the
+  /// latter because TTE error grows with trip length even when the scalar
+  /// estimate regresses long trips toward the mean. Each value is observed
+  /// into the `dot_oracle_uncertainty_minutes` histogram + rolling window,
+  /// and is monotone with actual error on the demo world
+  /// (tests/adaptation_test.cc), which is what lets the serving ladder
+  /// triage low-confidence answers.
+  Result<std::vector<double>> EstimateUncertainty(
+      const std::vector<OdtInput>& odts, int64_t draws,
+      int64_t sample_steps = 0);
 
   /// Full oracle query (Eq. 1): odt -> (travel time, inferred PiT).
   Result<DotEstimate> Estimate(const OdtInput& odt);
@@ -166,6 +213,14 @@ class DotOracle {
   /// Mean stage-1 training loss of the last epoch (diagnostics).
   double last_stage1_loss() const { return last_stage1_loss_; }
 
+  /// Reports of the last TrainStage1 / TrainStage2 / FineTune runs
+  /// (per-epoch loss trajectories, skip/rollback counts).
+  const train::TrainReport& stage1_report() const { return stage1_report_; }
+  const train::TrainReport& stage2_report() const { return stage2_report_; }
+  const train::TrainReport& finetune_report() const {
+    return finetune_report_;
+  }
+
   /// Mean travel time of the stage-2 training distribution, minutes — the
   /// serving layer's estimate of last resort when the whole ladder is
   /// exhausted.
@@ -193,6 +248,20 @@ class DotOracle {
   std::vector<Pit> InferPitsImpl(const std::vector<OdtInput>& odts,
                                  int64_t sample_steps, bool* sane);
 
+  /// Shared denoiser training loop (oracle_train.cc): `cosine_lr` enables
+  /// the full-training cosine decay; fine-tuning runs at a constant low lr.
+  train::TrainReport RunStage1Loop(const std::vector<TripSample>& samples,
+                                   const std::string& stage, int64_t epochs,
+                                   float lr, bool cosine_lr);
+  /// Shared estimator training loop over pre-built PiTs/features/targets;
+  /// `validate` (when set) runs after each epoch and returns false to stop.
+  train::TrainReport RunStage2Loop(
+      const std::vector<Pit>& pits,
+      const std::vector<std::vector<double>>& feats,
+      const std::vector<float>& norm_targets, const std::string& stage,
+      int64_t epochs, float lr,
+      const std::function<bool(int64_t)>& validate);
+
   DotConfig config_;
   Grid grid_;
   Diffusion diffusion_;
@@ -203,6 +272,9 @@ class DotOracle {
   bool stage2_trained_ = false;
   double target_mean_ = 0, target_std_ = 1;
   double last_stage1_loss_ = 0;
+  train::TrainReport stage1_report_;
+  train::TrainReport stage2_report_;
+  train::TrainReport finetune_report_;
 };
 
 }  // namespace dot

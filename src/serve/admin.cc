@@ -214,6 +214,25 @@ std::string AdminServer::Respond(const std::string& method,
     }
     return TextResponse(200, "OK", "swap ok\n");
   }
+  // /adaptz: GET = round history, POST = run one continual fine-tune
+  // round (fine-tune on the incident window, re-seal, hot-swap).
+  if (path == "/adaptz") {
+    if (method == "POST") {
+      if (!hooks_.adapt_run) {
+        return TextResponse(404, "Not Found", "no adaptation loop\n");
+      }
+      Result<std::string> round = hooks_.adapt_run();
+      if (!round.ok()) {
+        return TextResponse(500, "Internal Server Error",
+                            round.status().ToString() + "\n");
+      }
+      return JsonResponse(*round);
+    }
+    if (!hooks_.adapt_json) {
+      return TextResponse(404, "Not Found", "no adaptation loop\n");
+    }
+    return JsonResponse(hooks_.adapt_json());
+  }
   if (method != "GET") {
     return TextResponse(405, "Method Not Allowed", "only GET is supported\n");
   }

@@ -14,6 +14,11 @@
 //                 version, probe/quarantine counters); 404 without shards
 //   POST /swapz   zero-downtime model hot-swap across all shards; 200 on
 //                 success, 500 with the error otherwise, 405 on GET
+//   GET  /adaptz  JSON history of continual fine-tune rounds; 404 when
+//                 the process runs without an adaptation loop
+//   POST /adaptz  runs one adaptation round synchronously (fine-tune on
+//                 the incident window, re-seal, hot-swap on improvement)
+//                 and returns the round's JSON record
 //   GET /tracez?sec=N  records a bounded N-second trace and returns it as
 //                 chrome://tracing JSON (409 if a recording is active)
 //
@@ -60,6 +65,13 @@ struct AdminHooks {
   /// swap is expected to block until the shadow models are live (the 200
   /// means "the new version is serving"). 404 if absent.
   std::function<Status()> swap;
+  /// Adaptation round history behind GET /adaptz (404 if absent — the
+  /// process runs without a continual-learning loop).
+  std::function<std::string()> adapt_json;
+  /// One synchronous continual fine-tune round behind POST /adaptz.
+  /// Returns the round's JSON record; blocks until the round (and any
+  /// publish hot-swap it triggers) finishes. 404 if absent.
+  std::function<Result<std::string>()> adapt_run;
 };
 
 /// \brief Single-threaded HTTP/1.0 introspection server.

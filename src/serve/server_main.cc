@@ -24,6 +24,13 @@
 // DOT_SERVE_QUARANTINE_FAILURES, DOT_SERVE_PROBE_BACKOFF_MS,
 // DOT_SERVE_PROBE_BACKOFF_MAX_MS, DOT_SERVE_DEGRADED_P95_US.
 //
+// Continual adaptation (DESIGN.md §5k): the process carries an incident
+// storm scheduled for the day after the demo training window. POST
+// /adaptz fine-tunes the sealed model on fresh incident trajectories
+// (DOT_ADAPT_* knobs, see serve/adapt.h), re-seals the checkpoint on
+// improvement, and hot-swaps every shard onto it; GET /adaptz reports the
+// round history.
+//
 // Batching / admission knobs come from the environment (DOT_SERVE_*, see
 // ServerConfig::FromEnv). Prints "LISTENING <port>" (plus "ADMIN <port>"
 // when the admin plane is up, and "SHARDS <n>") on stdout when ready.
@@ -51,10 +58,12 @@
 
 #include "core/shard.h"
 #include "obs/metrics.h"
+#include "serve/adapt.h"
 #include "serve/admin.h"
 #include "serve/demo.h"
 #include "serve/router.h"
 #include "serve/server.h"
+#include "sim/incidents.h"
 #include "util/logging.h"
 
 namespace {
@@ -231,11 +240,34 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Continual adaptation loop (DESIGN.md §5k): an incident storm disrupts
+  // the day after the training data ends; POST /adaptz fine-tunes the
+  // sealed model on fresh incident-window trajectories and hot-swaps the
+  // fleet onto the result.
+  dot::TripConfig demo_trips = dot::serve::DemoTripConfig();
+  int64_t storm_start =
+      demo_trips.start_unix + demo_trips.num_days * 86400 + 7 * 3600;
+  int64_t storm_end = storm_start + 12 * 3600;
+  auto storm = std::make_shared<dot::IncidentSchedule>(
+      dot::IncidentSchedule::Storm(*world->city, storm_start, storm_end,
+                                   dot::serve::kDemoCitySeed));
+  dot::serve::AdaptationManager adapt(
+      world->city.get(), world->grid.get(), world->dataset->split.train,
+      shard_checkpoint, dot::serve::AdaptConfig::FromEnv());
+  adapt.SetIncidents(storm, storm_start, storm_end);
+
   dot::serve::AdminHooks hooks;
   hooks.server_json = [&server] { return ServerStatsJson(server); };
   hooks.slow_ring = server.slow_ring();
   hooks.shardz_json = [&router] { return router.ShardzJson(); };
   hooks.swap = [&router] { return router.SwapAll(); };
+  hooks.adapt_json = [&adapt] { return adapt.StatusJson(); };
+  hooks.adapt_run = [&adapt, &router]() -> dot::Result<std::string> {
+    dot::Result<dot::serve::AdaptRound> round =
+        adapt.RunRound([&router] { return router.SwapAll(); });
+    if (!round.ok()) return round.status();
+    return round->ToJson();
+  };
   dot::serve::AdminServer admin(admin_config, hooks);
   if (admin_enabled) {
     dot::Status admin_started = admin.Start();

@@ -1,7 +1,10 @@
 #include "sim/city.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "geo/trajectory.h"
+#include "sim/incidents.h"
 #include "util/logging.h"
 
 namespace dot {
@@ -105,6 +108,28 @@ double City::SpeedFactor(int64_t edge_id, int64_t seconds_of_day) const {
 double City::ExpectedEdgeSeconds(int64_t edge_id, int64_t seconds_of_day) const {
   const RoadEdge& e = network_.edge(edge_id);
   double speed = e.free_flow_speed_mps * SpeedFactor(edge_id, seconds_of_day) *
+                 EdgeQuality(edge_id);
+  return e.length_meters / std::max(0.5, speed);
+}
+
+double City::CongestionFactor(int64_t edge_id, int64_t unix_time) const {
+  double factor = SpeedFactor(edge_id, SecondsOfDay(unix_time));
+  if (incidents_ == nullptr || incidents_->empty()) return factor;
+  const RoadEdge& e = network_.edge(edge_id);
+  const GpsPoint& a = network_.node(e.from).gps;
+  const GpsPoint& b = network_.node(e.to).gps;
+  GpsPoint mid{(a.lng + b.lng) / 2, (a.lat + b.lat) / 2};
+  factor *= incidents_->SpeedModifier(mid, unix_time);
+  return std::max(0.05, factor);
+}
+
+double City::ExpectedEdgeSecondsAt(int64_t edge_id, int64_t unix_time) const {
+  if (incidents_ == nullptr || incidents_->empty()) {
+    // Bitwise-identical to the seconds-of-day path on a clear day.
+    return ExpectedEdgeSeconds(edge_id, SecondsOfDay(unix_time));
+  }
+  const RoadEdge& e = network_.edge(edge_id);
+  double speed = e.free_flow_speed_mps * CongestionFactor(edge_id, unix_time) *
                  EdgeQuality(edge_id);
   return e.length_meters / std::max(0.5, speed);
 }

@@ -9,6 +9,7 @@
 #ifndef DOT_SIM_CITY_H_
 #define DOT_SIM_CITY_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,8 @@
 #include "util/rng.h"
 
 namespace dot {
+
+class IncidentSchedule;
 
 /// \brief Parameters of a synthetic city.
 struct CityConfig {
@@ -59,6 +62,25 @@ class City {
   /// Expected traversal seconds of an edge entered at `seconds_of_day`.
   double ExpectedEdgeSeconds(int64_t edge_id, int64_t seconds_of_day) const;
 
+  /// Installs (or clears, with nullptr) a disruption schedule. Incidents
+  /// modify CongestionFactor / ExpectedEdgeSecondsAt below; the
+  /// seconds-of-day overloads above stay incident-blind by design so
+  /// clear-day callers are bitwise unaffected.
+  void SetIncidents(std::shared_ptr<const IncidentSchedule> schedule) {
+    incidents_ = std::move(schedule);
+  }
+  const IncidentSchedule* incidents() const { return incidents_.get(); }
+
+  /// Congestion factor at an absolute unix time: the time-of-day
+  /// SpeedFactor times any active incident modifiers at the edge midpoint,
+  /// clamped to >= 0.05 (a closure slows an edge ~20x but never divides by
+  /// zero). Equals SpeedFactor(edge, SecondsOfDay(t)) with no schedule.
+  double CongestionFactor(int64_t edge_id, int64_t unix_time) const;
+
+  /// Expected traversal seconds at an absolute unix time, incident-aware.
+  /// Equals ExpectedEdgeSeconds(edge, SecondsOfDay(t)) with no schedule.
+  double ExpectedEdgeSecondsAt(int64_t edge_id, int64_t unix_time) const;
+
   /// True if the edge belongs to an arterial row/column.
   bool IsArterial(int64_t edge_id) const {
     return arterial_[static_cast<size_t>(edge_id)];
@@ -74,6 +96,7 @@ class City {
   RoadNetwork network_;
   std::vector<bool> arterial_;
   std::vector<double> quality_;
+  std::shared_ptr<const IncidentSchedule> incidents_;
 };
 
 }  // namespace dot

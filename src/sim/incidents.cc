@@ -1,0 +1,110 @@
+#include "sim/incidents.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/city.h"
+#include "util/rng.h"
+
+namespace dot {
+
+const char* IncidentKindName(IncidentKind kind) {
+  switch (kind) {
+    case IncidentKind::kClosure: return "closure";
+    case IncidentKind::kAccident: return "accident";
+    case IncidentKind::kWeather: return "weather";
+    case IncidentKind::kSurge: return "surge";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Per-kind speed impact at severity 1. Closures collapse below the City's
+/// 0.05 serving clamp; the others scale down proportionally.
+double KindImpact(IncidentKind kind) {
+  switch (kind) {
+    case IncidentKind::kClosure: return 0.98;
+    case IncidentKind::kAccident: return 0.65;
+    case IncidentKind::kWeather: return 0.45;
+    case IncidentKind::kSurge: return 0.25;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool IncidentSchedule::AnyActive(int64_t unix_time) const {
+  for (const auto& inc : incidents_) {
+    if (inc.Active(unix_time)) return true;
+  }
+  return false;
+}
+
+double IncidentSchedule::SpeedModifier(const GpsPoint& p,
+                                       int64_t unix_time) const {
+  double modifier = 1.0;
+  for (const auto& inc : incidents_) {
+    if (!inc.Active(unix_time) || !inc.Covers(p)) continue;
+    modifier *= 1.0 - KindImpact(inc.kind) * std::clamp(inc.severity, 0.0, 1.0);
+  }
+  return std::max(0.02, modifier);
+}
+
+double IncidentSchedule::DemandMultiplier(int64_t unix_time) const {
+  double m = 1.0;
+  for (const auto& inc : incidents_) {
+    if (inc.kind != IncidentKind::kSurge || !inc.Active(unix_time)) continue;
+    m *= 1.0 + 2.0 * std::clamp(inc.severity, 0.0, 1.0);
+  }
+  return m;
+}
+
+IncidentSchedule IncidentSchedule::Storm(const City& city, int64_t t0,
+                                         int64_t t1, uint64_t seed) {
+  Rng rng(seed);
+  const RoadNetwork& net = city.network();
+  auto random_node_gps = [&]() {
+    return net.node(rng.UniformInt(0, net.num_nodes() - 1)).gps;
+  };
+  int64_t mid = t0 + (t1 - t0) / 2;
+
+  IncidentSchedule s;
+  Incident weather;
+  weather.kind = IncidentKind::kWeather;
+  weather.start_unix = t0;
+  weather.end_unix = t1;
+  weather.radius_meters = 0;  // city-wide
+  weather.severity = 0.6;
+  s.Add(weather);
+
+  Incident closure;
+  closure.kind = IncidentKind::kClosure;
+  closure.start_unix = t0;
+  closure.end_unix = t1;
+  closure.center = random_node_gps();
+  closure.radius_meters = 900;
+  closure.severity = 1.0;
+  s.Add(closure);
+
+  Incident accident;
+  accident.kind = IncidentKind::kAccident;
+  accident.start_unix = t0 + (t1 - t0) / 4;
+  accident.end_unix = t1;
+  accident.center = random_node_gps();
+  accident.radius_meters = 1400;
+  accident.severity = 0.8;
+  s.Add(accident);
+
+  Incident surge;
+  surge.kind = IncidentKind::kSurge;
+  surge.start_unix = mid;
+  surge.end_unix = t1;
+  surge.center = random_node_gps();
+  surge.radius_meters = 2500;
+  surge.severity = 0.7;
+  s.Add(surge);
+  return s;
+}
+
+}  // namespace dot

@@ -1,0 +1,85 @@
+// Time-windowed disruption events layered on top of a City's congestion
+// model (DESIGN.md §5k): road closures, accident slowdowns, weather, and
+// surge demand. Incidents are what the continual fine-tuning loop adapts
+// to — a stale oracle trained on clear-day trajectories mispredicts inside
+// an incident window, and the adaptation round closes that gap.
+//
+// An installed schedule modifies City::CongestionFactor multiplicatively;
+// with no schedule (or no active incident) every query reduces to the
+// clear-day model bitwise, so existing determinism tests are unaffected.
+
+#ifndef DOT_SIM_INCIDENTS_H_
+#define DOT_SIM_INCIDENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geo.h"
+
+namespace dot {
+
+class City;
+
+enum class IncidentKind {
+  kClosure,   ///< road closed: speed collapses to the clamp floor
+  kAccident,  ///< localized heavy slowdown
+  kWeather,   ///< broad moderate slowdown (rain / snow), usually city-wide
+  kSurge,     ///< demand spike (event letting out); mild slowdown + extra trips
+};
+
+const char* IncidentKindName(IncidentKind kind);
+
+/// \brief One disruption: a kind, a half-open time window [start_unix,
+/// end_unix), a circular footprint, and a severity in [0, 1].
+struct Incident {
+  IncidentKind kind = IncidentKind::kAccident;
+  int64_t start_unix = 0;
+  int64_t end_unix = 0;
+  GpsPoint center{0, 0};
+  /// Footprint radius; <= 0 means city-wide (e.g. weather).
+  double radius_meters = 0;
+  double severity = 0.5;
+
+  /// Half-open: active at start_unix, inactive at end_unix.
+  bool Active(int64_t unix_time) const {
+    return unix_time >= start_unix && unix_time < end_unix;
+  }
+  bool Covers(const GpsPoint& p) const {
+    return radius_meters <= 0 || DistanceMeters(center, p) <= radius_meters;
+  }
+};
+
+/// \brief An immutable set of incidents a City consults per (point, time)
+/// query. Install via City::SetIncidents.
+class IncidentSchedule {
+ public:
+  void Add(const Incident& incident) { incidents_.push_back(incident); }
+  const std::vector<Incident>& incidents() const { return incidents_; }
+  bool empty() const { return incidents_.empty(); }
+
+  /// True if any incident window contains `unix_time` (footprint ignored).
+  bool AnyActive(int64_t unix_time) const;
+
+  /// Multiplicative speed modifier at point `p` and time `unix_time`; 1.0
+  /// when clear. Active covering incidents compound; the product is floored
+  /// at 0.02 so stacked incidents cannot drive speeds negative (the City
+  /// applies its own serving clamp on top).
+  double SpeedModifier(const GpsPoint& p, int64_t unix_time) const;
+
+  /// Demand multiplier >= 1 from active surge incidents (footprint
+  /// ignored: surges move trip *counts*, not per-edge speeds).
+  double DemandMultiplier(int64_t unix_time) const;
+
+  /// A canned "incident storm" over [t0, t1) for benches and chaos tests:
+  /// a city-wide weather event, an arterial closure, an accident, and a
+  /// surge in the second half. Placement is deterministic under `seed`.
+  static IncidentSchedule Storm(const City& city, int64_t t0, int64_t t1,
+                                uint64_t seed);
+
+ private:
+  std::vector<Incident> incidents_;
+};
+
+}  // namespace dot
+
+#endif  // DOT_SIM_INCIDENTS_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/incidents.h"
 #include "util/logging.h"
 
 namespace dot {
@@ -80,7 +81,7 @@ int64_t TripGenerator::SampleDestination(int64_t origin, const TripConfig& confi
 }
 
 std::vector<int64_t> TripGenerator::ChooseRoute(int64_t from, int64_t to,
-                                                int64_t depart_sod,
+                                                int64_t depart_unix,
                                                 const TripConfig& config,
                                                 bool* is_outlier) {
   const RoadNetwork& net = city_->network();
@@ -88,13 +89,14 @@ std::vector<int64_t> TripGenerator::ChooseRoute(int64_t from, int64_t to,
   // expected time skewed by the drivers' arterial preference. Time-of-day
   // dependence makes the preferred route flip between off-peak and rush
   // hour; the perception skew separates realized routes from the true
-  // time-optimal path.
+  // time-optimal path. Incident-aware costs also route drivers around
+  // active closures, the way real traffic drains off a blocked road.
   std::vector<double> weights(static_cast<size_t>(net.num_edges()));
   for (int64_t e = 0; e < net.num_edges(); ++e) {
     double perception = city_->IsArterial(e) ? config.perceived_arterial_factor
                                              : config.perceived_street_factor;
     weights[static_cast<size_t>(e)] =
-        city_->ExpectedEdgeSeconds(e, depart_sod) * perception;
+        city_->ExpectedEdgeSecondsAt(e, depart_unix) * perception;
   }
 
   *is_outlier = false;
@@ -148,9 +150,9 @@ Trajectory TripGenerator::Drive(const std::vector<int64_t>& edge_path,
   curve.push_back({net.node(net.edge(edge_path.front()).from).gps, 0.0});
   for (int64_t eid : edge_path) {
     const RoadEdge& e = net.edge(eid);
-    int64_t sod = SecondsOfDay(depart_unix + static_cast<int64_t>(t));
-    double drive = city_->ExpectedEdgeSeconds(eid, sod) * trip_factor *
-                   rng_.Uniform(0.9, 1.1);
+    double drive = city_->ExpectedEdgeSecondsAt(
+                       eid, depart_unix + static_cast<int64_t>(t)) *
+                   trip_factor * rng_.Uniform(0.9, 1.1);
     double delay =
         rng_.Uniform(config.intersection_delay_min, config.intersection_delay_max);
     if (city_->IsArterial(eid)) delay *= 0.5;
@@ -220,6 +222,21 @@ std::vector<OdtInput> TripGenerator::GenerateDemand(int64_t n,
     odt.destination = noisy(net.node(dest).gps);
     odt.departure_time = config.start_unix + day * 86400 + SampleSecondsOfDay();
     odts.push_back(odt);
+    // Surge incidents multiply demand in their window: emit extra queries
+    // for the same OD/time so the surge share of the stream rises. The
+    // branch draws no randomness without a schedule, keeping the clear-day
+    // RNG stream (and every existing fixed-seed dataset) bitwise intact.
+    const IncidentSchedule* sched = city_->incidents();
+    if (sched != nullptr && !sched->empty()) {
+      double m = sched->DemandMultiplier(odt.departure_time);
+      int64_t extra = static_cast<int64_t>(std::floor(m)) - 1;
+      double frac = m - std::floor(m);
+      if (frac > 0 && rng_.Bernoulli(frac)) ++extra;
+      for (int64_t k = 0; k < extra && static_cast<int64_t>(odts.size()) < n;
+           ++k) {
+        odts.push_back(odt);
+      }
+    }
   }
   DOT_CHECK(static_cast<int64_t>(odts.size()) == n)
       << "demand generation starved; relax OD distance bounds";
@@ -240,7 +257,8 @@ std::vector<SimulatedTrip> TripGenerator::Generate(const TripConfig& config) {
     int64_t sod = SampleSecondsOfDay();
     int64_t depart = config.start_unix + day * 86400 + sod;
     bool outlier = false;
-    std::vector<int64_t> path = ChooseRoute(origin, dest, sod, config, &outlier);
+    std::vector<int64_t> path =
+        ChooseRoute(origin, dest, depart, config, &outlier);
     if (path.empty()) continue;
     SimulatedTrip trip;
     trip.edge_path = path;

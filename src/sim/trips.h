@@ -97,8 +97,10 @@ class TripGenerator {
   int64_t SampleOrigin();
   int64_t SampleDestination(int64_t origin, const TripConfig& config);
   /// Picks the driven route: usually one of the k best under expected
-  /// time-of-day costs, occasionally an outlier detour.
-  std::vector<int64_t> ChooseRoute(int64_t from, int64_t to, int64_t depart_sod,
+  /// departure-time costs (incident-aware when the City carries a
+  /// schedule), occasionally an outlier detour.
+  std::vector<int64_t> ChooseRoute(int64_t from, int64_t to,
+                                   int64_t depart_unix,
                                    const TripConfig& config, bool* is_outlier);
   Trajectory Drive(const std::vector<int64_t>& edge_path, int64_t depart_unix,
                    const TripConfig& config);

@@ -1,0 +1,124 @@
+// Reusable training loop (DESIGN.md §5k): epoch/batch iteration with the
+// PR-3 fault-tolerance machinery — non-finite loss/gradient skip, global
+// gradient-norm clipping, last-good-snapshot rollback — factored out of
+// DotOracle so offline stage training and online continual fine-tuning run
+// the exact same hardened loop.
+//
+// A stage implements TrainTask (forward/backward/step over index batches);
+// Trainer owns everything stage-agnostic: shuffling, the step guard, the
+// per-epoch observability gauges (labeled `dot_train_*{stage=...}`), and
+// the `train.<stage>.nan_loss` failpoint. The loop structure replicates
+// the pre-refactor DotOracle loops operation-for-operation so fixed-seed
+// loss trajectories are bitwise unchanged (tests/trainer_test.cc).
+
+#ifndef DOT_TRAIN_TRAINER_H_
+#define DOT_TRAIN_TRAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace dot {
+namespace train {
+
+/// L2 norm of the accumulated gradients of `params` (training telemetry).
+double GradNorm(const std::vector<Tensor>& params);
+
+/// Scales every gradient so the global L2 norm is at most `max_norm`
+/// (0 = off). Returns the pre-clip norm; a non-finite norm is returned
+/// unscaled so callers can treat the step as poisoned.
+double ClipGradNorm(std::vector<Tensor> params, float max_norm);
+
+/// \brief One trainable stage, driven by Trainer::Run.
+///
+/// The split between Forward and Backward matters for fault tolerance: a
+/// step whose loss is non-finite is skipped *before* Backward, so a
+/// poisoned forward pass never touches the gradients.
+class TrainTask {
+ public:
+  virtual ~TrainTask() = default;
+
+  /// Number of training examples; Trainer shuffles [0, NumExamples).
+  virtual int64_t NumExamples() const = 0;
+
+  /// The parameters the guard snapshots and the clip walks.
+  virtual std::vector<Tensor> Parameters() = 0;
+
+  /// Called at the top of every epoch, before the shuffle (learning-rate
+  /// schedules live here).
+  virtual void BeginEpoch(int64_t epoch) { (void)epoch; }
+
+  /// Zeroes gradients, runs the forward pass over `batch` (indices into
+  /// [0, NumExamples)), and returns the loss value. The loss tensor must be
+  /// retained for a subsequent Backward call.
+  virtual double Forward(const std::vector<int64_t>& batch) = 0;
+
+  /// Backpropagates the loss retained by the last Forward.
+  virtual void Backward() = 0;
+
+  /// Applies one optimizer step (the task owns its optimizer).
+  virtual void OptimizerStep() = 0;
+
+  /// Called after the epoch's guard/metrics bookkeeping with the epoch's
+  /// mean loss. Return false to stop training early (validation-based
+  /// early stopping lives here).
+  virtual bool EndEpoch(int64_t epoch, double mean_loss) {
+    (void)epoch;
+    (void)mean_loss;
+    return true;
+  }
+};
+
+/// \brief Stage-agnostic knobs of one Trainer::Run.
+struct TrainerConfig {
+  /// Stage tag: metric label ({stage="..."}), failpoint name
+  /// (`train.<stage>.nan_loss`), and log prefix. "stage1" / "stage2" /
+  /// "finetune".
+  std::string stage = "stage1";
+  int64_t epochs = 1;
+  int64_t batch_size = 8;
+  /// L2 gradient-norm clip applied before every optimizer step (0 = off).
+  float grad_clip_norm = 0.0f;
+  /// Consecutive poisoned steps before rolling back to the last-good
+  /// snapshot (0 = skip-only, never roll back).
+  int64_t rollback_after_bad_steps = 3;
+  bool verbose = false;
+};
+
+/// \brief What one Trainer::Run did (diagnostics + parity tests).
+struct TrainReport {
+  int64_t epochs_run = 0;
+  int64_t steps = 0;          ///< optimizer steps actually applied
+  int64_t skipped_steps = 0;  ///< non-finite steps the optimizer never saw
+  int64_t rollbacks = 0;      ///< last-good restores
+  bool early_stopped = false;
+  /// Mean loss of each completed epoch, in order (bitwise-stable for a
+  /// fixed seed; the parity test's ground truth).
+  std::vector<double> epoch_losses;
+
+  double last_epoch_loss() const {
+    return epoch_losses.empty() ? 0.0 : epoch_losses.back();
+  }
+  /// Merges `other` (a later Run over the same logical job) into this.
+  void Accumulate(const TrainReport& other);
+};
+
+/// \brief The hardened epoch/batch loop, shared by every stage.
+class Trainer {
+ public:
+  explicit Trainer(const TrainerConfig& config) : config_(config) {}
+
+  /// Runs `config.epochs` epochs of `task`. `rng` drives the per-epoch
+  /// shuffle (callers pass their model's stream so trajectories reproduce).
+  TrainReport Run(TrainTask* task, Rng* rng);
+
+ private:
+  TrainerConfig config_;
+};
+
+}  // namespace train
+}  // namespace dot
+
+#endif  // DOT_TRAIN_TRAINER_H_

@@ -170,7 +170,8 @@ TEST(MetricsRegistryTest, PrometheusExportIsWellFormed) {
   reg.GetCounter("dot_serving_degraded_total", {{"level", "cached_neighbor"}});
   reg.GetCounter("dot_serving_degraded_total", {{"level", "fallback"}});
   reg.GetCounter("dot_serving_retries_total");
-  reg.GetCounter("dot_train_rollbacks_total");
+  reg.GetCounter("dot_train_rollbacks_total", {{"stage", "stage1"}});
+  reg.GetCounter("dot_train_skipped_steps_total", {{"stage", "stage1"}});
   std::string text = reg.ToPrometheusText();
   EXPECT_NE(text.find("test_export_counter 7"), std::string::npos);
   EXPECT_NE(text.find("test_export_gauge_ 1.5"), std::string::npos);

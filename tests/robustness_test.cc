@@ -81,6 +81,14 @@ class RobustnessFixture : public ::testing::Test {
     return obs::MetricsRegistry::Get().GetCounter(name)->Value();
   }
 
+  /// Per-stage training counter (`name{stage="..."}`, DESIGN.md §5k).
+  static int64_t StageCounterValue(const std::string& name,
+                                   const std::string& stage) {
+    return obs::MetricsRegistry::Get()
+        .GetCounter(name, {{"stage", stage}})
+        ->Value();
+  }
+
   static City* city_;
   static BenchmarkDataset* dataset_;
   static Grid* grid_;
@@ -341,16 +349,23 @@ TEST_F(RobustnessFixture, NanLossRollsBackToLastGoodWeights) {
   std::string after = ::testing::TempDir() + "/robust_s1_after.bin";
   ASSERT_TRUE(oracle.SaveStage1(before).ok());
 
-  int64_t rollbacks_before = CounterValue("dot_train_rollbacks_total");
-  int64_t skipped_before = CounterValue("dot_train_skipped_steps_total");
+  int64_t rollbacks_before =
+      StageCounterValue("dot_train_rollbacks_total", "stage1");
+  int64_t skipped_before =
+      StageCounterValue("dot_train_skipped_steps_total", "stage1");
   fail::Arm("train.stage1.nan_loss", fail::Action::kNan);  // every step
   ASSERT_TRUE(oracle.TrainStage1(dataset_->split.train).ok());
   fail::DisarmAll();
 
   // Every poisoned step was skipped, the consecutive-bad budget tripped at
   // least one rollback, and the weights are exactly the last-good ones.
-  EXPECT_GT(CounterValue("dot_train_rollbacks_total"), rollbacks_before);
-  EXPECT_GT(CounterValue("dot_train_skipped_steps_total"), skipped_before);
+  EXPECT_GT(StageCounterValue("dot_train_rollbacks_total", "stage1"),
+            rollbacks_before);
+  EXPECT_GT(StageCounterValue("dot_train_skipped_steps_total", "stage1"),
+            skipped_before);
+  EXPECT_GT(oracle.stage1_report().rollbacks, 0);
+  EXPECT_GT(oracle.stage1_report().skipped_steps, 0);
+  EXPECT_EQ(oracle.stage1_report().steps, 0);
   ASSERT_TRUE(oracle.SaveStage1(after).ok());
   EXPECT_EQ(ReadFileBytes(before), ReadFileBytes(after));
   std::remove(before.c_str());
@@ -360,12 +375,14 @@ TEST_F(RobustnessFixture, NanLossRollsBackToLastGoodWeights) {
 TEST_F(RobustnessFixture, Stage2NanLossIsSkippedNotTrainedOn) {
   DotOracle oracle(*cfg_, *grid_);
   ASSERT_TRUE(oracle.TrainStage1(dataset_->split.train).ok());
-  int64_t skipped_before = CounterValue("dot_train_skipped_steps_total");
+  int64_t skipped_before =
+      StageCounterValue("dot_train_skipped_steps_total", "stage2");
   fail::Arm("train.stage2.nan_loss", fail::Action::kNan);
   ASSERT_TRUE(
       oracle.TrainStage2(dataset_->split.train, dataset_->split.val).ok());
   fail::DisarmAll();
-  EXPECT_GT(CounterValue("dot_train_skipped_steps_total"), skipped_before);
+  EXPECT_GT(StageCounterValue("dot_train_skipped_steps_total", "stage2"),
+            skipped_before);
   // The oracle still serves (stage-2 weights are the last-good ones).
   Result<DotEstimate> r = oracle.Estimate(dataset_->split.test[0].odt);
   ASSERT_TRUE(r.ok());

@@ -2,10 +2,14 @@
 // trip generation phenomena (outliers, time-of-day effects), and Table-1
 // style dataset statistics.
 
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "geo/pit.h"
+#include "geo/trajectory.h"
 #include "sim/city.h"
+#include "sim/incidents.h"
 #include "sim/trips.h"
 
 namespace dot {
@@ -284,6 +288,106 @@ TEST_F(TripGenerationTest, SameOdPitsMoreSimilarThanOutlierPit) {
   if (pairs > 3 && outlier_pairs > 0) {
     EXPECT_GT(normal_pair_f1 / static_cast<double>(pairs),
               outlier_pair_f1 / static_cast<double>(outlier_pairs));
+  }
+}
+
+TEST(IncidentTest, WindowIsHalfOpenAndClampsAtBoundaries) {
+  City city(CityConfig::ChengduLike(), 5);
+  const int64_t t0 = 1541030400 + 10 * 3600;  // day 0, 10:00
+  const int64_t t1 = t0 + 2 * 3600;
+  Incident weather;
+  weather.kind = IncidentKind::kWeather;
+  weather.start_unix = t0;
+  weather.end_unix = t1;
+  weather.radius_meters = 0;  // city-wide
+  weather.severity = 1.0;
+  EXPECT_FALSE(weather.Active(t0 - 1));
+  EXPECT_TRUE(weather.Active(t0));      // inclusive start
+  EXPECT_TRUE(weather.Active(t1 - 1));
+  EXPECT_FALSE(weather.Active(t1));     // exclusive end
+
+  auto sched = std::make_shared<IncidentSchedule>();
+  sched->Add(weather);
+  city.SetIncidents(sched);
+  // Outside the window every unix-time query reduces to the clear-day
+  // model bitwise; inside, the edge is strictly slower.
+  double clear = city.ExpectedEdgeSeconds(0, SecondsOfDay(t0 - 1));
+  EXPECT_EQ(city.ExpectedEdgeSecondsAt(0, t0 - 1), clear);
+  EXPECT_EQ(city.ExpectedEdgeSecondsAt(0, t1),
+            city.ExpectedEdgeSeconds(0, SecondsOfDay(t1)));
+  EXPECT_GT(city.ExpectedEdgeSecondsAt(0, t0),
+            city.ExpectedEdgeSeconds(0, SecondsOfDay(t0)));
+  EXPECT_GT(city.ExpectedEdgeSecondsAt(0, t1 - 1),
+            city.ExpectedEdgeSeconds(0, SecondsOfDay(t1 - 1)));
+
+  // No schedule at all: the unix-time overload is the seconds-of-day one.
+  city.SetIncidents(nullptr);
+  EXPECT_EQ(city.ExpectedEdgeSecondsAt(0, t0 + 60),
+            city.ExpectedEdgeSeconds(0, SecondsOfDay(t0 + 60)));
+}
+
+TEST(IncidentTest, ClosureClampsCongestionFactorAtFloor) {
+  City city(CityConfig::ChengduLike(), 5);
+  const int64_t t0 = 1541030400 + 3 * 3600;  // off-peak: SpeedFactor near 1
+  Incident closure;
+  closure.kind = IncidentKind::kClosure;
+  closure.start_unix = t0;
+  closure.end_unix = t0 + 3600;
+  closure.radius_meters = 0;  // close everything for the assertion
+  closure.severity = 1.0;
+  auto sched = std::make_shared<IncidentSchedule>();
+  sched->Add(closure);
+  city.SetIncidents(sched);
+  for (int64_t e = 0; e < 8; ++e) {
+    // Severity-1 closure collapses the modifier below the serving clamp;
+    // the factor must bottom out at exactly 0.05, never reach zero.
+    EXPECT_EQ(city.CongestionFactor(e, t0 + 100), 0.05);
+    EXPECT_GT(city.CongestionFactor(e, t0 - 100), 0.25);
+    // Traversal stays finite: speed is floored before dividing.
+    EXPECT_LT(city.ExpectedEdgeSecondsAt(e, t0 + 100),
+              30.0 * city.ExpectedEdgeSecondsAt(e, t0 - 100));
+  }
+}
+
+TEST(IncidentTest, SurgeDemandIsDeterministicAndShiftsIntoWindow) {
+  City city(CityConfig::ChengduLike(), 5);
+  TripConfig tc = TripConfig::ChengduLike();
+  // Surge over every 18:00-20:00 evening window of day 2.
+  const int64_t t0 = tc.start_unix + 2 * 86400 + 18 * 3600;
+  const int64_t t1 = t0 + 2 * 3600;
+  Incident surge;
+  surge.kind = IncidentKind::kSurge;
+  surge.start_unix = t0;
+  surge.end_unix = t1;
+  surge.radius_meters = 0;
+  surge.severity = 1.0;  // 3x demand
+  auto sched = std::make_shared<IncidentSchedule>();
+  sched->Add(surge);
+
+  auto in_window_share = [&](int64_t seed) {
+    TripGenerator gen(&city, static_cast<uint64_t>(seed));
+    std::vector<OdtInput> odts = gen.GenerateDemand(600, tc);
+    int64_t hits = 0;
+    for (const auto& o : odts) {
+      if (o.departure_time >= t0 && o.departure_time < t1) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(odts.size());
+  };
+
+  double baseline = in_window_share(23);
+  city.SetIncidents(sched);
+  double surged = in_window_share(23);
+  EXPECT_GT(surged, baseline);
+
+  // Same seed, same schedule: the surged stream is bitwise reproducible.
+  TripGenerator a(&city, 23), b(&city, 23);
+  std::vector<OdtInput> da = a.GenerateDemand(200, tc);
+  std::vector<OdtInput> db = b.GenerateDemand(200, tc);
+  ASSERT_EQ(da.size(), db.size());
+  for (size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da[i].departure_time, db[i].departure_time);
+    EXPECT_EQ(da[i].origin, db[i].origin);
+    EXPECT_EQ(da[i].destination, db[i].destination);
   }
 }
 

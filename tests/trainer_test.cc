@@ -1,0 +1,313 @@
+// Trainer extraction parity (DESIGN.md §5k): the generic train::Trainer
+// must reproduce the pre-refactor DotOracle training loops *bitwise* on a
+// fixed seed. The reference below is the old stage-1/stage-2 loop body,
+// reconstructed from the oracle's public building blocks with the exact
+// operation order (cosine LR before shuffle, trailing-partial-batch drop,
+// forward -> finite check -> backward -> clip -> finite check -> step).
+// Any reordering in the extracted Trainer shows up as a loss-trajectory
+// mismatch here.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/diffusion.h"
+#include "core/dot_oracle.h"
+#include "core/estimator.h"
+#include "core/unet.h"
+#include "eval/dataset.h"
+#include "geo/pit.h"
+#include "obs/metrics.h"
+#include "sim/city.h"
+#include "sim/trips.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "util/rng.h"
+
+namespace dot {
+namespace {
+
+/// Verbatim copy of the pre-refactor gradient clip (now train::ClipGradNorm)
+/// so the reference loop does not depend on the code under test.
+double ReferenceClip(std::vector<Tensor> params, float max_norm) {
+  double sq = 0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    for (float g : p.grad_vec()) sq += static_cast<double>(g) * g;
+  }
+  double norm = std::sqrt(sq);
+  if (max_norm > 0 && std::isfinite(norm) &&
+      norm > static_cast<double>(max_norm)) {
+    float scale = static_cast<float>(static_cast<double>(max_norm) / norm);
+    for (auto& p : params) {
+      if (!p.has_grad()) continue;
+      float* g = p.grad();
+      for (int64_t i = 0; i < p.numel(); ++i) g[i] *= scale;
+    }
+  }
+  return norm;
+}
+
+void CopyPitInto(const Pit& pit, Tensor* batch, int64_t i) {
+  int64_t per = pit.tensor().numel();
+  std::copy(pit.tensor().data(), pit.tensor().data() + per,
+            batch->data() + i * per);
+}
+
+struct ReferenceTrajectory {
+  std::vector<double> stage1_losses;
+  std::vector<double> stage2_losses;
+};
+
+/// Replays the pre-refactor TrainStage1 + TrainStage2 loops (with
+/// stage2_inferred_fraction == 0 and val_samples == 0, so the shared RNG
+/// stream is shuffle + MakeTrainingExample only) and records per-epoch
+/// mean losses.
+ReferenceTrajectory RunReferenceLoops(const DotConfig& base, const Grid& grid,
+                                      const std::vector<TripSample>& train) {
+  ReferenceTrajectory out;
+  DotConfig cfg = base;
+  cfg.unet.max_steps = std::max(cfg.unet.max_steps, cfg.diffusion_steps);
+  cfg.estimator.grid_size = cfg.grid_size;
+  // Same init stream and construction order as the DotOracle constructor.
+  Rng init_rng(cfg.seed ^ 0xD07);
+  UnetDenoiser denoiser(cfg.unet, &init_rng);
+  std::unique_ptr<PitEstimator> estimator =
+      MakeEstimator(cfg.estimator_kind, cfg.estimator, &init_rng);
+  Diffusion diffusion(DiffusionSchedule(cfg.diffusion_steps),
+                      cfg.parameterization);
+  Rng rng(cfg.seed);
+
+  int64_t l = cfg.grid_size;
+  int64_t b = std::min<int64_t>(cfg.batch_size,
+                                static_cast<int64_t>(train.size()));
+
+  // ---- Stage 1 (old DotOracle::TrainStage1 body) ----
+  std::vector<Pit> pits;
+  std::vector<std::vector<float>> conds;
+  for (const auto& s : train) {
+    pits.push_back(Pit::Build(s.trajectory, grid, cfg.pit_interpolate));
+    conds.push_back(EncodeOdt(s.odt, grid));
+  }
+  {
+    optim::Adam opt(denoiser.Parameters(), cfg.lr);
+    std::vector<int64_t> order(train.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+    for (int64_t epoch = 0; epoch < cfg.stage1_epochs; ++epoch) {
+      double progress = cfg.stage1_epochs > 1
+                            ? static_cast<double>(epoch) /
+                                  static_cast<double>(cfg.stage1_epochs - 1)
+                            : 0.0;
+      opt.set_lr(static_cast<float>(
+          cfg.lr * (0.55 + 0.45 * std::cos(progress * 3.14159265))));
+      rng.Shuffle(&order);
+      double loss_sum = 0;
+      int64_t batches = 0;
+      for (size_t start = 0; start + static_cast<size_t>(b) <= order.size();
+           start += static_cast<size_t>(b)) {
+        Tensor x0 = Tensor::Empty({b, kPitChannels, l, l});
+        Tensor cond = Tensor::Empty({b, 5});
+        for (int64_t i = 0; i < b; ++i) {
+          int64_t idx = order[start + static_cast<size_t>(i)];
+          CopyPitInto(pits[static_cast<size_t>(idx)], &x0, i);
+          std::copy(conds[static_cast<size_t>(idx)].begin(),
+                    conds[static_cast<size_t>(idx)].end(),
+                    cond.data() + i * 5);
+        }
+        std::vector<int64_t> steps;
+        Tensor eps;
+        Tensor xn = diffusion.MakeTrainingExample(x0, &rng, &steps, &eps);
+        denoiser.ZeroGrad();
+        Tensor pred = denoiser.PredictNoise(xn, steps, cond);
+        Tensor target =
+            cfg.parameterization == Parameterization::kX0 ? x0 : eps;
+        Tensor loss = MseLoss(pred, target);
+        double loss_val = static_cast<double>(loss.item());
+        if (!std::isfinite(loss_val)) continue;
+        loss.Backward();
+        double gnorm = ReferenceClip(denoiser.Parameters(), cfg.grad_clip_norm);
+        if (!std::isfinite(gnorm)) continue;
+        opt.Step();
+        loss_sum += loss_val;
+        ++batches;
+      }
+      out.stage1_losses.push_back(
+          batches > 0 ? loss_sum / static_cast<double>(batches) : 0);
+    }
+  }
+
+  // ---- Stage 2 (old DotOracle::TrainStage2 body, no inferred/val PiTs) ----
+  double sum = 0, sq = 0;
+  for (const auto& s : train) {
+    sum += s.travel_time_minutes;
+    sq += s.travel_time_minutes * s.travel_time_minutes;
+  }
+  double n = static_cast<double>(train.size());
+  double target_mean = sum / n;
+  double target_std =
+      std::sqrt(std::max(1e-6, sq / n - target_mean * target_mean));
+  std::vector<std::vector<double>> feats;
+  for (const auto& s : train) feats.push_back(OdtFeatures(s.odt, grid));
+  {
+    optim::Adam opt(estimator->module()->Parameters(), cfg.lr);
+    std::vector<int64_t> order(train.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+    for (int64_t epoch = 0; epoch < cfg.stage2_epochs; ++epoch) {
+      rng.Shuffle(&order);
+      double loss_sum = 0;
+      int64_t batches = 0;
+      for (size_t start = 0; start + static_cast<size_t>(b) <= order.size();
+           start += static_cast<size_t>(b)) {
+        std::vector<Pit> batch;
+        std::vector<std::vector<double>> batch_feats;
+        std::vector<float> targets;
+        for (int64_t i = 0; i < b; ++i) {
+          int64_t idx = order[start + static_cast<size_t>(i)];
+          batch.push_back(pits[static_cast<size_t>(idx)]);
+          batch_feats.push_back(feats[static_cast<size_t>(idx)]);
+          targets.push_back(static_cast<float>(
+              (train[static_cast<size_t>(idx)].travel_time_minutes -
+               target_mean) /
+              target_std));
+        }
+        estimator->module()->ZeroGrad();
+        Tensor pred = estimator->ForwardBatch(batch, batch_feats);
+        Tensor loss = MseLoss(pred, Tensor::FromVector({b, 1}, targets));
+        double loss_val = static_cast<double>(loss.item());
+        if (!std::isfinite(loss_val)) continue;
+        loss.Backward();
+        double gnorm =
+            ReferenceClip(estimator->module()->Parameters(), cfg.grad_clip_norm);
+        if (!std::isfinite(gnorm)) continue;
+        opt.Step();
+        loss_sum += loss_val;
+        ++batches;
+      }
+      out.stage2_losses.push_back(
+          batches > 0 ? loss_sum / static_cast<double>(batches) : 0);
+    }
+  }
+  return out;
+}
+
+class TrainerParityFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CityConfig cc = CityConfig::ChengduLike();
+    cc.grid_nodes = 8;
+    cc.spacing_meters = 1300;
+    city_ = new City(cc, 4);
+    TripConfig tc = TripConfig::ChengduLike();
+    tc.num_trips = 140;
+    dataset_ = new BenchmarkDataset(BuildDataset(*city_, tc, 17, "parity"));
+    grid_ = new Grid(dataset_->MakeGrid(8).ValueOrDie());
+    DotConfig cfg;
+    cfg.grid_size = 8;
+    cfg.diffusion_steps = 20;
+    cfg.sample_steps = 4;
+    cfg.unet.base_channels = 8;
+    cfg.unet.levels = 2;
+    cfg.unet.cond_dim = 32;
+    cfg.estimator.embed_dim = 32;
+    cfg.estimator.layers = 1;
+    cfg.stage1_epochs = 3;
+    cfg.stage2_epochs = 3;
+    cfg.grad_clip_norm = 0.5f;  // exercise clip parity, not just the norm walk
+    cfg.val_samples = 0;
+    cfg.stage2_inferred_fraction = 0.0;
+    cfg_ = new DotConfig(cfg);
+  }
+  static void TearDownTestSuite() {
+    delete cfg_;
+    delete grid_;
+    delete dataset_;
+    delete city_;
+    cfg_ = nullptr;
+    grid_ = nullptr;
+    dataset_ = nullptr;
+    city_ = nullptr;
+  }
+
+  static City* city_;
+  static BenchmarkDataset* dataset_;
+  static Grid* grid_;
+  static DotConfig* cfg_;
+};
+
+City* TrainerParityFixture::city_ = nullptr;
+BenchmarkDataset* TrainerParityFixture::dataset_ = nullptr;
+Grid* TrainerParityFixture::grid_ = nullptr;
+DotConfig* TrainerParityFixture::cfg_ = nullptr;
+
+TEST_F(TrainerParityFixture, LossTrajectoryMatchesPreRefactorLoopBitwise) {
+  ReferenceTrajectory ref =
+      RunReferenceLoops(*cfg_, *grid_, dataset_->split.train);
+
+  DotOracle oracle(*cfg_, *grid_);
+  ASSERT_TRUE(oracle.TrainStage1(dataset_->split.train).ok());
+  ASSERT_TRUE(
+      oracle.TrainStage2(dataset_->split.train, dataset_->split.val).ok());
+
+  const train::TrainReport& s1 = oracle.stage1_report();
+  const train::TrainReport& s2 = oracle.stage2_report();
+  ASSERT_EQ(s1.epoch_losses.size(), ref.stage1_losses.size());
+  for (size_t i = 0; i < ref.stage1_losses.size(); ++i) {
+    // EXPECT_EQ on double is exact: bitwise parity, not tolerance.
+    EXPECT_EQ(s1.epoch_losses[i], ref.stage1_losses[i]) << "stage1 epoch " << i;
+  }
+  ASSERT_EQ(s2.epoch_losses.size(), ref.stage2_losses.size());
+  for (size_t i = 0; i < ref.stage2_losses.size(); ++i) {
+    EXPECT_EQ(s2.epoch_losses[i], ref.stage2_losses[i]) << "stage2 epoch " << i;
+  }
+
+  // The exported per-stage loss gauges carry the final epoch values.
+  EXPECT_EQ(obs::MetricsRegistry::Get()
+                .GetGauge("dot_train_epoch_loss", {{"stage", "stage1"}})
+                ->Value(),
+            ref.stage1_losses.back());
+  EXPECT_EQ(obs::MetricsRegistry::Get()
+                .GetGauge("dot_train_epoch_loss", {{"stage", "stage2"}})
+                ->Value(),
+            ref.stage2_losses.back());
+  EXPECT_EQ(oracle.last_stage1_loss(), ref.stage1_losses.back());
+}
+
+TEST_F(TrainerParityFixture, ReportCountsCleanRun) {
+  DotOracle oracle(*cfg_, *grid_);
+  ASSERT_TRUE(oracle.TrainStage1(dataset_->split.train).ok());
+  int64_t n = static_cast<int64_t>(dataset_->split.train.size());
+  int64_t batches_per_epoch = n / cfg_->batch_size;  // trailing partial dropped
+  const train::TrainReport& r = oracle.stage1_report();
+  EXPECT_EQ(r.epochs_run, cfg_->stage1_epochs);
+  EXPECT_EQ(r.steps, cfg_->stage1_epochs * batches_per_epoch);
+  EXPECT_EQ(r.skipped_steps, 0);
+  EXPECT_EQ(r.rollbacks, 0);
+  EXPECT_FALSE(r.early_stopped);
+}
+
+TEST_F(TrainerParityFixture, SameSeedFullPathIsReproducible) {
+  // Full stage-2 path (inferred-PiT replacement + validation early stopping)
+  // through the extracted Trainer stays deterministic under a fixed seed.
+  DotConfig cfg = *cfg_;
+  cfg.stage2_inferred_fraction = 0.25;
+  cfg.val_samples = 8;
+  std::vector<double> runs[2];
+  for (int r = 0; r < 2; ++r) {
+    DotOracle oracle(cfg, *grid_);
+    ASSERT_TRUE(oracle.TrainStage1(dataset_->split.train).ok());
+    ASSERT_TRUE(
+        oracle.TrainStage2(dataset_->split.train, dataset_->split.val).ok());
+    runs[r] = oracle.stage2_report().epoch_losses;
+    runs[r].insert(runs[r].end(), oracle.stage1_report().epoch_losses.begin(),
+                   oracle.stage1_report().epoch_losses.end());
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
+}  // namespace
+}  // namespace dot
